@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the GP engine's genetic operators and an
+//! ablation of depth-fair vs naive node selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaopt_gp::gen::random_expr;
+use metaopt_gp::ops::{crossover, mutate, pick_node_depth_fair};
+use metaopt_gp::{Env, FeatureSet, Kind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn features() -> FeatureSet {
+    let mut fs = FeatureSet::new();
+    for i in 0..8 {
+        fs.add_real(format!("r{i}x"));
+    }
+    for i in 0..3 {
+        fs.add_bool(format!("b{i}x"));
+    }
+    fs
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let fs = features();
+    let mut rng = StdRng::seed_from_u64(42);
+    let pop: Vec<_> = (0..64)
+        .map(|_| random_expr(&mut rng, &fs, Kind::Real, 3, 8))
+        .collect();
+
+    c.bench_function("gp/crossover", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            crossover(&mut rng, &pop[i], &pop[i + 1], 12)
+        })
+    });
+
+    c.bench_function("gp/mutate", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            mutate(&mut rng, &pop[i], &fs, 12)
+        })
+    });
+
+    let reals = vec![1.5; 8];
+    let bools = vec![true; 3];
+    c.bench_function("gp/eval", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            pop[i].eval_real(&Env {
+                reals: &reals,
+                bools: &bools,
+            })
+        })
+    });
+
+    c.bench_function("gp/pick-depth-fair", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            pick_node_depth_fair(&mut rng, &pop[i], None)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablations of the GP design choices called out in DESIGN.md: parsimony
+//! pressure strength, tournament size (selection pressure), dynamic subset
+//! selection, and mutation rate. Each variant runs the same hyperblock
+//! specialization problem.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header};
+use metaopt_gp::GpParams;
+
+fn run(label: &str, params: &GpParams, bench: &metaopt_suite::Benchmark) {
+    let cfg = metaopt::study::hyperblock();
+    let r = specialize(&cfg, bench, params);
+    println!(
+        "{label:<34} train {:.3}  winner size {:>3}  evals {:>5}",
+        r.train_speedup,
+        r.best.size(),
+        r.evaluations
+    );
+}
+
+fn main() {
+    header("Ablation", "GP design choices on the g721decode specialization");
+    let base = harness_params();
+    let bench = metaopt_suite::by_name("g721decode").expect("registered");
+
+    run("baseline (paper Table 2 shape)", &base, &bench);
+
+    let mut p = base.clone();
+    p.fitness_epsilon = 0.0;
+    run("parsimony: exact ties only", &p, &bench);
+    let mut p = base.clone();
+    p.fitness_epsilon = 5e-3;
+    run("parsimony: strong (eps 5e-3)", &p, &bench);
+
+    let mut p = base.clone();
+    p.tournament = 2;
+    run("tournament size 2 (low pressure)", &p, &bench);
+    let mut p = base.clone();
+    p.tournament = 15;
+    run("tournament size 15 (high pressure)", &p, &bench);
+
+    let mut p = base.clone();
+    p.elitism = false;
+    run("no elitism", &p, &bench);
+
+    let mut p = base.clone();
+    p.mutation_rate = 0.0;
+    run("no mutation", &p, &bench);
+    let mut p = base.clone();
+    p.mutation_rate = 0.5;
+    run("heavy mutation (50%)", &p, &bench);
+
+    // DSS vs full evaluation on a multi-benchmark run: same search, count
+    // the uncached evaluations DSS saves (the paper's motivation for it).
+    println!("\nDSS cost ablation (4-benchmark general-purpose training):");
+    let cfg = metaopt::study::hyperblock();
+    let benches: Vec<_> = ["rawdaudio", "rawcaudio", "g721encode", "g721decode"]
+        .iter()
+        .map(|n| metaopt_suite::by_name(n).unwrap())
+        .collect();
+    for (label, subset) in [("full evaluation", None), ("DSS subset of 2", Some(2))] {
+        let mut p = base.clone();
+        p.subset_size = subset;
+        let r = metaopt::experiment::train_general(&cfg, &benches, &p);
+        println!(
+            "  {label:<18} mean train {:.3}  uncached evals {:>6}",
+            r.mean_train, r.evaluations
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Feature-importance report (the paper's §9 future work: "techniques that
+//! aid in extracting features that best reflect program variability").
+//! Counts which features the evolved winners actually consult across a set
+//! of specialization runs.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header};
+use metaopt_gp::expr::display_named;
+use std::collections::BTreeMap;
+
+fn main() {
+    header(
+        "Features",
+        "Which hyperblock features do evolved winners consult?",
+    );
+    let cfg = metaopt::study::hyperblock();
+    let params = harness_params();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut winners = 0usize;
+    for b in metaopt_suite::hyperblock_training_set().into_iter().take(6) {
+        let r = specialize(&cfg, &b, &params);
+        let text = display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features);
+        println!("{:<14} {}", b.name, text);
+        winners += 1;
+        for name in cfg
+            .features
+            .real_names()
+            .iter()
+            .chain(cfg.features.bool_names())
+        {
+            if text.contains(name.as_str()) {
+                *counts.entry(name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    println!("\nfeature usage across {winners} winners:");
+    let mut by_count: Vec<_> = counts.into_iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1));
+    for (name, n) in by_count {
+        println!("  {name:<24} {n}");
+    }
+}

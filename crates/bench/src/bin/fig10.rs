@@ -1,0 +1,23 @@
+//! Figure 10: register-allocation evolution — gradual fitness improvement
+//! (contrast with hyperblock formation's fast early plateau, Fig. 5).
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header};
+
+fn main() {
+    header(
+        "Figure 10",
+        "Register-allocation evolution: gradual improvement per generation",
+    );
+    let cfg = metaopt::study::regalloc();
+    let params = harness_params();
+    for name in ["g721encode", "mpeg2dec"] {
+        let b = metaopt_suite::by_name(name).expect("registered");
+        let r = specialize(&cfg, &b, &params);
+        print!("{name:<14}");
+        for g in &r.log {
+            print!(" {:.4}", g.best_fitness);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 14: prefetching evolution — the baseline expression is weeded out
+//! quickly; fitness plateaus early.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header};
+
+fn main() {
+    header(
+        "Figure 14",
+        "Prefetching evolution: baseline weeded out quickly, early plateau",
+    );
+    let cfg = metaopt::study::prefetch();
+    let params = harness_params();
+    for name in ["101.tomcatv", "146.wave5"] {
+        let b = metaopt_suite::by_name(name).expect("registered");
+        let r = specialize(&cfg, &b, &params);
+        print!("{name:<14}");
+        for g in &r.log {
+            print!(" {:.3}", g.best_fitness);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 4: hyperblock specialization — per-benchmark speedups when a
+//! priority function is evolved for that one benchmark, on the train and
+//! novel data sets.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header, mean, speedup_row};
+
+fn main() {
+    header(
+        "Figure 4",
+        "Hyperblock specialization (paper: avg 1.23 novel / 1.54 train)",
+    );
+    let cfg = metaopt::study::hyperblock();
+    let params = harness_params();
+    let mut trains = Vec::new();
+    let mut novels = Vec::new();
+    for b in metaopt_suite::hyperblock_training_set() {
+        let r = specialize(&cfg, &b, &params);
+        speedup_row(&r.name, r.train_speedup, r.novel_speedup);
+        trains.push(r.train_speedup);
+        novels.push(r.novel_speedup);
+    }
+    speedup_row("Average", mean(&trains), mean(&novels));
+}

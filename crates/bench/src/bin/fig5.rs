@@ -1,0 +1,24 @@
+//! Figure 5: hyperblock-formation evolution — best fitness over the
+//! generations for several specialization runs.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header};
+
+fn main() {
+    header(
+        "Figure 5",
+        "Hyperblock evolution: best fitness per generation (fast early gains)",
+    );
+    let cfg = metaopt::study::hyperblock();
+    let params = harness_params();
+    for name in ["rawdaudio", "g721encode", "129.compress"] {
+        let b = metaopt_suite::by_name(name).expect("registered");
+        let r = specialize(&cfg, &b, &params);
+        print!("{name:<14}");
+        for g in &r.log {
+            print!(" {:.3}", g.best_fitness);
+        }
+        println!();
+    }
+    println!("\n(each column is one generation; values are speedup over the baseline)");
+}

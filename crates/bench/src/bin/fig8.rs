@@ -1,0 +1,33 @@
+//! Figure 8: the best general-purpose hyperblock priority function found.
+
+use metaopt::experiment::train_general;
+use metaopt_bench::{harness_params, header, load_winner, save_winner};
+use metaopt_gp::expr::display_named;
+
+fn main() {
+    header(
+        "Figure 8",
+        "Best evolved general-purpose hyperblock priority function",
+    );
+    let cfg = metaopt::study::hyperblock();
+    let winner = load_winner("hyperblock", &cfg.features).unwrap_or_else(|| {
+        eprintln!("(no cached winner from fig6 — running the DSS training first)");
+        let r = train_general(
+            &cfg,
+            &metaopt_suite::hyperblock_training_set(),
+            &harness_params(),
+        );
+        save_winner("hyperblock", &r.best);
+        r.best
+    });
+    println!("raw:        {}", display_named(&winner, &cfg.features));
+    let simplified = metaopt_gp::simplify::simplify(&winner);
+    println!("simplified: {}", display_named(&simplified, &cfg.features));
+    println!(
+        "\nsize: {} -> {} nodes after intron removal (paper §5.4.3)",
+        winner.size(),
+        simplified.size()
+    );
+    println!("(compare with the paper's Eq. 1 seed:)");
+    println!("{}", display_named(&cfg.baseline_seed, &cfg.features));
+}

@@ -1,0 +1,22 @@
+//! Figure 9: register-allocation specialization speedups.
+
+use metaopt::experiment::specialize;
+use metaopt_bench::{harness_params, header, mean, speedup_row};
+
+fn main() {
+    header(
+        "Figure 9",
+        "Register-allocation specialization (paper: small gains, <= ~1.11)",
+    );
+    let cfg = metaopt::study::regalloc();
+    let params = harness_params();
+    let mut trains = Vec::new();
+    let mut novels = Vec::new();
+    for b in metaopt_suite::regalloc_training_set() {
+        let r = specialize(&cfg, &b, &params);
+        speedup_row(&r.name, r.train_speedup, r.novel_speedup);
+        trains.push(r.train_speedup);
+        novels.push(r.novel_speedup);
+    }
+    speedup_row("Average", mean(&trains), mean(&novels));
+}

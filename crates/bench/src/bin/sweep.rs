@@ -1,0 +1,62 @@
+//! Parameter sweep: prefetch distance (iterations ahead) on a streaming
+//! kernel vs an L1-resident kernel — the timeliness/pollution trade-off the
+//! simulator models and the paper's pass exposes as a fixed policy knob.
+
+use metaopt::study;
+use metaopt::PreparedBench;
+use metaopt_compiler::compile;
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_sim::simulate;
+use metaopt_suite::DataSet;
+
+fn main() {
+    metaopt_bench::header(
+        "Sweep",
+        "Prefetch distance (iterations ahead): streaming vs resident kernels",
+    );
+    let cfg = study::prefetch();
+    println!(
+        "{:<14} {}",
+        "bench",
+        (0..7)
+            .map(|k| format!("{:>9}", 1 << k))
+            .collect::<String>()
+    );
+    for name in ["171.swim", "101.tomcatv"] {
+        let b = metaopt_suite::by_name(name).expect("registered");
+        let pb = PreparedBench::new(&cfg, &b);
+        let prog = b.program();
+        let prepared = metaopt_compiler::prepare(&prog).expect("prepares");
+        let mem0 = b.memory(&prepared, DataSet::Train);
+        let profile = run(
+            &prepared,
+            &RunConfig {
+                memory: Some(mem0.clone()),
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .expect("profiles")
+        .profile
+        .expect("requested");
+        print!("{name:<14}");
+        for k in 0..7 {
+            let dist = 1i64 << k;
+            let passes = metaopt_compiler::Passes {
+                hyperblock: None,
+                regalloc: None,
+                prefetch: Some(&metaopt_compiler::prefetch::BaselineTripCount),
+                prefetch_iters_ahead: dist,
+                unroll: None,
+            };
+            let compiled = compile(&prepared, &profile.funcs[0], &cfg.machine, &passes)
+                .expect("compiles");
+            let mut mem = mem0.clone();
+            mem.resize(compiled.mem_size.max(mem.len()), 0);
+            let r = simulate(&compiled.code, &cfg.machine, mem).expect("simulates");
+            print!("{:>9}", r.cycles);
+        }
+        println!("   (baseline dist 8: {})", pb.baseline_cycles(DataSet::Train));
+    }
+    println!("\n(columns: prefetch distance 1,2,4,...,64 iterations ahead; cells: cycles)");
+}

@@ -1,0 +1,22 @@
+//! Table 4: hyperblock-selection features.
+
+fn main() {
+    metaopt_bench::header("Table 4", "Hyperblock selection features (+ min/mean/max/std aggregates)");
+    let (reals, bools) = metaopt_compiler::hyperblock::feature_names();
+    println!("Real-valued ({}):", reals.len());
+    for f in &reals {
+        println!("  {f}");
+    }
+    println!("Boolean ({}):", bools.len());
+    for f in &bools {
+        println!("  {f}");
+    }
+    println!("\nRegister-allocation features:");
+    let (r2, b2) = metaopt_compiler::regalloc::feature_names();
+    println!("  reals: {}", r2.join(", "));
+    println!("  bools: {}", b2.join(", "));
+    println!("Prefetch-confidence features:");
+    let (r3, b3) = metaopt_compiler::prefetch::feature_names();
+    println!("  reals: {}", r3.join(", "));
+    println!("  bools: {}", b3.join(", "));
+}

@@ -1,0 +1,19 @@
+//! Table 5: the benchmark suite.
+
+fn main() {
+    metaopt_bench::header("Table 5", "Benchmarks (MiniC stand-ins for the paper's suite)");
+    println!("{:<14} {:<12} {:<10} {}", "Benchmark", "Suite", "Category", "Description");
+    for b in metaopt_suite::all_benchmarks() {
+        println!(
+            "{:<14} {:<12} {:<10} {}",
+            b.name,
+            b.suite,
+            match b.category {
+                metaopt_suite::Category::IntMedia => "int/media",
+                metaopt_suite::Category::Fp => "fp",
+            },
+            b.description
+        );
+    }
+    println!("\nTotal: {} benchmarks", metaopt_suite::all_benchmarks().len());
+}

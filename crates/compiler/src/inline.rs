@@ -1,0 +1,226 @@
+//! Mandatory full inlining.
+//!
+//! The target machine (like the paper's simulated EPIC machine code) has no
+//! calling convention; the suite's call graphs are acyclic, so every user
+//! call is inlined into the entry function. Opaque `UnsafeCall`s are *not*
+//! calls in this sense — they are hazards executed by the machine directly.
+
+use crate::CompileError;
+use metaopt_ir::{BlockId, Function, Inst, Opcode, Program, VReg};
+
+/// Inline every `Call` reachable from the entry function; returns a program
+/// containing exactly one function.
+///
+/// # Errors
+/// Fails on recursion (depth limit) or a missing entry function.
+pub fn inline_program(prog: &Program) -> Result<Program, CompileError> {
+    if prog.funcs.is_empty() {
+        return Err(CompileError {
+            message: "program has no functions".into(),
+        });
+    }
+    let entry = prog.entry_func();
+    let mut main = prog.func(entry).clone();
+    main.name = "main".into();
+    if !main.params.is_empty() {
+        return Err(CompileError {
+            message: "entry function must not take parameters".into(),
+        });
+    }
+
+    let mut rounds = 0;
+    while inline_one(&mut main, prog)? {
+        rounds += 1;
+        if rounds > 10_000 {
+            return Err(CompileError {
+                message: "inlining did not terminate (recursive call graph?)".into(),
+            });
+        }
+    }
+
+    let mut out = Program::new();
+    out.globals = prog.globals.clone();
+    out.add_function(main);
+    Ok(out)
+}
+
+/// Find the first `Call` in `func` and inline it. Returns whether a call was
+/// inlined.
+fn inline_one(func: &mut Function, prog: &Program) -> Result<bool, CompileError> {
+    let mut site: Option<(usize, usize)> = None;
+    'search: for (bi, b) in func.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if inst.op == Opcode::Call {
+                site = Some((bi, ii));
+                break 'search;
+            }
+        }
+    }
+    let Some((bi, ii)) = site else {
+        return Ok(false);
+    };
+
+    let call = func.blocks[bi].insts[ii].clone();
+    let callee_id = call.imm as usize;
+    if callee_id >= prog.funcs.len() {
+        return Err(CompileError {
+            message: format!("call to out-of-range function {callee_id}"),
+        });
+    }
+    let callee = &prog.funcs[callee_id];
+
+    // Split the call block: [pre | call | post] -> pre + inlined body + cont.
+    let post: Vec<Inst> = func.blocks[bi].insts.split_off(ii + 1);
+    func.blocks[bi].insts.pop(); // remove the call
+
+    // Continuation block receives the instructions after the call.
+    let cont = func.new_block();
+    func.blocks[cont.index()].insts = post;
+
+    // Remap callee registers into the caller's space.
+    let vreg_map: Vec<VReg> = callee
+        .vreg_class
+        .iter()
+        .map(|c| func.new_vreg(*c))
+        .collect();
+    // Remap callee blocks.
+    let block_map: Vec<BlockId> = callee.blocks.iter().map(|_| func.new_block()).collect();
+
+    // Bind parameters.
+    for (p, a) in callee.params.iter().zip(&call.args) {
+        let op = match callee.class_of(*p) {
+            metaopt_ir::RegClass::Int => Opcode::Mov,
+            metaopt_ir::RegClass::Float => Opcode::FMov,
+            metaopt_ir::RegClass::Pred => Opcode::PMov,
+        };
+        func.blocks[bi]
+            .insts
+            .push(Inst::new(op).dst(vreg_map[p.index()]).args(&[*a]));
+    }
+    // Jump into the inlined entry.
+    func.blocks[bi]
+        .insts
+        .push(Inst::new(Opcode::Br).target(block_map[callee.entry.index()]));
+
+    // Copy the body.
+    for (cbi, cblock) in callee.blocks.iter().enumerate() {
+        let nb = block_map[cbi];
+        for inst in &cblock.insts {
+            let mut ni = inst.clone();
+            ni.args = ni.args.iter().map(|r| vreg_map[r.index()]).collect();
+            ni.dst = ni.dst.map(|r| vreg_map[r.index()]);
+            ni.pred = ni.pred.map(|r| vreg_map[r.index()]);
+            ni.target = ni.target.map(|t| block_map[t.index()]);
+            if ni.op == Opcode::Ret {
+                // Return becomes: move the value into the call's dst, then
+                // branch to the continuation.
+                if let (Some(d), Some(v)) = (call.dst, ni.args.first().copied()) {
+                    func.blocks[nb.index()]
+                        .insts
+                        .push(Inst::new(Opcode::Mov).dst(d).args(&[v]));
+                } else if let Some(d) = call.dst {
+                    func.blocks[nb.index()]
+                        .insts
+                        .push(Inst::new(Opcode::MovI).dst(d).imm(0));
+                }
+                func.blocks[nb.index()]
+                    .insts
+                    .push(Inst::new(Opcode::Br).target(cont));
+            } else {
+                func.blocks[nb.index()].insts.push(ni);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_ir::interp::{run, RunConfig};
+    use metaopt_lang::compile as mc;
+
+    fn check_same_result(src: &str) {
+        let prog = mc(src).unwrap();
+        let inlined = inline_program(&prog).unwrap();
+        assert_eq!(inlined.funcs.len(), 1);
+        assert!(
+            !inlined.funcs[0]
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| i.op == Opcode::Call),
+            "no calls remain"
+        );
+        metaopt_ir::verify::verify_program(&inlined, metaopt_ir::verify::CfgForm::Canonical)
+            .unwrap();
+        let a = run(&prog, &RunConfig::default()).unwrap();
+        let b = run(&inlined, &RunConfig::default()).unwrap();
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn inlines_simple_call() {
+        check_same_result(
+            r#"
+            fn sq(x: int) -> int { return x * x; }
+            fn main() -> int { return sq(6) + sq(4); }
+        "#,
+        );
+    }
+
+    #[test]
+    fn inlines_nested_calls() {
+        check_same_result(
+            r#"
+            fn a(x: int) -> int { return x + 1; }
+            fn b(x: int) -> int { return a(x) * 2; }
+            fn c(x: int) -> int { return b(x) + a(x); }
+            fn main() -> int { return c(10); }
+        "#,
+        );
+    }
+
+    #[test]
+    fn inlines_calls_in_loops_and_branches() {
+        check_same_result(
+            r#"
+            global int data[16] = { 5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 5, 3, 8, 1, 9, 2 };
+            fn clamp(x: int, lo: int, hi: int) -> int {
+                if (x < lo) { return lo; }
+                if (x > hi) { return hi; }
+                return x;
+            }
+            fn main() -> int {
+                let s = 0;
+                for (let i = 0; i < 16; i = i + 1) {
+                    s = s + clamp(data[i], 2, 7);
+                }
+                return s;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn void_calls_inline() {
+        check_same_result(
+            r#"
+            global int acc;
+            fn bump(v: int) { acc = acc + v; }
+            fn main() -> int { bump(3); bump(4); return acc; }
+        "#,
+        );
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let prog = mc(r#"
+            fn f(x: int) -> int { return f(x - 1); }
+            fn main() -> int { return f(3); }
+        "#)
+        .unwrap();
+        assert!(inline_program(&prog).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+//! # metaopt-compiler
+//!
+//! The optimizing compiler of the *Meta Optimization* (PLDI 2003)
+//! reproduction: a from-scratch reimplementation of the Trimaran pipeline
+//! pieces whose **priority functions** the paper evolves.
+//!
+//! Pipeline (see [`compile`]):
+//!
+//! 1. [`inline`] — mandatory full inlining (the machine has no call support,
+//!    matching how the suite kernels are written),
+//! 2. [`opt`] — constant folding and dead-code elimination,
+//! 3. [`prefetch`] — Mowry-style software data prefetching with a pluggable
+//!    **Boolean** confidence function (paper case study III),
+//! 4. [`hyperblock`] — if-conversion driven by a pluggable path **priority
+//!    function** (paper case study I, Trimaran/IMPACT algorithm, Eq. 1
+//!    baseline),
+//! 5. [`regalloc`] — Chow–Hennessy priority-based coloring with a pluggable
+//!    per-block **savings function** (paper case study II, Eq. 2 baseline),
+//! 6. [`schedule`] — latency-weighted-depth list scheduling into VLIW
+//!    bundles for the `metaopt-sim` machine.
+//!
+//! Every pass keeps program semantics: the test suite differentially checks
+//! compiled results against the IR interpreter for arbitrary priority
+//! functions, which is what lets the genetic search explore the heuristic
+//! space safely (only performance varies, never correctness).
+
+pub mod hyperblock;
+pub mod inline;
+pub mod opt;
+pub mod prefetch;
+pub mod regalloc;
+pub mod schedule;
+pub mod unroll;
+
+use metaopt_ir::profile::FuncProfile;
+use metaopt_ir::{Function, Program};
+use metaopt_sim::{MachineConfig, MachineProgram};
+use std::fmt;
+
+/// A real-valued priority function over named features; the focal point the
+/// paper's GP search replaces. Implemented by baselines in this crate and by
+/// GP expressions in `metaopt` (the core crate).
+pub trait RealPriority: Sync {
+    /// Score the option described by the feature vectors (higher = better).
+    fn score(&self, reals: &[f64], bools: &[bool]) -> f64;
+}
+
+impl<F: Fn(&[f64], &[bool]) -> f64 + Sync> RealPriority for F {
+    fn score(&self, reals: &[f64], bools: &[bool]) -> f64 {
+        self(reals, bools)
+    }
+}
+
+/// A Boolean priority ("confidence") function, as used by the data
+/// prefetching case study (paper §7).
+pub trait BoolPriority: Sync {
+    /// Decide the option described by the feature vectors.
+    fn decide(&self, reals: &[f64], bools: &[bool]) -> bool;
+}
+
+impl<F: Fn(&[f64], &[bool]) -> bool + Sync> BoolPriority for F {
+    fn decide(&self, reals: &[f64], bools: &[bool]) -> bool {
+        self(reals, bools)
+    }
+}
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compilation failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Which optimizations run and with which priority functions.
+pub struct Passes<'a> {
+    /// Hyperblock formation priority (None disables if-conversion).
+    pub hyperblock: Option<&'a dyn RealPriority>,
+    /// Register-allocation per-block savings function (None = Eq. 2
+    /// baseline).
+    pub regalloc: Option<&'a dyn RealPriority>,
+    /// Prefetch confidence function (None disables prefetching).
+    pub prefetch: Option<&'a dyn BoolPriority>,
+    /// Prefetch distance in loop iterations.
+    pub prefetch_iters_ahead: i64,
+    /// Counted-loop unrolling factor cap (None disables the pass; it is not
+    /// part of the paper-calibrated study pipelines).
+    pub unroll: Option<u32>,
+}
+
+impl<'a> Default for Passes<'a> {
+    fn default() -> Self {
+        Passes {
+            hyperblock: None,
+            regalloc: None,
+            prefetch: None,
+            prefetch_iters_ahead: 8,
+            unroll: None,
+        }
+    }
+}
+
+impl<'a> Passes<'a> {
+    /// The compiler's shipped configuration: all three passes enabled with
+    /// their baseline (human-written) priority functions.
+    pub fn baseline() -> Self {
+        Passes {
+            hyperblock: Some(&hyperblock::BaselineEq1),
+            regalloc: Some(&regalloc::BaselineEq2),
+            prefetch: Some(&prefetch::BaselineTripCount),
+            prefetch_iters_ahead: 8,
+            unroll: None,
+        }
+    }
+}
+
+/// Per-compilation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Hyperblocks formed (regions if-converted).
+    pub hyperblocks: u64,
+    /// Paths merged into hyperblocks.
+    pub paths_merged: u64,
+    /// Live ranges spilled by the register allocator.
+    pub spills: u64,
+    /// Counted loops unrolled.
+    pub unrolled: u64,
+    /// Prefetch instructions inserted.
+    pub prefetches: u64,
+    /// Static instructions in the final machine code.
+    pub static_insts: u64,
+    /// Static bundles (schedule length).
+    pub static_bundles: u64,
+}
+
+/// The compiler's output: scheduled machine code plus the memory image size
+/// it needs (globals + spill area).
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// Machine code for `metaopt_sim::simulate`.
+    pub code: MachineProgram,
+    /// Required memory image size in bytes (extends the program's globals
+    /// with the spill area).
+    pub mem_size: usize,
+    /// Pass statistics.
+    pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// Build the initial memory image for `prog` sized for this compilation
+    /// (globals initialized, spill area zeroed).
+    pub fn initial_memory(&self, prog: &Program) -> Vec<u8> {
+        let mut mem = prog.initial_memory();
+        mem.resize(self.mem_size, 0);
+        mem
+    }
+}
+
+/// Inline all calls and clean up: the "front half" of the pipeline, which is
+/// independent of any priority function and therefore runs once per
+/// benchmark. The result always has a single function.
+///
+/// # Errors
+/// Fails on recursive call graphs or a missing entry function.
+pub fn prepare(prog: &Program) -> Result<Program, CompileError> {
+    let mut p = inline::inline_program(prog)?;
+    opt::constant_fold(&mut p.funcs[0]);
+    opt::dead_code_elim(&mut p.funcs[0]);
+    debug_assert!(
+        metaopt_ir::verify::verify_program(&p, metaopt_ir::verify::CfgForm::Canonical).is_ok()
+    );
+    Ok(p)
+}
+
+/// Compile a [`prepare`]d program (single function) to machine code using
+/// `profile` (collected on the prepared IR) and the given `passes`.
+///
+/// # Errors
+/// Fails if register allocation cannot fit the program on the machine or if
+/// the generated code does not verify.
+pub fn compile(
+    prepared: &Program,
+    profile: &FuncProfile,
+    machine: &MachineConfig,
+    passes: &Passes<'_>,
+) -> Result<Compiled, CompileError> {
+    let mut func: Function = prepared.funcs[0].clone();
+    let mut stats = CompileStats::default();
+
+    if let Some(factor) = passes.unroll {
+        stats.unrolled = unroll::unroll_loops(&mut func, factor);
+    }
+    if let Some(pf) = passes.prefetch {
+        stats.prefetches =
+            prefetch::insert_prefetches(&mut func, profile, machine, pf, passes.prefetch_iters_ahead);
+    }
+    if let Some(hp) = passes.hyperblock {
+        let r = hyperblock::form_hyperblocks(&mut func, profile, machine, hp);
+        stats.hyperblocks = r.regions_converted;
+        stats.paths_merged = r.paths_merged;
+    }
+    let ra = regalloc::allocate(
+        &mut func,
+        machine,
+        passes.regalloc.unwrap_or(&regalloc::BaselineEq2),
+        profile,
+        prepared.memory_size(),
+    )
+    .map_err(|m| CompileError { message: m })?;
+    stats.spills = ra.spilled;
+
+    let code = schedule::schedule_function(&func, machine);
+    stats.static_insts = code.num_insts() as u64;
+    stats.static_bundles = code.num_bundles() as u64;
+
+    metaopt_sim::code::verify_machine(&code, machine).map_err(|m| CompileError {
+        message: format!("generated machine code failed verification: {m}"),
+    })?;
+
+    Ok(Compiled {
+        code,
+        mem_size: ra.mem_size,
+        stats,
+    })
+}

@@ -1,0 +1,338 @@
+//! List scheduling into VLIW bundles.
+//!
+//! The classic latency-weighted-depth priority (Gibbons & Muchnick, cited by
+//! the paper's §2 as the canonical list-scheduling priority function) drives
+//! a greedy cycle-by-cycle scheduler. Each block is split into *segments* at
+//! control instructions — nothing moves across a branch, which keeps
+//! hyperblock side exits correct without speculation machinery.
+
+use metaopt_ir::{Function, Inst, Opcode, RegClass};
+use metaopt_sim::machine::{latency_of, unit_of, MachineConfig, UnitKind};
+use metaopt_sim::{Bundle, MachineProgram};
+use std::collections::HashMap;
+
+/// Scheduling latency of an instruction: functional-unit latency, with
+/// loads assumed to hit L1 (the optimistic assumption the simulator then
+/// checks dynamically).
+fn sched_latency(inst: &Inst, m: &MachineConfig) -> u64 {
+    if inst.op.is_load() {
+        m.cache.l1_latency
+    } else {
+        latency_of(inst.op)
+    }
+}
+
+/// Operand identity for dependence analysis: (class, physical index).
+type Reg = (RegClass, u32);
+
+fn reads_of(inst: &Inst) -> Vec<Reg> {
+    let mut out = Vec::new();
+    if let Some(classes) = inst.op.arg_classes() {
+        for (a, c) in inst.args.iter().zip(classes) {
+            out.push((*c, a.0));
+        }
+    } else {
+        for a in &inst.args {
+            out.push((RegClass::Int, a.0)); // Ret value
+        }
+    }
+    if let Some(p) = inst.pred {
+        out.push((RegClass::Pred, p.0));
+    }
+    out
+}
+
+fn write_of(inst: &Inst) -> Option<Reg> {
+    match (inst.op.dst_class(), inst.dst) {
+        (Some(c), Some(d)) => Some((c, d.0)),
+        _ => None,
+    }
+}
+
+/// Schedule one segment (no control instructions) into bundles.
+fn schedule_segment(insts: &[Inst], m: &MachineConfig, out: &mut Vec<Bundle>) {
+    let n = insts.len();
+    if n == 0 {
+        return;
+    }
+    // Build dependence edges: preds[i] = list of (j, latency) with j before i.
+    let mut preds: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut nsucc = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    {
+        let mut last_write: HashMap<Reg, usize> = HashMap::new();
+        let mut readers: HashMap<Reg, Vec<usize>> = HashMap::new();
+        let mut last_store: Option<usize> = None;
+        let mut loads_since_store: Vec<usize> = Vec::new();
+        let edge = |preds: &mut Vec<Vec<(usize, u64)>>,
+                        succs: &mut Vec<Vec<usize>>,
+                        nsucc: &mut Vec<usize>,
+                        from: usize,
+                        to: usize,
+                        lat: u64| {
+            preds[to].push((from, lat));
+            succs[from].push(to);
+            nsucc[to] += 0; // placeholder to satisfy closure shape
+            let _ = nsucc;
+        };
+        for (i, inst) in insts.iter().enumerate() {
+            // RAW
+            for r in reads_of(inst) {
+                if let Some(&w) = last_write.get(&r) {
+                    edge(&mut preds, &mut succs, &mut nsucc, w, i, sched_latency(&insts[w], m));
+                }
+                readers.entry(r).or_default().push(i);
+            }
+            if let Some(w) = write_of(inst) {
+                // WAR
+                if let Some(rs) = readers.get(&w) {
+                    for &r in rs {
+                        if r != i {
+                            edge(&mut preds, &mut succs, &mut nsucc, r, i, 1);
+                        }
+                    }
+                }
+                // WAW
+                if let Some(&pw) = last_write.get(&w) {
+                    edge(&mut preds, &mut succs, &mut nsucc, pw, i, 1);
+                }
+                last_write.insert(w, i);
+                readers.remove(&w);
+            }
+            // Memory ordering: stores/ucalls are barriers among memory ops;
+            // loads may reorder with loads. Prefetches have no memory deps.
+            let is_store_like = inst.op.is_store() || inst.op == Opcode::UnsafeCall;
+            let is_load_like = inst.op.is_load();
+            if is_store_like {
+                if let Some(s) = last_store {
+                    edge(&mut preds, &mut succs, &mut nsucc, s, i, 1);
+                }
+                for &l in &loads_since_store {
+                    edge(&mut preds, &mut succs, &mut nsucc, l, i, 1);
+                }
+                last_store = Some(i);
+                loads_since_store.clear();
+            } else if is_load_like {
+                if let Some(s) = last_store {
+                    edge(&mut preds, &mut succs, &mut nsucc, s, i, 1);
+                }
+                loads_since_store.push(i);
+            }
+        }
+    }
+    let mut npred: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+
+    // Latency-weighted depth priority: longest path to any leaf.
+    let mut prio = vec![0u64; n];
+    for i in (0..n).rev() {
+        let base = sched_latency(&insts[i], m);
+        let succ_max = succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+        prio[i] = base + succ_max;
+    }
+
+    // Greedy cycle-driven list scheduling.
+    let mut earliest = vec![0u64; n]; // earliest issue cycle given scheduled preds
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    let mut cycle: u64 = 0;
+    let base_bundle = out.len() as u64;
+    while remaining > 0 {
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && npred[i] == 0 && earliest[i] <= cycle)
+            .collect();
+        if ready.is_empty() {
+            // Jump to the next time anything becomes ready.
+            cycle = (0..n)
+                .filter(|&i| !scheduled[i] && npred[i] == 0)
+                .map(|i| earliest[i])
+                .min()
+                .unwrap_or(cycle + 1)
+                .max(cycle + 1);
+            continue;
+        }
+        ready.sort_by(|&a, &b| prio[b].cmp(&prio[a]).then(a.cmp(&b)));
+        let mut units = [0usize; 4];
+        let caps = [m.int_units, m.fp_units, m.mem_units, m.branch_units];
+        let mut bundle = Bundle::default();
+        let mut picked: Vec<usize> = Vec::new();
+        for i in ready {
+            let u = match unit_of(insts[i].op) {
+                UnitKind::Int => 0,
+                UnitKind::Float => 1,
+                UnitKind::Mem => 2,
+                UnitKind::Branch => 3,
+            };
+            if units[u] < caps[u] {
+                units[u] += 1;
+                picked.push(i);
+            }
+        }
+        // Keep original program order within the bundle (sequential-slot
+        // semantics; all picked instructions are mutually independent).
+        picked.sort_unstable();
+        for &i in &picked {
+            bundle.insts.push(insts[i].clone());
+            scheduled[i] = true;
+            remaining -= 1;
+        }
+        for &i in &picked {
+            for &s in &succs[i] {
+                npred[s] -= 1;
+                let lat = preds[s]
+                    .iter()
+                    .filter(|(p, _)| *p == i)
+                    .map(|(_, l)| *l)
+                    .max()
+                    .unwrap_or(1);
+                earliest[s] = earliest[s].max(cycle + lat);
+            }
+        }
+        out.push(bundle);
+        cycle += 1;
+    }
+    let _ = base_bundle;
+}
+
+/// Schedule a function in machine-register form into a [`MachineProgram`].
+/// Control instructions terminate their segment and are emitted in their own
+/// bundle, preserving program order of branches.
+pub fn schedule_function(func: &Function, m: &MachineConfig) -> MachineProgram {
+    let mut blocks = Vec::with_capacity(func.blocks.len());
+    for block in &func.blocks {
+        let mut bundles: Vec<Bundle> = Vec::new();
+        let mut segment: Vec<Inst> = Vec::new();
+        for inst in &block.insts {
+            if inst.op.is_control() {
+                schedule_segment(&segment, m, &mut bundles);
+                segment.clear();
+                bundles.push(Bundle {
+                    insts: vec![inst.clone()],
+                });
+            } else {
+                segment.push(inst.clone());
+            }
+        }
+        schedule_segment(&segment, m, &mut bundles);
+        blocks.push(bundles);
+    }
+    MachineProgram {
+        blocks,
+        entry: func.entry.index(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_ir::VReg;
+
+    fn movi(d: u32, v: i64) -> Inst {
+        Inst::new(Opcode::MovI).dst(VReg(d)).imm(v)
+    }
+
+    fn add(d: u32, a: u32, b: u32) -> Inst {
+        Inst::new(Opcode::Add).dst(VReg(d)).args(&[VReg(a), VReg(b)])
+    }
+
+    fn func_of(insts: Vec<Inst>) -> Function {
+        let mut f = Function::new("t");
+        f.blocks[0].insts = insts;
+        f
+    }
+
+    #[test]
+    fn bundles_independent_instructions_together() {
+        let mut insts: Vec<Inst> = (0..4).map(|i| movi(4 + i, i as i64)).collect();
+        insts.push(Inst::new(Opcode::Ret));
+        let mp = schedule_function(&func_of(insts), &MachineConfig::table3());
+        // 4 independent MovIs fit in one bundle (4 int units), then ret.
+        assert_eq!(mp.blocks[0].len(), 2, "{:?}", mp.blocks[0]);
+        assert_eq!(mp.blocks[0][0].insts.len(), 4);
+    }
+
+    #[test]
+    fn serializes_dependent_chain() {
+        let insts = vec![
+            movi(4, 1),
+            add(5, 4, 4),
+            add(6, 5, 5),
+            add(7, 6, 6),
+            Inst::new(Opcode::Ret).args(&[VReg(7)]),
+        ];
+        let mp = schedule_function(&func_of(insts), &MachineConfig::table3());
+        // Chain of 4 + ret: at least 5 bundles.
+        assert!(mp.blocks[0].len() >= 5, "{}", mp.blocks[0].len());
+    }
+
+    #[test]
+    fn respects_memory_unit_limit() {
+        // 4 independent loads: only 2 memory units -> 2 bundles minimum.
+        let mut insts = vec![movi(4, 8192)];
+        for i in 0..4 {
+            insts.push(
+                Inst::new(Opcode::Ld(metaopt_ir::Width::B8))
+                    .dst(VReg(5 + i))
+                    .args(&[VReg(4)])
+                    .imm(i as i64 * 8),
+            );
+        }
+        insts.push(Inst::new(Opcode::Ret));
+        let mp = schedule_function(&func_of(insts), &MachineConfig::table3());
+        for bundle in &mp.blocks[0] {
+            let mems = bundle
+                .insts
+                .iter()
+                .filter(|i| unit_of(i.op) == UnitKind::Mem)
+                .count();
+            assert!(mems <= 2);
+        }
+    }
+
+    #[test]
+    fn store_load_order_preserved() {
+        // st [a] = x ; y = ld [a] : the load must come strictly after.
+        let insts = vec![
+            movi(4, 8192),
+            movi(5, 77),
+            Inst::new(Opcode::St(metaopt_ir::Width::B8)).args(&[VReg(4), VReg(5)]),
+            Inst::new(Opcode::Ld(metaopt_ir::Width::B8))
+                .dst(VReg(6))
+                .args(&[VReg(4)]),
+            Inst::new(Opcode::Ret).args(&[VReg(6)]),
+        ];
+        let mp = schedule_function(&func_of(insts), &MachineConfig::table3());
+        let mut store_bundle = None;
+        let mut load_bundle = None;
+        for (bi, b) in mp.blocks[0].iter().enumerate() {
+            for inst in &b.insts {
+                if inst.op.is_store() {
+                    store_bundle = Some(bi);
+                }
+                if inst.op.is_load() {
+                    load_bundle = Some(bi);
+                }
+            }
+        }
+        assert!(store_bundle.unwrap() < load_bundle.unwrap());
+    }
+
+    #[test]
+    fn control_instructions_end_segments_in_order() {
+        let mut f = Function::new("t");
+        let p = f.new_vreg(RegClass::Pred);
+        let b1 = f.new_block();
+        f.blocks[0].insts = vec![
+            Inst::new(Opcode::PMovI).dst(p).imm(1),
+            Inst::new(Opcode::CBr).args(&[p]).target(b1),
+            Inst::new(Opcode::Br).target(b1),
+        ];
+        f.blocks[1].insts = vec![Inst::new(Opcode::Ret)];
+        let mp = schedule_function(&f, &MachineConfig::table3());
+        // Each control inst gets its own bundle, in order.
+        let b0 = &mp.blocks[0];
+        assert_eq!(b0.len(), 3);
+        assert_eq!(b0[1].insts[0].op, Opcode::CBr);
+        assert_eq!(b0[2].insts[0].op, Opcode::Br);
+        assert!(metaopt_sim::code::verify_machine(&mp, &MachineConfig::table3()).is_ok());
+    }
+}

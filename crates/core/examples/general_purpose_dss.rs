@@ -1,0 +1,41 @@
+//! General-purpose mode (paper §5.4.2): evolve ONE hyperblock priority
+//! function over several benchmarks with dynamic subset selection, then
+//! cross-validate it on benchmarks it never saw.
+//!
+//! ```sh
+//! cargo run --release -p metaopt --example general_purpose_dss
+//! ```
+
+use metaopt::{experiment, study};
+use metaopt_gp::GpParams;
+
+fn main() {
+    let cfg = study::hyperblock();
+    let train: Vec<_> = ["rawdaudio", "rawcaudio", "g721encode", "g721decode"]
+        .iter()
+        .map(|n| metaopt_suite::by_name(n).expect("registered"))
+        .collect();
+    let test: Vec<_> = ["unepic", "djpeg", "mpeg2dec"]
+        .iter()
+        .map(|n| metaopt_suite::by_name(n).expect("registered"))
+        .collect();
+
+    let mut params = GpParams::quick();
+    params.population = 24;
+    params.generations = 8;
+    params.subset_size = Some(2); // dynamic subset selection
+
+    println!("training one general-purpose priority function on {} benchmarks...", train.len());
+    let r = experiment::train_general(&cfg, &train, &params);
+    for (name, t, n) in &r.per_bench {
+        println!("  {name:<12} train {t:.3}  novel {n:.3}");
+    }
+    println!("  mean: train {:.3} novel {:.3}", r.mean_train, r.mean_novel);
+
+    println!("cross-validating on unseen benchmarks...");
+    let cv = experiment::cross_validate(&cfg, &r.best, &test);
+    for (name, t, n) in &cv.per_bench {
+        println!("  {name:<12} train-data {t:.3}  novel-data {n:.3}");
+    }
+    println!("  mean: {:.3}", cv.mean);
+}

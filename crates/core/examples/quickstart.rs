@@ -1,0 +1,33 @@
+//! Quickstart: evolve an application-specific hyperblock priority function
+//! for one benchmark and print what Meta Optimization found.
+//!
+//! ```sh
+//! cargo run --release -p metaopt --example quickstart
+//! ```
+
+use metaopt::{experiment, study};
+use metaopt_gp::expr::display_named;
+use metaopt_gp::GpParams;
+
+fn main() {
+    // 1. Pick a case study: the hyperblock-formation priority function
+    //    (paper §5), on the Table 3 EPIC machine.
+    let cfg = study::hyperblock();
+
+    // 2. Pick a benchmark from the suite (paper Table 5).
+    let bench = metaopt_suite::by_name("rawdaudio").expect("in the suite");
+
+    // 3. Evolve. `GpParams::paper()` is the paper's Table 2 configuration;
+    //    `quick()` is laptop-scale.
+    let mut params = GpParams::quick();
+    params.generations = 10;
+    params.population = 30;
+    let result = experiment::specialize(&cfg, &bench, &params);
+
+    println!("benchmark:       {}", result.name);
+    println!("train speedup:   {:.3}x over the shipped Eq. 1 heuristic", result.train_speedup);
+    println!("novel-data:      {:.3}x", result.novel_speedup);
+    println!("evaluations:     {} compile+simulate runs", result.evaluations);
+    println!("evolved priority function:");
+    println!("  {}", display_named(&result.best, &cfg.features));
+}

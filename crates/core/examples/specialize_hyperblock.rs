@@ -1,0 +1,37 @@
+//! Per-benchmark specialization across several benchmarks, with the
+//! evolution trace — a compact version of the paper's Figs. 4 and 5.
+//!
+//! ```sh
+//! cargo run --release -p metaopt --example specialize_hyperblock [bench...]
+//! ```
+
+use metaopt::{experiment, study};
+use metaopt_gp::GpParams;
+
+fn main() {
+    let cfg = study::hyperblock();
+    let names: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec!["rawdaudio".into(), "g721decode".into()]
+        } else {
+            args
+        }
+    };
+    let mut params = GpParams::quick();
+    params.population = 24;
+    params.generations = 8;
+    for name in names {
+        let Some(b) = metaopt_suite::by_name(&name) else {
+            eprintln!("unknown benchmark {name} (see `table5` for the list)");
+            continue;
+        };
+        let r = experiment::specialize(&cfg, &b, &params);
+        println!("{name}: train {:.3}x novel {:.3}x", r.train_speedup, r.novel_speedup);
+        print!("  fitness/gen:");
+        for g in &r.log {
+            print!(" {:.3}", g.best_fitness);
+        }
+        println!("\n  best: {}", r.best);
+    }
+}

@@ -1,0 +1,179 @@
+//! `metaopt` — command-line interface to the Meta Optimization system.
+//!
+//! ```text
+//! metaopt list                                  list benchmarks
+//! metaopt specialize <study> <benchmark>        evolve for one benchmark
+//! metaopt train <study>                         evolve a general-purpose fn (DSS)
+//! metaopt crossval <study> <sexpr-file>         apply a saved fn to the test set
+//! metaopt compile <study> <benchmark> <sexpr>   compile+simulate with a given fn
+//! ```
+//!
+//! `<study>` is `hyperblock`, `regalloc`, or `prefetch`. GP scale options:
+//! `--pop N`, `--gens N`, `--seed N`, `--threads N`.
+
+use metaopt::{experiment, study, PreparedBench, StudyConfig};
+use metaopt_gp::expr::display_named;
+use metaopt_gp::GpParams;
+use metaopt_suite::DataSet;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: metaopt <command> [args]\n\
+         \n\
+         commands:\n\
+           list                                 list the benchmark suite\n\
+           specialize <study> <benchmark>       evolve a specialized priority fn\n\
+           train <study>                        evolve a general-purpose fn with DSS\n\
+           crossval <study> <sexpr-file>        cross-validate a saved priority fn\n\
+           compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
+         \n\
+         studies: hyperblock | regalloc | prefetch\n\
+         options: --pop N --gens N --seed N --threads N"
+    );
+    ExitCode::FAILURE
+}
+
+fn study_by_name(name: &str) -> Option<StudyConfig> {
+    match name {
+        "hyperblock" => Some(study::hyperblock()),
+        "regalloc" => Some(study::regalloc()),
+        "prefetch" => Some(study::prefetch()),
+        _ => None,
+    }
+}
+
+fn training_set(cfg: &StudyConfig) -> Vec<metaopt_suite::Benchmark> {
+    match cfg.kind {
+        metaopt::StudyKind::Hyperblock => metaopt_suite::hyperblock_training_set(),
+        metaopt::StudyKind::Regalloc => metaopt_suite::regalloc_training_set(),
+        metaopt::StudyKind::Prefetch => metaopt_suite::prefetch_training_set(),
+    }
+}
+
+fn test_set(cfg: &StudyConfig) -> Vec<metaopt_suite::Benchmark> {
+    match cfg.kind {
+        metaopt::StudyKind::Hyperblock => metaopt_suite::hyperblock_test_set(),
+        metaopt::StudyKind::Regalloc => metaopt_suite::regalloc_test_set(),
+        metaopt::StudyKind::Prefetch => metaopt_suite::prefetch_test_set(),
+    }
+}
+
+struct Options {
+    positional: Vec<String>,
+    params: GpParams,
+}
+
+fn parse_args() -> Option<Options> {
+    let mut params = GpParams::quick();
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pop" => params.population = args.next()?.parse().ok()?,
+            "--gens" => params.generations = args.next()?.parse().ok()?,
+            "--seed" => params.seed = args.next()?.parse().ok()?,
+            "--threads" => params.threads = args.next()?.parse().ok()?,
+            _ => positional.push(a),
+        }
+    }
+    Some(Options { positional, params })
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+    let pos: Vec<&str> = opts.positional.iter().map(|s| s.as_str()).collect();
+    match pos.as_slice() {
+        ["list"] => {
+            for b in metaopt_suite::all_benchmarks() {
+                println!("{:<14} {:<12} {}", b.name, b.suite, b.description);
+            }
+            ExitCode::SUCCESS
+        }
+        ["specialize", study_name, bench_name] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let Some(bench) = metaopt_suite::by_name(bench_name) else {
+                eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
+                return ExitCode::FAILURE;
+            };
+            let r = experiment::specialize(&cfg, &bench, &opts.params);
+            println!("train speedup: {:.3}", r.train_speedup);
+            println!("novel speedup: {:.3}", r.novel_speedup);
+            println!(
+                "evolved: {}",
+                display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
+            );
+            ExitCode::SUCCESS
+        }
+        ["train", study_name] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let r = experiment::train_general(&cfg, &training_set(&cfg), &opts.params);
+            for (name, t, n) in &r.per_bench {
+                println!("{name:<14} train {t:.3}  novel {n:.3}");
+            }
+            println!("mean: train {:.3} novel {:.3}", r.mean_train, r.mean_novel);
+            println!(
+                "winner: {}",
+                display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
+            );
+            println!("raw (re-parseable): {}", r.best);
+            ExitCode::SUCCESS
+        }
+        ["crossval", study_name, path] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let Ok(text) = std::fs::read_to_string(path) else {
+                eprintln!("cannot read {path}");
+                return ExitCode::FAILURE;
+            };
+            let expr = match metaopt_gp::parse::parse_expr(text.trim(), &cfg.features) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cv = experiment::cross_validate(&cfg, &expr, &test_set(&cfg));
+            for (name, t, n) in &cv.per_bench {
+                println!("{name:<14} train-data {t:.3}  novel-data {n:.3}");
+            }
+            println!("mean: {:.3}", cv.mean);
+            ExitCode::SUCCESS
+        }
+        ["compile", study_name, bench_name, sexpr] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let Some(bench) = metaopt_suite::by_name(bench_name) else {
+                eprintln!("unknown benchmark {bench_name}");
+                return ExitCode::FAILURE;
+            };
+            let expr = match metaopt_gp::parse::parse_expr(sexpr, &cfg.features) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot parse priority function: {e}");
+                    eprintln!("features: {}", cfg.features);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let pb = PreparedBench::new(&cfg, &bench);
+            for ds in [DataSet::Train, DataSet::Novel] {
+                println!(
+                    "{ds:?}: {} cycles (baseline {}, speedup {:.3})",
+                    pb.cycles_with(&cfg, &expr, ds),
+                    pb.baseline_cycles(ds),
+                    pb.speedup(&cfg, &expr, ds)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

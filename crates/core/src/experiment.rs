@@ -1,0 +1,207 @@
+//! Experiment drivers: specialization, general-purpose (DSS) training, and
+//! cross-validation — the paper's two modes of operation plus its
+//! evaluation methodology.
+
+use crate::pipeline::{PreparedBench, StudyEvaluator};
+use crate::study::StudyConfig;
+use metaopt_gp::{Evolution, Expr, GenLog, GpParams};
+use metaopt_suite::{Benchmark, DataSet};
+
+/// Result of specializing a priority function to one benchmark (paper
+/// §5.4.1 / Figs. 4, 9, 13).
+#[derive(Clone, Debug)]
+pub struct SpecializationResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Speedup on the data the function was trained on.
+    pub train_speedup: f64,
+    /// Speedup on the novel data set.
+    pub novel_speedup: f64,
+    /// The evolved priority function.
+    pub best: Expr,
+    /// Per-generation telemetry (drives the evolution figures).
+    pub log: Vec<GenLog>,
+    /// Uncached fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Evolve a priority function specialized to a single benchmark. Each
+/// benchmark's evolution is independent (as in the paper's per-benchmark
+/// runs): the RNG seed is derived from the configured seed and the
+/// benchmark name.
+pub fn specialize(
+    study: &StudyConfig,
+    bench: &Benchmark,
+    params: &GpParams,
+) -> SpecializationResult {
+    let pb = PreparedBench::new(study, bench);
+    let benches = [pb];
+    let evaluator = StudyEvaluator {
+        study,
+        benches: &benches,
+    };
+    let mut params = params.clone();
+    params.kind = study.genome_kind;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::hash::Hash::hash(bench.name, &mut h);
+    params.seed ^= std::hash::Hasher::finish(&h);
+    let result = Evolution::new(params, &study.features, &evaluator)
+        .with_seeds(vec![study.baseline_seed.clone()])
+        .run();
+    let train_speedup = benches[0].speedup(study, &result.best, DataSet::Train);
+    let novel_speedup = benches[0].speedup(study, &result.best, DataSet::Novel);
+    SpecializationResult {
+        name: bench.name.to_string(),
+        train_speedup,
+        novel_speedup,
+        best: result.best,
+        log: result.log,
+        evaluations: result.evaluations,
+    }
+}
+
+/// Result of a general-purpose (multi-benchmark DSS) training run (paper
+/// §5.4.2 / Figs. 6, 11, 15).
+#[derive(Clone, Debug)]
+pub struct GeneralResult {
+    /// Per-benchmark `(name, train-data speedup, novel-data speedup)`.
+    pub per_bench: Vec<(String, f64, f64)>,
+    /// Mean speedup on the training data.
+    pub mean_train: f64,
+    /// Mean speedup on the novel data.
+    pub mean_novel: f64,
+    /// The evolved general-purpose priority function.
+    pub best: Expr,
+    /// Per-generation telemetry.
+    pub log: Vec<GenLog>,
+    /// Uncached fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Evolve one general-purpose priority function over `benches` using
+/// dynamic subset selection.
+pub fn train_general(
+    study: &StudyConfig,
+    benches: &[Benchmark],
+    params: &GpParams,
+) -> GeneralResult {
+    let prepared: Vec<PreparedBench> = benches
+        .iter()
+        .map(|b| PreparedBench::new(study, b))
+        .collect();
+    let evaluator = StudyEvaluator {
+        study,
+        benches: &prepared,
+    };
+    let mut params = params.clone();
+    params.kind = study.genome_kind;
+    if params.subset_size.is_none() && benches.len() > 4 {
+        // The paper's DSS default: train on subsets, roughly half the suite.
+        params.subset_size = Some(benches.len().div_ceil(2));
+    }
+    let result = Evolution::new(params, &study.features, &evaluator)
+        .with_seeds(vec![study.baseline_seed.clone()])
+        .run();
+    let per_bench: Vec<(String, f64, f64)> = prepared
+        .iter()
+        .map(|pb| {
+            (
+                pb.name.clone(),
+                pb.speedup(study, &result.best, DataSet::Train),
+                pb.speedup(study, &result.best, DataSet::Novel),
+            )
+        })
+        .collect();
+    let n = per_bench.len().max(1) as f64;
+    GeneralResult {
+        mean_train: per_bench.iter().map(|x| x.1).sum::<f64>() / n,
+        mean_novel: per_bench.iter().map(|x| x.2).sum::<f64>() / n,
+        per_bench,
+        best: result.best,
+        log: result.log,
+        evaluations: result.evaluations,
+    }
+}
+
+/// Cross-validation of a trained priority function on unrelated benchmarks
+/// (paper §5.4.2 / Figs. 7, 12, 16).
+#[derive(Clone, Debug)]
+pub struct CrossValidation {
+    /// Per-benchmark `(name, speedup on train data, speedup on novel data)`.
+    pub per_bench: Vec<(String, f64, f64)>,
+    /// Mean speedup (train-data column).
+    pub mean: f64,
+}
+
+/// Apply `expr` to benchmarks it was never trained on.
+pub fn cross_validate(study: &StudyConfig, expr: &Expr, benches: &[Benchmark]) -> CrossValidation {
+    let per_bench: Vec<(String, f64, f64)> = benches
+        .iter()
+        .map(|b| {
+            let pb = PreparedBench::new(study, b);
+            (
+                b.name.to_string(),
+                pb.speedup(study, expr, DataSet::Train),
+                pb.speedup(study, expr, DataSet::Novel),
+            )
+        })
+        .collect();
+    let mean = per_bench.iter().map(|x| x.1).sum::<f64>() / per_bench.len().max(1) as f64;
+    CrossValidation { per_bench, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study;
+
+    fn tiny_params(seed: u64) -> GpParams {
+        GpParams {
+            population: 12,
+            generations: 4,
+            seed,
+            threads: 2,
+            ..GpParams::quick()
+        }
+    }
+
+    #[test]
+    fn specialization_never_loses_to_baseline_on_train_data() {
+        // With the baseline seeded and elitism on, the specialized result
+        // can only match or beat the baseline on its training data.
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let r = specialize(&cfg, &bench, &tiny_params(11));
+        assert!(
+            r.train_speedup >= 0.999,
+            "{}: train speedup {}",
+            r.name,
+            r.train_speedup
+        );
+        assert!(!r.log.is_empty());
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn general_training_reports_all_benchmarks() {
+        let cfg = study::hyperblock();
+        let benches: Vec<_> = ["unepic", "mpeg2dec"]
+            .iter()
+            .map(|n| metaopt_suite::by_name(n).unwrap())
+            .collect();
+        let r = train_general(&cfg, &benches, &tiny_params(7));
+        assert_eq!(r.per_bench.len(), 2);
+        assert!(r.mean_train >= 0.99, "mean train {}", r.mean_train);
+    }
+
+    #[test]
+    fn cross_validation_runs_on_unseen_benchmarks() {
+        let cfg = study::hyperblock();
+        let seed = cfg.baseline_seed.clone();
+        let benches = vec![metaopt_suite::by_name("djpeg").unwrap()];
+        let cv = cross_validate(&cfg, &seed, &benches);
+        assert_eq!(cv.per_bench.len(), 1);
+        // The baseline seed cross-validates at exactly 1.0 by construction.
+        assert!((cv.per_bench[0].1 - 1.0).abs() < 1e-9, "{cv:?}");
+    }
+}

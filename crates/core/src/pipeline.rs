@@ -1,0 +1,239 @@
+//! Benchmark preparation and the compile-and-simulate fitness pipeline.
+
+use crate::study::{ExprPriority, StudyConfig};
+use metaopt_compiler::{compile, prepare, CompileStats};
+use metaopt_gp::Expr;
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_ir::profile::FuncProfile;
+use metaopt_ir::Program;
+use metaopt_sim::exec::{simulate, simulate_noisy};
+use metaopt_suite::{Benchmark, DataSet};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A benchmark made ready for repeated fitness evaluation: inlined IR,
+/// training profile, per-data-set memory images and interpreter ground
+/// truth, plus the baseline compilation's cycle counts.
+pub struct PreparedBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Inlined, cleaned program (single function).
+    pub prepared: Program,
+    /// Profile collected on the training data (what the compiler sees).
+    pub profile: FuncProfile,
+    /// Baseline cycles on the training data.
+    pub baseline_train_cycles: u64,
+    /// Baseline cycles on the novel data.
+    pub baseline_novel_cycles: u64,
+    /// Baseline compile statistics.
+    pub baseline_stats: CompileStats,
+    train_mem: Vec<u8>,
+    novel_mem: Vec<u8>,
+    train_ret: i64,
+    novel_ret: i64,
+}
+
+const INTERP_STEP_LIMIT: u64 = 100_000_000;
+
+impl PreparedBench {
+    /// Prepare `bench` for `study`: inline, profile on the train data,
+    /// verify both data sets in the interpreter, and time the baseline.
+    ///
+    /// # Panics
+    /// Panics if the bundled benchmark fails to compile, run, or verify —
+    /// all covered by the suite's own tests.
+    pub fn new(study: &StudyConfig, bench: &Benchmark) -> Self {
+        let prog = bench.program();
+        let prepared = prepare(&prog).expect("benchmark call graph is inlinable");
+        let train_mem = bench.memory(&prepared, DataSet::Train);
+        let novel_mem = bench.memory(&prepared, DataSet::Novel);
+
+        let train_out = run(
+            &prepared,
+            &RunConfig {
+                memory: Some(train_mem.clone()),
+                profile: true,
+                max_steps: INTERP_STEP_LIMIT,
+                ..Default::default()
+            },
+        )
+        .expect("train run succeeds");
+        let novel_out = run(
+            &prepared,
+            &RunConfig {
+                memory: Some(novel_mem.clone()),
+                max_steps: INTERP_STEP_LIMIT,
+                ..Default::default()
+            },
+        )
+        .expect("novel run succeeds");
+        let profile = train_out.profile.expect("profile requested").funcs[0].clone();
+
+        let mut pb = PreparedBench {
+            name: bench.name.to_string(),
+            prepared,
+            profile,
+            baseline_train_cycles: 0,
+            baseline_novel_cycles: 0,
+            baseline_stats: CompileStats::default(),
+            train_mem,
+            novel_mem,
+            train_ret: train_out.ret,
+            novel_ret: novel_out.ret,
+        };
+        let passes = study.baseline_passes();
+        let compiled = compile(&pb.prepared, &pb.profile, &study.machine, &passes)
+            .expect("baseline compilation succeeds");
+        pb.baseline_stats = compiled.stats;
+        pb.baseline_train_cycles = pb.simulate_compiled(study, &compiled, DataSet::Train, 0);
+        pb.baseline_novel_cycles = pb.simulate_compiled(study, &compiled, DataSet::Novel, 0);
+        pb
+    }
+
+    fn mem_for(&self, compiled: &metaopt_compiler::Compiled, ds: DataSet) -> Vec<u8> {
+        let base = match ds {
+            DataSet::Train => &self.train_mem,
+            DataSet::Novel => &self.novel_mem,
+        };
+        let mut mem = base.clone();
+        mem.resize(compiled.mem_size.max(mem.len()), 0);
+        mem
+    }
+
+    fn expected_ret(&self, ds: DataSet) -> i64 {
+        match ds {
+            DataSet::Train => self.train_ret,
+            DataSet::Novel => self.novel_ret,
+        }
+    }
+
+    fn simulate_compiled(
+        &self,
+        study: &StudyConfig,
+        compiled: &metaopt_compiler::Compiled,
+        ds: DataSet,
+        noise_seed: u64,
+    ) -> u64 {
+        let mem = self.mem_for(compiled, ds);
+        let result = if study.noise > 0.0 {
+            simulate_noisy(&compiled.code, &study.machine, mem, study.noise, noise_seed)
+        } else {
+            simulate(&compiled.code, &study.machine, mem)
+        }
+        .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", self.name));
+        assert_eq!(
+            result.ret,
+            self.expected_ret(ds),
+            "{}: compiled program diverged from the interpreter on {ds:?} — \
+             a compiler bug exposed by a priority function",
+            self.name
+        );
+        result.cycles
+    }
+
+    /// Compile with `expr` in the study's priority slot and simulate on
+    /// `ds`; returns cycles. Differentially verifies the program result.
+    ///
+    /// Timing noise (if the study has any) is seeded deterministically from
+    /// the expression and data set, so memoized fitness stays consistent
+    /// while different expressions still see different measurement error —
+    /// the situation GP must tolerate on a real machine (paper §7.1).
+    pub fn cycles_with(&self, study: &StudyConfig, expr: &Expr, ds: DataSet) -> u64 {
+        let pri = ExprPriority(expr);
+        let passes = study.passes_with(&pri);
+        let compiled = compile(&self.prepared, &self.profile, &study.machine, &passes)
+            .unwrap_or_else(|e| panic!("compilation of {} failed: {e}", self.name));
+        let mut h = DefaultHasher::new();
+        expr.key().hash(&mut h);
+        self.name.hash(&mut h);
+        (ds == DataSet::Novel).hash(&mut h);
+        self.simulate_compiled(study, &compiled, ds, h.finish())
+    }
+
+    /// Speedup of `expr` over the baseline heuristic on `ds`.
+    pub fn speedup(&self, study: &StudyConfig, expr: &Expr, ds: DataSet) -> f64 {
+        let base = match ds {
+            DataSet::Train => self.baseline_train_cycles,
+            DataSet::Novel => self.baseline_novel_cycles,
+        };
+        base as f64 / self.cycles_with(study, expr, ds) as f64
+    }
+
+    /// Baseline cycles on `ds`.
+    pub fn baseline_cycles(&self, ds: DataSet) -> u64 {
+        match ds {
+            DataSet::Train => self.baseline_train_cycles,
+            DataSet::Novel => self.baseline_novel_cycles,
+        }
+    }
+}
+
+/// GP fitness evaluator over a set of prepared benchmarks: fitness of an
+/// expression on case *i* is its speedup over the baseline on benchmark
+/// *i*'s training data (paper §4: "total execution time" / Table 2:
+/// "average speedup over the baseline").
+pub struct StudyEvaluator<'a> {
+    /// The study being run.
+    pub study: &'a StudyConfig,
+    /// Prepared benchmarks (the training cases).
+    pub benches: &'a [PreparedBench],
+}
+
+impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
+    fn num_cases(&self) -> usize {
+        self.benches.len()
+    }
+
+    fn eval_case(&self, expr: &Expr, case: usize) -> f64 {
+        self.benches[case].speedup(self.study, expr, DataSet::Train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study;
+
+    #[test]
+    fn baseline_seed_reproduces_baseline_cycles() {
+        // Compiling with the GP-expressed baseline seed must give exactly
+        // the native baseline's cycle count (the seed is Eq. 1).
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let pb = PreparedBench::new(&cfg, &bench);
+        let cycles = pb.cycles_with(&cfg, &cfg.baseline_seed, DataSet::Train);
+        assert_eq!(cycles, pb.baseline_train_cycles);
+    }
+
+    #[test]
+    fn disabling_ifconversion_changes_cycles() {
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("rawdaudio").unwrap();
+        let pb = PreparedBench::new(&cfg, &bench);
+        let never = metaopt_gp::parse::parse_expr("(rconst -1.0)", &cfg.features).unwrap();
+        let c = pb.cycles_with(&cfg, &never, DataSet::Train);
+        assert_ne!(c, pb.baseline_train_cycles);
+    }
+
+    #[test]
+    fn prefetch_study_runs_with_noise() {
+        let cfg = study::prefetch();
+        let bench = metaopt_suite::by_name("102.swim").unwrap();
+        let pb = PreparedBench::new(&cfg, &bench);
+        let always = metaopt_gp::parse::parse_expr("(bconst true)", &cfg.features).unwrap();
+        let never = metaopt_gp::parse::parse_expr("(bconst false)", &cfg.features).unwrap();
+        let ca = pb.cycles_with(&cfg, &always, DataSet::Train);
+        let cn = pb.cycles_with(&cfg, &never, DataSet::Train);
+        assert!(ca > 0 && cn > 0);
+        // Identical inputs give identical (memoizable) results.
+        assert_eq!(ca, pb.cycles_with(&cfg, &always, DataSet::Train));
+    }
+
+    #[test]
+    fn regalloc_study_spills_on_stressed_machine() {
+        let cfg = study::regalloc();
+        let bench = metaopt_suite::by_name("g721encode").unwrap();
+        let pb = PreparedBench::new(&cfg, &bench);
+        assert!(pb.baseline_train_cycles > 0);
+    }
+}

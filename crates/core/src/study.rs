@@ -1,0 +1,236 @@
+//! The three case studies: which compiler pass is evolved, on which
+//! machine, with which features, seeds and baselines.
+
+use metaopt_compiler::{hyperblock, prefetch, regalloc, BoolPriority, Passes, RealPriority};
+use metaopt_gp::expr::{Env, Expr};
+use metaopt_gp::parse::parse_expr;
+use metaopt_gp::{FeatureSet, Kind};
+use metaopt_sim::MachineConfig;
+
+/// Which priority function is being evolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StudyKind {
+    /// Hyperblock-formation path priority (paper §5, real-valued).
+    Hyperblock,
+    /// Register-allocation per-block savings (paper §6, real-valued).
+    Regalloc,
+    /// Data-prefetch confidence (paper §7, Boolean).
+    Prefetch,
+}
+
+/// Full configuration of a case study.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Which pass is evolved.
+    pub kind: StudyKind,
+    /// Target machine.
+    pub machine: MachineConfig,
+    /// Feature set the genomes are built over.
+    pub features: FeatureSet,
+    /// The baseline heuristic expressed as a GP genome (seeds the initial
+    /// population, paper §4).
+    pub baseline_seed: Expr,
+    /// Multiplicative timing-noise amplitude (the prefetch study runs on a
+    /// "real machine"; paper §7.1), 0.0 for the simulated studies.
+    pub noise: f64,
+    /// Genome sort.
+    pub genome_kind: Kind,
+}
+
+fn features_from(names: (Vec<&'static str>, Vec<&'static str>)) -> FeatureSet {
+    let mut fs = FeatureSet::new();
+    for r in names.0 {
+        fs.add_real(r);
+    }
+    for b in names.1 {
+        fs.add_bool(b);
+    }
+    fs
+}
+
+/// The hyperblock-formation study (paper §5): Table 3 machine, Table 4
+/// features, Eq. 1 seed.
+pub fn hyperblock() -> StudyConfig {
+    let features = features_from(hyperblock::feature_names());
+    let seed = parse_expr(
+        "(mul exec_ratio (cmul (or (barg mem_hazard) (or (barg has_unsafe_jsr) (barg has_pointer_deref))) \
+           0.25 \
+           (sub 2.1 (add (div dep_height dep_height_max) (div num_ops num_ops_max)))))",
+        &features,
+    )
+    .expect("Eq. 1 seed parses");
+    StudyConfig {
+        kind: StudyKind::Hyperblock,
+        machine: MachineConfig::table3(),
+        features,
+        baseline_seed: seed,
+        noise: 0.0,
+        genome_kind: Kind::Real,
+    }
+}
+
+/// The register-allocation study (paper §6): Table 3 machine restricted to
+/// 32 GPR / 32 FPR, Eq. 2 seed.
+pub fn regalloc() -> StudyConfig {
+    let features = features_from(regalloc::feature_names());
+    let seed = parse_expr("(mul w (add (mul 2.0 uses) defs))", &features)
+        .expect("Eq. 2 seed parses");
+    StudyConfig {
+        kind: StudyKind::Regalloc,
+        machine: MachineConfig::regalloc_stress(),
+        features,
+        baseline_seed: seed,
+        noise: 0.0,
+        genome_kind: Kind::Real,
+    }
+}
+
+/// The data-prefetching study (paper §7): Itanium-like machine, Boolean
+/// confidence genome, ORC-like trip-count seed, real-machine noise.
+pub fn prefetch() -> StudyConfig {
+    let features = features_from(prefetch::feature_names());
+    let seed = parse_expr("(barg trip_known)", &features)
+        .expect("trip-count seed parses");
+    StudyConfig {
+        kind: StudyKind::Prefetch,
+        machine: MachineConfig::itanium_like(),
+        features,
+        baseline_seed: seed,
+        noise: 0.005,
+        genome_kind: Kind::Bool,
+    }
+}
+
+/// Adapter: a GP expression used as a real-valued priority function.
+pub struct ExprPriority<'a>(pub &'a Expr);
+
+impl RealPriority for ExprPriority<'_> {
+    fn score(&self, reals: &[f64], bools: &[bool]) -> f64 {
+        self.0.eval_real(&Env { reals, bools })
+    }
+}
+
+impl BoolPriority for ExprPriority<'_> {
+    fn decide(&self, reals: &[f64], bools: &[bool]) -> bool {
+        self.0.eval_bool(&Env { reals, bools })
+    }
+}
+
+impl StudyConfig {
+    /// The pass configuration with the study's slot filled by `expr`
+    /// (the other passes run their shipped baselines).
+    pub fn passes_with<'a>(&self, expr: &'a ExprPriority<'a>) -> Passes<'a> {
+        match self.kind {
+            StudyKind::Hyperblock => Passes {
+                hyperblock: Some(expr),
+                regalloc: None, // Eq. 2 baseline
+                prefetch: None,
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+            StudyKind::Regalloc => Passes {
+                hyperblock: Some(&hyperblock::BaselineEq1),
+                regalloc: Some(expr),
+                prefetch: None,
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+            StudyKind::Prefetch => Passes {
+                hyperblock: None,
+                regalloc: None,
+                prefetch: Some(expr),
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+        }
+    }
+
+    /// The pass configuration with the study's shipped baseline heuristic.
+    pub fn baseline_passes(&self) -> Passes<'static> {
+        match self.kind {
+            StudyKind::Hyperblock => Passes {
+                hyperblock: Some(&hyperblock::BaselineEq1),
+                regalloc: None,
+                prefetch: None,
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+            StudyKind::Regalloc => Passes {
+                hyperblock: Some(&hyperblock::BaselineEq1),
+                regalloc: Some(&regalloc::BaselineEq2),
+                prefetch: None,
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+            StudyKind::Prefetch => Passes {
+                hyperblock: None,
+                regalloc: None,
+                prefetch: Some(&prefetch::BaselineTripCount),
+                prefetch_iters_ahead: 8,
+                unroll: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_studies_construct() {
+        for cfg in [hyperblock(), regalloc(), prefetch()] {
+            assert!(cfg.features.num_reals() > 0);
+            assert!(cfg.baseline_seed.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn hyperblock_seed_matches_native_eq1() {
+        // The GP-expressed Eq. 1 seed must agree with the native baseline on
+        // arbitrary feature vectors.
+        let cfg = hyperblock();
+        let n = cfg.features.num_reals();
+        for trial in 0..50 {
+            let reals: Vec<f64> = (0..n)
+                .map(|i| ((trial * 31 + i * 7) % 13) as f64 + 0.5)
+                .collect();
+            let bools = [trial % 3 == 0, trial % 5 == 0, trial % 7 == 0];
+            let native = metaopt_compiler::hyperblock::BaselineEq1.score(&reals, &bools);
+            let seeded = ExprPriority(&cfg.baseline_seed).score(&reals, &bools);
+            assert!(
+                (native - seeded).abs() < 1e-9,
+                "trial {trial}: native {native} vs seed {seeded}"
+            );
+        }
+    }
+
+    #[test]
+    fn regalloc_seed_matches_native_eq2() {
+        let cfg = regalloc();
+        for trial in 0..20 {
+            let reals: Vec<f64> = (0..cfg.features.num_reals())
+                .map(|i| ((trial + i * 3) % 9) as f64)
+                .collect();
+            let bools = [false, false];
+            let native = metaopt_compiler::regalloc::BaselineEq2.score(&reals, &bools);
+            let seeded = ExprPriority(&cfg.baseline_seed).score(&reals, &bools);
+            assert!((native - seeded).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefetch_seed_matches_native_baseline() {
+        let cfg = prefetch();
+        let reals = vec![0.0; cfg.features.num_reals()];
+        for sk in [false, true] {
+            for tk in [false, true] {
+                let bools = [sk, tk, false];
+                let native =
+                    metaopt_compiler::prefetch::BaselineTripCount.decide(&reals, &bools);
+                let seeded = ExprPriority(&cfg.baseline_seed).decide(&reals, &bools);
+                assert_eq!(native, seeded);
+            }
+        }
+    }
+}

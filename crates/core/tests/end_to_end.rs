@@ -1,0 +1,108 @@
+//! End-to-end behavioral tests of the Meta Optimization system: the
+//! headline properties the paper claims, at laptop scale.
+
+use metaopt::{experiment, study};
+use metaopt_gp::GpParams;
+use metaopt_suite::DataSet;
+
+fn params(seed: u64) -> GpParams {
+    GpParams {
+        population: 16,
+        generations: 5,
+        seed,
+        threads: 4,
+        ..GpParams::quick()
+    }
+}
+
+#[test]
+fn specialization_beats_or_matches_baseline_across_studies() {
+    // Seeded with the baseline and elitist, train-data speedup can never
+    // drop below ~1.0 in any study.
+    for (cfg, bench) in [
+        (study::hyperblock(), "rawcaudio"),
+        (study::regalloc(), "g721decode"),
+        (study::prefetch(), "107.mgrid"),
+    ] {
+        let b = metaopt_suite::by_name(bench).unwrap();
+        let r = experiment::specialize(&cfg, &b, &params(5));
+        assert!(
+            r.train_speedup >= 0.995,
+            "{bench}: {} < baseline",
+            r.train_speedup
+        );
+    }
+}
+
+#[test]
+fn prefetch_study_finds_large_gains() {
+    // The paper's case study III headline: the ORC-like baseline is
+    // overzealous and evolved confidence functions find real speedups.
+    let cfg = study::prefetch();
+    let b = metaopt_suite::by_name("101.tomcatv").unwrap();
+    let r = experiment::specialize(&cfg, &b, &params(9));
+    assert!(
+        r.train_speedup > 1.10,
+        "tomcatv specialization should exceed 10%: {}",
+        r.train_speedup
+    );
+}
+
+#[test]
+fn general_purpose_function_transfers_to_novel_data() {
+    let cfg = study::prefetch();
+    let benches: Vec<_> = ["101.tomcatv", "102.swim", "107.mgrid"]
+        .iter()
+        .map(|n| metaopt_suite::by_name(n).unwrap())
+        .collect();
+    let r = experiment::train_general(&cfg, &benches, &params(13));
+    assert!(r.mean_train > 1.0, "mean train {}", r.mean_train);
+    assert!(r.mean_novel > 1.0, "mean novel {}", r.mean_novel);
+}
+
+#[test]
+fn evolution_log_tracks_monotone_elitism() {
+    // With a fixed training subset (no DSS) and elitism, the best fitness
+    // per generation never decreases.
+    let cfg = study::hyperblock();
+    let b = metaopt_suite::by_name("mpeg2dec").unwrap();
+    let r = experiment::specialize(&cfg, &b, &params(21));
+    let mut prev = 0.0;
+    for g in &r.log {
+        assert!(
+            g.best_fitness >= prev - 1e-9,
+            "gen {}: {} < {prev}",
+            g.generation,
+            g.best_fitness
+        );
+        prev = g.best_fitness;
+    }
+}
+
+#[test]
+fn cross_validation_handles_whole_test_set() {
+    let cfg = study::hyperblock();
+    let cv = experiment::cross_validate(
+        &cfg,
+        &cfg.baseline_seed,
+        &metaopt_suite::hyperblock_test_set(),
+    );
+    assert_eq!(cv.per_bench.len(), metaopt_suite::hyperblock_test_set().len());
+    for (name, t, _) in &cv.per_bench {
+        assert!(
+            (*t - 1.0).abs() < 1e-9,
+            "{name}: baseline seed must reproduce baseline exactly, got {t}"
+        );
+    }
+}
+
+#[test]
+fn novel_and_train_data_really_differ_in_cycles() {
+    let cfg = study::hyperblock();
+    let b = metaopt_suite::by_name("129.compress").unwrap();
+    let pb = metaopt::PreparedBench::new(&cfg, &b);
+    assert_ne!(
+        pb.baseline_cycles(DataSet::Train),
+        pb.baseline_cycles(DataSet::Novel)
+    );
+}

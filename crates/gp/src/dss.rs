@@ -1,0 +1,154 @@
+//! Dynamic subset selection (Gathercole), paper §3.
+//!
+//! Training a general-purpose priority function over many benchmarks is
+//! expensive: every fitness evaluation compiles and runs each benchmark.
+//! DSS trains each generation on a *subset*, biased toward benchmarks that
+//! are currently **difficult** (the population does poorly on them relative
+//! to the baseline) and benchmarks that have not been selected for a while
+//! (**age**), so nothing is starved.
+
+use rand::{Rng, RngExt};
+
+/// Subset-selection state over `n` training cases.
+#[derive(Clone, Debug)]
+pub struct Dss {
+    difficulty: Vec<f64>,
+    age: Vec<f64>,
+    subset_size: usize,
+    /// Exponent applied to difficulty (Gathercole's `d`).
+    pub difficulty_exp: f64,
+    /// Exponent applied to age (Gathercole's `a`).
+    pub age_exp: f64,
+}
+
+impl Dss {
+    /// New state over `n` cases selecting subsets of `subset_size`.
+    pub fn new(n: usize, subset_size: usize) -> Self {
+        Dss {
+            difficulty: vec![1.0; n],
+            age: vec![1.0; n],
+            subset_size: subset_size.clamp(1, n.max(1)),
+            difficulty_exp: 1.0,
+            age_exp: 2.0,
+        }
+    }
+
+    /// Number of training cases.
+    pub fn num_cases(&self) -> usize {
+        self.difficulty.len()
+    }
+
+    /// Current per-case selection weight.
+    pub fn weight(&self, case: usize) -> f64 {
+        self.difficulty[case].powf(self.difficulty_exp) + self.age[case].powf(self.age_exp)
+    }
+
+    /// Sample a subset (without replacement) proportional to the weights,
+    /// then advance ages: selected cases reset to 1, unselected ones age.
+    pub fn select<R: Rng>(&mut self, rng: &mut R) -> Vec<usize> {
+        let n = self.num_cases();
+        if self.subset_size >= n {
+            return (0..n).collect();
+        }
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut chosen = Vec::with_capacity(self.subset_size);
+        for _ in 0..self.subset_size {
+            let total: f64 = remaining.iter().map(|&c| self.weight(c)).sum();
+            let mut draw = rng.random::<f64>() * total;
+            let mut pick = remaining.len() - 1;
+            for (i, &c) in remaining.iter().enumerate() {
+                draw -= self.weight(c);
+                if draw <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            chosen.push(remaining.swap_remove(pick));
+        }
+        for c in 0..n {
+            if chosen.contains(&c) {
+                self.age[c] = 1.0;
+            } else {
+                self.age[c] += 1.0;
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Report the population's best speedup on `case` from the last
+    /// evaluation; cases where the best expression still trails the baseline
+    /// (speedup < 1) become *difficult* and get picked more often.
+    pub fn report(&mut self, case: usize, best_speedup: f64) {
+        self.difficulty[case] = (2.0 - best_speedup).clamp(0.05, 4.0) * 10.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_subset_when_size_covers_all() {
+        let mut dss = Dss::new(4, 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(dss.select(&mut rng), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subsets_have_requested_size_and_no_duplicates() {
+        let mut dss = Dss::new(10, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = dss.select(&mut rng);
+            assert_eq!(s.len(), 4);
+            let mut d = s.clone();
+            d.dedup();
+            assert_eq!(d.len(), 4);
+        }
+    }
+
+    #[test]
+    fn difficult_cases_selected_more_often() {
+        let mut dss = Dss::new(10, 3);
+        // Case 0 is very difficult; others are solved.
+        for c in 0..10 {
+            dss.report(c, if c == 0 { 0.5 } else { 1.9 });
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = vec![0usize; 10];
+        for _ in 0..300 {
+            for c in dss.select(&mut rng) {
+                hits[c] += 1;
+            }
+            // Re-assert difficulty (select() mutates ages).
+            for c in 0..10 {
+                dss.report(c, if c == 0 { 0.5 } else { 1.9 });
+            }
+        }
+        let mean_rest = hits[1..].iter().sum::<usize>() as f64 / 9.0;
+        assert!(
+            hits[0] as f64 > 1.5 * mean_rest,
+            "hits[0]={} vs mean rest {mean_rest}",
+            hits[0]
+        );
+    }
+
+    #[test]
+    fn aging_prevents_starvation() {
+        let mut dss = Dss::new(6, 2);
+        for c in 0..6 {
+            dss.report(c, if c < 2 { 0.2 } else { 1.9 });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = vec![false; 6];
+        for _ in 0..60 {
+            for c in dss.select(&mut rng) {
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all cases eventually selected: {seen:?}");
+    }
+}

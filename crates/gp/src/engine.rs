@@ -1,0 +1,470 @@
+//! The evolutionary search engine (paper §3–4, Table 2).
+
+use crate::dss::Dss;
+use crate::expr::{Expr, Kind};
+use crate::features::FeatureSet;
+use crate::gen::random_expr;
+use crate::ops::{crossover, mutate};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Supplies fitness: the **speedup over the baseline heuristic** of the
+/// program compiled with `expr` as the priority function, per training case
+/// (benchmark). Implementations compile and simulate, so calls are costly —
+/// the engine memoizes per `(expr, case)`.
+pub trait Evaluator: Sync {
+    /// Number of training cases (benchmarks).
+    fn num_cases(&self) -> usize;
+    /// Speedup of `expr` over the baseline on `case` (1.0 = parity).
+    fn eval_case(&self, expr: &Expr, case: usize) -> f64;
+}
+
+/// Search parameters (paper Table 2).
+#[derive(Clone, Debug)]
+pub struct GpParams {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Fraction of the population replaced each generation.
+    pub replace_frac: f64,
+    /// Probability an offspring is mutated.
+    pub mutation_rate: f64,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Maximum genome height.
+    pub max_depth: usize,
+    /// Initial ramped-grow height range.
+    pub init_depth: (usize, usize),
+    /// Genome sort to evolve.
+    pub kind: Kind,
+    /// RNG seed (the whole run is deterministic given the evaluator is).
+    pub seed: u64,
+    /// Worker threads for fitness evaluation.
+    pub threads: usize,
+    /// Fitness difference regarded as a tie (parsimony applies then).
+    pub fitness_epsilon: f64,
+    /// Dynamic-subset size (`None` evaluates every case every generation).
+    pub subset_size: Option<usize>,
+    /// Guarantee the best expression survives each generation (paper
+    /// Table 2: "Best expression is guaranteed survival"). Disable only for
+    /// ablation studies.
+    pub elitism: bool,
+}
+
+impl GpParams {
+    /// The paper's Table 2 settings: 400 expressions, 50 generations, 22 %
+    /// replacement, 5 % mutation, tournament 7, elitism of one.
+    pub fn paper() -> Self {
+        GpParams {
+            population: 400,
+            generations: 50,
+            replace_frac: 0.22,
+            mutation_rate: 0.05,
+            tournament: 7,
+            max_depth: 12,
+            init_depth: (2, 6),
+            kind: Kind::Real,
+            seed: 0x5EED,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            fitness_epsilon: 1e-6,
+            subset_size: None,
+            elitism: true,
+        }
+    }
+
+    /// Laptop-scale settings used by the tests and the figure harness.
+    pub fn quick() -> Self {
+        GpParams {
+            population: 40,
+            generations: 10,
+            ..GpParams::paper()
+        }
+    }
+}
+
+/// One generation's telemetry (drives the paper's Figs. 5/10/14).
+#[derive(Clone, Debug)]
+pub struct GenLog {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best fitness this generation (mean speedup on this generation's
+    /// subset).
+    pub best_fitness: f64,
+    /// Population mean fitness.
+    pub mean_fitness: f64,
+    /// Size (node count) of the best expression.
+    pub best_size: usize,
+    /// The training-case subset evaluated this generation.
+    pub subset: Vec<usize>,
+}
+
+/// Result of an evolution run.
+#[derive(Clone, Debug)]
+pub struct EvolutionResult {
+    /// Best expression, judged on the *full* training set at the end.
+    pub best: Expr,
+    /// Its mean speedup on the full training set.
+    pub best_fitness: f64,
+    /// Per-generation telemetry.
+    pub log: Vec<GenLog>,
+    /// Number of uncached `(expr, case)` fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// An evolution run: wraps GP around an [`Evaluator`].
+pub struct Evolution<'a, E: Evaluator> {
+    params: GpParams,
+    features: &'a FeatureSet,
+    evaluator: &'a E,
+    seeds: Vec<Expr>,
+}
+
+struct Memo {
+    cache: Mutex<HashMap<(String, usize), f64>>,
+    misses: Mutex<u64>,
+}
+
+impl Memo {
+    fn new() -> Self {
+        Memo {
+            cache: Mutex::new(HashMap::new()),
+            misses: Mutex::new(0),
+        }
+    }
+
+    fn get_or_eval<E: Evaluator>(&self, ev: &E, expr: &Expr, key: &str, case: usize) -> f64 {
+        if let Some(v) = self.cache.lock().unwrap().get(&(key.to_string(), case)) {
+            return *v;
+        }
+        let v = ev.eval_case(expr, case);
+        *self.misses.lock().unwrap() += 1;
+        self.cache
+            .lock()
+            .unwrap()
+            .insert((key.to_string(), case), v);
+        v
+    }
+}
+
+impl<'a, E: Evaluator> Evolution<'a, E> {
+    /// Create a run over `features` with fitness from `evaluator`.
+    pub fn new(params: GpParams, features: &'a FeatureSet, evaluator: &'a E) -> Self {
+        Evolution {
+            params,
+            features,
+            evaluator,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Seed the initial population (paper §4: "we seed the initial
+    /// population with the compiler writer's best guess").
+    pub fn with_seeds(mut self, seeds: Vec<Expr>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    fn mean_fitness(&self, memo: &Memo, expr: &Expr, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 1.0;
+        }
+        let key = expr.key();
+        let sum: f64 = subset
+            .iter()
+            .map(|&c| memo.get_or_eval(self.evaluator, expr, &key, c))
+            .sum();
+        sum / subset.len() as f64
+    }
+
+    fn evaluate_all(&self, memo: &Memo, pop: &[Expr], subset: &[usize]) -> Vec<f64> {
+        let threads = self.params.threads.max(1);
+        if threads == 1 || pop.len() < 4 {
+            return pop
+                .iter()
+                .map(|e| self.mean_fitness(memo, e, subset))
+                .collect();
+        }
+        let mut fits = vec![0.0f64; pop.len()];
+        let chunk = pop.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, (exprs, out)) in pop
+                .chunks(chunk)
+                .zip(fits.chunks_mut(chunk))
+                .enumerate()
+            {
+                let _ = ci;
+                s.spawn(move || {
+                    for (e, f) in exprs.iter().zip(out.iter_mut()) {
+                        *f = self.mean_fitness(memo, e, subset);
+                    }
+                });
+            }
+        });
+        fits
+    }
+
+    /// Tournament of `k` with parsimony: highest fitness wins; ties go to
+    /// the smaller expression (paper §3).
+    fn tournament(&self, rng: &mut StdRng, pop: &[Expr], fits: &[f64]) -> usize {
+        let k = self.params.tournament.max(1);
+        let mut best = rng.random_range(0..pop.len());
+        for _ in 1..k {
+            let c = rng.random_range(0..pop.len());
+            if better(fits[c], pop[c].size(), fits[best], pop[best].size(), self.params.fitness_epsilon) {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Run the evolution.
+    pub fn run(&self) -> EvolutionResult {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let memo = Memo::new();
+        let ncases = self.evaluator.num_cases();
+
+        // Initial population: seeds then ramped-grow randoms.
+        let mut pop: Vec<Expr> = self
+            .seeds
+            .iter()
+            .cloned()
+            .take(p.population)
+            .collect();
+        while pop.len() < p.population {
+            pop.push(random_expr(
+                &mut rng,
+                self.features,
+                p.kind,
+                p.init_depth.0,
+                p.init_depth.1,
+            ));
+        }
+
+        let mut dss = p
+            .subset_size
+            .filter(|&s| s < ncases)
+            .map(|s| Dss::new(ncases, s));
+        let all_cases: Vec<usize> = (0..ncases).collect();
+        let mut log = Vec::with_capacity(p.generations);
+
+        for generation in 0..p.generations {
+            let subset = match &mut dss {
+                Some(d) => d.select(&mut rng),
+                None => all_cases.clone(),
+            };
+            let fits = self.evaluate_all(&memo, &pop, &subset);
+
+            let best_idx = argbest(&fits, &pop, p.fitness_epsilon);
+            log.push(GenLog {
+                generation,
+                best_fitness: fits[best_idx],
+                mean_fitness: fits.iter().sum::<f64>() / fits.len().max(1) as f64,
+                best_size: pop[best_idx].size(),
+                subset: subset.clone(),
+            });
+
+            // Feed DSS with the best expression's per-case speedups.
+            if let Some(d) = &mut dss {
+                let key = pop[best_idx].key();
+                for &c in &subset {
+                    let s = memo.get_or_eval(self.evaluator, &pop[best_idx], &key, c);
+                    d.report(c, s);
+                }
+            }
+
+            if generation + 1 == p.generations {
+                break;
+            }
+
+            // Breed: replace `replace_frac` of the population (elitism: the
+            // best expression is never displaced).
+            let k = ((p.replace_frac * p.population as f64).round() as usize)
+                .clamp(1, p.population.saturating_sub(1));
+            let mut offspring = Vec::with_capacity(k);
+            for _ in 0..k {
+                let a = self.tournament(&mut rng, &pop, &fits);
+                let b = self.tournament(&mut rng, &pop, &fits);
+                let mut child = crossover(&mut rng, &pop[a], &pop[b], p.max_depth);
+                if rng.random_bool(p.mutation_rate) {
+                    child = mutate(&mut rng, &child, self.features, p.max_depth);
+                }
+                offspring.push(child);
+            }
+            for child in offspring {
+                loop {
+                    let slot = rng.random_range(0..pop.len());
+                    if !p.elitism || slot != best_idx {
+                        pop[slot] = child;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Final judgement on the full training set.
+        let final_fits = self.evaluate_all(&memo, &pop, &all_cases);
+        let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
+        let evaluations = *memo.misses.lock().unwrap();
+        EvolutionResult {
+            best: pop[best_idx].clone(),
+            best_fitness: final_fits[best_idx],
+            log,
+            evaluations,
+        }
+    }
+}
+
+fn better(fa: f64, sa: usize, fb: f64, sb: usize, eps: f64) -> bool {
+    if (fa - fb).abs() <= eps {
+        sa < sb
+    } else {
+        fa > fb
+    }
+}
+
+fn argbest(fits: &[f64], pop: &[Expr], eps: f64) -> usize {
+    let mut best = 0;
+    for i in 1..fits.len() {
+        if better(fits[i], pop[i].size(), fits[best], pop[best].size(), eps) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Env;
+    use crate::parse::parse_expr;
+
+    /// Symbolic-regression-style evaluator: fitness is closeness of the
+    /// expression to `2x + 1` over sample points; each "case" weights a
+    /// different sample range. Fast and deterministic — exercises the whole
+    /// engine without a compiler in the loop.
+    struct Regress;
+
+    impl Evaluator for Regress {
+        fn num_cases(&self) -> usize {
+            3
+        }
+
+        fn eval_case(&self, expr: &Expr, case: usize) -> f64 {
+            let lo = case as f64;
+            let mut err = 0.0;
+            for i in 0..10 {
+                let x = lo + i as f64 * 0.3;
+                let want = 2.0 * x + 1.0;
+                let got = expr.eval_real(&Env {
+                    reals: &[x],
+                    bools: &[],
+                });
+                err += (want - got).abs();
+            }
+            // Map error to a "speedup"-like score: 2.0 at perfect fit.
+            2.0 / (1.0 + err / 10.0)
+        }
+    }
+
+    fn features() -> FeatureSet {
+        let mut fs = FeatureSet::new();
+        fs.add_real("x");
+        fs
+    }
+
+    #[test]
+    fn evolution_improves_over_random_start() {
+        let fs = features();
+        let ev = Regress;
+        let mut params = GpParams::quick();
+        params.generations = 15;
+        params.population = 60;
+        params.seed = 3;
+        params.threads = 2;
+        let result = Evolution::new(params, &fs, &ev).run();
+        let first = result.log.first().unwrap().best_fitness;
+        let last = result.log.last().unwrap().best_fitness;
+        assert!(last >= first, "{last} >= {first}");
+        assert!(
+            result.best_fitness > 1.0,
+            "found something decent: {}",
+            result.best_fitness
+        );
+        assert_eq!(result.log.len(), 15);
+        assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn seed_guarantees_baseline_floor() {
+        // Seeding with the exact solution: the engine can never return
+        // anything worse (elitism + final full evaluation).
+        let fs = features();
+        let ev = Regress;
+        let seed = parse_expr("(add (mul 2.0 x) 1.0)", &fs).unwrap();
+        let perfect = (0..3)
+            .map(|c| ev.eval_case(&seed, c))
+            .sum::<f64>()
+            / 3.0;
+        let mut params = GpParams::quick();
+        params.generations = 5;
+        params.population = 20;
+        let result = Evolution::new(params, &fs, &ev)
+            .with_seeds(vec![seed])
+            .run();
+        assert!(
+            result.best_fitness >= perfect - 1e-9,
+            "{} vs {perfect}",
+            result.best_fitness
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let fs = features();
+        let ev = Regress;
+        let mut params = GpParams::quick();
+        params.generations = 6;
+        params.population = 24;
+        params.threads = 1;
+        let a = Evolution::new(params.clone(), &fs, &ev).run();
+        let b = Evolution::new(params, &fs, &ev).run();
+        assert_eq!(a.best.key(), b.best.key());
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn dss_mode_selects_subsets() {
+        let fs = features();
+        let ev = Regress;
+        let mut params = GpParams::quick();
+        params.generations = 6;
+        params.population = 20;
+        params.subset_size = Some(2);
+        let result = Evolution::new(params, &fs, &ev).run();
+        assert!(result.log.iter().all(|g| g.subset.len() == 2));
+    }
+
+    #[test]
+    fn elitism_off_still_produces_valid_results() {
+        let fs = features();
+        let ev = Regress;
+        let mut params = GpParams::quick();
+        params.generations = 6;
+        params.population = 20;
+        params.elitism = false;
+        let r = Evolution::new(params, &fs, &ev).run();
+        assert!(r.best_fitness.is_finite());
+        assert_eq!(r.log.len(), 6);
+    }
+
+    #[test]
+    fn parsimony_prefers_smaller_of_equal_fitness() {
+        assert!(better(1.0, 3, 1.0, 9, 1e-6));
+        assert!(!better(1.0, 9, 1.0, 3, 1e-6));
+        assert!(better(1.5, 9, 1.0, 3, 1e-6));
+    }
+}

@@ -1,0 +1,658 @@
+//! Strongly-typed GP expression trees (paper Table 1).
+//!
+//! Two node sorts — real-valued [`RExpr`] and Boolean-valued [`BExpr`] —
+//! mirror the paper's primitive table exactly, plus a protected `div`
+//! (needed to express the paper's own Fig. 8 winner, and standard GP
+//! practice). Evaluation is **total**: division by ~zero yields 1, square
+//! roots take `|x|`, and every arithmetic result is clamped to a large
+//! finite range so no NaN or infinity can propagate into the compiler.
+
+use std::fmt;
+
+/// Node sort.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    /// Real-valued node.
+    Real,
+    /// Boolean-valued node.
+    Bool,
+}
+
+/// Feature bindings for one evaluation: values indexed by the
+/// [`FeatureSet`](crate::features::FeatureSet) that the expression was built
+/// against.
+#[derive(Clone, Copy, Debug)]
+pub struct Env<'a> {
+    /// Real-valued feature values.
+    pub reals: &'a [f64],
+    /// Boolean feature values.
+    pub bools: &'a [bool],
+}
+
+/// Clamp range keeping all arithmetic finite.
+const LIMIT: f64 = 1e18;
+
+#[inline]
+fn sane(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(-LIMIT, LIMIT)
+    }
+}
+
+/// Real-valued expression (paper Table 1, upper half, plus protected `div`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RExpr {
+    /// `a + b`
+    Add(Box<RExpr>, Box<RExpr>),
+    /// `a - b`
+    Sub(Box<RExpr>, Box<RExpr>),
+    /// `a * b`
+    Mul(Box<RExpr>, Box<RExpr>),
+    /// Protected division: `a / b`, or `1` when `|b|` is tiny.
+    Div(Box<RExpr>, Box<RExpr>),
+    /// `sqrt(|a|)`
+    Sqrt(Box<RExpr>),
+    /// `if c { a } else { b }`
+    Tern(Box<BExpr>, Box<RExpr>, Box<RExpr>),
+    /// Conditional multiply: `if c { a * b } else { b }`
+    Cmul(Box<BExpr>, Box<RExpr>, Box<RExpr>),
+    /// Real constant (`rconst`).
+    Const(f64),
+    /// Real feature terminal (index into the feature set).
+    Feat(u16),
+}
+
+/// Boolean-valued expression (paper Table 1, lower half).
+#[derive(Clone, PartialEq, Debug)]
+pub enum BExpr {
+    /// `a && b`
+    And(Box<BExpr>, Box<BExpr>),
+    /// `a || b`
+    Or(Box<BExpr>, Box<BExpr>),
+    /// `!a`
+    Not(Box<BExpr>),
+    /// `a < b`
+    Lt(Box<RExpr>, Box<RExpr>),
+    /// `a > b`
+    Gt(Box<RExpr>, Box<RExpr>),
+    /// `a == b` (exact)
+    Eq(Box<RExpr>, Box<RExpr>),
+    /// Boolean constant (`bconst`).
+    Const(bool),
+    /// Boolean feature terminal (`barg`).
+    Feat(u16),
+}
+
+impl RExpr {
+    /// Evaluate under `env`. Total: never NaN/∞.
+    pub fn eval(&self, env: &Env<'_>) -> f64 {
+        match self {
+            RExpr::Add(a, b) => sane(a.eval(env) + b.eval(env)),
+            RExpr::Sub(a, b) => sane(a.eval(env) - b.eval(env)),
+            RExpr::Mul(a, b) => sane(a.eval(env) * b.eval(env)),
+            RExpr::Div(a, b) => {
+                let d = b.eval(env);
+                if d.abs() < 1e-9 {
+                    1.0
+                } else {
+                    sane(a.eval(env) / d)
+                }
+            }
+            RExpr::Sqrt(a) => sane(a.eval(env).abs().sqrt()),
+            RExpr::Tern(c, a, b) => {
+                if c.eval(env) {
+                    a.eval(env)
+                } else {
+                    b.eval(env)
+                }
+            }
+            RExpr::Cmul(c, a, b) => {
+                if c.eval(env) {
+                    sane(a.eval(env) * b.eval(env))
+                } else {
+                    b.eval(env)
+                }
+            }
+            RExpr::Const(k) => *k,
+            RExpr::Feat(i) => env.reals.get(*i as usize).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Number of nodes (both sorts).
+    pub fn size(&self) -> usize {
+        match self {
+            RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::Div(a, b) => {
+                1 + a.size() + b.size()
+            }
+            RExpr::Sqrt(a) => 1 + a.size(),
+            RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => 1 + c.size() + a.size() + b.size(),
+            RExpr::Const(_) | RExpr::Feat(_) => 1,
+        }
+    }
+
+    /// Tree height (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::Div(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+            RExpr::Sqrt(a) => 1 + a.depth(),
+            RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => {
+                1 + c.depth().max(a.depth()).max(b.depth())
+            }
+            RExpr::Const(_) | RExpr::Feat(_) => 1,
+        }
+    }
+}
+
+impl BExpr {
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &Env<'_>) -> bool {
+        match self {
+            BExpr::And(a, b) => a.eval(env) && b.eval(env),
+            BExpr::Or(a, b) => a.eval(env) || b.eval(env),
+            BExpr::Not(a) => !a.eval(env),
+            BExpr::Lt(a, b) => a.eval(env) < b.eval(env),
+            BExpr::Gt(a, b) => a.eval(env) > b.eval(env),
+            BExpr::Eq(a, b) => a.eval(env) == b.eval(env),
+            BExpr::Const(k) => *k,
+            BExpr::Feat(i) => env.bools.get(*i as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// Number of nodes (both sorts).
+    pub fn size(&self) -> usize {
+        match self {
+            BExpr::And(a, b) | BExpr::Or(a, b) => 1 + a.size() + b.size(),
+            BExpr::Not(a) => 1 + a.size(),
+            BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => 1 + a.size() + b.size(),
+            BExpr::Const(_) | BExpr::Feat(_) => 1,
+        }
+    }
+
+    /// Tree height (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            BExpr::And(a, b) | BExpr::Or(a, b) => 1 + a.depth().max(b.depth()),
+            BExpr::Not(a) => 1 + a.depth(),
+            BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => 1 + a.depth().max(b.depth()),
+            BExpr::Const(_) | BExpr::Feat(_) => 1,
+        }
+    }
+}
+
+/// A genome: a typed expression tree of either sort. Hyperblock formation
+/// and register allocation evolve `Real` genomes; data prefetching evolves
+/// `Bool` genomes (paper §7.1).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Real-valued priority function.
+    Real(RExpr),
+    /// Boolean-valued priority function.
+    Bool(BExpr),
+}
+
+impl Expr {
+    /// The genome's sort.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Expr::Real(_) => Kind::Real,
+            Expr::Bool(_) => Kind::Bool,
+        }
+    }
+
+    /// Evaluate a real genome (a Boolean genome yields 1.0/0.0).
+    pub fn eval_real(&self, env: &Env<'_>) -> f64 {
+        match self {
+            Expr::Real(r) => r.eval(env),
+            Expr::Bool(b) => {
+                if b.eval(env) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Evaluate a Boolean genome (a real genome is true iff positive).
+    pub fn eval_bool(&self, env: &Env<'_>) -> bool {
+        match self {
+            Expr::Bool(b) => b.eval(env),
+            Expr::Real(r) => r.eval(env) > 0.0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Real(r) => r.size(),
+            Expr::Bool(b) => b.size(),
+        }
+    }
+
+    /// Tree height.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Real(r) => r.depth(),
+            Expr::Bool(b) => b.depth(),
+        }
+    }
+
+    /// Canonical string key (stable across runs) used for fitness
+    /// memoization.
+    pub fn key(&self) -> String {
+        self.to_string()
+    }
+}
+
+// ---- preorder node addressing (for crossover/mutation) ----
+
+/// Kind and depth of every node in preorder; used by depth-fair crossover.
+pub fn node_info(e: &Expr) -> Vec<(Kind, u16)> {
+    let mut out = Vec::with_capacity(e.size());
+    match e {
+        Expr::Real(r) => walk_r(r, 0, &mut out),
+        Expr::Bool(b) => walk_b(b, 0, &mut out),
+    }
+    out
+}
+
+fn walk_r(e: &RExpr, d: u16, out: &mut Vec<(Kind, u16)>) {
+    out.push((Kind::Real, d));
+    match e {
+        RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::Div(a, b) => {
+            walk_r(a, d + 1, out);
+            walk_r(b, d + 1, out);
+        }
+        RExpr::Sqrt(a) => walk_r(a, d + 1, out),
+        RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => {
+            walk_b(c, d + 1, out);
+            walk_r(a, d + 1, out);
+            walk_r(b, d + 1, out);
+        }
+        RExpr::Const(_) | RExpr::Feat(_) => {}
+    }
+}
+
+fn walk_b(e: &BExpr, d: u16, out: &mut Vec<(Kind, u16)>) {
+    out.push((Kind::Bool, d));
+    match e {
+        BExpr::And(a, b) | BExpr::Or(a, b) => {
+            walk_b(a, d + 1, out);
+            walk_b(b, d + 1, out);
+        }
+        BExpr::Not(a) => walk_b(a, d + 1, out),
+        BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => {
+            walk_r(a, d + 1, out);
+            walk_r(b, d + 1, out);
+        }
+        BExpr::Const(_) | BExpr::Feat(_) => {}
+    }
+}
+
+/// Clone the subtree rooted at preorder index `ix`.
+pub fn subtree(e: &Expr, ix: usize) -> Option<Expr> {
+    let mut n = ix;
+    match e {
+        Expr::Real(r) => get_r(r, &mut n),
+        Expr::Bool(b) => get_b(b, &mut n),
+    }
+}
+
+fn get_r(e: &RExpr, n: &mut usize) -> Option<Expr> {
+    if *n == 0 {
+        return Some(Expr::Real(e.clone()));
+    }
+    *n -= 1;
+    match e {
+        RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::Div(a, b) => {
+            get_r(a, n).or_else(|| get_r(b, n))
+        }
+        RExpr::Sqrt(a) => get_r(a, n),
+        RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => get_b(c, n)
+            .or_else(|| get_r(a, n))
+            .or_else(|| get_r(b, n)),
+        RExpr::Const(_) | RExpr::Feat(_) => None,
+    }
+}
+
+fn get_b(e: &BExpr, n: &mut usize) -> Option<Expr> {
+    if *n == 0 {
+        return Some(Expr::Bool(e.clone()));
+    }
+    *n -= 1;
+    match e {
+        BExpr::And(a, b) | BExpr::Or(a, b) => get_b(a, n).or_else(|| get_b(b, n)),
+        BExpr::Not(a) => get_b(a, n),
+        BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => {
+            get_r(a, n).or_else(|| get_r(b, n))
+        }
+        BExpr::Const(_) | BExpr::Feat(_) => None,
+    }
+}
+
+/// Rebuild `e` with the subtree at preorder index `ix` replaced by `new`.
+/// Returns `None` if `ix` is out of range or the sorts do not match.
+pub fn with_replaced(e: &Expr, ix: usize, new: &Expr) -> Option<Expr> {
+    let mut n = ix;
+    match e {
+        Expr::Real(r) => rep_r(r, &mut n, new).map(Expr::Real),
+        Expr::Bool(b) => rep_b(b, &mut n, new).map(Expr::Bool),
+    }
+}
+
+fn rep_r(e: &RExpr, n: &mut usize, new: &Expr) -> Option<RExpr> {
+    if *n == 0 {
+        return match new {
+            Expr::Real(r) => Some(r.clone()),
+            Expr::Bool(_) => None,
+        };
+    }
+    *n -= 1;
+    macro_rules! two {
+        ($ctor:path, $a:expr, $b:expr) => {{
+            if let Some(na) = rep_r($a, n, new) {
+                return Some($ctor(Box::new(na), $b.clone()));
+            }
+            rep_r($b, n, new).map(|nb| $ctor($a.clone(), Box::new(nb)))
+        }};
+    }
+    match e {
+        RExpr::Add(a, b) => two!(RExpr::Add, a, b),
+        RExpr::Sub(a, b) => two!(RExpr::Sub, a, b),
+        RExpr::Mul(a, b) => two!(RExpr::Mul, a, b),
+        RExpr::Div(a, b) => two!(RExpr::Div, a, b),
+        RExpr::Sqrt(a) => rep_r(a, n, new).map(|na| RExpr::Sqrt(Box::new(na))),
+        RExpr::Tern(c, a, b) => {
+            if let Some(nc) = rep_b(c, n, new) {
+                return Some(RExpr::Tern(Box::new(nc), a.clone(), b.clone()));
+            }
+            if let Some(na) = rep_r(a, n, new) {
+                return Some(RExpr::Tern(c.clone(), Box::new(na), b.clone()));
+            }
+            rep_r(b, n, new).map(|nb| RExpr::Tern(c.clone(), a.clone(), Box::new(nb)))
+        }
+        RExpr::Cmul(c, a, b) => {
+            if let Some(nc) = rep_b(c, n, new) {
+                return Some(RExpr::Cmul(Box::new(nc), a.clone(), b.clone()));
+            }
+            if let Some(na) = rep_r(a, n, new) {
+                return Some(RExpr::Cmul(c.clone(), Box::new(na), b.clone()));
+            }
+            rep_r(b, n, new).map(|nb| RExpr::Cmul(c.clone(), a.clone(), Box::new(nb)))
+        }
+        RExpr::Const(_) | RExpr::Feat(_) => None,
+    }
+}
+
+fn rep_b(e: &BExpr, n: &mut usize, new: &Expr) -> Option<BExpr> {
+    if *n == 0 {
+        return match new {
+            Expr::Bool(b) => Some(b.clone()),
+            Expr::Real(_) => None,
+        };
+    }
+    *n -= 1;
+    match e {
+        BExpr::And(a, b) => {
+            if let Some(na) = rep_b(a, n, new) {
+                return Some(BExpr::And(Box::new(na), b.clone()));
+            }
+            rep_b(b, n, new).map(|nb| BExpr::And(a.clone(), Box::new(nb)))
+        }
+        BExpr::Or(a, b) => {
+            if let Some(na) = rep_b(a, n, new) {
+                return Some(BExpr::Or(Box::new(na), b.clone()));
+            }
+            rep_b(b, n, new).map(|nb| BExpr::Or(a.clone(), Box::new(nb)))
+        }
+        BExpr::Not(a) => rep_b(a, n, new).map(|na| BExpr::Not(Box::new(na))),
+        BExpr::Lt(a, b) => {
+            if let Some(na) = rep_r(a, n, new) {
+                return Some(BExpr::Lt(Box::new(na), b.clone()));
+            }
+            rep_r(b, n, new).map(|nb| BExpr::Lt(a.clone(), Box::new(nb)))
+        }
+        BExpr::Gt(a, b) => {
+            if let Some(na) = rep_r(a, n, new) {
+                return Some(BExpr::Gt(Box::new(na), b.clone()));
+            }
+            rep_r(b, n, new).map(|nb| BExpr::Gt(a.clone(), Box::new(nb)))
+        }
+        BExpr::Eq(a, b) => {
+            if let Some(na) = rep_r(a, n, new) {
+                return Some(BExpr::Eq(Box::new(na), b.clone()));
+            }
+            rep_r(b, n, new).map(|nb| BExpr::Eq(a.clone(), Box::new(nb)))
+        }
+        BExpr::Const(_) | BExpr::Feat(_) => None,
+    }
+}
+
+// ---- printing (Table 1 S-expression syntax) ----
+
+impl fmt::Display for RExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RExpr::Add(a, b) => write!(f, "(add {a} {b})"),
+            RExpr::Sub(a, b) => write!(f, "(sub {a} {b})"),
+            RExpr::Mul(a, b) => write!(f, "(mul {a} {b})"),
+            RExpr::Div(a, b) => write!(f, "(div {a} {b})"),
+            RExpr::Sqrt(a) => write!(f, "(sqrt {a})"),
+            RExpr::Tern(c, a, b) => write!(f, "(tern {c} {a} {b})"),
+            RExpr::Cmul(c, a, b) => write!(f, "(cmul {c} {a} {b})"),
+            RExpr::Const(k) => write!(f, "(rconst {k:.4})"),
+            RExpr::Feat(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+impl fmt::Display for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BExpr::And(a, b) => write!(f, "(and {a} {b})"),
+            BExpr::Or(a, b) => write!(f, "(or {a} {b})"),
+            BExpr::Not(a) => write!(f, "(not {a})"),
+            BExpr::Lt(a, b) => write!(f, "(lt {a} {b})"),
+            BExpr::Gt(a, b) => write!(f, "(gt {a} {b})"),
+            BExpr::Eq(a, b) => write!(f, "(eq {a} {b})"),
+            BExpr::Const(k) => write!(f, "(bconst {k})"),
+            BExpr::Feat(i) => write!(f, "b{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Real(r) => write!(f, "{r}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Pretty-print an expression with feature *names* substituted for indices
+/// (used to report evolved priority functions, as in the paper's Fig. 8).
+pub fn display_named(e: &Expr, fs: &crate::features::FeatureSet) -> String {
+    let raw = e.to_string();
+    // Replace whole-token rN / bN occurrences.
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.split_inclusive(|c: char| c == ' ' || c == ')' || c == '(');
+    for tok in &mut chars {
+        let (body, tail) = match tok.char_indices().last() {
+            Some((i, c)) if c == ' ' || c == ')' || c == '(' => (&tok[..i], &tok[i..]),
+            _ => (tok, ""),
+        };
+        let replaced = parse_feat_token(body, fs).unwrap_or_else(|| body.to_string());
+        out.push_str(&replaced);
+        out.push_str(tail);
+    }
+    out
+}
+
+fn parse_feat_token(tok: &str, fs: &crate::features::FeatureSet) -> Option<String> {
+    if let Some(rest) = tok.strip_prefix('r') {
+        if let Ok(i) = rest.parse::<usize>() {
+            return fs.real_name(i).map(|s| s.to_string());
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('b') {
+        if let Ok(i) = rest.parse::<usize>() {
+            return fs.bool_name(i).map(|s| s.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(reals: &'a [f64], bools: &'a [bool]) -> Env<'a> {
+        Env { reals, bools }
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        let e = RExpr::Add(
+            Box::new(RExpr::Mul(
+                Box::new(RExpr::Feat(0)),
+                Box::new(RExpr::Const(2.0)),
+            )),
+            Box::new(RExpr::Const(1.0)),
+        );
+        assert_eq!(e.eval(&env(&[3.0], &[])), 7.0);
+    }
+
+    #[test]
+    fn protected_division() {
+        let e = RExpr::Div(Box::new(RExpr::Const(5.0)), Box::new(RExpr::Const(0.0)));
+        assert_eq!(e.eval(&env(&[], &[])), 1.0);
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_total() {
+        let e = RExpr::Sqrt(Box::new(RExpr::Const(-4.0)));
+        assert_eq!(e.eval(&env(&[], &[])), 2.0);
+    }
+
+    #[test]
+    fn overflow_is_clamped() {
+        let mut e = RExpr::Const(1e300);
+        for _ in 0..4 {
+            e = RExpr::Mul(Box::new(e.clone()), Box::new(e));
+        }
+        let v = e.eval(&env(&[], &[]));
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn cmul_semantics() {
+        // (cmul c a b): c ? a*b : b  — the paper's conditional multiply.
+        let mk = |c| {
+            RExpr::Cmul(
+                Box::new(BExpr::Const(c)),
+                Box::new(RExpr::Const(3.0)),
+                Box::new(RExpr::Const(4.0)),
+            )
+        };
+        assert_eq!(mk(true).eval(&env(&[], &[])), 12.0);
+        assert_eq!(mk(false).eval(&env(&[], &[])), 4.0);
+    }
+
+    #[test]
+    fn bool_ops() {
+        let e = BExpr::And(
+            Box::new(BExpr::Not(Box::new(BExpr::Feat(0)))),
+            Box::new(BExpr::Lt(
+                Box::new(RExpr::Feat(0)),
+                Box::new(RExpr::Const(1.0)),
+            )),
+        );
+        assert!(e.eval(&env(&[0.5], &[false])));
+        assert!(!e.eval(&env(&[0.5], &[true])));
+        assert!(!e.eval(&env(&[2.0], &[false])));
+    }
+
+    #[test]
+    fn missing_feature_defaults() {
+        assert_eq!(RExpr::Feat(9).eval(&env(&[], &[])), 0.0);
+        assert!(!BExpr::Feat(9).eval(&env(&[], &[])));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = Expr::Real(RExpr::Tern(
+            Box::new(BExpr::Const(true)),
+            Box::new(RExpr::Const(1.0)),
+            Box::new(RExpr::Add(
+                Box::new(RExpr::Const(2.0)),
+                Box::new(RExpr::Const(3.0)),
+            )),
+        ));
+        assert_eq!(e.size(), 6);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn node_addressing_round_trips() {
+        let e = Expr::Real(RExpr::Cmul(
+            Box::new(BExpr::Not(Box::new(BExpr::Feat(0)))),
+            Box::new(RExpr::Feat(1)),
+            Box::new(RExpr::Const(0.25)),
+        ));
+        let info = node_info(&e);
+        assert_eq!(info.len(), e.size());
+        assert_eq!(info[0], (Kind::Real, 0));
+        assert_eq!(info[1], (Kind::Bool, 1));
+        assert_eq!(info[2], (Kind::Bool, 2));
+        // Every node is extractable and self-replacement is identity.
+        for ix in 0..info.len() {
+            let sub = subtree(&e, ix).expect("in range");
+            assert_eq!(sub.kind(), info[ix].0);
+            let back = with_replaced(&e, ix, &sub).expect("kinds match");
+            assert_eq!(back, e);
+        }
+        assert!(subtree(&e, info.len()).is_none());
+    }
+
+    #[test]
+    fn replacement_changes_subtree() {
+        let e = Expr::Real(RExpr::Add(
+            Box::new(RExpr::Const(1.0)),
+            Box::new(RExpr::Const(2.0)),
+        ));
+        let r = with_replaced(&e, 2, &Expr::Real(RExpr::Const(9.0))).unwrap();
+        assert_eq!(r.eval_real(&env(&[], &[])), 10.0);
+        // Kind mismatch rejected.
+        assert!(with_replaced(&e, 1, &Expr::Bool(BExpr::Const(true))).is_none());
+    }
+
+    #[test]
+    fn display_round_trip_syntax() {
+        let e = Expr::Real(RExpr::Cmul(
+            Box::new(BExpr::Const(true)),
+            Box::new(RExpr::Feat(0)),
+            Box::new(RExpr::Const(0.5)),
+        ));
+        assert_eq!(e.to_string(), "(cmul (bconst true) r0 (rconst 0.5000))");
+    }
+
+    #[test]
+    fn display_named_substitutes() {
+        let mut fs = crate::features::FeatureSet::new();
+        fs.add_real("exec_ratio");
+        fs.add_bool("mem_hazard");
+        let e = Expr::Real(RExpr::Cmul(
+            Box::new(BExpr::Feat(0)),
+            Box::new(RExpr::Feat(0)),
+            Box::new(RExpr::Const(1.0)),
+        ));
+        let s = display_named(&e, &fs);
+        assert!(s.contains("exec_ratio"), "{s}");
+        assert!(s.contains("mem_hazard"), "{s}");
+    }
+}

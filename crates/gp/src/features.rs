@@ -1,0 +1,126 @@
+//! Named feature sets.
+//!
+//! The compiler writer chooses the measurable program characteristics a
+//! priority function may consult (paper §5.1 / Table 4); expressions refer
+//! to them by index, and the [`FeatureSet`] maps between names and indices.
+
+use std::fmt;
+
+/// An ordered collection of real- and Boolean-valued feature names.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FeatureSet {
+    reals: Vec<String>,
+    bools: Vec<String>,
+}
+
+impl FeatureSet {
+    /// An empty feature set.
+    pub fn new() -> Self {
+        FeatureSet::default()
+    }
+
+    /// Register a real-valued feature; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered (in either sort).
+    pub fn add_real(&mut self, name: impl Into<String>) -> u16 {
+        let name = name.into();
+        assert!(
+            self.real_index(&name).is_none() && self.bool_index(&name).is_none(),
+            "duplicate feature name {name}"
+        );
+        self.reals.push(name);
+        (self.reals.len() - 1) as u16
+    }
+
+    /// Register a Boolean feature; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered (in either sort).
+    pub fn add_bool(&mut self, name: impl Into<String>) -> u16 {
+        let name = name.into();
+        assert!(
+            self.real_index(&name).is_none() && self.bool_index(&name).is_none(),
+            "duplicate feature name {name}"
+        );
+        self.bools.push(name);
+        (self.bools.len() - 1) as u16
+    }
+
+    /// Index of a real feature by name.
+    pub fn real_index(&self, name: &str) -> Option<u16> {
+        self.reals.iter().position(|n| n == name).map(|i| i as u16)
+    }
+
+    /// Index of a Boolean feature by name.
+    pub fn bool_index(&self, name: &str) -> Option<u16> {
+        self.bools.iter().position(|n| n == name).map(|i| i as u16)
+    }
+
+    /// Name of the real feature at `i`.
+    pub fn real_name(&self, i: usize) -> Option<&str> {
+        self.reals.get(i).map(|s| s.as_str())
+    }
+
+    /// Name of the Boolean feature at `i`.
+    pub fn bool_name(&self, i: usize) -> Option<&str> {
+        self.bools.get(i).map(|s| s.as_str())
+    }
+
+    /// Number of real features.
+    pub fn num_reals(&self) -> usize {
+        self.reals.len()
+    }
+
+    /// Number of Boolean features.
+    pub fn num_bools(&self) -> usize {
+        self.bools.len()
+    }
+
+    /// All real feature names in index order.
+    pub fn real_names(&self) -> &[String] {
+        &self.reals
+    }
+
+    /// All Boolean feature names in index order.
+    pub fn bool_names(&self) -> &[String] {
+        &self.bools
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reals: [{}], bools: [{}]",
+            self.reals.join(", "),
+            self.bools.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        let mut fs = FeatureSet::new();
+        assert_eq!(fs.add_real("a"), 0);
+        assert_eq!(fs.add_real("b"), 1);
+        assert_eq!(fs.add_bool("c"), 0);
+        assert_eq!(fs.real_index("b"), Some(1));
+        assert_eq!(fs.bool_index("c"), Some(0));
+        assert_eq!(fs.real_index("c"), None);
+        assert_eq!(fs.real_name(0), Some("a"));
+        assert_eq!((fs.num_reals(), fs.num_bools()), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature name")]
+    fn duplicates_rejected_across_sorts() {
+        let mut fs = FeatureSet::new();
+        fs.add_real("x");
+        fs.add_bool("x");
+    }
+}

@@ -1,0 +1,187 @@
+//! Random genome generation (ramped grow, paper §4: "randomly grows
+//! expressions of varying heights using the primitives in Table 1 and
+//! features extracted by the compiler writer").
+
+use crate::expr::{BExpr, Expr, Kind, RExpr};
+use crate::features::FeatureSet;
+use rand::{Rng, RngExt};
+
+/// Draw a random real constant: a mix of small integers and unit-interval
+/// values, which covers the constants that appear in hand-written priority
+/// functions (0.25, 2.1, …).
+pub fn random_const<R: Rng>(rng: &mut R) -> f64 {
+    match rng.random_range(0..4u8) {
+        0 => rng.random_range(0..11) as f64,
+        1 => rng.random_range(-10..11) as f64 * 0.1,
+        2 => rng.random::<f64>() * 2.0,
+        _ => rng.random::<f64>(),
+    }
+}
+
+/// Grow a random real expression of height at most `depth`.
+pub fn random_real<R: Rng>(rng: &mut R, fs: &FeatureSet, depth: usize) -> RExpr {
+    let leaf = depth <= 1 || rng.random_bool(0.25);
+    if leaf {
+        if fs.num_reals() > 0 && rng.random_bool(0.6) {
+            RExpr::Feat(rng.random_range(0..fs.num_reals()) as u16)
+        } else {
+            RExpr::Const(random_const(rng))
+        }
+    } else {
+        let d = depth - 1;
+        match rng.random_range(0..7u8) {
+            0 => RExpr::Add(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            1 => RExpr::Sub(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            2 => RExpr::Mul(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            3 => RExpr::Div(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            4 => RExpr::Sqrt(Box::new(random_real(rng, fs, d))),
+            5 => RExpr::Tern(
+                Box::new(random_bool_expr(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            _ => RExpr::Cmul(
+                Box::new(random_bool_expr(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+        }
+    }
+}
+
+/// Grow a random Boolean expression of height at most `depth`.
+pub fn random_bool_expr<R: Rng>(rng: &mut R, fs: &FeatureSet, depth: usize) -> BExpr {
+    let leaf = depth <= 1 || rng.random_bool(0.2);
+    if leaf {
+        if fs.num_bools() > 0 && rng.random_bool(0.7) {
+            BExpr::Feat(rng.random_range(0..fs.num_bools()) as u16)
+        } else {
+            BExpr::Const(rng.random_bool(0.5))
+        }
+    } else {
+        let d = depth - 1;
+        match rng.random_range(0..6u8) {
+            0 => BExpr::And(
+                Box::new(random_bool_expr(rng, fs, d)),
+                Box::new(random_bool_expr(rng, fs, d)),
+            ),
+            1 => BExpr::Or(
+                Box::new(random_bool_expr(rng, fs, d)),
+                Box::new(random_bool_expr(rng, fs, d)),
+            ),
+            2 => BExpr::Not(Box::new(random_bool_expr(rng, fs, d))),
+            3 => BExpr::Lt(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            4 => BExpr::Gt(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+            _ => BExpr::Eq(
+                Box::new(random_real(rng, fs, d)),
+                Box::new(random_real(rng, fs, d)),
+            ),
+        }
+    }
+}
+
+/// Grow a random genome of the requested sort with height in
+/// `[min_depth, max_depth]` (ramped).
+pub fn random_expr<R: Rng>(
+    rng: &mut R,
+    fs: &FeatureSet,
+    kind: Kind,
+    min_depth: usize,
+    max_depth: usize,
+) -> Expr {
+    let depth = rng.random_range(min_depth..=max_depth.max(min_depth));
+    match kind {
+        Kind::Real => Expr::Real(random_real(rng, fs, depth)),
+        Kind::Bool => Expr::Bool(random_bool_expr(rng, fs, depth)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fs() -> FeatureSet {
+        let mut f = FeatureSet::new();
+        f.add_real("x");
+        f.add_real("y");
+        f.add_bool("p");
+        f
+    }
+
+    #[test]
+    fn respects_depth_bound() {
+        let fs = fs();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let e = random_expr(&mut rng, &fs, Kind::Real, 2, 5);
+            assert!(e.depth() <= 5, "depth {} > 5", e.depth());
+            assert!(e.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn generates_requested_kind() {
+        let fs = fs();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_expr(&mut rng, &fs, Kind::Real, 1, 4).kind(), Kind::Real);
+        assert_eq!(random_expr(&mut rng, &fs, Kind::Bool, 1, 4).kind(), Kind::Bool);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fs = fs();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(
+                random_expr(&mut a, &fs, Kind::Real, 2, 6),
+                random_expr(&mut b, &fs, Kind::Real, 2, 6)
+            );
+        }
+    }
+
+    #[test]
+    fn produces_varied_expressions() {
+        let fs = fs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(random_expr(&mut rng, &fs, Kind::Real, 2, 6).key());
+        }
+        assert!(seen.len() > 30, "only {} distinct expressions", seen.len());
+    }
+
+    #[test]
+    fn all_evals_total() {
+        let fs = fs();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let e = random_expr(&mut rng, &fs, Kind::Real, 1, 8);
+            let v = e.eval_real(&crate::expr::Env {
+                reals: &[1e15, -3.5],
+                bools: &[true],
+            });
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Expression simplification.
+//!
+//! The paper notes that reported winners were "hand simplified for ease of
+//! discussion" and that evolved genomes carry *introns* — subexpressions
+//! with no effect on the result (which are nonetheless useful during
+//! evolution as crossover ballast, §5.4.3). This pass mechanizes the hand
+//! simplification: constant folding, algebraic identities, and
+//! branch-elimination on constant conditions. It never changes the
+//! function's value on any input (checked by property tests).
+
+use crate::expr::{BExpr, Expr, RExpr};
+
+const EPS: f64 = 1e-12;
+
+fn is_const(e: &RExpr, k: f64) -> bool {
+    matches!(e, RExpr::Const(c) if (c - k).abs() < EPS)
+}
+
+/// Simplify a real-valued expression.
+pub fn simplify_real(e: &RExpr) -> RExpr {
+    use RExpr::*;
+    match e {
+        Add(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (Const(x), Const(y)) => Const(x + y),
+                _ if is_const(&a, 0.0) => b,
+                _ if is_const(&b, 0.0) => a,
+                _ => Add(Box::new(a), Box::new(b)),
+            }
+        }
+        Sub(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (Const(x), Const(y)) => Const(x - y),
+                _ if is_const(&b, 0.0) => a,
+                _ if a == b => Const(0.0),
+                _ => Sub(Box::new(a), Box::new(b)),
+            }
+        }
+        Mul(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (Const(x), Const(y)) => Const(x * y),
+                _ if is_const(&a, 1.0) => b,
+                _ if is_const(&b, 1.0) => a,
+                // NOTE: x*0 cannot fold to 0 in general IEEE arithmetic, but
+                // our evaluator clamps NaN to 0, so 0*x == 0 for every
+                // representable input.
+                _ if is_const(&a, 0.0) || is_const(&b, 0.0) => Const(0.0),
+                _ => Mul(Box::new(a), Box::new(b)),
+            }
+        }
+        Div(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                // Protected division: /0 yields 1.
+                (_, Const(y)) if y.abs() < 1e-9 => Const(1.0),
+                (Const(x), Const(y)) => Const(x / y),
+                _ if is_const(&b, 1.0) => a,
+                _ => Div(Box::new(a), Box::new(b)),
+            }
+        }
+        Sqrt(a) => {
+            let a = simplify_real(a);
+            match &a {
+                Const(x) => Const(x.abs().sqrt()),
+                _ => Sqrt(Box::new(a)),
+            }
+        }
+        Tern(c, a, b) => {
+            let c = simplify_bool(c);
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match &c {
+                BExpr::Const(true) => a,
+                BExpr::Const(false) => b,
+                _ if a == b => a, // intron: both arms identical
+                _ => Tern(Box::new(c), Box::new(a), Box::new(b)),
+            }
+        }
+        Cmul(c, a, b) => {
+            let c = simplify_bool(c);
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match &c {
+                BExpr::Const(true) => simplify_real(&Mul(Box::new(a), Box::new(b))),
+                BExpr::Const(false) => b,
+                _ if is_const(&a, 1.0) => b, // 1*b == b on both arms
+                _ => Cmul(Box::new(c), Box::new(a), Box::new(b)),
+            }
+        }
+        Const(k) => Const(*k),
+        Feat(i) => Feat(*i),
+    }
+}
+
+/// Simplify a Boolean expression.
+pub fn simplify_bool(e: &BExpr) -> BExpr {
+    use BExpr::*;
+    match e {
+        And(a, b) => {
+            let (a, b) = (simplify_bool(a), simplify_bool(b));
+            match (&a, &b) {
+                (Const(false), _) | (_, Const(false)) => Const(false),
+                (Const(true), _) => b,
+                (_, Const(true)) => a,
+                _ if a == b => a,
+                _ => And(Box::new(a), Box::new(b)),
+            }
+        }
+        Or(a, b) => {
+            let (a, b) = (simplify_bool(a), simplify_bool(b));
+            match (&a, &b) {
+                (Const(true), _) | (_, Const(true)) => Const(true),
+                (Const(false), _) => b,
+                (_, Const(false)) => a,
+                _ if a == b => a,
+                _ => Or(Box::new(a), Box::new(b)),
+            }
+        }
+        Not(a) => {
+            let a = simplify_bool(a);
+            match a {
+                Const(k) => Const(!k),
+                Not(inner) => *inner,
+                other => Not(Box::new(other)),
+            }
+        }
+        Lt(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (RExpr::Const(x), RExpr::Const(y)) => Const(x < y),
+                _ if a == b => Const(false),
+                _ => Lt(Box::new(a), Box::new(b)),
+            }
+        }
+        Gt(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (RExpr::Const(x), RExpr::Const(y)) => Const(x > y),
+                _ if a == b => Const(false),
+                _ => Gt(Box::new(a), Box::new(b)),
+            }
+        }
+        Eq(a, b) => {
+            let (a, b) = (simplify_real(a), simplify_real(b));
+            match (&a, &b) {
+                (RExpr::Const(x), RExpr::Const(y)) => Const(x == y),
+                _ if a == b => Const(true),
+                _ => Eq(Box::new(a), Box::new(b)),
+            }
+        }
+        Const(k) => Const(*k),
+        Feat(i) => Feat(*i),
+    }
+}
+
+/// Simplify a genome to a fixpoint (at most a few passes in practice).
+pub fn simplify(e: &Expr) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..8 {
+        let next = match &cur {
+            Expr::Real(r) => Expr::Real(simplify_real(r)),
+            Expr::Bool(b) => Expr::Bool(simplify_bool(b)),
+        };
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Env;
+    use crate::parse::parse_expr;
+    use crate::FeatureSet;
+
+    fn fs() -> FeatureSet {
+        let mut f = FeatureSet::new();
+        f.add_real("x");
+        f.add_real("y");
+        f.add_bool("p");
+        f
+    }
+
+    fn simp(src: &str) -> String {
+        simplify(&parse_expr(src, &fs()).unwrap()).to_string()
+    }
+
+    #[test]
+    fn folds_constants() {
+        assert_eq!(simp("(add 2.0 3.0)"), "(rconst 5.0000)");
+        assert_eq!(simp("(mul (add 1.0 1.0) (sub 5.0 2.0))"), "(rconst 6.0000)");
+        assert_eq!(simp("(sqrt 9.0)"), "(rconst 3.0000)");
+    }
+
+    #[test]
+    fn applies_identities() {
+        assert_eq!(simp("(add x 0.0)"), "r0");
+        assert_eq!(simp("(mul x 1.0)"), "r0");
+        assert_eq!(simp("(mul x 0.0)"), "(rconst 0.0000)");
+        assert_eq!(simp("(div x 1.0)"), "r0");
+        assert_eq!(simp("(sub x x)"), "(rconst 0.0000)");
+    }
+
+    #[test]
+    fn removes_constant_branches() {
+        assert_eq!(simp("(tern (bconst true) x y)"), "r0");
+        assert_eq!(simp("(tern (lt 1.0 2.0) x y)"), "r0");
+        assert_eq!(simp("(cmul (bconst false) x y)"), "r1");
+        assert_eq!(simp("(tern (barg p) x x)"), "r0");
+    }
+
+    #[test]
+    fn simplifies_boolean_structure() {
+        assert_eq!(simp("(tern (and (barg p) (bconst true)) x y)"), "(tern b0 r0 r1)");
+        assert_eq!(simp("(tern (not (not (barg p))) x y)"), "(tern b0 r0 r1)");
+        assert_eq!(simp("(tern (or (barg p) (bconst true)) x y)"), "r0");
+    }
+
+    #[test]
+    fn protected_division_folds_correctly() {
+        assert_eq!(simp("(div x 0.0)"), "(rconst 1.0000)");
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_expressions() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = fs();
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..500 {
+            let e = crate::gen::random_expr(&mut rng, &f, crate::Kind::Real, 1, 7);
+            let s = simplify(&e);
+            assert!(s.size() <= e.size(), "simplify must not grow: {e} -> {s}");
+            for trial in 0..8 {
+                let reals = [trial as f64 * 1.7 - 3.0, 0.5 * trial as f64];
+                let bools = [trial % 2 == 0];
+                let env = Env {
+                    reals: &reals,
+                    bools: &bools,
+                };
+                let a = e.eval_real(&env);
+                let b = s.eval_real(&env);
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "{e} -> {s}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

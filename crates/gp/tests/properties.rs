@@ -1,0 +1,101 @@
+//! Property-based tests of the GP genome machinery.
+
+use metaopt_gp::expr::{node_info, subtree, with_replaced, Env, Expr};
+use metaopt_gp::gen::random_expr;
+use metaopt_gp::ops::{crossover, mutate};
+use metaopt_gp::parse::parse_expr;
+use metaopt_gp::{FeatureSet, Kind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn features() -> FeatureSet {
+    let mut fs = FeatureSet::new();
+    fs.add_real("alpha");
+    fs.add_real("beta");
+    fs.add_real("gamma");
+    fs.add_bool("flag");
+    fs.add_bool("other");
+    fs
+}
+
+/// Random genomes via the library's own generator, driven by a proptest
+/// seed — gives shrinkable coverage over the full primitive set.
+fn arb_expr(kind: Kind) -> impl Strategy<Value = Expr> {
+    (any::<u64>(), 1usize..8).prop_map(move |(seed, depth)| {
+        let fs = features();
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_expr(&mut rng, &fs, kind, 1, depth)
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_round_trip_real(e in arb_expr(Kind::Real)) {
+        let fs = features();
+        let printed = e.to_string();
+        let back = parse_expr(&printed, &fs).expect("printer output parses");
+        prop_assert_eq!(back.to_string(), printed);
+    }
+
+    #[test]
+    fn print_parse_round_trip_bool(e in arb_expr(Kind::Bool)) {
+        let fs = features();
+        let printed = e.to_string();
+        let back = parse_expr(&printed, &fs).expect("printer output parses");
+        prop_assert_eq!(back.to_string(), printed);
+    }
+
+    #[test]
+    fn evaluation_is_total_and_finite(
+        e in arb_expr(Kind::Real),
+        reals in proptest::collection::vec(-1e12f64..1e12, 3),
+        bools in proptest::collection::vec(any::<bool>(), 2),
+    ) {
+        let v = e.eval_real(&Env { reals: &reals, bools: &bools });
+        prop_assert!(v.is_finite(), "{e} -> {v}");
+    }
+
+    #[test]
+    fn node_addressing_is_consistent(e in arb_expr(Kind::Real)) {
+        let info = node_info(&e);
+        prop_assert_eq!(info.len(), e.size());
+        for (ix, (kind, _)) in info.iter().enumerate() {
+            let sub = subtree(&e, ix).expect("index in range");
+            prop_assert_eq!(sub.kind(), *kind);
+            // Self-replacement is the identity.
+            let back = with_replaced(&e, ix, &sub).expect("kind matches");
+            prop_assert_eq!(&back, &e);
+        }
+        prop_assert!(subtree(&e, info.len()).is_none());
+    }
+
+    #[test]
+    fn crossover_respects_sort_and_depth(
+        a in arb_expr(Kind::Real),
+        b in arb_expr(Kind::Real),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = crossover(&mut rng, &a, &b, 12);
+        prop_assert_eq!(child.kind(), Kind::Real);
+        prop_assert!(child.depth() <= 12);
+    }
+
+    #[test]
+    fn mutation_respects_sort_and_depth(e in arb_expr(Kind::Bool), seed in any::<u64>()) {
+        let fs = features();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = mutate(&mut rng, &e, &fs, 12);
+        prop_assert_eq!(m.kind(), Kind::Bool);
+        prop_assert!(m.depth() <= 12);
+    }
+
+    #[test]
+    fn key_is_injective_on_structure(a in arb_expr(Kind::Real), b in arb_expr(Kind::Real)) {
+        // Equal keys imply equal trees (memoization soundness).
+        if a.key() == b.key() {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Dominator-tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::program::Function;
+use crate::types::BlockId;
+
+/// Dominator tree of a function's CFG.
+///
+/// Unreachable blocks have no immediate dominator and are reported as not
+/// dominated by (and not dominating) anything except themselves.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (`None` for the entry and unreachable
+    /// blocks).
+    pub idom: Vec<Option<BlockId>>,
+    /// Reverse postorder over reachable blocks.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_pos: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute the dominator tree.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let rpo = func.reverse_postorder();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let preds = func.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.index()] = Some(func.entry); // sentinel: entry's idom = itself
+
+        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], a: BlockId, b: BlockId| {
+            let (mut x, mut y) = (a, b);
+            while x != y {
+                while rpo_pos[x.index()] > rpo_pos[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_pos[y.index()] > rpo_pos[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[func.entry.index()] = None; // drop the sentinel
+        DomTree {
+            idom,
+            rpo,
+            rpo_pos,
+            entry: func.entry,
+        }
+    }
+
+    /// Is `b` reachable from the entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return a == b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return cur == a && a == self.entry || cur == a,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::RegClass;
+
+    /// Diamond: b0 -> {b1, b2} -> b3
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut fb = FunctionBuilder::new("d");
+        let x = fb.param(RegClass::Int);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let p = fb.cmp_lti(x, 0);
+        fb.branch(p, b1, b2);
+        fb.switch_to(b1);
+        fb.br(b3);
+        fb.switch_to(b2);
+        fb.br(b3);
+        fb.switch_to(b3);
+        fb.ret(None);
+        let f = fb.finish();
+        let e = f.entry;
+        (f, [e, b1, b2, b3])
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (f, [b0, b1, b2, b3]) = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[b0.index()], None);
+        assert_eq!(dt.idom[b1.index()], Some(b0));
+        assert_eq!(dt.idom[b2.index()], Some(b0));
+        assert_eq!(dt.idom[b3.index()], Some(b0));
+        assert!(dt.dominates(b0, b3));
+        assert!(!dt.dominates(b1, b3));
+        assert!(dt.dominates(b3, b3));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // b0 -> b1 (header) -> b2 (body) -> b1 ; b1 -> b3 (exit)
+        let mut fb = FunctionBuilder::new("l");
+        let x = fb.param(RegClass::Int);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        fb.br(b1);
+        fb.switch_to(b1);
+        let p = fb.cmp_lti(x, 10);
+        fb.branch(p, b2, b3);
+        fb.switch_to(b2);
+        fb.br(b1);
+        fb.switch_to(b3);
+        fb.ret(None);
+        let f = fb.finish();
+        let dt = DomTree::compute(&f);
+        assert!(dt.dominates(b1, b2));
+        assert!(dt.dominates(b1, b3));
+        assert!(!dt.dominates(b2, b3));
+    }
+
+    #[test]
+    fn unreachable_blocks_flagged() {
+        let mut fb = FunctionBuilder::new("u");
+        let dead = fb.new_block();
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.finish();
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(dt.is_reachable(f.entry));
+    }
+}

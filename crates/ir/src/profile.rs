@@ -1,0 +1,139 @@
+//! Execution profiles collected by the interpreter.
+//!
+//! These are the dynamic statistics the paper's priority functions consume:
+//! block execution counts (`w_i` in Eq. 2), edge counts (from which path
+//! execution ratios are derived), and per-branch taken/predictability
+//! statistics from a simulated 2-bit predictor (the paper modified
+//! Trimaran's profiler to extract exactly this; §5.3).
+
+use crate::types::{BlockId, FuncId};
+use std::collections::HashMap;
+
+/// Dynamic statistics for one conditional-branch site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Times the branch instruction executed (guard true).
+    pub executed: u64,
+    /// Times it was taken.
+    pub taken: u64,
+    /// Times a 2-bit saturating-counter predictor guessed it correctly.
+    pub correct: u64,
+}
+
+impl BranchStats {
+    /// Fraction of executions that were taken (0.5 if never executed).
+    pub fn taken_ratio(&self) -> f64 {
+        if self.executed == 0 {
+            0.5
+        } else {
+            self.taken as f64 / self.executed as f64
+        }
+    }
+
+    /// 2-bit-predictor accuracy (1.0 if never executed — an unexecuted
+    /// branch costs nothing).
+    pub fn predictability(&self) -> f64 {
+        if self.executed == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.executed as f64
+        }
+    }
+}
+
+/// Profile of a single function.
+#[derive(Clone, Debug, Default)]
+pub struct FuncProfile {
+    /// Execution count per block (indexed by `BlockId`).
+    pub block_counts: Vec<u64>,
+    /// Taken-edge counts keyed by `(from, to)` block ids.
+    pub edge_counts: HashMap<(BlockId, BlockId), u64>,
+    /// Branch statistics keyed by `(block, instruction index)`.
+    pub branches: HashMap<(BlockId, usize), BranchStats>,
+}
+
+impl FuncProfile {
+    /// Execution count of a block.
+    pub fn block_count(&self, b: BlockId) -> u64 {
+        self.block_counts.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// Count of the `from -> to` edge.
+    pub fn edge_count(&self, from: BlockId, to: BlockId) -> u64 {
+        self.edge_counts.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Probability of leaving `from` along the edge to `to`
+    /// (uniform over successors if `from` never executed).
+    pub fn edge_prob(&self, from: BlockId, to: BlockId, num_succs: usize) -> f64 {
+        let total: u64 = self
+            .edge_counts
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(_, c)| *c)
+            .sum();
+        if total == 0 {
+            if num_succs == 0 {
+                0.0
+            } else {
+                1.0 / num_succs as f64
+            }
+        } else {
+            self.edge_count(from, to) as f64 / total as f64
+        }
+    }
+
+    /// Stats for the branch at `(block, instruction index)`.
+    pub fn branch(&self, b: BlockId, i: usize) -> BranchStats {
+        self.branches.get(&(b, i)).copied().unwrap_or_default()
+    }
+}
+
+/// Whole-program profile.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Per-function profiles, indexed by `FuncId`.
+    pub funcs: Vec<FuncProfile>,
+    /// Total dynamic instructions executed (including nullified ones).
+    pub dyn_insts: u64,
+}
+
+impl Profile {
+    /// Profile of one function.
+    pub fn func(&self, f: FuncId) -> &FuncProfile {
+        &self.funcs[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_ratios() {
+        let s = BranchStats {
+            executed: 10,
+            taken: 7,
+            correct: 9,
+        };
+        assert!((s.taken_ratio() - 0.7).abs() < 1e-12);
+        assert!((s.predictability() - 0.9).abs() < 1e-12);
+        let z = BranchStats::default();
+        assert_eq!(z.taken_ratio(), 0.5);
+        assert_eq!(z.predictability(), 1.0);
+    }
+
+    #[test]
+    fn edge_prob_uniform_when_unexecuted() {
+        let p = FuncProfile::default();
+        assert_eq!(p.edge_prob(BlockId(0), BlockId(1), 2), 0.5);
+    }
+
+    #[test]
+    fn edge_prob_from_counts() {
+        let mut p = FuncProfile::default();
+        p.edge_counts.insert((BlockId(0), BlockId(1)), 30);
+        p.edge_counts.insert((BlockId(0), BlockId(2)), 10);
+        assert!((p.edge_prob(BlockId(0), BlockId(1), 2) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Core identifier types shared across the IR.
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// Virtual registers are function-local and drawn from a single numbering
+/// space; their register class (integer / float / predicate) is recorded in
+/// [`Function::vreg_class`](crate::Function::vreg_class).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Index into per-function side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic block identifier, local to its [`Function`](crate::Function).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into `Function::blocks`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A function identifier, an index into [`Program::funcs`](crate::Program).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index into `Program::funcs`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Register class of a virtual (and later physical) register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RegClass {
+    /// 64-bit integer register.
+    #[default]
+    Int,
+    /// 64-bit floating-point register.
+    Float,
+    /// 1-bit predicate register (guards predicated execution).
+    Pred,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Float => write!(f, "float"),
+            RegClass::Pred => write!(f, "pred"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VReg(3).to_string(), "v3");
+        assert_eq!(BlockId(7).to_string(), "b7");
+        assert_eq!(FuncId(0).to_string(), "f0");
+        assert_eq!(RegClass::Pred.to_string(), "pred");
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        assert_eq!(VReg(9).index(), 9);
+        assert_eq!(BlockId(4).index(), 4);
+        assert_eq!(FuncId(2).index(), 2);
+    }
+
+    #[test]
+    fn reg_class_default_is_int() {
+        assert_eq!(RegClass::default(), RegClass::Int);
+    }
+}

@@ -1,0 +1,294 @@
+//! Structural verification of IR functions and programs.
+
+use crate::inst::{Inst, Opcode};
+use crate::program::{Function, Program};
+use crate::types::RegClass;
+use std::fmt;
+
+/// Verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Human-readable description including the offending location.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verification failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Which structural discipline to enforce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CfgForm {
+    /// Before if-conversion: control transfers only at block ends — a
+    /// (possibly empty) run of `CBr`s followed by a final `Br` or `Ret`.
+    #[default]
+    Canonical,
+    /// After if-conversion: predicated `CBr` side exits may appear anywhere;
+    /// the final instruction must still be an unconditional `Br` or `Ret`.
+    Hyperblock,
+}
+
+fn err(f: &Function, b: usize, i: usize, msg: impl Into<String>) -> VerifyError {
+    VerifyError {
+        message: format!("{}: b{b}[{i}]: {}", f.name, msg.into()),
+    }
+}
+
+fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
+    use Opcode::*;
+    let expect: Option<&'static [RegClass]> = inst.op.arg_classes();
+    if let Some(sig) = expect {
+        if inst.args.len() != sig.len() {
+            return Err(format!(
+                "{} expects {} operands, got {}",
+                inst.op,
+                sig.len(),
+                inst.args.len()
+            ));
+        }
+        for (a, want) in inst.args.iter().zip(sig) {
+            if a.index() >= func.num_vregs() {
+                return Err(format!("operand {a} out of range"));
+            }
+            let got = func.class_of(*a);
+            if got != *want {
+                return Err(format!("operand {a} has class {got}, expected {want}"));
+            }
+        }
+    } else {
+        for a in &inst.args {
+            if a.index() >= func.num_vregs() {
+                return Err(format!("operand {a} out of range"));
+            }
+        }
+        if inst.op == Opcode::Ret && inst.args.len() > 1 {
+            return Err("ret takes at most one value".into());
+        }
+    }
+    // Destination.
+    match (inst.op.dst_class(), inst.dst) {
+        (Some(want), Some(d)) => {
+            if d.index() >= func.num_vregs() {
+                return Err(format!("destination {d} out of range"));
+            }
+            let got = func.class_of(d);
+            if got != want {
+                return Err(format!("destination {d} has class {got}, expected {want}"));
+            }
+        }
+        (Some(_), None) if matches!(inst.op, Call | UnsafeCall) => {} // result may be dropped
+        (Some(_), None) => return Err(format!("{} requires a destination", inst.op)),
+        (None, Some(_)) => return Err(format!("{} must not have a destination", inst.op)),
+        (None, None) => {}
+    }
+    // Guard.
+    if let Some(p) = inst.pred {
+        if p.index() >= func.num_vregs() {
+            return Err(format!("guard {p} out of range"));
+        }
+        if func.class_of(p) != RegClass::Pred {
+            return Err(format!("guard {p} is not a predicate"));
+        }
+    }
+    // Branch target presence.
+    if inst.op.is_branch() && inst.target.is_none() {
+        return Err(format!("{} requires a target", inst.op));
+    }
+    if !inst.op.is_branch() && inst.target.is_some() {
+        return Err(format!("{} must not have a target", inst.op));
+    }
+    Ok(())
+}
+
+/// Verify one function under the given CFG discipline.
+///
+/// # Errors
+/// Returns the first structural violation found.
+pub fn verify_function(func: &Function, form: CfgForm) -> Result<(), VerifyError> {
+    if func.blocks.is_empty() {
+        return Err(VerifyError {
+            message: format!("{}: function has no blocks", func.name),
+        });
+    }
+    if func.entry.index() >= func.blocks.len() {
+        return Err(VerifyError {
+            message: format!("{}: entry block out of range", func.name),
+        });
+    }
+    for (bi, block) in func.blocks.iter().enumerate() {
+        if block.insts.is_empty() {
+            return Err(err(func, bi, 0, "empty block"));
+        }
+        let last = block.insts.len() - 1;
+        match block.insts[last].op {
+            Opcode::Br | Opcode::Ret => {}
+            op => {
+                return Err(err(
+                    func,
+                    bi,
+                    last,
+                    format!("block must end with br/ret, ends with {op}"),
+                ))
+            }
+        }
+        if block.insts[last].pred.is_some() {
+            return Err(err(func, bi, last, "terminator must be unconditional"));
+        }
+        // Control-placement discipline.
+        let mut seen_cbr_tail = false;
+        for (ii, inst) in block.insts.iter().enumerate() {
+            if let Err(m) = check_operand_classes(func, inst) {
+                return Err(err(func, bi, ii, m));
+            }
+            if let Some(t) = inst.target {
+                if t.index() >= func.blocks.len() {
+                    return Err(err(func, bi, ii, format!("branch target {t} out of range")));
+                }
+            }
+            if ii == last {
+                continue;
+            }
+            match inst.op {
+                Opcode::Br | Opcode::Ret => {
+                    return Err(err(func, bi, ii, "unconditional control mid-block"))
+                }
+                Opcode::CBr => match form {
+                    CfgForm::Canonical => seen_cbr_tail = true,
+                    CfgForm::Hyperblock => {}
+                },
+                _ if form == CfgForm::Canonical && seen_cbr_tail => {
+                    return Err(err(
+                        func,
+                        bi,
+                        ii,
+                        "non-control instruction after CBr in canonical form",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a whole program: every function, plus cross-function properties
+/// (call targets in range, argument counts match callee parameters).
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_program(prog: &Program, form: CfgForm) -> Result<(), VerifyError> {
+    for func in &prog.funcs {
+        verify_function(func, form)?;
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                if inst.op == Opcode::Call {
+                    let callee = inst.imm;
+                    if callee < 0 || callee as usize >= prog.funcs.len() {
+                        return Err(err(func, bi, ii, format!("call target {callee} out of range")));
+                    }
+                    let cf = &prog.funcs[callee as usize];
+                    if cf.params.len() != inst.args.len() {
+                        return Err(err(
+                            func,
+                            bi,
+                            ii,
+                            format!(
+                                "call to {} passes {} args, expects {}",
+                                cf.name,
+                                inst.args.len(),
+                                cf.params.len()
+                            ),
+                        ));
+                    }
+                    for (a, p) in inst.args.iter().zip(&cf.params) {
+                        if func.class_of(*a) != cf.class_of(*p) {
+                            return Err(err(func, bi, ii, "call argument class mismatch"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BlockId;
+
+    #[test]
+    fn accepts_simple_function() {
+        let mut fb = FunctionBuilder::new("ok");
+        let a = fb.movi(1);
+        fb.ret(Some(a));
+        assert!(verify_function(&fb.finish(), CfgForm::Canonical).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut fb = FunctionBuilder::new("bad");
+        fb.movi(1);
+        let f = fb.finish();
+        let e = verify_function(&f, CfgForm::Canonical).unwrap_err();
+        assert!(e.message.contains("must end with br/ret"), "{e}");
+    }
+
+    #[test]
+    fn rejects_class_mismatch() {
+        let mut fb = FunctionBuilder::new("bad");
+        let a = fb.movi(1); // Int
+        fb.push(
+            Inst::new(Opcode::CBr).args(&[a]).target(BlockId(0)), // needs Pred
+        );
+        fb.ret(None);
+        let f = fb.finish();
+        let e = verify_function(&f, CfgForm::Canonical).unwrap_err();
+        assert!(e.message.contains("expected pred"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mid_block_compute_after_cbr_in_canonical_form() {
+        let mut fb = FunctionBuilder::new("bad");
+        let b1 = fb.new_block();
+        let zero = fb.movi(0);
+        let p = fb.cmp_lti(zero, 1);
+        fb.cbr(p, b1);
+        fb.movi(3); // compute after CBr: illegal canonically
+        fb.br(b1);
+        fb.switch_to(b1);
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(verify_function(&f, CfgForm::Canonical).is_err());
+        assert!(verify_function(&f, CfgForm::Hyperblock).is_ok());
+    }
+
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut fb = FunctionBuilder::new("bad");
+        fb.push(Inst::new(Opcode::Br).target(BlockId(99)));
+        let f = fb.finish();
+        assert!(verify_function(&f, CfgForm::Canonical).is_err());
+    }
+
+    #[test]
+    fn program_checks_call_arity() {
+        let mut callee = FunctionBuilder::new("callee");
+        let p = callee.param(crate::types::RegClass::Int);
+        callee.ret(Some(p));
+        let mut caller = FunctionBuilder::new("main");
+        caller.call(0, &[]); // wrong arity
+        caller.ret(None);
+        let mut prog = Program::new();
+        prog.add_function(callee.finish());
+        prog.add_function(caller.finish());
+        let e = verify_program(&prog, CfgForm::Canonical).unwrap_err();
+        assert!(e.message.contains("passes 0 args"), "{e}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the IR substrate.
+
+use metaopt_ir::builder::FunctionBuilder;
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_ir::util::BitSet;
+use metaopt_ir::verify::{verify_function, CfgForm};
+use metaopt_ir::Program;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..200)) {
+        let mut bs = BitSet::new(200);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), hs.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), hs.remove(&i));
+            }
+        }
+        prop_assert_eq!(bs.count(), hs.len());
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    #[test]
+    fn straight_line_arithmetic_matches_model(
+        consts in proptest::collection::vec(-1000i64..1000, 2..6),
+        ops in proptest::collection::vec(0u8..4, 1..12),
+    ) {
+        // Build a random accumulator chain and mirror it in Rust.
+        let mut fb = FunctionBuilder::new("main");
+        let regs: Vec<_> = consts.iter().map(|&c| fb.movi(c)).collect();
+        let mut acc = regs[0];
+        let mut model = consts[0];
+        for (k, op) in ops.iter().enumerate() {
+            let rhs_i = k % consts.len();
+            let rhs = regs[rhs_i];
+            let c = consts[rhs_i];
+            match op {
+                0 => { acc = fb.add(acc, rhs); model = model.wrapping_add(c); }
+                1 => { acc = fb.sub(acc, rhs); model = model.wrapping_sub(c); }
+                2 => { acc = fb.mul(acc, rhs); model = model.wrapping_mul(c); }
+                _ => {
+                    acc = fb.xor(acc, rhs);
+                    model ^= c;
+                }
+            }
+        }
+        fb.ret(Some(acc));
+        let f = fb.finish();
+        verify_function(&f, CfgForm::Canonical).expect("verifies");
+        let mut prog = Program::new();
+        prog.add_function(f);
+        let out = run(&prog, &RunConfig::default()).expect("runs");
+        prop_assert_eq!(out.ret, model);
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(seed in any::<i64>()) {
+        let build = || {
+            let mut fb = FunctionBuilder::new("main");
+            let a = fb.movi(seed);
+            let b = fb.unsafe_call(1, a);
+            let c = fb.unsafe_call(2, b);
+            let d = fb.xor(b, c);
+            fb.ret(Some(d));
+            let mut p = Program::new();
+            p.add_function(fb.finish());
+            p
+        };
+        let r1 = run(&build(), &RunConfig::default()).expect("runs").ret;
+        let r2 = run(&build(), &RunConfig::default()).expect("runs").ret;
+        prop_assert_eq!(r1, r2);
+    }
+}

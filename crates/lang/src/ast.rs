@@ -1,0 +1,237 @@
+//! MiniC abstract syntax tree.
+
+/// Scalar type of locals, parameters and expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// Element type of a global array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElemType {
+    /// 64-bit signed integer elements.
+    Int,
+    /// 64-bit float elements.
+    Float,
+    /// Byte elements (read as zero-extended ints).
+    Byte,
+}
+
+impl ElemType {
+    /// Element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            ElemType::Int | ElemType::Float => 8,
+            ElemType::Byte => 1,
+        }
+    }
+
+    /// Scalar type of a loaded element.
+    pub fn scalar(self) -> Type {
+        match self {
+            ElemType::Float => Type::Float,
+            _ => Type::Int,
+        }
+    }
+}
+
+/// Literal initializer value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+}
+
+/// A global array declaration: `global int name[len] = { ... };`
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    /// Symbol name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemType,
+    /// Number of elements (1 for scalars).
+    pub len: usize,
+    /// Initializer values (may be shorter than `len`; rest is zero).
+    pub init: Vec<Lit>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (strict)
+    LAnd,
+    /// `||` (strict)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (Boolean operand).
+    Not,
+}
+
+/// Expressions. Every node carries its source line for diagnostics.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, u32),
+    /// Float literal.
+    Float(f64, u32),
+    /// Local variable or parameter reference.
+    Var(String, u32),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>, u32),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>, u32),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, u32),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Float(_, l)
+            | Expr::Var(_, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Unary(_, _, l)
+            | Expr::Binary(_, _, _, l) => *l,
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// Local variable.
+    Var(String, u32),
+    /// Global array element.
+    Index(String, Expr, u32),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a new local.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer (also fixes the type).
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition (Boolean).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition (Boolean).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }`
+    For {
+        /// Init statement (`let` or assignment).
+        init: Box<Stmt>,
+        /// Condition (Boolean).
+        cond: Expr,
+        /// Step statement (assignment).
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>, u32),
+    /// `break;` — exit the innermost loop.
+    Break(u32),
+    /// `continue;` — next iteration of the innermost loop (running the
+    /// `for` step first).
+    Continue(u32),
+    /// Bare expression for side effects (e.g. a call).
+    ExprStmt(Expr),
+}
+
+/// A function declaration.
+#[derive(Clone, Debug)]
+pub struct FuncDecl {
+    /// Name (entry point is `main`).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Return type (`None` = void).
+    pub ret: Option<Type>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A full compilation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// Global declarations, in order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function declarations, in order.
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,205 @@
+//! MiniC lexer.
+
+use crate::LangError;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation/operator, e.g. `+`, `==`, `(`.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const PUNCTS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+];
+const PUNCTS1: &[&str] = &[
+    "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|",
+    "^", "!", ":",
+];
+
+/// Tokenize MiniC source. `//` comments run to end of line.
+///
+/// # Errors
+/// Returns a [`LangError`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                is_float = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| LangError {
+                    line,
+                    message: format!("bad float literal {text}"),
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LangError {
+                    line,
+                    message: format!("bad int literal {text}"),
+                })?)
+            };
+            out.push(SpannedTok { tok, line });
+            continue;
+        }
+        // Operators: longest match first.
+        let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
+            out.push(SpannedTok {
+                tok: Tok::Punct(p),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        let one: String = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
+            out.push(SpannedTok {
+                tok: Tok::Punct(p),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(LangError {
+            line,
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            toks("foo 42 3.5 1e3"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators_greedily() {
+        assert_eq!(
+            toks("a<=b==c->d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("=="),
+                Tok::Ident("c".into()),
+                Tok::Punct("->"),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn int_followed_by_method_like_dot_is_not_float() {
+        // "8." without digit after dot: the 8 lexes alone, '.' errors.
+        assert!(lex("8.").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors_with_line() {
+        let e = lex("a\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # metaopt-lang
+//!
+//! **MiniC**: a small C-like language and frontend producing `metaopt-ir`
+//! programs. The benchmark suite (`metaopt-suite`) is written in MiniC, so
+//! the whole reproduction pipeline — frontend → optimizer → scheduler →
+//! cycle simulator — exercises realistic compiler input rather than
+//! hand-built IR.
+//!
+//! The language has `int` (i64), `float` (f64) and `byte` (globals only)
+//! data, global arrays, functions, `if`/`while`/`for` control flow, the
+//! usual C operator set (without short-circuit evaluation — `&&`/`||` are
+//! strict), and a few builtins: `abs`, `min`, `max`, `sqrt`, `i2f`, `f2i`,
+//! and `ucall(site, x)` which lowers to the IR's opaque side-effecting call
+//! (a compiler *hazard*).
+//!
+//! ```
+//! let src = r#"
+//!     global int xs[8] = { 3, 1, 4, 1, 5, 9, 2, 6 };
+//!     fn main() -> int {
+//!         let sum = 0;
+//!         for (let i = 0; i < 8; i = i + 1) {
+//!             sum = sum + xs[i];
+//!         }
+//!         return sum;
+//!     }
+//! "#;
+//! let prog = metaopt_lang::compile(src).unwrap();
+//! let out = metaopt_ir::interp::run(&prog, &Default::default()).unwrap();
+//! assert_eq!(out.ret, 31);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+use metaopt_ir::Program;
+use std::fmt;
+
+/// Frontend failure (lexing, parsing, type checking, or lowering).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// 1-based source line the error was detected on (0 if unknown).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Compile MiniC source into an IR [`Program`] (verified, canonical form).
+///
+/// # Errors
+/// Returns a [`LangError`] describing the first problem found.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    let toks = lexer::lex(src)?;
+    let unit = parser::parse(&toks)?;
+    let prog = lower::lower(&unit)?;
+    metaopt_ir::verify::verify_program(&prog, metaopt_ir::verify::CfgForm::Canonical).map_err(
+        |e| LangError {
+            line: 0,
+            message: format!("internal: generated IR failed verification: {e}"),
+        },
+    )?;
+    Ok(prog)
+}

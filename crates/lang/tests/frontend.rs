@@ -1,0 +1,289 @@
+//! Frontend integration tests: semantics, diagnostics, and generated-IR
+//! structure for MiniC programs beyond the unit tests' basics.
+
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_lang::compile;
+
+fn eval(src: &str) -> i64 {
+    let prog = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    run(&prog, &RunConfig::default()).unwrap().ret
+}
+
+fn rejects(src: &str, needle: &str) {
+    let e = compile(src).expect_err("must be rejected");
+    assert!(
+        e.message.contains(needle),
+        "error {:?} should mention {needle:?}",
+        e.message
+    );
+}
+
+#[test]
+fn operator_semantics_match_rust() {
+    // Signed division/remainder truncate toward zero; shifts mask to 63.
+    assert_eq!(eval("fn main() -> int { return -7 / 2; }"), -7i64 / 2);
+    assert_eq!(eval("fn main() -> int { return -7 % 3; }"), -7i64 % 3);
+    assert_eq!(eval("fn main() -> int { return 1 << 70; }"), 1i64.wrapping_shl(70));
+    assert_eq!(eval("fn main() -> int { return -16 >> 2; }"), -16i64 >> 2);
+    assert_eq!(eval("fn main() -> int { return 12 & 10 | 1 ^ 6; }"), 12 & 10 | 1 ^ 6);
+}
+
+#[test]
+fn division_by_zero_is_total() {
+    assert_eq!(eval("fn main() -> int { return 5 / 0 + 5 % 0; }"), 0);
+    assert_eq!(eval("fn main() -> int { return f2i(5.0 / 0.0); }"), 0);
+}
+
+#[test]
+fn deeply_nested_control_flow() {
+    let src = r#"
+        fn main() -> int {
+            let acc = 0;
+            for (let i = 0; i < 4; i = i + 1) {
+                for (let j = 0; j < 4; j = j + 1) {
+                    for (let k = 0; k < 4; k = k + 1) {
+                        if (i == j) {
+                            if (j == k) { acc = acc + 100; } else { acc = acc + 10; }
+                        } else if (j < k) {
+                            acc = acc + 1;
+                        }
+                    }
+                }
+            }
+            return acc;
+        }
+    "#;
+    // Mirror computation in Rust.
+    let mut acc = 0;
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                if i == j {
+                    acc += if j == k { 100 } else { 10 };
+                } else if j < k {
+                    acc += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(eval(src), acc);
+}
+
+#[test]
+fn while_with_complex_condition() {
+    assert_eq!(
+        eval("fn main() -> int { let x = 0; while (x < 10 && x * x < 50) { x = x + 1; } return x; }"),
+        8
+    );
+}
+
+#[test]
+fn byte_array_wraps_to_unsigned() {
+    assert_eq!(
+        eval("global byte b[4]; fn main() -> int { b[0] = 300; return b[0]; }"),
+        300 % 256
+    );
+    assert_eq!(
+        eval("global byte b[4]; fn main() -> int { b[0] = -1; return b[0]; }"),
+        255
+    );
+}
+
+#[test]
+fn comparison_results_usable_as_ints() {
+    assert_eq!(
+        eval("fn main() -> int { let t = 3 < 4; let f = 4 < 3; return t * 10 + f; }"),
+        10
+    );
+    assert_eq!(eval("fn main() -> int { return (1 < 2) + (3 < 4) + (5 < 4); }"), 2);
+}
+
+#[test]
+fn float_returning_functions_are_lossless() {
+    // Regression test for the FBits/BitsF calling convention: fractional
+    // values must survive the call boundary exactly.
+    assert_eq!(
+        eval(r#"
+            fn half(x: float) -> float { return x * 0.5; }
+            fn main() -> int { return f2i(half(0.5) * 1000.0); }
+        "#),
+        250
+    );
+}
+
+#[test]
+fn early_returns_in_loops() {
+    assert_eq!(
+        eval(r#"
+            fn find(limit: int) -> int {
+                for (let i = 0; i < limit; i = i + 1) {
+                    if (i * i > 50) { return i; }
+                }
+                return -1;
+            }
+            fn main() -> int { return find(100) * 100 + find(3); }
+        "#),
+        8 * 100 - 1
+    );
+}
+
+#[test]
+fn diagnostics_name_the_problem() {
+    rejects("fn main() -> int { return x; }", "unknown variable x");
+    rejects("fn main() -> int { return 1.5 + 1; }", "type mismatch");
+    rejects("fn main() -> int { g[0] = 1; return 0; }", "unknown");
+    rejects("fn main() -> int { return min(1, 2.0); }", "same type");
+    rejects("fn main() -> int { if (2.5) { } return 0; }", "condition");
+    rejects(
+        "fn f() -> int { return 1; } fn f() -> int { return 2; } fn main() -> int { return 0; }",
+        "duplicate function",
+    );
+    rejects("global int g; global int g; fn main() -> int { return 0; }", "duplicate global");
+    rejects("fn main() -> int { return ucall(1, 2, 3); }", "ucall");
+    rejects("fn main() -> float { return 1; }", "return type mismatch");
+}
+
+#[test]
+fn global_scalar_init_values() {
+    assert_eq!(
+        eval("global int k = 7; global float f = 1.5; fn main() -> int { return k + f2i(f * 2.0); }"),
+        10
+    );
+}
+
+#[test]
+fn chained_else_if_evaluates_in_order() {
+    let src = r#"
+        fn classify(x: int) -> int {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else if (x < 1000) { return 3; }
+            else { return 4; }
+        }
+        fn main() -> int {
+            return classify(5) * 1000 + classify(50) * 100 + classify(500) * 10 + classify(5000);
+        }
+    "#;
+    assert_eq!(eval(src), 1234);
+}
+
+#[test]
+fn verified_ir_comes_out_of_the_frontend() {
+    let prog = compile(
+        "global int xs[8]; fn main() -> int { let s = 0; for (let i = 0; i < 8; i = i + 1) { s = s + xs[i]; } return s; }",
+    )
+    .unwrap();
+    metaopt_ir::verify::verify_program(&prog, metaopt_ir::verify::CfgForm::Canonical).unwrap();
+    assert!(prog.func_by_name("main").is_some());
+}
+
+#[test]
+fn break_exits_the_innermost_loop() {
+    assert_eq!(
+        eval(r#"
+            fn main() -> int {
+                let s = 0;
+                for (let i = 0; i < 100; i = i + 1) {
+                    if (i == 5) { break; }
+                    s = s + i;
+                }
+                return s;
+            }
+        "#),
+        (0..5).sum::<i64>()
+    );
+    // Nested: break leaves only the inner loop.
+    assert_eq!(
+        eval(r#"
+            fn main() -> int {
+                let s = 0;
+                for (let i = 0; i < 4; i = i + 1) {
+                    for (let j = 0; j < 10; j = j + 1) {
+                        if (j > i) { break; }
+                        s = s + 1;
+                    }
+                }
+                return s;
+            }
+        "#),
+        1 + 2 + 3 + 4
+    );
+}
+
+#[test]
+fn continue_runs_the_for_step() {
+    assert_eq!(
+        eval(r#"
+            fn main() -> int {
+                let s = 0;
+                for (let i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    s = s + i;
+                }
+                return s;
+            }
+        "#),
+        1 + 3 + 5 + 7 + 9
+    );
+}
+
+#[test]
+fn continue_in_while_rechecks_the_condition() {
+    assert_eq!(
+        eval(r#"
+            fn main() -> int {
+                let i = 0;
+                let s = 0;
+                while (i < 10) {
+                    i = i + 1;
+                    if (i % 3 == 0) { continue; }
+                    s = s + i;
+                }
+                return s;
+            }
+        "#),
+        (1..=10).filter(|i| i % 3 != 0).sum::<i64>()
+    );
+}
+
+#[test]
+fn break_continue_outside_loops_rejected() {
+    rejects("fn main() -> int { break; return 0; }", "break outside");
+    rejects("fn main() -> int { continue; return 0; }", "continue outside");
+}
+
+#[test]
+fn break_continue_compile_through_the_whole_pipeline() {
+    let src = r#"
+        global int xs[64];
+        fn main() -> int {
+            let s = 0;
+            for (let i = 0; i < 64; i = i + 1) { xs[i] = i * 37 % 19; }
+            for (let i = 0; i < 64; i = i + 1) {
+                if (xs[i] == 0) { continue; }
+                if (s > 500) { break; }
+                s = s + xs[i];
+            }
+            return s;
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    let want = run(&prog, &RunConfig::default()).unwrap().ret;
+    let prepared = metaopt_compiler::prepare(&prog).unwrap();
+    let profile = run(&prepared, &RunConfig { profile: true, ..Default::default() })
+        .unwrap()
+        .profile
+        .unwrap();
+    let machine = metaopt_sim::MachineConfig::table3();
+    let compiled = metaopt_compiler::compile(
+        &prepared,
+        &profile.funcs[0],
+        &machine,
+        &metaopt_compiler::Passes::baseline(),
+    )
+    .unwrap();
+    let sim =
+        metaopt_sim::simulate(&compiled.code, &machine, compiled.initial_memory(&prepared))
+            .unwrap();
+    assert_eq!(sim.ret, want);
+}

@@ -1,0 +1,256 @@
+//! Set-associative data-cache hierarchy with in-flight line fills.
+//!
+//! Two inclusive levels backed by a flat memory with fixed latency. Each
+//! resident line records the cycle at which its fill completes, so a demand
+//! access (or a prefetched line still in flight) pays only the *remaining*
+//! fill time — the mechanism that makes software prefetching profitable when
+//! timely and useless when late.
+
+use crate::machine::CacheConfig;
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Cycle at which the line's data is available.
+    ready_at: u64,
+    /// LRU timestamp.
+    last_use: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    ready_at: 0,
+    last_use: 0,
+};
+
+struct Level {
+    sets: usize,
+    assoc: usize,
+    lines: Vec<Line>, // sets * assoc
+    latency: u64,
+}
+
+impl Level {
+    fn new(bytes: usize, assoc: usize, line_bytes: usize, latency: u64) -> Self {
+        let sets = (bytes / line_bytes / assoc).max(1);
+        Level {
+            sets,
+            assoc,
+            lines: vec![INVALID; sets * assoc],
+            latency,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr as usize) % self.sets
+    }
+
+    fn lookup(&mut self, line_addr: u64, now: u64) -> Option<u64> {
+        let s = self.set_of(line_addr);
+        for way in 0..self.assoc {
+            let l = &mut self.lines[s * self.assoc + way];
+            if l.valid && l.tag == line_addr {
+                l.last_use = now;
+                return Some(l.ready_at);
+            }
+        }
+        None
+    }
+
+    /// Install a line that becomes ready at `ready_at`; evicts LRU.
+    fn fill(&mut self, line_addr: u64, ready_at: u64, now: u64) {
+        let s = self.set_of(line_addr);
+        let base = s * self.assoc;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.assoc {
+            let l = &self.lines[base + way];
+            if !l.valid {
+                victim = way;
+                break;
+            }
+            if l.last_use < oldest {
+                oldest = l.last_use;
+                victim = way;
+            }
+        }
+        self.lines[base + victim] = Line {
+            tag: line_addr,
+            valid: true,
+            ready_at,
+            last_use: now,
+        };
+    }
+}
+
+/// Statistics collected by the hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads and stores).
+    pub accesses: u64,
+    /// Demand accesses that missed L1.
+    pub l1_misses: u64,
+    /// Demand accesses that also missed L2.
+    pub l2_misses: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Demand accesses that hit a line still in flight (late but partially
+    /// useful prefetch or an earlier miss to the same line).
+    pub inflight_hits: u64,
+}
+
+/// The two-level hierarchy.
+pub struct Hierarchy {
+    l1: Level,
+    l2: Level,
+    line_bytes: usize,
+    miss_latency: u64,
+    /// Running statistics.
+    pub stats: CacheStats,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy from a configuration.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        Hierarchy {
+            l1: Level::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes, cfg.l1_latency),
+            l2: Level::new(cfg.l2_bytes, cfg.l2_assoc, cfg.line_bytes, cfg.l2_latency),
+            line_bytes: cfg.line_bytes,
+            miss_latency: cfg.miss_latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn line_addr(&self, addr: i64) -> u64 {
+        (addr as u64) / self.line_bytes as u64
+    }
+
+    /// A demand access (load or store) at `addr` on cycle `now`; returns the
+    /// cycle at which the data is available.
+    pub fn access(&mut self, addr: i64, now: u64) -> u64 {
+        let la = self.line_addr(addr);
+        self.stats.accesses += 1;
+        if let Some(ready) = self.l1.lookup(la, now) {
+            let avail = now.max(ready) + self.l1.latency;
+            if ready > now {
+                self.stats.inflight_hits += 1;
+            }
+            return avail;
+        }
+        self.stats.l1_misses += 1;
+        if let Some(ready) = self.l2.lookup(la, now) {
+            let avail = now.max(ready) + self.l2.latency;
+            if ready > now {
+                self.stats.inflight_hits += 1;
+            }
+            // Promote into L1; ready once L2 delivered.
+            self.l1.fill(la, avail, now);
+            return avail;
+        }
+        self.stats.l2_misses += 1;
+        let avail = now + self.miss_latency;
+        self.l2.fill(la, avail, now);
+        self.l1.fill(la, avail, now);
+        avail
+    }
+
+    /// A non-binding prefetch of the line containing `addr` on cycle `now`.
+    /// Fills both levels without stalling; already-resident lines are
+    /// untouched apart from LRU state.
+    pub fn prefetch(&mut self, addr: i64, now: u64) {
+        let la = self.line_addr(addr);
+        self.stats.prefetches += 1;
+        if self.l1.lookup(la, now).is_some() {
+            return;
+        }
+        if let Some(ready) = self.l2.lookup(la, now) {
+            self.l1.fill(la, now.max(ready) + self.l2.latency, now);
+            return;
+        }
+        let avail = now + self.miss_latency;
+        self.l2.fill(la, avail, now);
+        self.l1.fill(la, avail, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(&CacheConfig {
+            line_bytes: 32,
+            l1_bytes: 128, // 4 lines, 2-way => 2 sets
+            l1_assoc: 2,
+            l1_latency: 2,
+            l2_bytes: 512,
+            l2_assoc: 4,
+            l2_latency: 7,
+            miss_latency: 35,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut h = small();
+        let t1 = h.access(0, 100);
+        assert_eq!(t1, 135); // cold miss
+        let t2 = h.access(8, 200); // same line, L1 hit
+        assert_eq!(t2, 202);
+        assert_eq!(h.stats.accesses, 2);
+        assert_eq!(h.stats.l1_misses, 1);
+        assert_eq!(h.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = small();
+        // Fill set 0 of L1 (lines 0 and 2 map to set 0 with 2 sets).
+        h.access(0, 0); // line 0
+        h.access(64, 1000); // line 2, same set
+        h.access(128, 2000); // line 4, same set -> evicts line 0 from L1
+        let t = h.access(0, 3000); // L1 miss, L2 hit
+        assert_eq!(t, 3007);
+    }
+
+    #[test]
+    fn timely_prefetch_hides_latency() {
+        let mut h = small();
+        h.prefetch(0, 0); // line ready at 35
+        let t = h.access(0, 100);
+        assert_eq!(t, 102, "prefetched line is an L1 hit");
+        assert_eq!(h.stats.prefetches, 1);
+        assert_eq!(h.stats.l1_misses, 0);
+    }
+
+    #[test]
+    fn late_prefetch_partially_hides_latency() {
+        let mut h = small();
+        h.prefetch(0, 0); // ready at 35
+        let t = h.access(0, 10); // still in flight
+        assert_eq!(t, 35 + 2);
+        assert_eq!(h.stats.inflight_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_pollution_evicts_useful_line() {
+        let mut h = small();
+        h.access(0, 0); // line 0 resident in L1 set 0
+        h.prefetch(64, 10); // set 0
+        h.prefetch(128, 11); // set 0 -> line 0 evicted from L1
+        let t = h.access(0, 1000);
+        assert_eq!(t, 1007, "falls back to L2 after pollution");
+    }
+
+    #[test]
+    fn redundant_prefetch_is_harmless() {
+        let mut h = small();
+        h.access(0, 0);
+        h.prefetch(0, 1);
+        h.prefetch(0, 2);
+        let t = h.access(0, 50);
+        assert_eq!(t, 52);
+    }
+}

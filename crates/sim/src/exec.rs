@@ -1,0 +1,607 @@
+//! The cycle-level executor.
+//!
+//! In-order EPIC issue model: a bundle issues once every source register it
+//! reads (including guard predicates) and every destination it overwrites is
+//! ready; instruction results become ready after their functional-unit
+//! latency, loads after the cache hierarchy delivers the line, and a
+//! mispredicted branch charges the pipeline-flush penalty. The executor is
+//! also a functional interpreter of the machine code, returning the final
+//! memory image and return value for differential testing.
+
+use crate::cache::{CacheStats, Hierarchy};
+use crate::code::MachineProgram;
+use crate::machine::{latency_of, MachineConfig};
+use crate::predictor::TwoBitPredictor;
+use metaopt_ir::interp::{
+    f2i_sat, read_mem, unsafe_call_semantics, unsafe_call_slot, write_mem, InterpError,
+};
+use metaopt_ir::{Opcode, RegClass, Width};
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Out-of-bounds memory access.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: i64,
+    },
+    /// Dynamic instruction limit exceeded.
+    InstLimit(u64),
+    /// The program fell off the end of a block (malformed machine code).
+    FellOffBlock(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
+            SimError::InstLimit(n) => write!(f, "instruction limit of {n} exceeded"),
+            SimError::FellOffBlock(b) => write!(f, "fell off end of block {b}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<InterpError> for SimError {
+    fn from(e: InterpError) -> Self {
+        match e {
+            InterpError::OutOfBounds { addr } => SimError::OutOfBounds { addr },
+            other => unreachable!("interpreter error {other} cannot occur in simulation"),
+        }
+    }
+}
+
+/// Result of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Value returned by the program.
+    pub ret: i64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic instructions issued (including nullified predicated ones).
+    pub insts: u64,
+    /// Nullified (guard-false) instructions among `insts`.
+    pub nullified: u64,
+    /// Bundles issued.
+    pub bundles: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Cache statistics.
+    pub cache: CacheStats,
+    /// Final memory image.
+    pub memory: Vec<u8>,
+}
+
+impl SimResult {
+    /// Instructions per cycle actually achieved.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.insts - self.nullified) as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct RegFiles {
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    preds: Vec<bool>,
+    ready_i: Vec<u64>,
+    ready_f: Vec<u64>,
+    ready_p: Vec<u64>,
+}
+
+impl RegFiles {
+    fn new(cfg: &MachineConfig) -> Self {
+        RegFiles {
+            ints: vec![0; cfg.gpr],
+            floats: vec![0.0; cfg.fpr],
+            preds: vec![false; cfg.pred],
+            ready_i: vec![0; cfg.gpr],
+            ready_f: vec![0; cfg.fpr],
+            ready_p: vec![0; cfg.pred],
+        }
+    }
+
+    fn ready_of(&self, class: RegClass, ix: usize) -> u64 {
+        match class {
+            RegClass::Int => self.ready_i[ix],
+            RegClass::Float => self.ready_f[ix],
+            RegClass::Pred => self.ready_p[ix],
+        }
+    }
+}
+
+/// Execute `mp` on machine `cfg` starting from the given memory image.
+///
+/// # Errors
+/// Fails on out-of-bounds memory accesses, malformed machine code (a block
+/// without a terminating branch), or when `cfg.max_insts` is exceeded.
+pub fn simulate(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+) -> Result<SimResult, SimError> {
+    let mut mem = memory;
+    let mut regs = RegFiles::new(cfg);
+    let mut cache = Hierarchy::new(&cfg.cache);
+    let mut predictor = TwoBitPredictor::new();
+
+    let mut cycle: u64 = 0;
+    let mut insts: u64 = 0;
+    let mut nullified: u64 = 0;
+    let mut bundles: u64 = 0;
+    // Memory-queue drain time: software prefetches occupy the memory
+    // pipeline; demand loads issued while the queue is busy start late.
+    let mut pf_queue: u64 = 0;
+
+    let mut block = mp.entry;
+    let mut bix = 0usize;
+    let ret_val: i64;
+
+    'outer: loop {
+        let bb = &mp.blocks[block];
+        if bix >= bb.len() {
+            return Err(SimError::FellOffBlock(block));
+        }
+        let bundle = &bb[bix];
+        bundles += 1;
+
+        // Issue stall: wait for every register the bundle reads or
+        // overwrites (guards included) to be ready.
+        let mut issue = cycle;
+        for inst in &bundle.insts {
+            if let Some(classes) = inst.op.arg_classes() {
+                for (a, c) in inst.args.iter().zip(classes) {
+                    issue = issue.max(regs.ready_of(*c, a.index()));
+                }
+            } else {
+                for a in &inst.args {
+                    issue = issue.max(regs.ready_i[a.index()]);
+                }
+            }
+            if let Some(p) = inst.pred {
+                issue = issue.max(regs.ready_p[p.index()]);
+            }
+            if let (Some(c), Some(d)) = (inst.op.dst_class(), inst.dst) {
+                issue = issue.max(regs.ready_of(c, d.index()));
+            }
+        }
+
+        let mut next: Option<usize> = None; // taken-branch target block
+        let mut penalty: u64 = 0;
+        let mut branches = 0u64;
+
+        for (si, inst) in bundle.insts.iter().enumerate() {
+            insts += 1;
+            if insts > cfg.max_insts {
+                return Err(SimError::InstLimit(cfg.max_insts));
+            }
+            if let Some(p) = inst.pred {
+                if !regs.preds[p.index()] {
+                    nullified += 1;
+                    continue;
+                }
+            }
+            let ia = |i: usize| regs.ints[inst.args[i].index()];
+            let fa = |i: usize| regs.floats[inst.args[i].index()];
+            let pa = |i: usize| regs.preds[inst.args[i].index()];
+            let lat = latency_of(inst.op);
+
+            enum Out {
+                I(i64),
+                F(f64),
+                P(bool),
+                None,
+            }
+            let mut out = Out::None;
+            let mut ready = issue + lat;
+
+            match inst.op {
+                Opcode::Add => out = Out::I(ia(0).wrapping_add(ia(1))),
+                Opcode::Sub => out = Out::I(ia(0).wrapping_sub(ia(1))),
+                Opcode::Mul => out = Out::I(ia(0).wrapping_mul(ia(1))),
+                Opcode::Div => {
+                    let b = ia(1);
+                    out = Out::I(if b == 0 { 0 } else { ia(0).wrapping_div(b) });
+                }
+                Opcode::Rem => {
+                    let b = ia(1);
+                    out = Out::I(if b == 0 { 0 } else { ia(0).wrapping_rem(b) });
+                }
+                Opcode::And => out = Out::I(ia(0) & ia(1)),
+                Opcode::Or => out = Out::I(ia(0) | ia(1)),
+                Opcode::Xor => out = Out::I(ia(0) ^ ia(1)),
+                Opcode::Shl => out = Out::I(ia(0).wrapping_shl(ia(1) as u32 & 63)),
+                Opcode::Shr => out = Out::I(ia(0).wrapping_shr(ia(1) as u32 & 63)),
+                Opcode::AddI => out = Out::I(ia(0).wrapping_add(inst.imm)),
+                Opcode::MulI => out = Out::I(ia(0).wrapping_mul(inst.imm)),
+                Opcode::AndI => out = Out::I(ia(0) & inst.imm),
+                Opcode::ShlI => out = Out::I(ia(0).wrapping_shl(inst.imm as u32 & 63)),
+                Opcode::ShrI => out = Out::I(ia(0).wrapping_shr(inst.imm as u32 & 63)),
+                Opcode::MovI => out = Out::I(inst.imm),
+                Opcode::Mov => out = Out::I(ia(0)),
+                Opcode::Neg => out = Out::I(ia(0).wrapping_neg()),
+                Opcode::Abs => out = Out::I(ia(0).wrapping_abs()),
+                Opcode::Min => out = Out::I(ia(0).min(ia(1))),
+                Opcode::Max => out = Out::I(ia(0).max(ia(1))),
+                Opcode::Sel => out = Out::I(if pa(0) { ia(1) } else { ia(2) }),
+
+                Opcode::CmpEq => out = Out::P(ia(0) == ia(1)),
+                Opcode::CmpNe => out = Out::P(ia(0) != ia(1)),
+                Opcode::CmpLt => out = Out::P(ia(0) < ia(1)),
+                Opcode::CmpLe => out = Out::P(ia(0) <= ia(1)),
+                Opcode::CmpEqI => out = Out::P(ia(0) == inst.imm),
+                Opcode::CmpLtI => out = Out::P(ia(0) < inst.imm),
+                Opcode::CmpGtI => out = Out::P(ia(0) > inst.imm),
+
+                Opcode::PAnd => out = Out::P(pa(0) && pa(1)),
+                Opcode::POr => out = Out::P(pa(0) || pa(1)),
+                Opcode::PNot => out = Out::P(!pa(0)),
+                Opcode::PMovI => out = Out::P(inst.imm != 0),
+                Opcode::PMov => out = Out::P(pa(0)),
+                Opcode::P2I => out = Out::I(if pa(0) { 1 } else { 0 }),
+                Opcode::I2P => out = Out::P(ia(0) != 0),
+
+                Opcode::FAdd => out = Out::F(fa(0) + fa(1)),
+                Opcode::FSub => out = Out::F(fa(0) - fa(1)),
+                Opcode::FMul => out = Out::F(fa(0) * fa(1)),
+                Opcode::FDiv => {
+                    let b = fa(1);
+                    out = Out::F(if b == 0.0 { 0.0 } else { fa(0) / b });
+                }
+                Opcode::FSqrt => out = Out::F(fa(0).abs().sqrt()),
+                Opcode::FAbs => out = Out::F(fa(0).abs()),
+                Opcode::FNeg => out = Out::F(-fa(0)),
+                Opcode::FMin => out = Out::F(fa(0).min(fa(1))),
+                Opcode::FMax => out = Out::F(fa(0).max(fa(1))),
+                Opcode::FMovI => out = Out::F(inst.fimm),
+                Opcode::FMov => out = Out::F(fa(0)),
+                Opcode::FSel => out = Out::F(if pa(0) { fa(1) } else { fa(2) }),
+                Opcode::FCmpEq => out = Out::P(fa(0) == fa(1)),
+                Opcode::FCmpLt => out = Out::P(fa(0) < fa(1)),
+                Opcode::FCmpLe => out = Out::P(fa(0) <= fa(1)),
+                Opcode::I2F => out = Out::F(ia(0) as f64),
+                Opcode::F2I => out = Out::I(f2i_sat(fa(0))),
+                Opcode::FBits => out = Out::I(fa(0).to_bits() as i64),
+                Opcode::BitsF => out = Out::F(f64::from_bits(ia(0) as u64)),
+
+                Opcode::Ld(w) => {
+                    let addr = ia(0).wrapping_add(inst.imm);
+                    let v = read_mem(&mem, addr, w)?;
+                    ready = cache.access(addr, issue.max(pf_queue));
+                    out = Out::I(v);
+                }
+                Opcode::FLd => {
+                    let addr = ia(0).wrapping_add(inst.imm);
+                    let bits = read_mem(&mem, addr, Width::B8)?;
+                    ready = cache.access(addr, issue.max(pf_queue));
+                    out = Out::F(f64::from_bits(bits as u64));
+                }
+                Opcode::St(w) => {
+                    let addr = ia(0).wrapping_add(inst.imm);
+                    write_mem(&mut mem, addr, w, ia(1))?;
+                    cache.access(addr, issue); // allocate; store buffer hides latency
+                }
+                Opcode::FSt => {
+                    let addr = ia(0).wrapping_add(inst.imm);
+                    write_mem(&mut mem, addr, Width::B8, fa(1).to_bits() as i64)?;
+                    cache.access(addr, issue);
+                }
+                Opcode::Prefetch => {
+                    let addr = ia(0).wrapping_add(inst.imm);
+                    let start = issue.max(pf_queue);
+                    cache.prefetch(addr, start);
+                    pf_queue = start + cfg.prefetch_queue_cycles;
+                }
+
+                Opcode::Br => next = inst.target.map(|t| t.index()),
+                Opcode::CBr => {
+                    branches += 1;
+                    let taken = pa(0);
+                    let site = ((block as u64) << 32) | ((bix as u64) << 8) | si as u64;
+                    let correct = predictor.predict_and_update(site, taken);
+                    if !correct {
+                        penalty = penalty.max(cfg.mispredict_penalty);
+                    }
+                    if taken {
+                        next = inst.target.map(|t| t.index());
+                    }
+                }
+                Opcode::Ret => {
+                    ret_val = if inst.args.is_empty() { 0 } else { ia(0) };
+                    let _ = branches;
+                    cycle = issue + 1 + penalty;
+                    break 'outer;
+                }
+                Opcode::Call => unreachable!("calls are inlined before lowering"),
+                Opcode::UnsafeCall => {
+                    let slot = unsafe_call_slot(inst.imm);
+                    let old = read_mem(&mem, slot, Width::B8)?;
+                    let (newv, r) = unsafe_call_semantics(old, ia(0), inst.imm);
+                    write_mem(&mut mem, slot, Width::B8, newv)?;
+                    out = Out::I(r);
+                }
+            }
+
+            if let Some(d) = inst.dst {
+                match out {
+                    Out::I(v) => {
+                        regs.ints[d.index()] = v;
+                        regs.ready_i[d.index()] = ready;
+                    }
+                    Out::F(v) => {
+                        regs.floats[d.index()] = v;
+                        regs.ready_f[d.index()] = ready;
+                    }
+                    Out::P(v) => {
+                        regs.preds[d.index()] = v;
+                        regs.ready_p[d.index()] = ready;
+                    }
+                    Out::None => {}
+                }
+            }
+        }
+
+        cycle = issue + 1 + penalty;
+        match next {
+            Some(t) => {
+                block = t;
+                bix = 0;
+            }
+            None => bix += 1,
+        }
+    }
+
+    Ok(SimResult {
+        ret: ret_val,
+        cycles: cycle.max(1),
+        insts,
+        nullified,
+        bundles,
+        branches: predictor.predictions,
+        mispredicts: predictor.mispredicts,
+        cache: cache.stats,
+        memory: mem,
+    })
+}
+
+/// Run [`simulate`] and apply multiplicative measurement noise to the cycle
+/// count: `cycles * (1 + amplitude * u)` with `u` drawn uniformly from
+/// `[-1, 1)` by a deterministic xorshift of `seed`. Models the paper §7's
+/// real-machine timing jitter.
+pub fn simulate_noisy(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+    amplitude: f64,
+    seed: u64,
+) -> Result<SimResult, SimError> {
+    let mut r = simulate(mp, cfg, memory)?;
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    let factor = 1.0 + amplitude * (2.0 * u - 1.0);
+    r.cycles = ((r.cycles as f64) * factor).round().max(1.0) as u64;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Bundle;
+    use metaopt_ir::{BlockId, Inst, VReg};
+
+    fn bundle(insts: Vec<Inst>) -> Bundle {
+        Bundle { insts }
+    }
+
+    fn run(mp: &MachineProgram) -> SimResult {
+        simulate(mp, &MachineConfig::table3(), vec![0u8; 65536]).unwrap()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mp = MachineProgram {
+            blocks: vec![vec![
+                bundle(vec![
+                    Inst::new(Opcode::MovI).dst(VReg(1)).imm(6),
+                    Inst::new(Opcode::MovI).dst(VReg(2)).imm(7),
+                ]),
+                bundle(vec![Inst::new(Opcode::Mul)
+                    .dst(VReg(3))
+                    .args(&[VReg(1), VReg(2)])]),
+                bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(3)])]),
+            ]],
+            entry: 0,
+        };
+        let r = run(&mp);
+        assert_eq!(r.ret, 42);
+        assert_eq!(r.insts, 4);
+        // mul has 3-cycle latency: ret stalls for it.
+        assert!(r.cycles >= 4, "cycles={}", r.cycles);
+    }
+
+    #[test]
+    fn load_latency_stalls_consumer() {
+        // ld -> immediately consume: expect the cold-miss latency in cycles.
+        let mp = MachineProgram {
+            blocks: vec![vec![
+                bundle(vec![Inst::new(Opcode::MovI).dst(VReg(1)).imm(8192)]),
+                bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+                    .dst(VReg(2))
+                    .args(&[VReg(1)])]),
+                bundle(vec![Inst::new(Opcode::AddI)
+                    .dst(VReg(3))
+                    .args(&[VReg(2)])
+                    .imm(1)]),
+                bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(3)])]),
+            ]],
+            entry: 0,
+        };
+        let r = run(&mp);
+        assert_eq!(r.ret, 1);
+        assert!(r.cycles >= 35, "cold miss must stall: {}", r.cycles);
+        assert_eq!(r.cache.l2_misses, 1);
+    }
+
+    #[test]
+    fn prefetch_hides_load_latency() {
+        // prefetch far ahead of the load: the load hits L1.
+        let make = |with_prefetch: bool| {
+            let mut bundles = vec![bundle(vec![
+                Inst::new(Opcode::MovI).dst(VReg(1)).imm(8192),
+                Inst::new(Opcode::MovI).dst(VReg(4)).imm(0),
+            ])];
+            if with_prefetch {
+                bundles.push(bundle(vec![Inst::new(Opcode::Prefetch).args(&[VReg(1)])]));
+            }
+            // Busy work to give the prefetch time to land.
+            for _ in 0..40 {
+                bundles.push(bundle(vec![Inst::new(Opcode::AddI)
+                    .dst(VReg(4))
+                    .args(&[VReg(4)])
+                    .imm(1)]));
+            }
+            bundles.push(bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+                .dst(VReg(2))
+                .args(&[VReg(1)])]));
+            bundles.push(bundle(vec![Inst::new(Opcode::Add)
+                .dst(VReg(3))
+                .args(&[VReg(2), VReg(4)])]));
+            bundles.push(bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(3)])]));
+            MachineProgram {
+                blocks: vec![bundles],
+                entry: 0,
+            }
+        };
+        let without = run(&make(false));
+        let with = run(&make(true));
+        assert_eq!(without.ret, with.ret);
+        assert!(
+            with.cycles + 20 < without.cycles,
+            "prefetch should hide the miss: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+        assert_eq!(with.cache.prefetches, 1);
+    }
+
+    #[test]
+    fn mispredicted_branch_pays_penalty() {
+        // Loop 100 times with an alternating inner branch; compare cycle
+        // count against a version with a constant (predictable) branch.
+        let make = |alternating: bool| {
+            // b0: i=0; p_exit? -> b3 ; body computes parity branch to b1/b2
+            // Simplified: single loop block with a CBr over parity to same join.
+            let mut blocks = Vec::new();
+            // block 0: init
+            blocks.push(vec![
+                bundle(vec![
+                    Inst::new(Opcode::MovI).dst(VReg(1)).imm(0), // i
+                    Inst::new(Opcode::MovI).dst(VReg(2)).imm(0), // acc
+                ]),
+                bundle(vec![Inst::new(Opcode::Br).target(BlockId(1))]),
+            ]);
+            // block 1: loop header/body
+            blocks.push(vec![
+                bundle(vec![Inst::new(Opcode::AndI)
+                    .dst(VReg(3))
+                    .args(&[VReg(1)])
+                    .imm(if alternating { 1 } else { 0 })]),
+                bundle(vec![Inst::new(Opcode::CmpEqI)
+                    .dst(VReg(0))
+                    .args(&[VReg(3)])
+                    .imm(1)]),
+                bundle(vec![Inst::new(Opcode::CBr)
+                    .args(&[VReg(0)])
+                    .target(BlockId(2))]),
+                bundle(vec![Inst::new(Opcode::Br).target(BlockId(2))]),
+            ]);
+            // block 2: latch
+            blocks.push(vec![
+                bundle(vec![Inst::new(Opcode::AddI)
+                    .dst(VReg(1))
+                    .args(&[VReg(1)])
+                    .imm(1)]),
+                bundle(vec![Inst::new(Opcode::CmpLtI)
+                    .dst(VReg(0))
+                    .args(&[VReg(1)])
+                    .imm(100)]),
+                bundle(vec![Inst::new(Opcode::CBr)
+                    .args(&[VReg(0)])
+                    .target(BlockId(1))]),
+                bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(2)])]),
+            ]);
+            MachineProgram { blocks, entry: 0 }
+        };
+        let predictable = run(&make(false));
+        let unpredictable = run(&make(true));
+        assert!(
+            unpredictable.cycles > predictable.cycles + 100,
+            "alternating branch must cost mispredicts: {} vs {}",
+            unpredictable.cycles,
+            predictable.cycles
+        );
+        assert!(unpredictable.mispredicts > 30);
+        assert!(predictable.mispredicts < 10);
+    }
+
+    #[test]
+    fn nullified_instructions_do_not_write() {
+        let mp = MachineProgram {
+            blocks: vec![vec![
+                bundle(vec![
+                    Inst::new(Opcode::MovI).dst(VReg(1)).imm(5),
+                    Inst::new(Opcode::PMovI).dst(VReg(0)).imm(0), // false
+                ]),
+                bundle(vec![Inst::new(Opcode::MovI)
+                    .dst(VReg(1))
+                    .imm(99)
+                    .guarded(VReg(0))]),
+                bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(1)])]),
+            ]],
+            entry: 0,
+        };
+        let r = run(&mp);
+        assert_eq!(r.ret, 5);
+        assert_eq!(r.nullified, 1);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed_and_bounded() {
+        let mp = MachineProgram {
+            blocks: vec![vec![bundle(vec![Inst::new(Opcode::Ret)])]],
+            entry: 0,
+        };
+        let cfg = MachineConfig::table3();
+        let base = simulate(&mp, &cfg, vec![0u8; 4096]).unwrap().cycles;
+        let a = simulate_noisy(&mp, &cfg, vec![0u8; 4096], 0.05, 7).unwrap();
+        let b = simulate_noisy(&mp, &cfg, vec![0u8; 4096], 0.05, 7).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        let lo = (base as f64 * 0.94).floor() as u64;
+        let hi = (base as f64 * 1.06).ceil() as u64;
+        assert!(a.cycles >= lo.max(1) && a.cycles <= hi.max(2));
+    }
+
+    #[test]
+    fn inst_limit_enforced() {
+        let mp = MachineProgram {
+            blocks: vec![vec![bundle(vec![Inst::new(Opcode::Br).target(BlockId(0))])]],
+            entry: 0,
+        };
+        let mut cfg = MachineConfig::table3();
+        cfg.max_insts = 50;
+        assert!(matches!(
+            simulate(&mp, &cfg, vec![0u8; 4096]),
+            Err(SimError::InstLimit(50))
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Behavioral tests of the machine model: timing properties that the
+//! compiler's heuristics (and the paper's trade-offs) rely on.
+
+use metaopt_ir::{Inst, Opcode, VReg, Width};
+use metaopt_sim::code::verify_machine;
+use metaopt_sim::exec::{simulate, SimError};
+use metaopt_sim::{Bundle, MachineConfig, MachineProgram};
+
+fn bundle(insts: Vec<Inst>) -> Bundle {
+    Bundle { insts }
+}
+
+fn one_block(bundles: Vec<Bundle>) -> MachineProgram {
+    MachineProgram {
+        blocks: vec![bundles],
+        entry: 0,
+    }
+}
+
+fn mem() -> Vec<u8> {
+    vec![0u8; 1 << 16]
+}
+
+#[test]
+fn fp_divide_takes_eight_cycles() {
+    let mp = one_block(vec![
+        bundle(vec![
+            Inst::new(Opcode::FMovI).dst(VReg(3)).fimm(10.0),
+            Inst::new(Opcode::FMovI).dst(VReg(4)).fimm(4.0),
+        ]),
+        bundle(vec![Inst::new(Opcode::FDiv)
+            .dst(VReg(5))
+            .args(&[VReg(3), VReg(4)])]),
+        bundle(vec![Inst::new(Opcode::F2I)
+            .dst(VReg(6))
+            .args(&[VReg(5)])]),
+        bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(6)])]),
+    ]);
+    let r = simulate(&mp, &MachineConfig::table3(), mem()).unwrap();
+    assert_eq!(r.ret, 2);
+    // movi(cy0) -> fdiv issues cy1, result at cy9; f2i at cy9 (3cy) -> 12; ret.
+    assert!(r.cycles >= 12, "cycles {}", r.cycles);
+}
+
+#[test]
+fn predicated_stores_do_not_write_memory() {
+    let mp = one_block(vec![
+        bundle(vec![
+            Inst::new(Opcode::MovI).dst(VReg(4)).imm(8192),
+            Inst::new(Opcode::MovI).dst(VReg(5)).imm(99),
+            Inst::new(Opcode::PMovI).dst(VReg(0)).imm(0),
+        ]),
+        bundle(vec![Inst::new(Opcode::St(Width::B8))
+            .args(&[VReg(4), VReg(5)])
+            .guarded(VReg(0))]),
+        bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+            .dst(VReg(6))
+            .args(&[VReg(4)])]),
+        bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(6)])]),
+    ]);
+    let r = simulate(&mp, &MachineConfig::table3(), mem()).unwrap();
+    assert_eq!(r.ret, 0, "nullified store must not modify memory");
+    assert_eq!(r.nullified, 1);
+}
+
+#[test]
+fn prefetch_queue_delays_demand_loads() {
+    // A burst of prefetches followed by an L1-resident load: the load's
+    // data arrives later than without the prefetch burst.
+    let make = |with_burst: bool| {
+        let mut bundles = vec![bundle(vec![Inst::new(Opcode::MovI).dst(VReg(1)).imm(8192)])];
+        // Warm the line and consume the value so the fill has completed
+        // before the burst (otherwise the cold miss dominates both runs).
+        bundles.push(bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+            .dst(VReg(2))
+            .args(&[VReg(1)])]));
+        bundles.push(bundle(vec![Inst::new(Opcode::AddI)
+            .dst(VReg(9))
+            .args(&[VReg(2)])
+            .imm(0)]));
+        bundles.push(bundle(vec![Inst::new(Opcode::AddI)
+            .dst(VReg(9))
+            .args(&[VReg(9)])
+            .imm(0)]));
+        if with_burst {
+            for k in 0..4 {
+                bundles.push(bundle(vec![Inst::new(Opcode::Prefetch)
+                    .args(&[VReg(1)])
+                    .imm(4096 + k * 64)]));
+            }
+        }
+        bundles.push(bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+            .dst(VReg(3))
+            .args(&[VReg(1)])]));
+        bundles.push(bundle(vec![Inst::new(Opcode::AddI)
+            .dst(VReg(4))
+            .args(&[VReg(3)])
+            .imm(1)]));
+        bundles.push(bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(4)])]));
+        one_block(bundles)
+    };
+    let cfg = MachineConfig::table3();
+    let quiet = simulate(&make(false), &cfg, mem()).unwrap();
+    let busy = simulate(&make(true), &cfg, mem()).unwrap();
+    assert_eq!(quiet.ret, busy.ret);
+    assert!(
+        busy.cycles > quiet.cycles + 2 * cfg.prefetch_queue_cycles,
+        "prefetch burst must delay the demand load: {} vs {}",
+        busy.cycles,
+        quiet.cycles
+    );
+}
+
+#[test]
+fn fell_off_block_is_reported() {
+    let mp = one_block(vec![bundle(vec![Inst::new(Opcode::MovI)
+        .dst(VReg(1))
+        .imm(1)])]);
+    assert!(matches!(
+        simulate(&mp, &MachineConfig::table3(), mem()),
+        Err(SimError::FellOffBlock(0))
+    ));
+}
+
+#[test]
+fn out_of_bounds_load_is_reported() {
+    let mp = one_block(vec![
+        bundle(vec![Inst::new(Opcode::MovI).dst(VReg(1)).imm(1 << 30)]),
+        bundle(vec![Inst::new(Opcode::Ld(Width::B8))
+            .dst(VReg(2))
+            .args(&[VReg(1)])]),
+        bundle(vec![Inst::new(Opcode::Ret)]),
+    ]);
+    assert!(matches!(
+        simulate(&mp, &MachineConfig::table3(), mem()),
+        Err(SimError::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn sel_and_fsel_execute() {
+    let mp = one_block(vec![
+        bundle(vec![
+            Inst::new(Opcode::MovI).dst(VReg(1)).imm(10),
+            Inst::new(Opcode::MovI).dst(VReg(2)).imm(20),
+            Inst::new(Opcode::PMovI).dst(VReg(0)).imm(1),
+        ]),
+        bundle(vec![Inst::new(Opcode::Sel)
+            .dst(VReg(3))
+            .args(&[VReg(0), VReg(1), VReg(2)])]),
+        bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(3)])]),
+    ]);
+    let r = simulate(&mp, &MachineConfig::table3(), mem()).unwrap();
+    assert_eq!(r.ret, 10);
+}
+
+#[test]
+fn ipc_and_stat_accounting() {
+    let mut insts = Vec::new();
+    for i in 0..8 {
+        insts.push(bundle(vec![
+            Inst::new(Opcode::MovI).dst(VReg(1 + i)).imm(i as i64),
+            Inst::new(Opcode::MovI).dst(VReg(20 + i)).imm(i as i64),
+        ]));
+    }
+    insts.push(bundle(vec![Inst::new(Opcode::Ret)]));
+    let r = simulate(&one_block(insts), &MachineConfig::table3(), mem()).unwrap();
+    assert_eq!(r.insts, 17);
+    assert_eq!(r.bundles, 9);
+    assert!(r.ipc() > 1.0, "two-wide bundles should exceed IPC 1: {}", r.ipc());
+}
+
+#[test]
+fn verify_machine_accepts_compiled_suite_output() {
+    // The whole benchmark suite's baseline compilations verify.
+    let machine = MachineConfig::table3();
+    for b in metaopt_suite::int_benchmarks().into_iter().take(4) {
+        let prog = b.program();
+        let prepared = metaopt_compiler::prepare(&prog).unwrap();
+        let profile = metaopt_ir::interp::run(
+            &prepared,
+            &metaopt_ir::interp::RunConfig {
+                memory: Some(b.memory(&prepared, metaopt_suite::DataSet::Train)),
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap();
+        let compiled = metaopt_compiler::compile(
+            &prepared,
+            &profile.funcs[0],
+            &machine,
+            &metaopt_compiler::Passes::baseline(),
+        )
+        .unwrap();
+        verify_machine(&compiled.code, &machine).expect("compiled code verifies");
+    }
+}

@@ -1,0 +1,796 @@
+//! Floating-point kernels (paper Table 5 / Figs. 13–16: SPECfp 92/95 for
+//! training, SPECfp 2000 for cross-validation).
+//!
+//! These stress the memory hierarchy the way their namesakes do: stencil
+//! sweeps (tomcatv, swim, mgrid, applu, apsi), linear algebra (nasa7,
+//! su2cor, wupwise), strided FFT butterflies (turb3d, lucas), irregular
+//! gathers (wave5, equake, ammp), and compute-dominated mixes (doduc,
+//! mdljdp2).
+//!
+//! Working-set sizing is deliberate and reproduces the paper's §7 finding:
+//! the SPEC92/95 **training** kernels are mostly L2-resident, so ORC-style
+//! aggressive prefetching only wastes memory-unit slots (the paper: "ORC
+//! overzealously prefetches... shutting off prefetching altogether achieves
+//! gains within 7% of the specialized priority functions"), while the
+//! SPEC2000 **cross-validation** kernels stream working sets well beyond
+//! the L2, where aggressive prefetching is the right call (Fig. 16's
+//! training-set-coverage caveat).
+
+use crate::{Benchmark, Category};
+
+macro_rules! with_rng {
+    ($body:expr) => {
+        concat!(
+            "global int dataseed;\n",
+            "global int rngstate;\n",
+            "fn rnd() -> int {\n",
+            "    rngstate = (rngstate * 1103515245 + 12345) % 2147483648;\n",
+            "    return rngstate;\n",
+            "}\n",
+            "fn frnd() -> float { return i2f(rnd() % 1000) * 0.001; }\n",
+            $body
+        )
+    };
+}
+
+const TOMCATV: &str = with_rng!(
+    r#"
+global float x[289];
+global float y[289];
+global float rx[289];
+global float ry[289];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 289; i = i + 1) { x[i] = frnd(); y[i] = frnd(); }
+    let s = 0.0;
+    for (let iter = 0; iter < 45; iter = iter + 1) {
+        // 17x17 mesh residual stencil (L1-resident in steady state, as in
+        // the 95-era runs the paper trained on).
+        for (let j = 1; j < 16; j = j + 1) {
+            for (let i = 1; i < 16; i = i + 1) {
+                let p = j * 17 + i;
+                let xx = x[p + 1] - x[p - 1];
+                let yx = y[p + 1] - y[p - 1];
+                let xy = x[p + 17] - x[p - 17];
+                let yy = y[p + 17] - y[p - 17];
+                let a = 0.25 * (xy * xy + yy * yy);
+                let b = 0.25 * (xx * xx + yx * yx);
+                rx[p] = a * (x[p + 1] + x[p - 1]) - b * (x[p + 17] + x[p - 17]) + x[p] * 0.5;
+                ry[p] = a * (y[p + 1] + y[p - 1]) - b * (y[p + 17] + y[p - 17]) + y[p] * 0.5;
+            }
+        }
+        for (let p = 0; p < 289; p = p + 1) {
+            x[p] = x[p] * 0.9 + rx[p] * 0.001;
+            y[p] = y[p] * 0.9 + ry[p] * 0.001;
+            s = s + rx[p] - ry[p];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 289; hk = hk + 1) {
+        h = (h * 31 + (f2i(x[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const SWIM95: &str = with_rng!(
+    r#"
+global float u[256];
+global float v[256];
+global float p[256];
+global float unew[256];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 256; i = i + 1) { u[i] = frnd(); v[i] = frnd(); p[i] = frnd() + 1.0; }
+    let s = 0.0;
+    for (let iter = 0; iter < 70; iter = iter + 1) {
+        for (let j = 1; j < 15; j = j + 1) {
+            for (let i = 1; i < 15; i = i + 1) {
+                let k = j * 16 + i;
+                let cu = 0.5 * (p[k] + p[k - 1]) * u[k];
+                let cv = 0.5 * (p[k] + p[k - 16]) * v[k];
+                let z = (v[k + 1] - v[k] + u[k + 16] - u[k]) / (p[k] + 1.0);
+                unew[k] = u[k] + 0.1 * (cu - cv + z);
+            }
+        }
+        for (let k = 0; k < 256; k = k + 1) {
+            u[k] = unew[k] * 0.999;
+            s = s + u[k];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 256; hk = hk + 1) {
+        h = (h * 31 + (f2i(u[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const SU2COR: &str = with_rng!(
+    r#"
+global float m[1024];
+global float vecin[512];
+global float vecout[512];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) { m[i] = frnd() - 0.5; }
+    for (let i = 0; i < 512; i = i + 1) { vecin[i] = frnd(); }
+    let s = 0.0;
+    for (let iter = 0; iter < 35; iter = iter + 1) {
+        // Gauge-field-ish: alternating row and column sweeps (the column
+        // sweep has stride 64*8 bytes — poor line reuse).
+        for (let r = 0; r < 16; r = r + 1) {
+            let acc = 0.0;
+            for (let c = 0; c < 64; c = c + 1) { acc = acc + m[r * 64 + c] * vecin[c]; }
+            vecout[r] = acc;
+        }
+        for (let c = 0; c < 64; c = c + 1) {
+            let acc = 0.0;
+            for (let r = 0; r < 16; r = r + 1) { acc = acc + m[r * 64 + c] * vecin[64 + r]; }
+            vecout[64 + c] = acc * 0.5;
+        }
+        for (let i = 0; i < 128; i = i + 1) {
+            vecin[i] = vecin[i] * 0.95 + vecout[i] * 0.05;
+            s = s + vecout[i];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 512; hk = hk + 1) {
+        h = (h * 31 + (f2i(vecin[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const TURB3D: &str = with_rng!(
+    r#"
+global float re[512];
+global float im[512];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 512; i = i + 1) { re[i] = frnd() - 0.5; im[i] = frnd() - 0.5; }
+    let s = 0.0;
+    for (let iter = 0; iter < 18; iter = iter + 1) {
+        // FFT-like butterfly passes with doubling strides.
+        for (let span = 1; span < 512; span = span * 2) {
+            let step = span * 2;
+            for (let base = 0; base < 512; base = base + step) {
+                for (let k = 0; k < span; k = k + 1) {
+                    let a = base + k;
+                    let b = a + span;
+                    if (b < 512) {
+                        let tr = re[b] * 0.7 - im[b] * 0.3;
+                        let ti = re[b] * 0.3 + im[b] * 0.7;
+                        re[b] = re[a] - tr;
+                        im[b] = im[a] - ti;
+                        re[a] = re[a] + tr;
+                        im[a] = im[a] + ti;
+                    }
+                }
+            }
+        }
+        for (let i = 0; i < 512; i = i + 1) {
+            // Renormalize: the butterflies grow RMS magnitude ~9x per pass.
+            re[i] = re[i] * 0.1;
+            im[i] = im[i] * 0.1;
+            s = s + re[i] + im[i];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 512; hk = hk + 1) {
+        h = (h * 31 + (f2i(re[hk] * 1000000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const WAVE5: &str = with_rng!(
+    r#"
+global float field[1024];
+global float px[256];
+global float pv[256];
+global int cell[256];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) { field[i] = frnd() - 0.5; }
+    for (let i = 0; i < 256; i = i + 1) {
+        px[i] = frnd() * 1000.0;
+        pv[i] = frnd() - 0.5;
+        cell[i] = rnd() % 1022;
+    }
+    let s = 0.0;
+    for (let iter = 0; iter < 50; iter = iter + 1) {
+        // Particle push: irregular gather from the field.
+        for (let i = 0; i < 256; i = i + 1) {
+            let c = cell[i];
+            let e = field[c] * 0.5 + field[c + 1] * 0.5;
+            pv[i] = pv[i] + e * 0.1;
+            px[i] = px[i] + pv[i];
+            if (px[i] < 0.0) { px[i] = px[i] + 1000.0; }
+            if (px[i] >= 1000.0) { px[i] = px[i] - 1000.0; }
+            cell[i] = f2i(px[i]) % 1022;
+            if (cell[i] < 0) { cell[i] = 0; }
+        }
+        // Charge deposit: irregular scatter.
+        for (let i = 0; i < 256; i = i + 1) {
+            let c = cell[i];
+            field[c] = field[c] * 0.999 + 0.001;
+        }
+        for (let i = 0; i < 256; i = i + 1) { s = s + pv[i]; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 256; hk = hk + 1) {
+        h = (h * 31 + (f2i(pv[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const NASA7: &str = with_rng!(
+    r#"
+global float a[576];
+global float b[576];
+global float c[576];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 576; i = i + 1) { a[i] = frnd(); b[i] = frnd(); c[i] = 0.0; }
+    let s = 0.0;
+    for (let iter = 0; iter < 9; iter = iter + 1) {
+        // 24x24 matrix multiply (the kernels' core).
+        for (let i = 0; i < 24; i = i + 1) {
+            for (let j = 0; j < 24; j = j + 1) {
+                let acc = 0.0;
+                for (let k = 0; k < 24; k = k + 1) {
+                    acc = acc + a[i * 24 + k] * b[k * 24 + j];
+                }
+                c[i * 24 + j] = acc;
+            }
+        }
+        for (let i = 0; i < 576; i = i + 1) { s = s + c[i]; a[i] = a[i] * 0.999; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 576; hk = hk + 1) {
+        h = (h * 31 + (f2i(c[hk] * 100.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const DODUC: &str = with_rng!(
+    r#"
+global float state[256];
+global float tbl[128];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 256; i = i + 1) { state[i] = frnd() + 0.1; }
+    for (let i = 0; i < 128; i = i + 1) { tbl[i] = frnd() * 2.0 + 0.1; }
+    let s = 0.0;
+    // Compute-dominated Monte-Carlo-ish update: tiny working set, heavy
+    // FP dependency chains — prefetching has nothing to win here.
+    for (let iter = 0; iter < 300; iter = iter + 1) {
+        for (let i = 0; i < 256; i = i + 1) {
+            let v = state[i];
+            let t = tbl[(i + iter) % 128];
+            let w = v * t + 0.5 * v / (t + 1.0);
+            w = w + sqrt(w * 0.25);
+            if (w > 10.0) { w = w * 0.01; }
+            state[i] = w * 0.9 + 0.01;
+            s = s + w * 0.0001;
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 256; hk = hk + 1) {
+        h = (h * 31 + (f2i(state[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const MDLJDP2: &str = with_rng!(
+    r#"
+global float posx[256];
+global float posy[256];
+global float fx[256];
+global float fy[256];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 256; i = i + 1) { posx[i] = frnd() * 10.0; posy[i] = frnd() * 10.0; }
+    let s = 0.0;
+    for (let iter = 0; iter < 10; iter = iter + 1) {
+        for (let i = 0; i < 256; i = i + 1) { fx[i] = 0.0; fy[i] = 0.0; }
+        // Pair interactions with cutoff (branch rate depends on geometry).
+        for (let i = 0; i < 256; i = i + 1) {
+            for (let j = i + 1; j < 256; j = j + 8) {
+                let dx = posx[i] - posx[j];
+                let dy = posy[i] - posy[j];
+                let r2 = dx * dx + dy * dy;
+                if (r2 < 9.0) {
+                    let inv = 1.0 / (r2 + 0.01);
+                    let f = inv * inv - 0.5 * inv;
+                    fx[i] = fx[i] + f * dx;
+                    fy[i] = fy[i] + f * dy;
+                }
+            }
+        }
+        for (let i = 0; i < 256; i = i + 1) {
+            posx[i] = posx[i] + fx[i] * 0.001;
+            posy[i] = posy[i] + fy[i] * 0.001;
+            s = s + fx[i] + fy[i];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 256; hk = hk + 1) {
+        h = (h * 31 + (f2i(posx[hk] * 1000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const MGRID95: &str = with_rng!(
+    r#"
+global float grid[729];
+global float tmp[729];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 729; i = i + 1) { grid[i] = frnd() - 0.5; }
+    let s = 0.0;
+    // 9^3 grid: 7-point relaxation, three sweeps per iteration with
+    // strides 1, 9, and 81 (the classic mgrid access pattern).
+    for (let iter = 0; iter < 30; iter = iter + 1) {
+        for (let z = 1; z < 8; z = z + 1) {
+            for (let y = 1; y < 8; y = y + 1) {
+                for (let x = 1; x < 8; x = x + 1) {
+                    let k = z * 81 + y * 9 + x;
+                    tmp[k] = 0.5 * grid[k]
+                        + 0.0833 * (grid[k - 1] + grid[k + 1]
+                                    + grid[k - 9] + grid[k + 9]
+                                    + grid[k - 81] + grid[k + 81]);
+                }
+            }
+        }
+        for (let k = 0; k < 729; k = k + 1) { grid[k] = tmp[k]; s = s + tmp[k]; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 729; hk = hk + 1) {
+        h = (h * 31 + (f2i(grid[hk] * 100000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const APSI: &str = with_rng!(
+    r#"
+global float t[1024];
+global float q[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) { t[i] = frnd() * 30.0; q[i] = frnd(); }
+    let s = 0.0;
+    // 16 columns x 64 levels; vertical (stride-16) diffusion sweeps, the
+    // apsi signature access pattern.
+    for (let iter = 0; iter < 28; iter = iter + 1) {
+        for (let col = 0; col < 16; col = col + 1) {
+            for (let lev = 1; lev < 63; lev = lev + 1) {
+                let k = lev * 16 + col;
+                let dt = t[k + 16] - 2.0 * t[k] + t[k - 16];
+                let adv = q[k] * (t[k] - t[k - 16]);
+                t[k] = t[k] + 0.01 * dt - 0.005 * adv;
+            }
+        }
+        for (let k = 0; k < 1024; k = k + 1) { s = s + t[k] * 0.001; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 1024; hk = hk + 1) {
+        h = (h * 31 + (f2i(t[hk] * 100.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+// ---- SPEC2000-like cross-validation set (Fig. 16) ----
+
+const WUPWISE: &str = with_rng!(
+    r#"
+global float ar[8192];
+global float ai[8192];
+global float br[8192];
+global float bi[8192];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 8192; i = i + 1) {
+        ar[i] = frnd() - 0.5; ai[i] = frnd() - 0.5;
+        br[i] = frnd() - 0.5; bi[i] = frnd() - 0.5;
+    }
+    let s = 0.0;
+    // Long unit-stride complex AXPY streams over 256 KiB of data: the
+    // streaming case where aggressive prefetching *is* the right call.
+    for (let iter = 0; iter < 4; iter = iter + 1) {
+        for (let i = 0; i < 8192; i = i + 1) {
+            let tr = ar[i] * br[i] - ai[i] * bi[i];
+            let ti = ar[i] * bi[i] + ai[i] * br[i];
+            ar[i] = ar[i] * 0.5 + tr * 0.1;
+            ai[i] = ai[i] * 0.5 + ti * 0.1;
+            s = s + tr - ti;
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 8192; hk = hk + 1) {
+        h = (h * 31 + (f2i(ar[hk] * 100000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const SWIM00: &str = with_rng!(
+    r#"
+global float u[8192];
+global float unew[8192];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 8192; i = i + 1) { u[i] = frnd(); }
+    let s = 0.0;
+    // Bigger swim: 128x64 grid streamed repeatedly (64 KiB per array).
+    for (let iter = 0; iter < 5; iter = iter + 1) {
+        for (let j = 1; j < 127; j = j + 1) {
+            for (let i = 1; i < 63; i = i + 1) {
+                let k = j * 64 + i;
+                unew[k] = 0.6 * u[k] + 0.1 * (u[k - 1] + u[k + 1] + u[k - 64] + u[k + 64]);
+            }
+        }
+        for (let k = 0; k < 8192; k = k + 1) { u[k] = unew[k]; s = s + u[k] * 0.001; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 8192; hk = hk + 1) {
+        h = (h * 31 + (f2i(u[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const MGRID00: &str = with_rng!(
+    r#"
+global float grid[9261];
+global float tmp[9261];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 9261; i = i + 1) { grid[i] = frnd() - 0.5; }
+    let s = 0.0;
+    // 21^3 grid (72 KiB per array) — exceeds the simulated L2 outright.
+    for (let iter = 0; iter < 2; iter = iter + 1) {
+        for (let z = 1; z < 20; z = z + 1) {
+            for (let y = 1; y < 20; y = y + 1) {
+                for (let x = 1; x < 20; x = x + 1) {
+                    let k = z * 441 + y * 21 + x;
+                    tmp[k] = 0.5 * grid[k]
+                        + 0.0833 * (grid[k - 1] + grid[k + 1]
+                                    + grid[k - 21] + grid[k + 21]
+                                    + grid[k - 441] + grid[k + 441]);
+                }
+            }
+        }
+        for (let k = 0; k < 9261; k = k + 1) { grid[k] = tmp[k]; s = s + tmp[k]; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 9261; hk = hk + 1) {
+        h = (h * 31 + (f2i(grid[hk] * 100000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const APPLU: &str = with_rng!(
+    r#"
+global float rsd[6144];
+global float flux[6144];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 6144; i = i + 1) { rsd[i] = frnd() - 0.5; }
+    let s = 0.0;
+    // SSOR-like forward and backward sweeps (loop-carried along the sweep).
+    for (let iter = 0; iter < 5; iter = iter + 1) {
+        for (let k = 5; k < 6144; k = k + 1) {
+            flux[k] = rsd[k] - 0.2 * rsd[k - 1] - 0.1 * rsd[k - 5];
+        }
+        for (let k = 6138; k >= 0; k = k - 1) {
+            rsd[k] = flux[k] - 0.2 * flux[k + 1] - 0.1 * flux[min(k + 5, 6143)];
+        }
+        for (let k = 0; k < 6144; k = k + 256) { s = s + rsd[k]; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 6144; hk = hk + 1) {
+        h = (h * 31 + (f2i(rsd[hk] * 100000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const EQUAKE: &str = with_rng!(
+    r#"
+global float val[8192];
+global int col[8192];
+global float x[2048];
+global float y[2048];
+fn main() -> int {
+    rngstate = dataseed;
+    // Sparse matrix in flat CSR-ish layout: 4 nonzeros per row.
+    for (let i = 0; i < 8192; i = i + 1) {
+        val[i] = frnd() - 0.5;
+        col[i] = rnd() % 2048;
+    }
+    for (let i = 0; i < 2048; i = i + 1) { x[i] = frnd(); }
+    let s = 0.0;
+    for (let iter = 0; iter < 10; iter = iter + 1) {
+        // Sparse matvec: the column gather is data-dependent (no stride).
+        for (let r = 0; r < 2048; r = r + 1) {
+            let acc = 0.0;
+            for (let e = 0; e < 4; e = e + 1) {
+                let k = r * 4 + e;
+                acc = acc + val[k] * x[col[k]];
+            }
+            y[r] = acc;
+        }
+        for (let r = 0; r < 2048; r = r + 1) { x[r] = x[r] * 0.9 + y[r] * 0.1; s = s + y[r] * 0.01; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 2048; hk = hk + 1) {
+        h = (h * 31 + (f2i(x[hk] * 100000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const AMMP: &str = with_rng!(
+    r#"
+global float ax[1024];
+global float ay[1024];
+global float az[1024];
+global int nbr[4096];
+global float force[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) {
+        ax[i] = frnd() * 20.0; ay[i] = frnd() * 20.0; az[i] = frnd() * 20.0;
+    }
+    for (let i = 0; i < 4096; i = i + 1) { nbr[i] = rnd() % 1024; }
+    let s = 0.0;
+    for (let iter = 0; iter < 6; iter = iter + 1) {
+        // Neighbor-list force evaluation: indirect loads, cutoff branches.
+        for (let i = 0; i < 1024; i = i + 1) {
+            let f = 0.0;
+            for (let n = 0; n < 4; n = n + 1) {
+                let j = nbr[i * 4 + n];
+                let dx = ax[i] - ax[j];
+                let dy = ay[i] - ay[j];
+                let dz = az[i] - az[j];
+                let r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                if (r2 < 100.0) { f = f + 1.0 / r2 - 0.01 * r2; }
+            }
+            force[i] = f;
+        }
+        for (let i = 0; i < 1024; i = i + 1) {
+            ax[i] = ax[i] + force[i] * 0.0001;
+            s = s + force[i] * 0.001;
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 1024; hk = hk + 1) {
+        h = (h * 31 + (f2i(ax[hk] * 1000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const LUCAS: &str = with_rng!(
+    r#"
+global float data[8192];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 8192; i = i + 1) { data[i] = frnd() - 0.5; }
+    let s = 0.0;
+    // Lucas-Lehmer-ish: FFT squaring passes over a 64 KiB signal — long
+    // power-of-two strides plus a unit-stride normalization stream.
+    for (let iter = 0; iter < 2; iter = iter + 1) {
+        for (let span = 1; span < 8192; span = span * 4) {
+            let step = span * 2;
+            for (let base = 0; base < 8192; base = base + step) {
+                for (let k = 0; k < span; k = k + 1) {
+                    let a = base + k;
+                    let b = a + span;
+                    if (b < 8192) {
+                        let t = data[b] * 0.6;
+                        data[b] = data[a] - t;
+                        data[a] = data[a] + t;
+                    }
+                }
+            }
+        }
+        for (let i = 0; i < 8192; i = i + 1) {
+            // Chebyshev map keeps the signal chaotic (seed-sensitive).
+            data[i] = 1.0 - 2.0 * data[i] * data[i];
+            s = s + data[i];
+        }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 8192; hk = hk + 1) {
+        h = (h * 31 + (f2i(data[hk] * 10000.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+const APSI00: &str = with_rng!(
+    r#"
+global float t[8192];
+global float w[8192];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 8192; i = i + 1) { t[i] = frnd() * 30.0; w[i] = frnd() - 0.5; }
+    let s = 0.0;
+    // 128 columns x 64 levels with vertical sweeps and a pointwise pass.
+    for (let iter = 0; iter < 4; iter = iter + 1) {
+        for (let col = 0; col < 128; col = col + 1) {
+            for (let lev = 1; lev < 63; lev = lev + 1) {
+                let k = lev * 128 + col;
+                t[k] = t[k] + 0.01 * (t[k + 128] - 2.0 * t[k] + t[k - 128]) - 0.004 * w[k] * (t[k] - t[k - 128]);
+            }
+        }
+        for (let k = 0; k < 8192; k = k + 1) { s = s + t[k] * 0.0001; }
+    }
+    let h = 0;
+    for (let hk = 0; hk < 8192; hk = hk + 1) {
+        h = (h * 31 + (f2i(t[hk] * 100.0) % 65536 + 65536)) % 1000003;
+    }
+    return h;
+}
+"#
+);
+
+/// All floating-point benchmarks.
+pub fn all() -> Vec<Benchmark> {
+    use Category::Fp;
+    vec![
+        Benchmark {
+            name: "101.tomcatv",
+            suite: "SPEC92fp",
+            description: "Vectorized mesh generation",
+            category: Fp,
+            source: TOMCATV,
+        },
+        Benchmark {
+            name: "102.swim",
+            suite: "SPEC95fp",
+            description: "Shallow water model",
+            category: Fp,
+            source: SWIM95,
+        },
+        Benchmark {
+            name: "103.su2cor",
+            suite: "SPEC95fp",
+            description: "Quantum physics Monte Carlo",
+            category: Fp,
+            source: SU2COR,
+        },
+        Benchmark {
+            name: "125.turb3d",
+            suite: "SPEC95fp",
+            description: "Turbulence simulation (FFT)",
+            category: Fp,
+            source: TURB3D,
+        },
+        Benchmark {
+            name: "146.wave5",
+            suite: "SPEC95fp",
+            description: "Plasma particle-in-cell",
+            category: Fp,
+            source: WAVE5,
+        },
+        Benchmark {
+            name: "093.nasa7",
+            suite: "SPEC92fp",
+            description: "NASA kernels (matmul core)",
+            category: Fp,
+            source: NASA7,
+        },
+        Benchmark {
+            name: "015.doduc",
+            suite: "SPEC92fp",
+            description: "Nuclear reactor Monte Carlo",
+            category: Fp,
+            source: DODUC,
+        },
+        Benchmark {
+            name: "034.mdljdp2",
+            suite: "SPEC92fp",
+            description: "Molecular dynamics",
+            category: Fp,
+            source: MDLJDP2,
+        },
+        Benchmark {
+            name: "107.mgrid",
+            suite: "SPEC95fp",
+            description: "Multigrid solver",
+            category: Fp,
+            source: MGRID95,
+        },
+        Benchmark {
+            name: "141.apsi",
+            suite: "SPEC95fp",
+            description: "Pollutant distribution model",
+            category: Fp,
+            source: APSI,
+        },
+        Benchmark {
+            name: "168.wupwise",
+            suite: "SPEC2000fp",
+            description: "Quantum chromodynamics",
+            category: Fp,
+            source: WUPWISE,
+        },
+        Benchmark {
+            name: "171.swim",
+            suite: "SPEC2000fp",
+            description: "Shallow water model (larger)",
+            category: Fp,
+            source: SWIM00,
+        },
+        Benchmark {
+            name: "172.mgrid",
+            suite: "SPEC2000fp",
+            description: "Multigrid solver (larger)",
+            category: Fp,
+            source: MGRID00,
+        },
+        Benchmark {
+            name: "173.applu",
+            suite: "SPEC2000fp",
+            description: "Parabolic PDE (SSOR)",
+            category: Fp,
+            source: APPLU,
+        },
+        Benchmark {
+            name: "183.equake",
+            suite: "SPEC2000fp",
+            description: "Seismic wave propagation (sparse)",
+            category: Fp,
+            source: EQUAKE,
+        },
+        Benchmark {
+            name: "188.ammp",
+            suite: "SPEC2000fp",
+            description: "Computational chemistry",
+            category: Fp,
+            source: AMMP,
+        },
+        Benchmark {
+            name: "189.lucas",
+            suite: "SPEC2000fp",
+            description: "Primality testing (FFT)",
+            category: Fp,
+            source: LUCAS,
+        },
+        Benchmark {
+            name: "301.apsi",
+            suite: "SPEC2000fp",
+            description: "Pollutant distribution (larger)",
+            category: Fp,
+            source: APSI00,
+        },
+    ]
+}

@@ -1,0 +1,1246 @@
+//! Integer / multimedia kernels (paper Table 5: Mediabench, SPECint, misc).
+//!
+//! Each kernel reproduces the control-flow character of its namesake: codecs
+//! with data-dependent run/step branches, compressors with hash probing,
+//! interpreters and simulators with dispatch loops, a tokenizer, a toy
+//! object database. All are self-seeding from the `dataseed` global and
+//! return a checksum.
+
+use crate::{Benchmark, Category};
+
+/// Shared MiniC preamble: a linear-congruential PRNG over `dataseed`.
+macro_rules! with_rng {
+    ($body:expr) => {
+        concat!(
+            "global int dataseed;\n",
+            "global int rngstate;\n",
+            "fn rnd() -> int {\n",
+            "    rngstate = (rngstate * 1103515245 + 12345) % 2147483648;\n",
+            "    return rngstate;\n",
+            "}\n",
+            $body
+        )
+    };
+}
+
+const CODRLE4: &str = with_rng!(
+    r#"
+global byte input[2048];
+global byte output[4200];
+fn main() -> int {
+    rngstate = dataseed;
+    // Run-structured data: random values repeated for random run lengths.
+    let i = 0;
+    while (i < 2048) {
+        let v = rnd() % 256;
+        let len = 1 + rnd() % 9;
+        let j = 0;
+        while (j < len) {
+            if (i < 2048) { input[i] = v; i = i + 1; }
+            j = j + 1;
+        }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 6; rep = rep + 1) {
+        // RLE type 4 encode: literal runs and repeat runs.
+        let out = 0;
+        let p = 0;
+        while (p < 2048) {
+            let v = input[p];
+            let run = 1;
+            // Sentinel trick: +130 marks "mismatch found" and exits.
+            while (p + run < 2048 && run < 127) {
+                if (input[p + run] == v) { run = run + 1; } else { run = run + 130; }
+            }
+            if (run > 127) { run = run - 130; }
+            if (run >= 3) {
+                output[out] = 255; output[out + 1] = run; output[out + 2] = v;
+                out = out + 3;
+            } else {
+                let k = 0;
+                while (k < run) { output[out] = input[p + k]; out = out + 1; k = k + 1; }
+            }
+            p = p + run;
+        }
+        sum = sum + out;
+        let h = 0;
+        for (let q = 0; q < out; q = q + 1) { h = (h * 131 + output[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const DECODRLE4: &str = with_rng!(
+    r#"
+global byte stream[3072];
+global byte decoded[4096];
+fn main() -> int {
+    rngstate = dataseed;
+    // Generate an RLE stream directly: mix of repeat and literal packets.
+    let n = 0;
+    while (n < 3000) {
+        if (rnd() % 3 == 0) {
+            stream[n] = 255; stream[n + 1] = 3 + rnd() % 60; stream[n + 2] = rnd() % 255;
+            n = n + 3;
+        } else {
+            stream[n] = rnd() % 255;
+            n = n + 1;
+        }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 10; rep = rep + 1) {
+        let p = 0;
+        let out = 0;
+        while (p < n) {
+            let v = stream[p];
+            if (v == 255) {
+                if (p + 2 < n) {
+                    let len = stream[p + 1];
+                    let fill = stream[p + 2];
+                    let k = 0;
+                    while (k < len) {
+                        if (out < 4096) { decoded[out] = fill; out = out + 1; }
+                        k = k + 1;
+                    }
+                    p = p + 3;
+                } else {
+                    p = n;
+                }
+            } else {
+                if (out < 4096) { decoded[out] = v; out = out + 1; }
+                p = p + 1;
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < out; q = q + 1) { h = (h * 257 + decoded[q]) % 1000003; }
+        sum = sum + h + out;
+    }
+    return sum;
+}
+"#
+);
+
+const HUFF_ENC: &str = with_rng!(
+    r#"
+global byte text[4096];
+global int freq[64];
+global int codelen[64];
+global byte bits[8192];
+fn main() -> int {
+    rngstate = dataseed;
+    // Skewed symbol distribution (text-like).
+    for (let i = 0; i < 4096; i = i + 1) {
+        let r = rnd() % 100;
+        if (r < 40) { text[i] = rnd() % 4; }
+        else if (r < 70) { text[i] = 4 + rnd() % 8; }
+        else if (r < 90) { text[i] = 12 + rnd() % 16; }
+        else { text[i] = 28 + rnd() % 36; }
+    }
+    for (let s = 0; s < 64; s = s + 1) { freq[s] = 1; }
+    for (let i = 0; i < 4096; i = i + 1) { freq[text[i]] = freq[text[i]] + 1; }
+    // Shannon-ish code lengths: longer for rarer symbols.
+    for (let s = 0; s < 64; s = s + 1) {
+        let f = freq[s];
+        let len = 2;
+        let bound = 2048;
+        while (f < bound) {
+            if (len < 14) { len = len + 1; }
+            bound = bound / 2;
+        }
+        codelen[s] = len;
+    }
+    // Emit "bits" (one byte per bit; enough for the control-flow shape).
+    let sum = 0;
+    for (let rep = 0; rep < 2; rep = rep + 1) {
+        let out = 0;
+        for (let i = 0; i < 4096; i = i + 1) {
+            let s = text[i];
+            let len = codelen[s];
+            let code = s * 2654435761;
+            for (let b = 0; b < len; b = b + 1) {
+                if (out < 8192) {
+                    bits[out] = (code >> b) & 1;
+                    out = out + 1;
+                }
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < out; q = q + 1) { h = (h * 3 + bits[q]) % 1000003; }
+        sum = sum + h + out;
+    }
+    return sum;
+}
+"#
+);
+
+const HUFF_DEC: &str = with_rng!(
+    r#"
+global byte bits[8192];
+global int lens[64];
+global byte out[4096];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let s = 0; s < 64; s = s + 1) { lens[s] = 3 + s % 11; }
+    for (let i = 0; i < 8192; i = i + 1) { bits[i] = rnd() % 2; }
+    let sum = 0;
+    for (let rep = 0; rep < 8; rep = rep + 1) {
+        // Walk a canonical-ish code tree: accumulate bits until the value
+        // falls in a symbol band (data-dependent exit).
+        let p = 0;
+        let n = 0;
+        while (p + 16 < 8192) {
+            if (n >= 4096) { p = 8192; }
+            else {
+                let acc = 0;
+                let len = 0;
+                let done = 0;
+                while (done == 0) {
+                    acc = acc * 2 + bits[p];
+                    p = p + 1;
+                    len = len + 1;
+                    if (len >= 3) {
+                        let sym = (acc + len * 17) % 64;
+                        if (lens[sym] <= len) { out[n] = sym; n = n + 1; done = 1; }
+                        else if (len >= 14) { out[n] = acc % 64; n = n + 1; done = 1; }
+                    }
+                }
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < n; q = q + 1) { h = (h * 131 + out[q]) % 1000003; }
+        sum = sum + h + n;
+        rngstate = rngstate + 1;
+    }
+    return sum;
+}
+"#
+);
+
+const DJPEG: &str = with_rng!(
+    r#"
+global int coef[1024];
+global int quant[64];
+global int pixels[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 64; i = i + 1) { quant[i] = 1 + (i * 3) / 8; }
+    for (let i = 0; i < 1024; i = i + 1) {
+        // Sparse high-frequency coefficients, like real JPEG blocks.
+        if (i % 64 < 8) { coef[i] = rnd() % 512 - 256; }
+        else if (rnd() % 4 == 0) { coef[i] = rnd() % 64 - 32; }
+        else { coef[i] = 0; }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 10; rep = rep + 1) {
+        for (let blk = 0; blk < 16; blk = blk + 1) {
+            let base = blk * 64;
+            // Dequant + separable 8x8 butterfly-ish IDCT approximation.
+            for (let r = 0; r < 8; r = r + 1) {
+                for (let c = 0; c < 4; c = c + 1) {
+                    let i0 = base + r * 8 + c;
+                    let i1 = base + r * 8 + 7 - c;
+                    let a = coef[i0] * quant[r * 8 + c];
+                    let b = coef[i1] * quant[r * 8 + 7 - c];
+                    pixels[i0] = a + b;
+                    pixels[i1] = (a - b) * (c + 1) / 2;
+                }
+            }
+            for (let c = 0; c < 8; c = c + 1) {
+                for (let r = 0; r < 4; r = r + 1) {
+                    let i0 = base + r * 8 + c;
+                    let i1 = base + (7 - r) * 8 + c;
+                    let a = pixels[i0] + pixels[i1];
+                    let b = pixels[i0] - pixels[i1];
+                    // Saturating clamp to [0,255] with +128 level shift.
+                    let v = a / 16 + 128;
+                    if (v < 0) { v = 0; }
+                    if (v > 255) { v = 255; }
+                    pixels[i0] = v;
+                    let w = b / 16 + 128;
+                    if (w < 0) { w = 0; }
+                    if (w > 255) { w = 255; }
+                    pixels[i1] = w;
+                }
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 1024; q = q + 1) { h = (h * 31 + pixels[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+/// Shared ADPCM-style step table and branchy quantizer shape.
+const G721ENCODE: &str = with_rng!(
+    r#"
+global int pcm[2048];
+global byte codes[2048];
+global int steptab[49];
+fn main() -> int {
+    rngstate = dataseed;
+    steptab[0] = 16;
+    for (let i = 1; i < 49; i = i + 1) { steptab[i] = steptab[i - 1] * 11 / 10 + 1; }
+    // Synthetic voice: slow wave + noise.
+    let phase = 0;
+    for (let i = 0; i < 2048; i = i + 1) {
+        phase = phase + 3 + rnd() % 5;
+        let wave = (phase % 200) - 100;
+        pcm[i] = wave * 120 + rnd() % 256 - 128;
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 6; rep = rep + 1) {
+        let pred = 0;
+        let index = 16;
+        for (let i = 0; i < 2048; i = i + 1) {
+            let diff = pcm[i] - pred;
+            let sign = 0;
+            if (diff < 0) { sign = 8; diff = -diff; }
+            let step = steptab[index];
+            let code = 0;
+            if (diff >= step) { code = 4; diff = diff - step; }
+            if (diff >= step / 2) { code = code + 2; diff = diff - step / 2; }
+            if (diff >= step / 4) { code = code + 1; }
+            codes[i] = code + sign;
+            // Reconstruct predictor.
+            let delta = step / 8 + (code & 1) * step / 4 + ((code >> 1) & 1) * step / 2 + ((code >> 2) & 1) * step;
+            if (sign == 8) { pred = pred - delta; } else { pred = pred + delta; }
+            if (pred > 32767) { pred = 32767; }
+            if (pred < -32768) { pred = -32768; }
+            // Step adaptation (branchy table walk).
+            if (code >= 4) { index = index + 4; }
+            else if (code >= 2) { index = index + 1; }
+            else { index = index - 1; }
+            if (index < 0) { index = 0; }
+            if (index > 48) { index = 48; }
+        }
+        let h = 0;
+        for (let q = 0; q < 2048; q = q + 1) { h = (h * 17 + codes[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const G721DECODE: &str = with_rng!(
+    r#"
+global byte codes[2048];
+global int pcm[2048];
+global int steptab[49];
+fn main() -> int {
+    rngstate = dataseed;
+    steptab[0] = 16;
+    for (let i = 1; i < 49; i = i + 1) { steptab[i] = steptab[i - 1] * 11 / 10 + 1; }
+    for (let i = 0; i < 2048; i = i + 1) { codes[i] = rnd() % 16; }
+    let sum = 0;
+    for (let rep = 0; rep < 8; rep = rep + 1) {
+        let pred = 0;
+        let index = 16;
+        for (let i = 0; i < 2048; i = i + 1) {
+            let code = codes[i];
+            let step = steptab[index];
+            let delta = step / 8 + (code & 1) * step / 4 + ((code >> 1) & 1) * step / 2 + ((code >> 2) & 1) * step;
+            if (code >= 8) { pred = pred - delta; } else { pred = pred + delta; }
+            if (pred > 32767) { pred = 32767; }
+            if (pred < -32768) { pred = -32768; }
+            pcm[i] = pred;
+            let mag = code & 7;
+            if (mag >= 4) { index = index + 4; }
+            else if (mag >= 2) { index = index + 1; }
+            else { index = index - 1; }
+            if (index < 0) { index = 0; }
+            if (index > 48) { index = 48; }
+        }
+        let h = 0;
+        for (let q = 0; q < 2048; q = q + 1) { h = (h * 13 + (pcm[q] & 1023)) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const MPEG2DEC: &str = with_rng!(
+    r#"
+global int ref0[1024];
+global int ref1[1024];
+global int delta[1024];
+global int frame[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) {
+        ref0[i] = rnd() % 256;
+        ref1[i] = rnd() % 256;
+        if (rnd() % 3 == 0) { delta[i] = rnd() % 64 - 32; } else { delta[i] = 0; }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 12; rep = rep + 1) {
+        for (let mb = 0; mb < 16; mb = mb + 1) {
+            let mode = (mb + rep) % 3;
+            let base = mb * 64;
+            for (let i = 0; i < 64; i = i + 1) {
+                let p = 0;
+                if (mode == 0) { p = ref0[base + i]; }
+                else if (mode == 1) { p = ref1[base + i]; }
+                else { p = (ref0[base + i] + ref1[base + i] + 1) / 2; }
+                let v = p + delta[base + i];
+                if (v < 0) { v = 0; }
+                if (v > 255) { v = 255; }
+                frame[base + i] = v;
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 1024; q = q + 1) { h = (h * 37 + frame[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const RASTA: &str = with_rng!(
+    r#"
+global float spectrum[512];
+global float bands[32];
+global int labels[128];
+fn main() -> int {
+    rngstate = dataseed;
+    let sum = 0;
+    for (let framei = 0; framei < 40; framei = framei + 1) {
+        for (let i = 0; i < 512; i = i + 1) {
+            spectrum[i] = i2f(rnd() % 1000) * 0.001 + 0.01;
+        }
+        // Critical-band integration.
+        for (let b = 0; b < 32; b = b + 1) {
+            let acc = 0.0;
+            for (let k = 0; k < 16; k = k + 1) {
+                acc = acc + spectrum[b * 16 + k] * (1.0 + i2f(k) * 0.05);
+            }
+            bands[b] = acc;
+        }
+        // Log-ish compression + thresholded labeling (branchy).
+        let lab = 0;
+        for (let b = 0; b < 32; b = b + 1) {
+            let v = bands[b];
+            let l = 0;
+            let t = 0.5;
+            while (v > t) { l = l + 1; t = t * 2.0; }
+            if (l > 7) { l = 7; }
+            lab = lab * 8 + l;
+            if (b % 4 == 3) {
+                labels[(framei * 8 + b / 4) % 128] = lab % 65536;
+                lab = 0;
+            }
+        }
+    }
+    let h = 0;
+    for (let q = 0; q < 128; q = q + 1) { h = (h * 131 + labels[q]) % 1000003; }
+    sum = sum + h;
+    return sum;
+}
+"#
+);
+
+const RAWCAUDIO: &str = with_rng!(
+    r#"
+global int samples[4096];
+global byte adpcm[4096];
+global int steps[89];
+fn main() -> int {
+    rngstate = dataseed;
+    steps[0] = 7;
+    for (let i = 1; i < 89; i = i + 1) { steps[i] = steps[i - 1] * 11 / 10 + 1; }
+    let phase = 0;
+    for (let i = 0; i < 4096; i = i + 1) {
+        phase = phase + 1 + rnd() % 7;
+        samples[i] = ((phase % 128) - 64) * 250 + rnd() % 400 - 200;
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 3; rep = rep + 1) {
+        let valpred = 0;
+        let index = 0;
+        for (let i = 0; i < 4096; i = i + 1) {
+            let diff = samples[i] - valpred;
+            let sign = 0;
+            if (diff < 0) { sign = 8; diff = -diff; }
+            let step = steps[index];
+            let d = 0;
+            let vpdiff = step >> 3;
+            if (diff >= step) { d = 4; diff = diff - step; vpdiff = vpdiff + step; }
+            step = step >> 1;
+            if (diff >= step) { d = d + 2; diff = diff - step; vpdiff = vpdiff + step; }
+            step = step >> 1;
+            if (diff >= step) { d = d + 1; vpdiff = vpdiff + step; }
+            if (sign == 8) { valpred = valpred - vpdiff; } else { valpred = valpred + vpdiff; }
+            if (valpred > 32767) { valpred = 32767; }
+            if (valpred < -32768) { valpred = -32768; }
+            let code = d + sign;
+            adpcm[i] = code;
+            let idx = index;
+            if (d >= 4) { idx = idx + 8 - d / 2; } else { idx = idx - 1; }
+            index = idx;
+            if (index < 0) { index = 0; }
+            if (index > 88) { index = 88; }
+        }
+        let h = 0;
+        for (let q = 0; q < 4096; q = q + 1) { h = (h * 19 + adpcm[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const RAWDAUDIO: &str = with_rng!(
+    r#"
+global byte adpcm[4096];
+global int samples[4096];
+global int steps[89];
+fn main() -> int {
+    rngstate = dataseed;
+    steps[0] = 7;
+    for (let i = 1; i < 89; i = i + 1) { steps[i] = steps[i - 1] * 11 / 10 + 1; }
+    for (let i = 0; i < 4096; i = i + 1) { adpcm[i] = rnd() % 16; }
+    let sum = 0;
+    for (let rep = 0; rep < 4; rep = rep + 1) {
+        let valpred = 0;
+        let index = 0;
+        for (let i = 0; i < 4096; i = i + 1) {
+            let code = adpcm[i];
+            let step = steps[index];
+            let vpdiff = step >> 3;
+            if ((code & 4) != 0) { vpdiff = vpdiff + step; }
+            if ((code & 2) != 0) { vpdiff = vpdiff + (step >> 1); }
+            if ((code & 1) != 0) { vpdiff = vpdiff + (step >> 2); }
+            if ((code & 8) != 0) { valpred = valpred - vpdiff; } else { valpred = valpred + vpdiff; }
+            if (valpred > 32767) { valpred = 32767; }
+            if (valpred < -32768) { valpred = -32768; }
+            samples[i] = valpred;
+            let d = code & 7;
+            if (d >= 4) { index = index + 8 - d / 2; } else { index = index - 1; }
+            if (index < 0) { index = 0; }
+            if (index > 88) { index = 88; }
+        }
+        let h = 0;
+        for (let q = 0; q < 4096; q = q + 1) { h = (h * 23 + (samples[q] & 2047)) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const TOAST: &str = with_rng!(
+    r#"
+global int frame[1280];
+global int lar[64];
+global int residual[1280];
+fn main() -> int {
+    rngstate = dataseed;
+    let phase = 0;
+    for (let i = 0; i < 1280; i = i + 1) {
+        phase = phase + 2 + rnd() % 3;
+        frame[i] = ((phase % 160) - 80) * 300 + rnd() % 100;
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 8; rep = rep + 1) {
+        for (let f = 0; f < 8; f = f + 1) {
+            let base = f * 160;
+            // Short-term LPC-ish analysis: reflection coefficients with
+            // branchy quantization (GSM LARc style).
+            for (let k = 0; k < 8; k = k + 1) {
+                let acc = 0;
+                for (let i = 0; i < 32; i = i + 1) {
+                    acc = acc + frame[base + i * 5] * frame[base + min(i * 5 + k, 159)] / 4096;
+                }
+                let q = 0;
+                let a = abs(acc);
+                if (a >= 20000) { q = 31; }
+                else if (a >= 10000) { q = 24 + a / 4000; }
+                else if (a >= 4000) { q = 16 + a / 1500; }
+                else { q = a / 300; }
+                if (acc < 0) { q = -q; }
+                lar[(rep % 8) * 8 + k] = q;
+            }
+            // Short-term filtering.
+            let u = 0;
+            for (let i = 0; i < 160; i = i + 1) {
+                let x = frame[base + i];
+                let y = x - u / 2;
+                u = x + y / 4;
+                residual[base + i] = y;
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 1280; q = q + 1) { h = (h * 29 + (residual[q] & 4095)) % 1000003; }
+        for (let q = 0; q < 64; q = q + 1) { h = (h * 7 + (lar[q] & 63)) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const UNEPIC: &str = with_rng!(
+    r#"
+global int low[512];
+global int high[512];
+global int image[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 512; i = i + 1) {
+        low[i] = rnd() % 256;
+        if (rnd() % 5 == 0) { high[i] = rnd() % 128 - 64; } else { high[i] = 0; }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 20; rep = rep + 1) {
+        // Inverse wavelet-ish reconstruction with clamping.
+        for (let i = 0; i < 512; i = i + 1) {
+            let even = low[i] + (high[i] + 1) / 2;
+            let odd = even - high[i];
+            if (even < 0) { even = 0; }
+            if (even > 255) { even = 255; }
+            if (odd < 0) { odd = 0; }
+            if (odd > 255) { odd = 255; }
+            image[i * 2] = even;
+            image[i * 2 + 1] = odd;
+        }
+        let h = 0;
+        for (let q = 0; q < 1024; q = q + 1) { h = (h * 41 + image[q]) % 1000003; }
+        sum = sum + h;
+        rngstate = rngstate + rep;
+    }
+    return sum;
+}
+"#
+);
+
+const CC1: &str = with_rng!(
+    r#"
+global byte src[4096];
+global int toks[2048];
+global int symtab[256];
+fn main() -> int {
+    rngstate = dataseed;
+    // Pseudo C source: identifiers, numbers, operators, spaces.
+    for (let i = 0; i < 4096; i = i + 1) {
+        let r = rnd() % 10;
+        if (r < 4) { src[i] = 97 + rnd() % 26; }       // letters
+        else if (r < 6) { src[i] = 48 + rnd() % 10; }  // digits
+        else if (r < 7) { src[i] = 32; }               // space
+        else if (r < 8) { src[i] = 43 + rnd() % 4; }   // + , - .
+        else if (r < 9) { src[i] = 40 + rnd() % 2; }   // parens
+        else { src[i] = 59; }                          // ;
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 4; rep = rep + 1) {
+        let nt = 0;
+        let p = 0;
+        while (p < 4096) {
+            if (nt >= 2048) { p = 4096; }
+            else {
+                let c = src[p];
+                if (c == 32) { p = p + 1; }
+                else if (c >= 97) {
+                    // Identifier: scan + hash into symtab (hazardous call
+                    // models gcc's obstack bookkeeping).
+                    let h = 0;
+                    let scanning = 1;
+                    while (scanning == 1) {
+                        if (p < 4096) {
+                            let d = src[p];
+                            if (d >= 97) { h = (h * 31 + d) % 65536; p = p + 1; }
+                            else { scanning = 0; }
+                        } else { scanning = 0; }
+                    }
+                    let slot = h % 256;
+                    if (symtab[slot] == 0) { symtab[slot] = h + 1; }
+                    else if (symtab[slot] != h + 1) { symtab[slot] = (symtab[slot] + h) % 1000003 + 1; }
+                    toks[nt] = 1000 + slot;
+                    nt = nt + 1;
+                }
+                else if (c >= 48) {
+                    if (c <= 57) {
+                        let v = 0;
+                        let scanning = 1;
+                        while (scanning == 1) {
+                            if (p < 4096) {
+                                let d = src[p];
+                                if (d >= 48 && d <= 57) { v = v * 10 + d - 48; p = p + 1; }
+                                else { scanning = 0; }
+                            } else { scanning = 0; }
+                        }
+                        toks[nt] = 2000 + v % 1000;
+                        nt = nt + 1;
+                    } else { toks[nt] = c; nt = nt + 1; p = p + 1; }
+                }
+                else { toks[nt] = c; nt = nt + 1; p = p + 1; }
+            }
+        }
+        let h2 = ucall(7, nt);
+        let acc = 0;
+        for (let q = 0; q < nt; q = q + 1) { acc = (acc * 131 + toks[q]) % 1000003; }
+        sum = sum + acc + h2 % 97;
+    }
+    return sum;
+}
+"#
+);
+
+const EQNTOTT: &str = with_rng!(
+    r#"
+global int rows[1024];
+global int sorted[1024];
+fn main() -> int {
+    rngstate = dataseed;
+    let sum = 0;
+    for (let rep = 0; rep < 3; rep = rep + 1) {
+        for (let i = 0; i < 1024; i = i + 1) { rows[i] = rnd() % 65536; }
+        // cmppt-style comparison sort (insertion into runs).
+        for (let i = 0; i < 1024; i = i + 1) { sorted[i] = rows[i]; }
+        for (let gap = 512; gap > 0; gap = gap / 2) {
+            for (let i = gap; i < 1024; i = i + 1) {
+                let v = sorted[i];
+                let j = i;
+                while (j >= gap && sorted[max(j - gap, 0)] > v) { sorted[j] = sorted[j - gap]; j = j - gap; }
+                sorted[j] = v;
+            }
+        }
+        // Count bit transitions between adjacent rows (PLA term merging).
+        let trans = 0;
+        for (let i = 1; i < 1024; i = i + 1) {
+            let x = sorted[i] ^ sorted[i - 1];
+            while (x != 0) { trans = trans + (x & 1); x = x >> 1; }
+        }
+        sum = sum + trans;
+        let h = 0;
+        for (let q = 0; q < 1024; q = q + 1) { h = (h * 33 + sorted[q]) % 1000003; }
+        sum = sum + h;
+    }
+    return sum;
+}
+"#
+);
+
+const COMPRESS: &str = with_rng!(
+    r#"
+global byte text[4096];
+global int hashtab[1024];
+global int codetab[1024];
+global int outcodes[4096];
+fn main() -> int {
+    rngstate = dataseed;
+    // Text with repeated phrases so the dictionary actually hits.
+    let i = 0;
+    while (i < 4096) {
+        if (rnd() % 3 == 0) {
+            let start = rnd() % max(i, 1);
+            let len = 4 + rnd() % 12;
+            let k = 0;
+            while (k < len) {
+                if (i < 4096) { text[i] = text[(start + k) % 4096]; i = i + 1; }
+                k = k + 1;
+            }
+        } else {
+            text[i] = 97 + rnd() % 16;
+            i = i + 1;
+        }
+    }
+    let sum = 0;
+    for (let rep = 0; rep < 3; rep = rep + 1) {
+        for (let k = 0; k < 1024; k = k + 1) { hashtab[k] = -1; codetab[k] = 0; }
+        let nextcode = 256;
+        let prefix = text[0];
+        let n = 0;
+        for (let p = 1; p < 4096; p = p + 1) {
+            let c = text[p];
+            let key = prefix * 256 + c;
+            let h = (key * 2654435761) % 1024;
+            if (h < 0) { h = -h; }
+            let found = -1;
+            let probes = 0;
+            while (probes < 16) {
+                if (hashtab[h] == key) { found = codetab[h]; probes = 99; }
+                else if (hashtab[h] < 0) { probes = 77; }
+                else { h = (h + 1) % 1024; probes = probes + 1; }
+            }
+            if (found >= 0) {
+                prefix = found;
+            } else {
+                outcodes[n] = prefix;
+                n = n + 1;
+                if (nextcode < 4096) {
+                    if (probes == 77) { hashtab[h] = key; codetab[h] = nextcode; }
+                    nextcode = nextcode + 1;
+                }
+                prefix = c;
+            }
+        }
+        outcodes[n] = prefix;
+        n = n + 1;
+        let acc = 0;
+        for (let q = 0; q < n; q = q + 1) { acc = (acc * 131 + outcodes[q]) % 1000003; }
+        sum = sum + acc + n;
+    }
+    return sum;
+}
+"#
+);
+
+const IJPEG: &str = with_rng!(
+    r#"
+global int image[1024];
+global int dct[1024];
+global int quant[64];
+global byte zz[4096];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) { image[i] = rnd() % 256; }
+    for (let i = 0; i < 64; i = i + 1) { quant[i] = 4 + i / 2; }
+    let sum = 0;
+    for (let rep = 0; rep < 8; rep = rep + 1) {
+        for (let blk = 0; blk < 16; blk = blk + 1) {
+            let base = blk * 64;
+            // Forward butterfly DCT approximation, rows then columns.
+            for (let r = 0; r < 8; r = r + 1) {
+                for (let c = 0; c < 4; c = c + 1) {
+                    let a = image[base + r * 8 + c];
+                    let b = image[base + r * 8 + 7 - c];
+                    dct[base + r * 8 + c] = a + b;
+                    dct[base + r * 8 + 7 - c] = (a - b) * (4 - c);
+                }
+            }
+            for (let c = 0; c < 8; c = c + 1) {
+                for (let r = 0; r < 4; r = r + 1) {
+                    let a = dct[base + r * 8 + c];
+                    let b = dct[base + (7 - r) * 8 + c];
+                    dct[base + r * 8 + c] = (a + b) / 2;
+                    dct[base + (7 - r) * 8 + c] = (a - b) / 2;
+                }
+            }
+            // Quantize + zero-run coding (sparsity-dependent branches).
+            let zp = blk * 80;
+            let run = 0;
+            for (let k = 0; k < 64; k = k + 1) {
+                let v = dct[base + k] / quant[k];
+                if (v == 0) { run = run + 1; }
+                else {
+                    if (zp < 4090) {
+                        zz[zp] = min(run, 255);
+                        zz[zp + 1] = abs(v) % 256;
+                        zp = zp + 2;
+                    }
+                    run = 0;
+                }
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 4096; q = q + 1) { h = (h * 37 + zz[q]) % 1000003; }
+        sum = sum + h;
+        rngstate = rngstate + 3;
+    }
+    return sum;
+}
+"#
+);
+
+const LI: &str = with_rng!(
+    r#"
+global int code[2048];
+global int stack[256];
+global int env[64];
+fn main() -> int {
+    rngstate = dataseed;
+    // Random but well-formed bytecode: ops keep the stack near the middle.
+    for (let i = 0; i < 2048; i = i + 1) { code[i] = rnd() % 100; }
+    for (let i = 0; i < 64; i = i + 1) { env[i] = rnd() % 1000; }
+    let sum = 0;
+    for (let rep = 0; rep < 3; rep = rep + 1) {
+        let sp = 8;
+        for (let k = 0; k < 8; k = k + 1) { stack[k] = k * 7; }
+        let pc = 0;
+        let executed = 0;
+        while (executed < 12000) {
+            let op = code[pc];
+            pc = pc + 1;
+            if (pc >= 2048) { pc = 0; }
+            executed = executed + 1;
+            if (op < 25) {           // push env var
+                if (sp < 255) { stack[sp] = env[op % 64]; sp = sp + 1; }
+            } else if (op < 45) {    // add
+                if (sp >= 2) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }
+            } else if (op < 60) {    // sub
+                if (sp >= 2) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }
+            } else if (op < 70) {    // dup
+                if (sp >= 1) { if (sp < 255) { stack[sp] = stack[sp - 1]; sp = sp + 1; } }
+            } else if (op < 80) {    // store env
+                if (sp >= 1) { env[op % 64] = stack[sp - 1]; sp = sp - 1; }
+            } else if (op < 90) {    // conditional skip
+                if (sp >= 1) {
+                    sp = sp - 1;
+                    if (stack[sp] % 2 == 0) { pc = pc + 3; if (pc >= 2048) { pc = pc % 2048; } }
+                }
+            } else {                 // cons-ish: combine two into hash
+                if (sp >= 2) { stack[sp - 2] = (stack[sp - 2] * 31 + stack[sp - 1]) % 65536; sp = sp - 1; }
+            }
+            if (sp < 4) { stack[sp] = executed; sp = sp + 1; }
+        }
+        let h = 0;
+        for (let q = 0; q < sp; q = q + 1) { h = (h * 131 + (stack[q] % 65536)) % 1000003; }
+        for (let q = 0; q < 64; q = q + 1) { h = (h * 7 + (env[q] % 65536)) % 1000003; }
+        sum = sum + h;
+        rngstate = rngstate + 11;
+    }
+    return sum;
+}
+"#
+);
+
+const M88KSIM: &str = with_rng!(
+    r#"
+global int mem[2048];
+global int regs[32];
+fn main() -> int {
+    rngstate = dataseed;
+    // Instruction words: op in high bits, regs/imm below.
+    for (let i = 0; i < 2048; i = i + 1) { mem[i] = rnd() % 16777216; }
+    for (let i = 0; i < 32; i = i + 1) { regs[i] = i * 3; }
+    let sum = 0;
+    let pc = 0;
+    let executed = 0;
+    while (executed < 20000) {
+        let iw = mem[pc];
+        let op = (iw >> 20) % 8;
+        let rd = (iw >> 15) % 32;
+        let rs = (iw >> 10) % 32;
+        let rt = (iw >> 5) % 32;
+        let imm = iw % 1024;
+        executed = executed + 1;
+        pc = pc + 1;
+        if (pc >= 2048) { pc = 0; }
+        if (op == 0) { regs[rd] = regs[rs] + regs[rt]; }
+        else if (op == 1) { regs[rd] = regs[rs] - regs[rt]; }
+        else if (op == 2) { regs[rd] = regs[rs] + imm; }
+        else if (op == 3) { regs[rd] = mem[(abs(regs[rs]) + imm) % 2048]; }
+        else if (op == 4) { mem[(abs(regs[rs]) + imm) % 2048] = regs[rt]; }
+        else if (op == 5) {
+            if (regs[rs] > regs[rt]) { pc = (pc + imm % 64) % 2048; }
+        }
+        else if (op == 6) { regs[rd] = regs[rs] * 3 + 1; }
+        else { regs[rd] = (regs[rs] >> 1) ^ regs[rt]; }
+        regs[0] = 0;
+    }
+    let h = 0;
+    for (let q = 0; q < 32; q = q + 1) { h = (h * 131 + (regs[q] % 1000003 + 1000003)) % 1000003; }
+    for (let q = 0; q < 2048; q = q + 8) { h = (h * 31 + (mem[q] % 65536)) % 1000003; }
+    sum = h;
+    return sum;
+}
+"#
+);
+
+const VORTEX: &str = with_rng!(
+    r#"
+global int keys[1024];
+global int vals[1024];
+global int ops[2048];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1024; i = i + 1) { keys[i] = -1; }
+    for (let i = 0; i < 2048; i = i + 1) { ops[i] = rnd() % 100000; }
+    let sum = 0;
+    for (let rep = 0; rep < 4; rep = rep + 1) {
+        let hits = 0;
+        let inserts = 0;
+        let deletes = 0;
+        for (let i = 0; i < 2048; i = i + 1) {
+            let o = ops[i];
+            let key = o / 4;
+            let kind = o % 4;
+            let h = (key * 2654435761) % 1024;
+            if (h < 0) { h = -h; }
+            // Linear probe.
+            let slot = -1;
+            let free = -1;
+            let probes = 0;
+            while (probes < 12) {
+                let k = keys[h];
+                if (k == key) { slot = h; probes = 99; }
+                else if (k < 0) { if (free < 0) { free = h; } if (k == -1) { probes = 88; } else { h = (h + 1) % 1024; probes = probes + 1; } }
+                else { h = (h + 1) % 1024; probes = probes + 1; }
+            }
+            if (kind <= 1) {         // lookup
+                if (slot >= 0) { hits = hits + vals[slot] % 7 + 1; }
+            } else if (kind == 2) {  // insert/update (hazardous allocation)
+                if (slot >= 0) { vals[slot] = vals[slot] + 1; }
+                else if (free >= 0) { keys[free] = key; vals[free] = ucall(3, key) % 1000; inserts = inserts + 1; }
+            } else {                 // delete (tombstone -2)
+                if (slot >= 0) { keys[slot] = -2; deletes = deletes + 1; }
+            }
+        }
+        sum = sum + hits * 3 + inserts * 5 + deletes * 7;
+        let h2 = 0;
+        for (let q = 0; q < 1024; q = q + 1) {
+            if (keys[q] >= 0) { h2 = (h2 * 131 + keys[q] % 65536 + vals[q] % 97) % 1000003; }
+        }
+        sum = sum + h2;
+    }
+    return sum;
+}
+"#
+);
+
+const OSDEMO: &str = with_rng!(
+    r#"
+global float verts[1536];
+global float mat[16];
+global int screen[512];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 1536; i = i + 1) { verts[i] = i2f(rnd() % 2000 - 1000) * 0.01; }
+    for (let i = 0; i < 16; i = i + 1) { mat[i] = i2f(rnd() % 200 - 100) * 0.01; }
+    mat[15] = 4.0;
+    let sum = 0;
+    for (let rep = 0; rep < 10; rep = rep + 1) {
+        let visible = 0;
+        for (let v = 0; v < 512; v = v + 1) {
+            let x = verts[v * 3];
+            let y = verts[v * 3 + 1];
+            let z = verts[v * 3 + 2];
+            let tx = mat[0] * x + mat[1] * y + mat[2] * z + mat[3];
+            let ty = mat[4] * x + mat[5] * y + mat[6] * z + mat[7];
+            let tz = mat[8] * x + mat[9] * y + mat[10] * z + mat[11];
+            let tw = mat[12] * x + mat[13] * y + mat[14] * z + mat[15];
+            if (tw < 0.001) { screen[v] = -1; }
+            else {
+                let sx = tx / tw;
+                let sy = ty / tw;
+                // Frustum clip (branchy).
+                if (sx < -1.0) { screen[v] = -2; }
+                else if (sx > 1.0) { screen[v] = -3; }
+                else if (sy < -1.0) { screen[v] = -4; }
+                else if (sy > 1.0) { screen[v] = -5; }
+                else if (tz < 0.0) { screen[v] = -6; }
+                else {
+                    screen[v] = f2i((sx + 1.0) * 160.0) * 1000 + f2i((sy + 1.0) * 120.0);
+                    visible = visible + 1;
+                }
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 512; q = q + 1) { h = (h * 31 + (screen[q] % 65536 + 65536)) % 1000003; }
+        sum = sum + h + visible;
+    }
+    return sum;
+}
+"#
+);
+
+const MIPMAP: &str = with_rng!(
+    r#"
+global float tex[4096];
+global float mip[1024];
+global float mip2[256];
+fn main() -> int {
+    rngstate = dataseed;
+    for (let i = 0; i < 4096; i = i + 1) { tex[i] = i2f(rnd() % 256) / 255.0; }
+    let sum = 0;
+    for (let rep = 0; rep < 12; rep = rep + 1) {
+        // 64x64 -> 32x32 box filter.
+        for (let y = 0; y < 32; y = y + 1) {
+            for (let x = 0; x < 32; x = x + 1) {
+                let a = tex[(y * 2) * 64 + x * 2];
+                let b = tex[(y * 2) * 64 + x * 2 + 1];
+                let c = tex[(y * 2 + 1) * 64 + x * 2];
+                let d = tex[(y * 2 + 1) * 64 + x * 2 + 1];
+                let m = (a + b + c + d) * 0.25;
+                // Gamma-ish correction with clamp.
+                if (m > 1.0) { m = 1.0; }
+                if (m < 0.0) { m = 0.0; }
+                mip[y * 32 + x] = m * m;
+            }
+        }
+        // 32x32 -> 16x16.
+        for (let y = 0; y < 16; y = y + 1) {
+            for (let x = 0; x < 16; x = x + 1) {
+                let a = mip[(y * 2) * 32 + x * 2];
+                let b = mip[(y * 2) * 32 + x * 2 + 1];
+                let c = mip[(y * 2 + 1) * 32 + x * 2];
+                let d = mip[(y * 2 + 1) * 32 + x * 2 + 1];
+                mip2[y * 16 + x] = (a + b + c + d) * 0.25;
+            }
+        }
+        let h = 0;
+        for (let q = 0; q < 256; q = q + 1) { h = (h * 31 + f2i(mip2[q] * 10000.0)) % 1000003; }
+        sum = sum + h;
+        tex[rep * 300 % 4096] = tex[rep * 300 % 4096] * 0.5 + 0.1;
+    }
+    return sum;
+}
+"#
+);
+
+/// All integer/multimedia benchmarks.
+pub fn all() -> Vec<Benchmark> {
+    use Category::IntMedia;
+    vec![
+        Benchmark {
+            name: "codrle4",
+            suite: "Misc",
+            description: "RLE type 4 encoder",
+            category: IntMedia,
+            source: CODRLE4,
+        },
+        Benchmark {
+            name: "decodrle4",
+            suite: "Misc",
+            description: "RLE type 4 decoder",
+            category: IntMedia,
+            source: DECODRLE4,
+        },
+        Benchmark {
+            name: "huff_enc",
+            suite: "Misc",
+            description: "Huffman encoder",
+            category: IntMedia,
+            source: HUFF_ENC,
+        },
+        Benchmark {
+            name: "huff_dec",
+            suite: "Misc",
+            description: "Huffman decoder",
+            category: IntMedia,
+            source: HUFF_DEC,
+        },
+        Benchmark {
+            name: "djpeg",
+            suite: "Mediabench",
+            description: "Lossy still image decompressor",
+            category: IntMedia,
+            source: DJPEG,
+        },
+        Benchmark {
+            name: "g721encode",
+            suite: "Mediabench",
+            description: "CCITT voice compressor",
+            category: IntMedia,
+            source: G721ENCODE,
+        },
+        Benchmark {
+            name: "g721decode",
+            suite: "Mediabench",
+            description: "CCITT voice decompressor",
+            category: IntMedia,
+            source: G721DECODE,
+        },
+        Benchmark {
+            name: "mpeg2dec",
+            suite: "Mediabench",
+            description: "Lossy video decompressor",
+            category: IntMedia,
+            source: MPEG2DEC,
+        },
+        Benchmark {
+            name: "rasta",
+            suite: "Mediabench",
+            description: "Speech recognition application",
+            category: IntMedia,
+            source: RASTA,
+        },
+        Benchmark {
+            name: "rawcaudio",
+            suite: "Mediabench",
+            description: "ADPCM audio encoder",
+            category: IntMedia,
+            source: RAWCAUDIO,
+        },
+        Benchmark {
+            name: "rawdaudio",
+            suite: "Mediabench",
+            description: "ADPCM audio decoder",
+            category: IntMedia,
+            source: RAWDAUDIO,
+        },
+        Benchmark {
+            name: "toast",
+            suite: "Mediabench",
+            description: "Speech transcoder (GSM)",
+            category: IntMedia,
+            source: TOAST,
+        },
+        Benchmark {
+            name: "unepic",
+            suite: "Mediabench",
+            description: "Experimental image decompressor",
+            category: IntMedia,
+            source: UNEPIC,
+        },
+        Benchmark {
+            name: "085.cc1",
+            suite: "SPEC92",
+            description: "gcc C compiler (tokenizer core)",
+            category: IntMedia,
+            source: CC1,
+        },
+        Benchmark {
+            name: "023.eqntott",
+            suite: "SPEC92",
+            description: "PLA truth-table minimizer",
+            category: IntMedia,
+            source: EQNTOTT,
+        },
+        Benchmark {
+            name: "129.compress",
+            suite: "SPEC95",
+            description: "In-memory LZW compressor",
+            category: IntMedia,
+            source: COMPRESS,
+        },
+        Benchmark {
+            name: "132.ijpeg",
+            suite: "SPEC95",
+            description: "JPEG compressor",
+            category: IntMedia,
+            source: IJPEG,
+        },
+        Benchmark {
+            name: "130.li",
+            suite: "SPEC95",
+            description: "Lisp interpreter (bytecode core)",
+            category: IntMedia,
+            source: LI,
+        },
+        Benchmark {
+            name: "124.m88ksim",
+            suite: "SPEC95",
+            description: "Processor simulator",
+            category: IntMedia,
+            source: M88KSIM,
+        },
+        Benchmark {
+            name: "147.vortex",
+            suite: "SPEC95",
+            description: "Object-oriented database",
+            category: IntMedia,
+            source: VORTEX,
+        },
+        Benchmark {
+            name: "osdemo",
+            suite: "Mediabench",
+            description: "3-D graphics library demo",
+            category: IntMedia,
+            source: OSDEMO,
+        },
+        Benchmark {
+            name: "mipmap",
+            suite: "Mediabench",
+            description: "Texture mipmap generation",
+            category: IntMedia,
+            source: MIPMAP,
+        },
+    ]
+}
