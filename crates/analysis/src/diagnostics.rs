@@ -1,0 +1,210 @@
+//! Structured diagnostics with human-readable and JSON rendering.
+//!
+//! Every check in this crate reports through [`Diagnostic`] rather than
+//! bare strings, so callers can attribute a finding to the pass that
+//! produced the broken IR, filter by severity, and emit machine-readable
+//! output for tooling.
+
+use metaopt_ir::BlockId;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational note; never fails a check.
+    Info,
+    /// Suspicious but not invariant-breaking.
+    Warning,
+    /// An IR invariant is violated; the producing pass is buggy.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding, attributed to the pass whose output was being checked.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// The pass after which the check ran (e.g. `"hyperblock"`), or a
+    /// checker-chosen tag such as `"input"` for pre-pipeline IR.
+    pub pass: String,
+    /// Function the finding is in.
+    pub function: String,
+    /// Block the finding is in, when attributable to one.
+    pub block: Option<BlockId>,
+    /// Instruction index within the block, when attributable to one.
+    pub inst: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with no location.
+    pub fn new(
+        severity: Severity,
+        pass: impl Into<String>,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            pass: pass.into(),
+            function: function.into(),
+            block: None,
+            inst: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attach a block location.
+    pub fn at_block(mut self, b: BlockId) -> Self {
+        self.block = Some(b);
+        self
+    }
+
+    /// Attach an instruction location (implies a block).
+    pub fn at_inst(mut self, b: BlockId, i: usize) -> Self {
+        self.block = Some(b);
+        self.inst = Some(i);
+        self
+    }
+
+    /// One-line human-readable rendering:
+    /// `error[hyperblock] main b2[3]: use of v7 before definition`.
+    pub fn render(&self) -> String {
+        let mut loc = self.function.clone();
+        if let Some(b) = self.block {
+            loc.push_str(&format!(" {b}"));
+            if let Some(i) = self.inst {
+                loc.push_str(&format!("[{i}]"));
+            }
+        }
+        format!("{}[{}] {}: {}", self.severity, self.pass, loc, self.message)
+    }
+
+    /// Machine-readable rendering as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"severity\":\"{}\"", self.severity),
+            format!("\"pass\":{}", json_string(&self.pass)),
+            format!("\"function\":{}", json_string(&self.function)),
+        ];
+        if let Some(b) = self.block {
+            fields.push(format!("\"block\":{}", b.index()));
+        }
+        if let Some(i) = self.inst {
+            fields.push(format!("\"inst\":{i}"));
+        }
+        fields.push(format!("\"message\":{}", json_string(&self.message)));
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Render a batch of diagnostics as a JSON array (one object per finding).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render a batch of diagnostics as human-readable lines.
+pub fn render_lines(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(Diagnostic::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The first error-severity diagnostic, if any — the checker's pass/fail bit.
+pub fn first_error(diags: &[Diagnostic]) -> Option<&Diagnostic> {
+    diags.iter().find(|d| d.severity == Severity::Error)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_human_readable_with_location() {
+        let d = Diagnostic::new(Severity::Error, "regalloc", "main", "spill slot clobbered")
+            .at_inst(BlockId(2), 5);
+        assert_eq!(
+            d.render(),
+            "error[regalloc] main b2[5]: spill slot clobbered"
+        );
+        let d2 = Diagnostic::new(Severity::Info, "lint", "f", "note");
+        assert_eq!(d2.render(), "info[lint] f: note");
+    }
+
+    #[test]
+    fn renders_json_with_escaping() {
+        let d = Diagnostic::new(Severity::Warning, "p", "f", "uses \"quotes\"\nand newline")
+            .at_block(BlockId(1));
+        let j = d.to_json();
+        assert_eq!(
+            j,
+            "{\"severity\":\"warning\",\"pass\":\"p\",\"function\":\"f\",\"block\":1,\
+             \"message\":\"uses \\\"quotes\\\"\\nand newline\"}"
+        );
+        let arr = render_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"pass\"").count(), 2);
+    }
+
+    #[test]
+    fn first_error_skips_lower_severities() {
+        let diags = vec![
+            Diagnostic::new(Severity::Info, "a", "f", "i"),
+            Diagnostic::new(Severity::Warning, "b", "f", "w"),
+            Diagnostic::new(Severity::Error, "c", "f", "e"),
+        ];
+        assert_eq!(first_error(&diags).unwrap().pass, "c");
+        assert!(first_error(&diags[..2]).is_none());
+    }
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

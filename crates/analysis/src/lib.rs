@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # metaopt-analysis
+//!
+//! Static analysis layer for the Meta Optimization reproduction: dataflow
+//! analyses, structured [`diagnostics`], and the inter-pass invariant
+//! [`checker`] the compiler driver runs between passes when IR checking is
+//! enabled.
+//!
+//! The generic worklist solver itself lives in [`metaopt_ir::dataflow`]
+//! (liveness in `metaopt-ir` is an instance of it and the IR crate cannot
+//! depend on this one); this crate re-exports it and adds the classical
+//! [`instances`] — reaching definitions, def-before-use, and available
+//! expressions — plus everything built on top of them.
+
+pub mod checker;
+pub mod diagnostics;
+pub mod instances;
+
+pub use checker::{
+    check_function, check_machine_function, check_program, enforce, enforce_function,
+    enforce_machine_function, CheckFailure,
+};
+pub use diagnostics::{first_error, render_json, render_lines, Diagnostic, Severity};
+pub use instances::{AvailableExprs, DefBeforeUse, DefSite, ExprKey, PredicatedDefs, ReachingDefs};
+/// The generic worklist dataflow solver these analyses are instances of.
+pub use metaopt_ir::dataflow;

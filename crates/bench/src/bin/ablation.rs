@@ -19,7 +19,10 @@ fn run(label: &str, params: &GpParams, bench: &metaopt_suite::Benchmark) {
 }
 
 fn main() {
-    header("Ablation", "GP design choices on the g721decode specialization");
+    header(
+        "Ablation",
+        "GP design choices on the g721decode specialization",
+    );
     let base = harness_params();
     let bench = metaopt_suite::by_name("g721decode").expect("registered");
 

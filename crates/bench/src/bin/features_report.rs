@@ -35,7 +35,7 @@ fn main() {
     }
     println!("\nfeature usage across {winners} winners:");
     let mut by_count: Vec<_> = counts.into_iter().collect();
-    by_count.sort_by(|a, b| b.1.cmp(&a.1));
+    by_count.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (name, n) in by_count {
         println!("  {name:<24} {n}");
     }

@@ -23,8 +23,14 @@ fn main() {
         r.best
     });
     for (label, machine) in [
-        ("architecture A (Itanium-like)", metaopt_sim::MachineConfig::itanium_like()),
-        ("architecture B (bigger caches)", metaopt_sim::MachineConfig::itanium_bigcache()),
+        (
+            "architecture A (Itanium-like)",
+            metaopt_sim::MachineConfig::itanium_like(),
+        ),
+        (
+            "architecture B (bigger caches)",
+            metaopt_sim::MachineConfig::itanium_bigcache(),
+        ),
     ] {
         println!("--- {label} ---");
         cfg.machine = machine;

@@ -46,6 +46,9 @@ fn main() {
         &MachineConfig::table3(),
         &BaselineEq1,
     );
-    println!("\n--- (b) predicated hyperblock ({} region(s) if-converted) ---", r.regions_converted);
+    println!(
+        "\n--- (b) predicated hyperblock ({} region(s) if-converted) ---",
+        r.regions_converted
+    );
     print!("{converted}");
 }

@@ -17,5 +17,8 @@ fn main() {
     }
     speedup_row("Average", r.mean_train, r.mean_novel);
     save_winner("hyperblock", &r.best);
-    println!("\nwinner cached for fig7/fig8: {}", metaopt_bench::cache_path("hyperblock").display());
+    println!(
+        "\nwinner cached for fig7/fig8: {}",
+        metaopt_bench::cache_path("hyperblock").display()
+    );
 }

@@ -26,5 +26,9 @@ fn main() {
         speedup_row(name, *t, *n);
         vals.push(*t);
     }
-    speedup_row("Average", mean(&vals), mean(&cv.per_bench.iter().map(|x| x.2).collect::<Vec<_>>()));
+    speedup_row(
+        "Average",
+        mean(&vals),
+        mean(&cv.per_bench.iter().map(|x| x.2).collect::<Vec<_>>()),
+    );
 }

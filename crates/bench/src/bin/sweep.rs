@@ -18,9 +18,7 @@ fn main() {
     println!(
         "{:<14} {}",
         "bench",
-        (0..7)
-            .map(|k| format!("{:>9}", 1 << k))
-            .collect::<String>()
+        (0..7).map(|k| format!("{:>9}", 1 << k)).collect::<String>()
     );
     for name in ["171.swim", "101.tomcatv"] {
         let b = metaopt_suite::by_name(name).expect("registered");
@@ -48,15 +46,19 @@ fn main() {
                 prefetch: Some(&metaopt_compiler::prefetch::BaselineTripCount),
                 prefetch_iters_ahead: dist,
                 unroll: None,
+                check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
             };
-            let compiled = compile(&prepared, &profile.funcs[0], &cfg.machine, &passes)
-                .expect("compiles");
+            let compiled =
+                compile(&prepared, &profile.funcs[0], &cfg.machine, &passes).expect("compiles");
             let mut mem = mem0.clone();
             mem.resize(compiled.mem_size.max(mem.len()), 0);
             let r = simulate(&compiled.code, &cfg.machine, mem).expect("simulates");
             print!("{:>9}", r.cycles);
         }
-        println!("   (baseline dist 8: {})", pb.baseline_cycles(DataSet::Train));
+        println!(
+            "   (baseline dist 8: {})",
+            pb.baseline_cycles(DataSet::Train)
+        );
     }
     println!("\n(columns: prefetch distance 1,2,4,...,64 iterations ahead; cells: cycles)");
 }

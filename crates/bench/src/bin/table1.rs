@@ -1,8 +1,11 @@
 //! Table 1: the GP primitive set.
 
 fn main() {
-    metaopt_bench::header("Table 1", "GP primitives (exactly the paper's set + protected div)");
-    println!("{:<38} {}", "Real-valued function", "Representation");
+    metaopt_bench::header(
+        "Table 1",
+        "GP primitives (exactly the paper's set + protected div)",
+    );
+    println!("{:<38} Representation", "Real-valued function");
     for (desc, rep) in [
         ("Real1 + Real2", "(add Real1 Real2)"),
         ("Real1 - Real2", "(sub Real1 Real2)"),
@@ -10,13 +13,16 @@ fn main() {
         ("Real1 / Real2 (protected)", "(div Real1 Real2)"),
         ("sqrt(|Real1|)", "(sqrt Real1)"),
         ("Real1 if Bool1 else Real2", "(tern Bool1 Real1 Real2)"),
-        ("Real1*Real2 if Bool1 else Real2", "(cmul Bool1 Real1 Real2)"),
+        (
+            "Real1*Real2 if Bool1 else Real2",
+            "(cmul Bool1 Real1 Real2)",
+        ),
         ("real constant K", "(rconst K)"),
     ] {
         println!("{desc:<38} {rep}");
     }
     println!();
-    println!("{:<38} {}", "Boolean-valued function", "Representation");
+    println!("{:<38} Representation", "Boolean-valued function");
     for (desc, rep) in [
         ("Bool1 and Bool2", "(and Bool1 Bool2)"),
         ("Bool1 or Bool2", "(or Bool1 Bool2)"),

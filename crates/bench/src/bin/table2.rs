@@ -3,17 +3,37 @@
 use metaopt_gp::GpParams;
 
 fn main() {
-    metaopt_bench::header("Table 2", "GP parameters (paper defaults; harness scale in brackets)");
+    metaopt_bench::header(
+        "Table 2",
+        "GP parameters (paper defaults; harness scale in brackets)",
+    );
     let paper = GpParams::paper();
     let quick = metaopt_bench::harness_params();
     println!("{:<28} {:>10} {:>12}", "Parameter", "Paper", "[harness]");
-    println!("{:<28} {:>10} {:>12}", "Population size", paper.population, quick.population);
-    println!("{:<28} {:>10} {:>12}", "Number of generations", paper.generations, quick.generations);
-    println!("{:<28} {:>9}% {:>11}%", "Generational replacement",
-        (paper.replace_frac * 100.0) as u32, (quick.replace_frac * 100.0) as u32);
-    println!("{:<28} {:>9}% {:>11}%", "Mutation rate",
-        (paper.mutation_rate * 100.0) as u32, (quick.mutation_rate * 100.0) as u32);
-    println!("{:<28} {:>10} {:>12}", "Tournament size", paper.tournament, quick.tournament);
+    println!(
+        "{:<28} {:>10} {:>12}",
+        "Population size", paper.population, quick.population
+    );
+    println!(
+        "{:<28} {:>10} {:>12}",
+        "Number of generations", paper.generations, quick.generations
+    );
+    println!(
+        "{:<28} {:>9}% {:>11}%",
+        "Generational replacement",
+        (paper.replace_frac * 100.0) as u32,
+        (quick.replace_frac * 100.0) as u32
+    );
+    println!(
+        "{:<28} {:>9}% {:>11}%",
+        "Mutation rate",
+        (paper.mutation_rate * 100.0) as u32,
+        (quick.mutation_rate * 100.0) as u32
+    );
+    println!(
+        "{:<28} {:>10} {:>12}",
+        "Tournament size", paper.tournament, quick.tournament
+    );
     println!("{:<28} {:>10} {:>12}", "Elitism (survivors)", 1, 1);
     println!("\nFitness: average speedup over the baseline on the suite of benchmarks.");
 }

@@ -3,21 +3,49 @@
 use metaopt_sim::MachineConfig;
 
 fn main() {
-    metaopt_bench::header("Table 3", "Architectural characteristics (approximates Intel Itanium)");
+    metaopt_bench::header(
+        "Table 3",
+        "Architectural characteristics (approximates Intel Itanium)",
+    );
     let m = MachineConfig::table3();
-    println!("Registers        {} general-purpose, {} floating-point, {} predicate", m.gpr, m.fpr, m.pred);
-    println!("Integer units    {} fully-pipelined, 1-cycle latency (multiply 3, divide 8)", m.int_units);
-    println!("FP units         {} fully-pipelined, 3-cycle latency (divide/sqrt 8)", m.fp_units);
-    println!("Memory units     {}; L1 {} cy, L2 {} cy, beyond {} cy; stores buffered (1 cy)",
-        m.mem_units, m.cache.l1_latency, m.cache.l2_latency, m.cache.miss_latency);
-    println!("Branch unit      {}; 2-bit predictor, {}-cycle misprediction penalty",
-        m.branch_units, m.mispredict_penalty);
-    println!("Caches           L1 {} KiB/{}-way, L2 {} KiB/{}-way, {} B lines",
-        m.cache.l1_bytes / 1024, m.cache.l1_assoc, m.cache.l2_bytes / 1024, m.cache.l2_assoc,
-        m.cache.line_bytes);
-    println!("\nRegalloc study machine: {} GPR / {} FPR (paper §6.1)",
-        MachineConfig::regalloc_stress().gpr, MachineConfig::regalloc_stress().fpr);
+    println!(
+        "Registers        {} general-purpose, {} floating-point, {} predicate",
+        m.gpr, m.fpr, m.pred
+    );
+    println!(
+        "Integer units    {} fully-pipelined, 1-cycle latency (multiply 3, divide 8)",
+        m.int_units
+    );
+    println!(
+        "FP units         {} fully-pipelined, 3-cycle latency (divide/sqrt 8)",
+        m.fp_units
+    );
+    println!(
+        "Memory units     {}; L1 {} cy, L2 {} cy, beyond {} cy; stores buffered (1 cy)",
+        m.mem_units, m.cache.l1_latency, m.cache.l2_latency, m.cache.miss_latency
+    );
+    println!(
+        "Branch unit      {}; 2-bit predictor, {}-cycle misprediction penalty",
+        m.branch_units, m.mispredict_penalty
+    );
+    println!(
+        "Caches           L1 {} KiB/{}-way, L2 {} KiB/{}-way, {} B lines",
+        m.cache.l1_bytes / 1024,
+        m.cache.l1_assoc,
+        m.cache.l2_bytes / 1024,
+        m.cache.l2_assoc,
+        m.cache.line_bytes
+    );
+    println!(
+        "\nRegalloc study machine: {} GPR / {} FPR (paper §6.1)",
+        MachineConfig::regalloc_stress().gpr,
+        MachineConfig::regalloc_stress().fpr
+    );
     let it = MachineConfig::itanium_like();
-    println!("Prefetch study machine: Itanium-like, L1 {} KiB, L2 {} KiB, prefetch queue {} cy",
-        it.cache.l1_bytes / 1024, it.cache.l2_bytes / 1024, it.prefetch_queue_cycles);
+    println!(
+        "Prefetch study machine: Itanium-like, L1 {} KiB, L2 {} KiB, prefetch queue {} cy",
+        it.cache.l1_bytes / 1024,
+        it.cache.l2_bytes / 1024,
+        it.prefetch_queue_cycles
+    );
 }

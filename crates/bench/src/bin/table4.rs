@@ -1,7 +1,10 @@
 //! Table 4: hyperblock-selection features.
 
 fn main() {
-    metaopt_bench::header("Table 4", "Hyperblock selection features (+ min/mean/max/std aggregates)");
+    metaopt_bench::header(
+        "Table 4",
+        "Hyperblock selection features (+ min/mean/max/std aggregates)",
+    );
     let (reals, bools) = metaopt_compiler::hyperblock::feature_names();
     println!("Real-valued ({}):", reals.len());
     for f in &reals {

@@ -1,8 +1,14 @@
 //! Table 5: the benchmark suite.
 
 fn main() {
-    metaopt_bench::header("Table 5", "Benchmarks (MiniC stand-ins for the paper's suite)");
-    println!("{:<14} {:<12} {:<10} {}", "Benchmark", "Suite", "Category", "Description");
+    metaopt_bench::header(
+        "Table 5",
+        "Benchmarks (MiniC stand-ins for the paper's suite)",
+    );
+    println!(
+        "{:<14} {:<12} {:<10} Description",
+        "Benchmark", "Suite", "Category"
+    );
     for b in metaopt_suite::all_benchmarks() {
         println!(
             "{:<14} {:<12} {:<10} {}",
@@ -15,5 +21,8 @@ fn main() {
             b.description
         );
     }
-    println!("\nTotal: {} benchmarks", metaopt_suite::all_benchmarks().len());
+    println!(
+        "\nTotal: {} benchmarks",
+        metaopt_suite::all_benchmarks().len()
+    );
 }

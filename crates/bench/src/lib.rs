@@ -83,6 +83,25 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Location of cached winner expressions (so `fig7` can reuse `fig6`'s
+/// evolved priority function instead of re-running the search).
+pub fn cache_path(study: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("metaopt_cache");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{study}_winner.sexpr"))
+}
+
+/// Persist a winner expression for a later figure binary.
+pub fn save_winner(study: &str, expr: &metaopt_gp::Expr) {
+    let _ = std::fs::write(cache_path(study), expr.to_string());
+}
+
+/// Load a previously saved winner, if any.
+pub fn load_winner(study: &str, features: &metaopt_gp::FeatureSet) -> Option<metaopt_gp::Expr> {
+    let text = std::fs::read_to_string(cache_path(study)).ok()?;
+    metaopt_gp::parse::parse_expr(text.trim(), features).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,23 +130,4 @@ mod tests {
         assert_eq!(mean(&[]), 1.0);
         assert!((mean(&[1.0, 2.0]) - 1.5).abs() < 1e-12);
     }
-}
-
-/// Location of cached winner expressions (so `fig7` can reuse `fig6`'s
-/// evolved priority function instead of re-running the search).
-pub fn cache_path(study: &str) -> std::path::PathBuf {
-    let dir = std::path::Path::new("target").join("metaopt_cache");
-    let _ = std::fs::create_dir_all(&dir);
-    dir.join(format!("{study}_winner.sexpr"))
-}
-
-/// Persist a winner expression for a later figure binary.
-pub fn save_winner(study: &str, expr: &metaopt_gp::Expr) {
-    let _ = std::fs::write(cache_path(study), expr.to_string());
-}
-
-/// Load a previously saved winner, if any.
-pub fn load_winner(study: &str, features: &metaopt_gp::FeatureSet) -> Option<metaopt_gp::Expr> {
-    let text = std::fs::read_to_string(cache_path(study)).ok()?;
-    metaopt_gp::parse::parse_expr(text.trim(), features).ok()
 }

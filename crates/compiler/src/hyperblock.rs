@@ -257,8 +257,7 @@ pub fn features_of_region(paths: &[PathInfo]) -> Vec<PathFeatures> {
     let (er_min, er_max) = minmax(&er);
     let (nb_min, nb_max) = minmax(&nb);
     let (pr_min, pr_max) = minmax(&pr);
-    let num_paths = paths.len() as f64
-        + paths.iter().map(|p| p.num_branches).sum::<f64>();
+    let num_paths = paths.len() as f64 + paths.iter().map(|p| p.num_branches).sum::<f64>();
     paths
         .iter()
         .enumerate()
@@ -317,8 +316,8 @@ fn branch_stats_of(profile: &FuncProfile, b: BlockId) -> BranchStats {
 /// join `j` and the conditional path blocks on each side.
 struct Region {
     a: BlockId,
-    taken_path: Vec<BlockId>,    // blocks predicated under p
-    fall_path: Vec<BlockId>,     // blocks predicated under !p
+    taken_path: Vec<BlockId>, // blocks predicated under p
+    fall_path: Vec<BlockId>,  // blocks predicated under !p
     join: BlockId,
 }
 
@@ -360,9 +359,7 @@ fn match_region(func: &Function, a: BlockId, preds: &[Vec<BlockId>]) -> Option<R
             }
             let insts = &func.block(cur).insts;
             let last = insts.last()?;
-            if last.op != Opcode::Br
-                || insts[..insts.len() - 1].iter().any(|i| i.op.is_control())
-            {
+            if last.op != Opcode::Br || insts[..insts.len() - 1].iter().any(|i| i.op.is_control()) {
                 return Some((chain, cur));
             }
             chain.push(cur);
@@ -430,13 +427,7 @@ pub fn form_hyperblocks(
             let stats = branch_stats_of(profile, a);
             let taken_ratio = stats.taken_ratio();
             let p_taken = path_info(func, &region.taken_path, taken_ratio, stats, &loaded);
-            let p_fall = path_info(
-                func,
-                &region.fall_path,
-                1.0 - taken_ratio,
-                stats,
-                &loaded,
-            );
+            let p_fall = path_info(func, &region.fall_path, 1.0 - taken_ratio, stats, &loaded);
             let total_ops = p_taken.num_ops + p_fall.num_ops;
             if total_ops as usize + func.block(a).insts.len() > MAX_MERGED_INSTS {
                 continue;
@@ -461,8 +452,7 @@ pub fn form_hyperblocks(
             // misprediction shadow. Instructions already predicated into
             // `a` by earlier merges count against it, which is what stops
             // deep else-if chains from collapsing into one giant block.
-            let compute_slots =
-                (machine.int_units + machine.fp_units + machine.mem_units) as f64;
+            let compute_slots = (machine.int_units + machine.fp_units + machine.mem_units) as f64;
             let budget = compute_slots * (machine.mispredict_penalty + 2) as f64;
             let mut cumulative = func
                 .block(a)
@@ -472,11 +462,7 @@ pub fn form_hyperblocks(
                 .count() as f64;
             // Mahlke's relative selection threshold: paths scoring far
             // below the region's best path are not worth predicating in.
-            let best_score = order
-                .first()
-                .map(|&i| scores[i])
-                .unwrap_or(0.0)
-                .max(0.0);
+            let best_score = order.first().map(|&i| scores[i]).unwrap_or(0.0).max(0.0);
             let mut selected = Vec::new();
             for &i in &order {
                 if scores[i] <= 0.0 || scores[i] < 0.10 * best_score {
@@ -516,11 +502,7 @@ fn guard_inst(func: &mut Function, out: &mut Vec<Inst>, inst: &Inst, guard: VReg
         }
         Some(g) => {
             let combined = func.new_vreg(RegClass::Pred);
-            out.push(
-                Inst::new(Opcode::PAnd)
-                    .dst(combined)
-                    .args(&[guard, g]),
-            );
+            out.push(Inst::new(Opcode::PAnd).dst(combined).args(&[guard, g]));
             let mut ni = inst.clone();
             ni.pred = Some(combined);
             out.push(ni);
@@ -634,7 +616,8 @@ mod tests {
         // The GP explores wild functions; none may change program results.
         let (prepared, prof) = prepared_with_profile(UNPREDICTABLE);
         let want = run(&prepared, &RunConfig::default()).unwrap().ret;
-        let weird_fns: Vec<Box<dyn Fn(&[f64], &[bool]) -> f64 + Sync>> = vec![
+        type PriorityFn = Box<dyn Fn(&[f64], &[bool]) -> f64 + Sync>;
+        let weird_fns: Vec<PriorityFn> = vec![
             Box::new(|r: &[f64], _: &[bool]| r[1] - r[0]),
             Box::new(|r: &[f64], b: &[bool]| if b[0] { 100.0 } else { r[2] * 50.0 }),
             Box::new(|_: &[f64], _: &[bool]| 1e9),

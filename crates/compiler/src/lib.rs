@@ -94,7 +94,15 @@ pub struct Passes<'a> {
     /// Counted-loop unrolling factor cap (None disables the pass; it is not
     /// part of the paper-calibrated study pipelines).
     pub unroll: Option<u32>,
+    /// Run the `metaopt-analysis` invariant checker after every pass,
+    /// attributing the first broken invariant to the pass that produced it.
+    /// Defaults to [`CHECK_IR_DEFAULT`] (the `check-ir` cargo feature).
+    pub check_ir: bool,
 }
+
+/// Whether [`Passes::check_ir`] defaults to on — true when the crate is
+/// built with the `check-ir` feature.
+pub const CHECK_IR_DEFAULT: bool = cfg!(feature = "check-ir");
 
 impl<'a> Default for Passes<'a> {
     fn default() -> Self {
@@ -104,6 +112,7 @@ impl<'a> Default for Passes<'a> {
             prefetch: None,
             prefetch_iters_ahead: 8,
             unroll: None,
+            check_ir: CHECK_IR_DEFAULT,
         }
     }
 }
@@ -118,6 +127,7 @@ impl<'a> Passes<'a> {
             prefetch: Some(&prefetch::BaselineTripCount),
             prefetch_iters_ahead: 8,
             unroll: None,
+            check_ir: CHECK_IR_DEFAULT,
         }
     }
 }
@@ -164,16 +174,51 @@ impl Compiled {
     }
 }
 
+/// Run the invariant checker over `func` as the output of `pass` when
+/// checking is enabled; a violation aborts the compilation with the pass
+/// named in the error.
+fn checkpoint(
+    enabled: bool,
+    func: &Function,
+    form: metaopt_ir::verify::CfgForm,
+    pass: &str,
+) -> Result<(), CompileError> {
+    if !enabled {
+        return Ok(());
+    }
+    metaopt_analysis::enforce_function(func, form, pass).map_err(|e| CompileError {
+        message: e.to_string(),
+    })
+}
+
 /// Inline all calls and clean up: the "front half" of the pipeline, which is
 /// independent of any priority function and therefore runs once per
 /// benchmark. The result always has a single function.
 ///
+/// Equivalent to [`prepare_checked`] with IR checking at the crate default.
+///
 /// # Errors
 /// Fails on recursive call graphs or a missing entry function.
 pub fn prepare(prog: &Program) -> Result<Program, CompileError> {
+    prepare_checked(prog, CHECK_IR_DEFAULT)
+}
+
+/// [`prepare`] with explicit control over inter-pass IR checking: when
+/// `check_ir` is set, the invariant checker runs after inlining and after
+/// the scalar optimizations, attributing any violation to the offending
+/// pass.
+///
+/// # Errors
+/// Fails on recursive call graphs, a missing entry function, or (with
+/// `check_ir`) a broken IR invariant.
+pub fn prepare_checked(prog: &Program, check_ir: bool) -> Result<Program, CompileError> {
+    use metaopt_ir::verify::CfgForm;
     let mut p = inline::inline_program(prog)?;
+    checkpoint(check_ir, &p.funcs[0], CfgForm::Canonical, "inline")?;
     opt::constant_fold(&mut p.funcs[0]);
+    checkpoint(check_ir, &p.funcs[0], CfgForm::Canonical, "constant_fold")?;
     opt::dead_code_elim(&mut p.funcs[0]);
+    checkpoint(check_ir, &p.funcs[0], CfgForm::Canonical, "dead_code_elim")?;
     debug_assert!(
         metaopt_ir::verify::verify_program(&p, metaopt_ir::verify::CfgForm::Canonical).is_ok()
     );
@@ -192,20 +237,43 @@ pub fn compile(
     machine: &MachineConfig,
     passes: &Passes<'_>,
 ) -> Result<Compiled, CompileError> {
+    use metaopt_ir::verify::CfgForm;
     let mut func: Function = prepared.funcs[0].clone();
     let mut stats = CompileStats::default();
+    let check = passes.check_ir;
+    // The structural discipline loosens once if-conversion has run.
+    let mut form = CfgForm::Canonical;
 
     if let Some(factor) = passes.unroll {
         stats.unrolled = unroll::unroll_loops(&mut func, factor);
+        checkpoint(check, &func, form, "unroll")?;
     }
     if let Some(pf) = passes.prefetch {
-        stats.prefetches =
-            prefetch::insert_prefetches(&mut func, profile, machine, pf, passes.prefetch_iters_ahead);
+        stats.prefetches = prefetch::insert_prefetches(
+            &mut func,
+            profile,
+            machine,
+            pf,
+            passes.prefetch_iters_ahead,
+        );
+        checkpoint(check, &func, form, "prefetch")?;
     }
+    let remapped_profile;
+    let mut profile = profile;
     if let Some(hp) = passes.hyperblock {
         let r = hyperblock::form_hyperblocks(&mut func, profile, machine, hp);
         stats.hyperblocks = r.regions_converted;
         stats.paths_merged = r.paths_merged;
+        form = CfgForm::Hyperblock;
+        // If-conversion tombstones the absorbed blocks; delete them and
+        // renumber the profile to match so the allocator's block weights
+        // stay aligned.
+        let map = func.prune_unreachable_blocks();
+        if map.iter().any(|m| m.is_none()) {
+            remapped_profile = profile.remap_blocks(&map);
+            profile = &remapped_profile;
+        }
+        checkpoint(check, &func, form, "hyperblock")?;
     }
     let ra = regalloc::allocate(
         &mut func,
@@ -216,6 +284,17 @@ pub fn compile(
     )
     .map_err(|m| CompileError { message: m })?;
     stats.spills = ra.spilled;
+    // Allocation rewrites the function into machine-register form, where
+    // operand indices are physical registers classed by the consuming opcode
+    // and `vreg_class` no longer describes the numbering — so only the
+    // shape-and-reachability subset of the checker still applies here.
+    if check {
+        metaopt_analysis::enforce_machine_function(&func, form, "regalloc").map_err(|e| {
+            CompileError {
+                message: e.to_string(),
+            }
+        })?;
+    }
 
     let code = schedule::schedule_function(&func, machine);
     stats.static_insts = code.num_insts() as u64;

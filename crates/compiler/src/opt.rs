@@ -138,9 +138,8 @@ pub fn dead_code_elim(func: &mut Function) {
         let mut removed = false;
         for b in &mut func.blocks {
             b.insts.retain(|inst| {
-                let pure = !inst.op.is_control()
-                    && !inst.op.is_mem()
-                    && inst.op != Opcode::UnsafeCall;
+                let pure =
+                    !inst.op.is_control() && !inst.op.is_mem() && inst.op != Opcode::UnsafeCall;
                 let dead = match inst.dst {
                     Some(d) => !used[d.index()],
                     None => false,
@@ -194,9 +193,8 @@ mod tests {
 
     #[test]
     fn removes_dead_code() {
-        let (_, opt) = optimized(
-            "fn main() -> int { let dead = 3 * 4 + 5; let live = 2; return live; }",
-        );
+        let (_, opt) =
+            optimized("fn main() -> int { let dead = 3 * 4 + 5; let live = 2; return live; }");
         // `dead` chain removed: expect only a handful of instructions.
         assert!(
             opt.funcs[0].num_insts() <= 4,

@@ -19,14 +19,14 @@ use std::collections::HashMap;
 /// Real-valued features per candidate load. Index order is the public
 /// contract for confidence functions.
 pub const REAL_FEATURES: &[&str] = &[
-    "trip_count",  // profiled average iterations per loop entry
-    "stride",      // signed address stride in bytes per iteration (0 if unknown)
-    "abs_stride",  // |stride|
-    "loop_depth",  // nesting depth of the loop
-    "body_insts",  // static instructions in the loop
-    "mem_ops",     // memory operations in the loop
-    "num_loads",   // loads in the loop
-    "line_reuse",  // cache-line size / |stride| (accesses per line)
+    "trip_count", // profiled average iterations per loop entry
+    "stride",     // signed address stride in bytes per iteration (0 if unknown)
+    "abs_stride", // |stride|
+    "loop_depth", // nesting depth of the loop
+    "body_insts", // static instructions in the loop
+    "mem_ops",    // memory operations in the loop
+    "num_loads",  // loads in the loop
+    "line_reuse", // cache-line size / |stride| (accesses per line)
 ];
 
 /// Boolean features per candidate load.
@@ -69,7 +69,11 @@ fn single_defs(func: &Function) -> HashMap<u32, (usize, usize)> {
 /// Basic induction variables of a loop: cells `i` whose only in-loop
 /// definition is `Mov i, t` with `t = AddI(i, c)` (the frontend's canonical
 /// update), or a direct `AddI i <- i, c`. Returns vreg -> step.
-fn induction_steps(func: &Function, blocks: &[usize], defs: &HashMap<u32, (usize, usize)>) -> HashMap<u32, i64> {
+fn induction_steps(
+    func: &Function,
+    blocks: &[usize],
+    defs: &HashMap<u32, (usize, usize)>,
+) -> HashMap<u32, i64> {
     // Collect in-loop defs per vreg.
     let mut in_loop_defs: HashMap<u32, Vec<(usize, usize)>> = HashMap::new();
     for &bi in blocks {
@@ -257,7 +261,7 @@ pub fn insert_prefetches(
     }
 
     // Insert back-to-front so indices stay valid.
-    requests.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    requests.sort_by_key(|r| std::cmp::Reverse((r.0, r.1)));
     let count = requests.len() as u64;
     for (bi, ii, pf) in requests {
         func.blocks[bi].insts.insert(ii, pf);
@@ -313,7 +317,10 @@ mod tests {
             &BaselineTripCount,
             8,
         );
-        assert!(n >= 2, "expected prefetches for the streaming loads, got {n}");
+        assert!(
+            n >= 2,
+            "expected prefetches for the streaming loads, got {n}"
+        );
         assert!(func
             .blocks
             .iter()
@@ -363,16 +370,17 @@ mod tests {
             for &bi in &blocks {
                 for inst in &func.blocks[bi].insts {
                     if inst.op.is_load() {
-                        if let Some(8) =
-                            stride_of(func, inst.args[0].0, &ivs, &defs, &blocks, 16)
-                        {
+                        if let Some(8) = stride_of(func, inst.args[0].0, &ivs, &defs, &blocks, 16) {
                             found_stride8 = true;
                         }
                     }
                 }
             }
         }
-        assert!(found_stride8, "float stream loads should have 8-byte stride");
+        assert!(
+            found_stride8,
+            "float stream loads should have 8-byte stride"
+        );
     }
 
     #[test]

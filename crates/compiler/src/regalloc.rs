@@ -30,13 +30,13 @@ use metaopt_sim::MachineConfig;
 /// Real-valued features fed to the savings function, per (block, range).
 /// Index order matches [`feature_names`].
 pub const REAL_FEATURES: &[&str] = &[
-    "uses",        // uses of the range's vreg in this block
-    "defs",        // defs in this block
-    "w",           // block execution frequency (profile, normalized)
-    "loop_depth",  // loop nesting depth of the block
-    "range_size",  // number of blocks in the live range (Eq. 3's N)
-    "degree",      // interference degree of the range
-    "total_refs",  // uses+defs of the range across the whole function
+    "uses",       // uses of the range's vreg in this block
+    "defs",       // defs in this block
+    "w",          // block execution frequency (profile, normalized)
+    "loop_depth", // loop nesting depth of the block
+    "range_size", // number of blocks in the live range (Eq. 3's N)
+    "degree",     // interference degree of the range
+    "total_refs", // uses+defs of the range across the whole function
 ];
 
 /// Boolean features. Index order matches [`feature_names`].
@@ -104,7 +104,7 @@ pub fn allocate(
 
     // Live range = set of blocks where the vreg is live or referenced.
     let mut range: Vec<BitSet> = vec![BitSet::new(nb); nv];
-    let mut uses_in: Vec<Vec<u32>> = vec![vec![0; nb]; 0];
+    let mut uses_in: Vec<Vec<u32>> = Vec::new();
     uses_in.resize_with(nv, || vec![0u32; nb]);
     let mut defs_in: Vec<Vec<u32>> = Vec::new();
     defs_in.resize_with(nv, || vec![0u32; nb]);
@@ -167,10 +167,7 @@ pub fn allocate(
         for (i, &v) in vregs.iter().enumerate() {
             let blocks: Vec<usize> = range[v].iter().collect();
             let n = blocks.len().max(1) as f64;
-            let total_refs: u32 = blocks
-                .iter()
-                .map(|&b| uses_in[v][b] + defs_in[v][b])
-                .sum();
+            let total_refs: u32 = blocks.iter().map(|&b| uses_in[v][b] + defs_in[v][b]).sum();
             let mut sum = 0.0;
             for &b in &blocks {
                 let w = profile.block_count(BlockId(b as u32)) as f64 / entry_count;
@@ -335,9 +332,7 @@ pub fn allocate(
                         RegClass::Float => {
                             let t = FLOAT_TEMPS[FLOAT_TEMPS.len() - 1];
                             inst.dst = Some(VReg(t));
-                            let mut st = Inst::new(Opcode::FSt)
-                                .args(&[VReg(0), VReg(t)])
-                                .imm(slot);
+                            let mut st = Inst::new(Opcode::FSt).args(&[VReg(0), VReg(t)]).imm(slot);
                             st.pred = inst.pred;
                             post.push(st);
                         }
@@ -400,7 +395,10 @@ mod tests {
         .unwrap();
         let mem = compiled.initial_memory(&prepared);
         let sim = simulate(&compiled.code, machine, mem).unwrap();
-        assert_eq!(sim.ret, interp_out.ret, "simulated result must match interpreter");
+        assert_eq!(
+            sim.ret, interp_out.ret,
+            "simulated result must match interpreter"
+        );
     }
 
     const KERNEL: &str = r#"

@@ -65,11 +65,11 @@ fn schedule_segment(insts: &[Inst], m: &MachineConfig, out: &mut Vec<Bundle>) {
         let mut last_store: Option<usize> = None;
         let mut loads_since_store: Vec<usize> = Vec::new();
         let edge = |preds: &mut Vec<Vec<(usize, u64)>>,
-                        succs: &mut Vec<Vec<usize>>,
-                        nsucc: &mut Vec<usize>,
-                        from: usize,
-                        to: usize,
-                        lat: u64| {
+                    succs: &mut Vec<Vec<usize>>,
+                    nsucc: &mut Vec<usize>,
+                    from: usize,
+                    to: usize,
+                    lat: u64| {
             preds[to].push((from, lat));
             succs[from].push(to);
             nsucc[to] += 0; // placeholder to satisfy closure shape
@@ -79,7 +79,14 @@ fn schedule_segment(insts: &[Inst], m: &MachineConfig, out: &mut Vec<Bundle>) {
             // RAW
             for r in reads_of(inst) {
                 if let Some(&w) = last_write.get(&r) {
-                    edge(&mut preds, &mut succs, &mut nsucc, w, i, sched_latency(&insts[w], m));
+                    edge(
+                        &mut preds,
+                        &mut succs,
+                        &mut nsucc,
+                        w,
+                        i,
+                        sched_latency(&insts[w], m),
+                    );
                 }
                 readers.entry(r).or_default().push(i);
             }
@@ -231,7 +238,9 @@ mod tests {
     }
 
     fn add(d: u32, a: u32, b: u32) -> Inst {
-        Inst::new(Opcode::Add).dst(VReg(d)).args(&[VReg(a), VReg(b)])
+        Inst::new(Opcode::Add)
+            .dst(VReg(d))
+            .args(&[VReg(a), VReg(b)])
     }
 
     fn func_of(insts: Vec<Inst>) -> Function {

@@ -47,7 +47,9 @@ fn init_of(func: &Function, in_loop: &dyn Fn(usize) -> bool, cell: u32) -> Optio
         }
     }
     let const_of = |r: u32| -> Option<i64> {
-        (def_count.get(&r) == Some(&1)).then(|| movi.get(&r).copied()).flatten()
+        (def_count.get(&r) == Some(&1))
+            .then(|| movi.get(&r).copied())
+            .flatten()
     };
     let mut init = None;
     let mut outside_defs = 0;
@@ -222,16 +224,28 @@ mod tests {
     #[test]
     fn unrolled_loop_executes_fewer_branches() {
         let mut p = prepared(SUMLOOP);
-        let base = run(&p, &RunConfig { profile: true, ..Default::default() })
-            .unwrap()
-            .profile
-            .unwrap();
+        let base = run(
+            &p,
+            &RunConfig {
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap();
         let base_branches: u64 = base.funcs[0].branches.values().map(|s| s.executed).sum();
         unroll_loops(&mut p.funcs[0], 8);
-        let after = run(&p, &RunConfig { profile: true, ..Default::default() })
-            .unwrap()
-            .profile
-            .unwrap();
+        let after = run(
+            &p,
+            &RunConfig {
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap();
         let after_branches: u64 = after.funcs[0].branches.values().map(|s| s.executed).sum();
         assert!(
             after_branches * 4 < base_branches,
@@ -299,15 +313,21 @@ mod tests {
         let mut p = prepared(SUMLOOP);
         let want = run(&p, &RunConfig::default()).unwrap().ret;
         unroll_loops(&mut p.funcs[0], 8);
-        let profile = run(&p, &RunConfig { profile: true, ..Default::default() })
-            .unwrap()
-            .profile
-            .unwrap();
+        let profile = run(
+            &p,
+            &RunConfig {
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap();
         let machine = metaopt_sim::MachineConfig::table3();
         let compiled =
             crate::compile(&p, &profile.funcs[0], &machine, &crate::Passes::default()).unwrap();
-        let sim = metaopt_sim::simulate(&compiled.code, &machine, compiled.initial_memory(&p))
-            .unwrap();
+        let sim =
+            metaopt_sim::simulate(&compiled.code, &machine, compiled.initial_memory(&p)).unwrap();
         assert_eq!(sim.ret, want);
     }
 }

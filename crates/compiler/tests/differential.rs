@@ -35,8 +35,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Load(Box::new(e))),
-            (0u8..8, inner.clone(), inner)
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..8, inner.clone(), inner).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -176,6 +179,9 @@ proptest! {
             prefetch: Some(&pf),
             prefetch_iters_ahead: 4,
             unroll: unroll.then_some(8),
+            // Fuzzed pipelines double as a stress test for the inter-pass
+            // invariant checker: every boundary of every case must be clean.
+            check_ir: true,
         };
         let mut machine = MachineConfig::table3();
         if tiny_regs {

@@ -25,12 +25,18 @@ fn main() {
     params.generations = 8;
     params.subset_size = Some(2); // dynamic subset selection
 
-    println!("training one general-purpose priority function on {} benchmarks...", train.len());
+    println!(
+        "training one general-purpose priority function on {} benchmarks...",
+        train.len()
+    );
     let r = experiment::train_general(&cfg, &train, &params);
     for (name, t, n) in &r.per_bench {
         println!("  {name:<12} train {t:.3}  novel {n:.3}");
     }
-    println!("  mean: train {:.3} novel {:.3}", r.mean_train, r.mean_novel);
+    println!(
+        "  mean: train {:.3} novel {:.3}",
+        r.mean_train, r.mean_novel
+    );
 
     println!("cross-validating on unseen benchmarks...");
     let cv = experiment::cross_validate(&cfg, &r.best, &test);

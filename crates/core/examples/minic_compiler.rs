@@ -32,21 +32,37 @@ const SRC: &str = r#"
 
 fn main() {
     let prog = metaopt_lang::compile(SRC).expect("MiniC compiles");
-    println!("frontend: {} functions, {} instructions", prog.funcs.len(), prog.num_insts());
+    println!(
+        "frontend: {} functions, {} instructions",
+        prog.funcs.len(),
+        prog.num_insts()
+    );
 
     let prepared = prepare(&prog).expect("inlines");
-    println!("after inlining + cleanup: {} instructions", prepared.num_insts());
+    println!(
+        "after inlining + cleanup: {} instructions",
+        prepared.num_insts()
+    );
 
     let reference = run(&prepared, &RunConfig::default()).expect("interprets");
-    let profile = run(&prepared, &RunConfig { profile: true, ..Default::default() })
-        .expect("profiles")
-        .profile
-        .expect("requested");
-    println!("interpreter: result={} ({} dynamic instructions)", reference.ret, reference.steps);
+    let profile = run(
+        &prepared,
+        &RunConfig {
+            profile: true,
+            ..Default::default()
+        },
+    )
+    .expect("profiles")
+    .profile
+    .expect("requested");
+    println!(
+        "interpreter: result={} ({} dynamic instructions)",
+        reference.ret, reference.steps
+    );
 
     let machine = MachineConfig::table3();
-    let compiled = compile(&prepared, &profile.funcs[0], &machine, &Passes::baseline())
-        .expect("compiles");
+    let compiled =
+        compile(&prepared, &profile.funcs[0], &machine, &Passes::baseline()).expect("compiles");
     println!(
         "compiled: {} insts in {} bundles; {} hyperblocks, {} spills, {} prefetches",
         compiled.stats.static_insts,
@@ -56,8 +72,8 @@ fn main() {
         compiled.stats.prefetches
     );
 
-    let result = simulate(&compiled.code, &machine, compiled.initial_memory(&prepared))
-        .expect("simulates");
+    let result =
+        simulate(&compiled.code, &machine, compiled.initial_memory(&prepared)).expect("simulates");
     assert_eq!(result.ret, reference.ret, "differential check");
     println!(
         "simulated: result={} in {} cycles (IPC {:.2}, {} mispredicts, {} L1 misses)",

@@ -19,7 +19,10 @@ fn main() {
     let never = parse_expr("(bconst false)", &cfg.features).expect("parses");
     let always = parse_expr("(bconst true)", &cfg.features).expect("parses");
     println!("101.tomcatv under different prefetch policies (train data):");
-    println!("  ORC-like baseline: {:>9} cycles (1.000x)", pb.baseline_cycles(DataSet::Train));
+    println!(
+        "  ORC-like baseline: {:>9} cycles (1.000x)",
+        pb.baseline_cycles(DataSet::Train)
+    );
     for (name, e) in [("never prefetch", &never), ("always prefetch", &always)] {
         println!(
             "  {name:<17} {:>9} cycles ({:.3}x)",
@@ -32,7 +35,10 @@ fn main() {
     params.population = 24;
     params.generations = 6;
     let r = experiment::specialize(&cfg, &bench, &params);
-    println!("  evolved           ({:.3}x) -> {}", r.train_speedup, r.best);
+    println!(
+        "  evolved           ({:.3}x) -> {}",
+        r.train_speedup, r.best
+    );
     println!("\nThe paper's finding reproduces: the shipped heuristic overzealously");
     println!("prefetches; evolved functions rarely prefetch on these kernels.");
 }

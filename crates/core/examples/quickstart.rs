@@ -25,9 +25,15 @@ fn main() {
     let result = experiment::specialize(&cfg, &bench, &params);
 
     println!("benchmark:       {}", result.name);
-    println!("train speedup:   {:.3}x over the shipped Eq. 1 heuristic", result.train_speedup);
+    println!(
+        "train speedup:   {:.3}x over the shipped Eq. 1 heuristic",
+        result.train_speedup
+    );
     println!("novel-data:      {:.3}x", result.novel_speedup);
-    println!("evaluations:     {} compile+simulate runs", result.evaluations);
+    println!(
+        "evaluations:     {} compile+simulate runs",
+        result.evaluations
+    );
     println!("evolved priority function:");
     println!("  {}", display_named(&result.best, &cfg.features));
 }

@@ -27,7 +27,10 @@ fn main() {
             continue;
         };
         let r = experiment::specialize(&cfg, &b, &params);
-        println!("{name}: train {:.3}x novel {:.3}x", r.train_speedup, r.novel_speedup);
+        println!(
+            "{name}: train {:.3}x novel {:.3}x",
+            r.train_speedup, r.novel_speedup
+        );
         print!("  fitness/gen:");
         for g in &r.log {
             print!(" {:.3}", g.best_fitness);

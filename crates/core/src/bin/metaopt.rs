@@ -9,7 +9,9 @@
 //! ```
 //!
 //! `<study>` is `hyperblock`, `regalloc`, or `prefetch`. GP scale options:
-//! `--pop N`, `--gens N`, `--seed N`, `--threads N`.
+//! `--pop N`, `--gens N`, `--seed N`, `--threads N`. `--check-ir` runs the
+//! `metaopt-analysis` invariant checker at every pass boundary of every
+//! compilation (on by default when built with the `check-ir` feature).
 
 use metaopt::{experiment, study, PreparedBench, StudyConfig};
 use metaopt_gp::expr::display_named;
@@ -29,7 +31,7 @@ fn usage() -> ExitCode {
            compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
-         options: --pop N --gens N --seed N --threads N"
+         options: --pop N --gens N --seed N --threads N --check-ir"
     );
     ExitCode::FAILURE
 }
@@ -62,11 +64,13 @@ fn test_set(cfg: &StudyConfig) -> Vec<metaopt_suite::Benchmark> {
 struct Options {
     positional: Vec<String>,
     params: GpParams,
+    check_ir: bool,
 }
 
 fn parse_args() -> Option<Options> {
     let mut params = GpParams::quick();
     let mut positional = Vec::new();
+    let mut check_ir = metaopt_compiler::CHECK_IR_DEFAULT;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -74,10 +78,24 @@ fn parse_args() -> Option<Options> {
             "--gens" => params.generations = args.next()?.parse().ok()?,
             "--seed" => params.seed = args.next()?.parse().ok()?,
             "--threads" => params.threads = args.next()?.parse().ok()?,
+            "--check-ir" => check_ir = true,
             _ => positional.push(a),
         }
     }
-    Some(Options { positional, params })
+    Some(Options {
+        positional,
+        params,
+        check_ir,
+    })
+}
+
+/// Annotate an evolved winner with its genome lints (warnings on the raw
+/// genome — dead branches, foldable subtrees, shadowed divisions — plus
+/// which features it never reads).
+fn print_lints(best: &metaopt_gp::Expr, cfg: &StudyConfig) {
+    for l in metaopt_gp::lint::lint(best, cfg.genome_kind, &cfg.features) {
+        println!("  lint {l}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,6 +114,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
+            let cfg = cfg.with_check_ir(opts.check_ir);
             let Some(bench) = metaopt_suite::by_name(bench_name) else {
                 eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
                 return ExitCode::FAILURE;
@@ -107,12 +126,14 @@ fn main() -> ExitCode {
                 "evolved: {}",
                 display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
             );
+            print_lints(&r.best, &cfg);
             ExitCode::SUCCESS
         }
         ["train", study_name] => {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
+            let cfg = cfg.with_check_ir(opts.check_ir);
             let r = experiment::train_general(&cfg, &training_set(&cfg), &opts.params);
             for (name, t, n) in &r.per_bench {
                 println!("{name:<14} train {t:.3}  novel {n:.3}");
@@ -123,12 +144,14 @@ fn main() -> ExitCode {
                 display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
             );
             println!("raw (re-parseable): {}", r.best);
+            print_lints(&r.best, &cfg);
             ExitCode::SUCCESS
         }
         ["crossval", study_name, path] => {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
+            let cfg = cfg.with_check_ir(opts.check_ir);
             let Ok(text) = std::fs::read_to_string(path) else {
                 eprintln!("cannot read {path}");
                 return ExitCode::FAILURE;
@@ -151,6 +174,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
+            let cfg = cfg.with_check_ir(opts.check_ir);
             let Some(bench) = metaopt_suite::by_name(bench_name) else {
                 eprintln!("unknown benchmark {bench_name}");
                 return ExitCode::FAILURE;

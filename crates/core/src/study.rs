@@ -35,6 +35,11 @@ pub struct StudyConfig {
     pub noise: f64,
     /// Genome sort.
     pub genome_kind: Kind,
+    /// Run the inter-pass IR invariant checker at every pass boundary of
+    /// every compilation in this study. Defaults to the compiler crate's
+    /// `check-ir` feature; flip at runtime with [`StudyConfig::with_check_ir`]
+    /// (the CLI's `--check-ir`).
+    pub check_ir: bool,
 }
 
 fn features_from(names: (Vec<&'static str>, Vec<&'static str>)) -> FeatureSet {
@@ -66,6 +71,7 @@ pub fn hyperblock() -> StudyConfig {
         baseline_seed: seed,
         noise: 0.0,
         genome_kind: Kind::Real,
+        check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
     }
 }
 
@@ -73,8 +79,8 @@ pub fn hyperblock() -> StudyConfig {
 /// 32 GPR / 32 FPR, Eq. 2 seed.
 pub fn regalloc() -> StudyConfig {
     let features = features_from(regalloc::feature_names());
-    let seed = parse_expr("(mul w (add (mul 2.0 uses) defs))", &features)
-        .expect("Eq. 2 seed parses");
+    let seed =
+        parse_expr("(mul w (add (mul 2.0 uses) defs))", &features).expect("Eq. 2 seed parses");
     StudyConfig {
         kind: StudyKind::Regalloc,
         machine: MachineConfig::regalloc_stress(),
@@ -82,6 +88,7 @@ pub fn regalloc() -> StudyConfig {
         baseline_seed: seed,
         noise: 0.0,
         genome_kind: Kind::Real,
+        check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
     }
 }
 
@@ -89,8 +96,7 @@ pub fn regalloc() -> StudyConfig {
 /// confidence genome, ORC-like trip-count seed, real-machine noise.
 pub fn prefetch() -> StudyConfig {
     let features = features_from(prefetch::feature_names());
-    let seed = parse_expr("(barg trip_known)", &features)
-        .expect("trip-count seed parses");
+    let seed = parse_expr("(barg trip_known)", &features).expect("trip-count seed parses");
     StudyConfig {
         kind: StudyKind::Prefetch,
         machine: MachineConfig::itanium_like(),
@@ -98,6 +104,7 @@ pub fn prefetch() -> StudyConfig {
         baseline_seed: seed,
         noise: 0.005,
         genome_kind: Kind::Bool,
+        check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
     }
 }
 
@@ -117,6 +124,12 @@ impl BoolPriority for ExprPriority<'_> {
 }
 
 impl StudyConfig {
+    /// This study with IR invariant checking switched on or off.
+    pub fn with_check_ir(mut self, on: bool) -> Self {
+        self.check_ir = on;
+        self
+    }
+
     /// The pass configuration with the study's slot filled by `expr`
     /// (the other passes run their shipped baselines).
     pub fn passes_with<'a>(&self, expr: &'a ExprPriority<'a>) -> Passes<'a> {
@@ -127,6 +140,7 @@ impl StudyConfig {
                 prefetch: None,
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
             StudyKind::Regalloc => Passes {
                 hyperblock: Some(&hyperblock::BaselineEq1),
@@ -134,6 +148,7 @@ impl StudyConfig {
                 prefetch: None,
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
             StudyKind::Prefetch => Passes {
                 hyperblock: None,
@@ -141,6 +156,7 @@ impl StudyConfig {
                 prefetch: Some(expr),
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
         }
     }
@@ -154,6 +170,7 @@ impl StudyConfig {
                 prefetch: None,
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
             StudyKind::Regalloc => Passes {
                 hyperblock: Some(&hyperblock::BaselineEq1),
@@ -161,6 +178,7 @@ impl StudyConfig {
                 prefetch: None,
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
             StudyKind::Prefetch => Passes {
                 hyperblock: None,
@@ -168,6 +186,7 @@ impl StudyConfig {
                 prefetch: Some(&prefetch::BaselineTripCount),
                 prefetch_iters_ahead: 8,
                 unroll: None,
+                check_ir: self.check_ir,
             },
         }
     }
@@ -226,8 +245,7 @@ mod tests {
         for sk in [false, true] {
             for tk in [false, true] {
                 let bools = [sk, tk, false];
-                let native =
-                    metaopt_compiler::prefetch::BaselineTripCount.decide(&reals, &bools);
+                let native = metaopt_compiler::prefetch::BaselineTripCount.decide(&reals, &bools);
                 let seeded = ExprPriority(&cfg.baseline_seed).decide(&reals, &bools);
                 assert_eq!(native, seeded);
             }

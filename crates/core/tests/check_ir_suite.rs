@@ -1,0 +1,47 @@
+//! Acceptance test for the inter-pass IR invariant checker: the full
+//! pipeline, run over **every** bundled suite benchmark under each study's
+//! machine and baseline heuristics, must pass every checkpoint — prepare
+//! (inline / constant-fold / DCE) and compile (unroll / prefetch /
+//! hyperblock / regalloc) alike.
+
+use metaopt::study;
+use metaopt_compiler::{compile, prepare_checked};
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_suite::DataSet;
+
+#[test]
+fn every_suite_benchmark_compiles_clean_under_check_ir() {
+    for cfg in [study::hyperblock(), study::regalloc(), study::prefetch()] {
+        let cfg = cfg.with_check_ir(true);
+        for bench in metaopt_suite::all_benchmarks() {
+            let prog = bench.program();
+            let prepared = prepare_checked(&prog, true)
+                .unwrap_or_else(|e| panic!("{}: prepare checkpoints failed: {e}", bench.name));
+            let mem = bench.memory(&prepared, DataSet::Train);
+            let profile = run(
+                &prepared,
+                &RunConfig {
+                    memory: Some(mem),
+                    profile: true,
+                    max_steps: 100_000_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: profiling run failed: {e:?}", bench.name))
+            .profile
+            .expect("profile requested")
+            .funcs[0]
+                .clone();
+            // Baseline passes inherit cfg.check_ir = true, so every pass
+            // boundary of this compilation is checked.
+            let passes = cfg.baseline_passes();
+            assert!(passes.check_ir);
+            compile(&prepared, &profile, &cfg.machine, &passes).unwrap_or_else(|e| {
+                panic!(
+                    "{} under {:?} study: compile checkpoints failed: {e}",
+                    bench.name, cfg.kind
+                )
+            });
+        }
+    }
+}

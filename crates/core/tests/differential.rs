@@ -15,7 +15,9 @@ use rand::SeedableRng;
 
 fn random_priorities(fs: &FeatureSet, kind: Kind, n: usize, seed: u64) -> Vec<metaopt_gp::Expr> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| random_expr(&mut rng, fs, kind, 2, 6)).collect()
+    (0..n)
+        .map(|_| random_expr(&mut rng, fs, kind, 2, 6))
+        .collect()
 }
 
 /// `cycles_with` panics on divergence, so simply running it is the check.

@@ -21,7 +21,10 @@ fn prefetch_baseline_is_overzealous_on_the_training_set() {
         speedups.push(pb.speedup(&cfg, &never, DataSet::Train));
     }
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    assert!(mean > 1.05, "no-prefetch mean {mean} must beat the baseline");
+    assert!(
+        mean > 1.05,
+        "no-prefetch mean {mean} must beat the baseline"
+    );
     let winners = speedups.iter().filter(|s| **s > 1.02).count();
     assert!(winners * 2 >= speedups.len(), "{speedups:?}");
 }

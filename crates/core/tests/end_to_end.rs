@@ -87,7 +87,10 @@ fn cross_validation_handles_whole_test_set() {
         &cfg.baseline_seed,
         &metaopt_suite::hyperblock_test_set(),
     );
-    assert_eq!(cv.per_bench.len(), metaopt_suite::hyperblock_test_set().len());
+    assert_eq!(
+        cv.per_bench.len(),
+        metaopt_suite::hyperblock_test_set().len()
+    );
     for (name, t, _) in &cv.per_bench {
         assert!(
             (*t - 1.0).abs() < 1e-9,

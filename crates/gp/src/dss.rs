@@ -54,15 +54,23 @@ impl Dss {
         let mut chosen = Vec::with_capacity(self.subset_size);
         for _ in 0..self.subset_size {
             let total: f64 = remaining.iter().map(|&c| self.weight(c)).sum();
-            let mut draw = rng.random::<f64>() * total;
-            let mut pick = remaining.len() - 1;
-            for (i, &c) in remaining.iter().enumerate() {
-                draw -= self.weight(c);
-                if draw <= 0.0 {
-                    pick = i;
-                    break;
+            // Degenerate weights (all zero, or poisoned by a non-finite
+            // difficulty) would otherwise always land on the last remaining
+            // case; fall back to a uniform draw instead.
+            let pick = if total > 0.0 && total.is_finite() {
+                let mut draw = rng.random::<f64>() * total;
+                let mut pick = remaining.len() - 1;
+                for (i, &c) in remaining.iter().enumerate() {
+                    draw -= self.weight(c);
+                    if draw <= 0.0 {
+                        pick = i;
+                        break;
+                    }
                 }
-            }
+                pick
+            } else {
+                rng.random_range(0..remaining.len())
+            };
             chosen.push(remaining.swap_remove(pick));
         }
         for c in 0..n {
@@ -118,7 +126,7 @@ mod tests {
             dss.report(c, if c == 0 { 0.5 } else { 1.9 });
         }
         let mut rng = StdRng::seed_from_u64(2);
-        let mut hits = vec![0usize; 10];
+        let mut hits = [0usize; 10];
         for _ in 0..300 {
             for c in dss.select(&mut rng) {
                 hits[c] += 1;
@@ -137,6 +145,33 @@ mod tests {
     }
 
     #[test]
+    fn zero_total_weight_falls_back_to_uniform_selection() {
+        // Force every weight to zero: difficulty 0^1 = 0 and age 0^2 = 0.
+        let mut dss = Dss::new(8, 2);
+        dss.difficulty = vec![0.0; 8];
+        dss.age = vec![0.0; 8];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = vec![0usize; 8];
+        for _ in 0..400 {
+            let s = dss.select(&mut rng);
+            assert_eq!(s.len(), 2);
+            for c in s {
+                hits[c] += 1;
+            }
+            // Keep the degenerate state (select() resets ages).
+            dss.age = vec![0.0; 8];
+        }
+        // Without the guard the draw always lands on the last remaining
+        // case, so early cases would never be picked.
+        assert!(
+            hits.iter().all(|&h| h > 0),
+            "uniform fallback must reach every case: {hits:?}"
+        );
+        let (min, max) = (hits.iter().min().unwrap(), hits.iter().max().unwrap());
+        assert!(max - min < 80, "roughly uniform: {hits:?}");
+    }
+
+    #[test]
     fn aging_prevents_starvation() {
         let mut dss = Dss::new(6, 2);
         for c in 0..6 {
@@ -149,6 +184,9 @@ mod tests {
                 seen[c] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "all cases eventually selected: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all cases eventually selected: {seen:?}"
+        );
     }
 }

@@ -171,6 +171,12 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         if subset.is_empty() {
             return 1.0;
         }
+        // Malformed genomes (wrong sort, out-of-range features, non-finite
+        // constants, certain zero divisions) score the worst possible
+        // fitness without spending a compile-and-simulate evaluation.
+        if crate::lint::reject(expr, self.params.kind, self.features).is_err() {
+            return 0.0;
+        }
         let key = expr.key();
         let sum: f64 = subset
             .iter()
@@ -190,11 +196,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         let mut fits = vec![0.0f64; pop.len()];
         let chunk = pop.len().div_ceil(threads);
         std::thread::scope(|s| {
-            for (ci, (exprs, out)) in pop
-                .chunks(chunk)
-                .zip(fits.chunks_mut(chunk))
-                .enumerate()
-            {
+            for (ci, (exprs, out)) in pop.chunks(chunk).zip(fits.chunks_mut(chunk)).enumerate() {
                 let _ = ci;
                 s.spawn(move || {
                     for (e, f) in exprs.iter().zip(out.iter_mut()) {
@@ -213,7 +215,13 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         let mut best = rng.random_range(0..pop.len());
         for _ in 1..k {
             let c = rng.random_range(0..pop.len());
-            if better(fits[c], pop[c].size(), fits[best], pop[best].size(), self.params.fitness_epsilon) {
+            if better(
+                fits[c],
+                pop[c].size(),
+                fits[best],
+                pop[best].size(),
+                self.params.fitness_epsilon,
+            ) {
                 best = c;
             }
         }
@@ -228,12 +236,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         let ncases = self.evaluator.num_cases();
 
         // Initial population: seeds then ramped-grow randoms.
-        let mut pop: Vec<Expr> = self
-            .seeds
-            .iter()
-            .cloned()
-            .take(p.population)
-            .collect();
+        let mut pop: Vec<Expr> = self.seeds.iter().take(p.population).cloned().collect();
         while pop.len() < p.population {
             pop.push(random_expr(
                 &mut rng,
@@ -377,6 +380,38 @@ mod tests {
     }
 
     #[test]
+    fn malformed_seed_is_rejected_without_an_evaluation() {
+        // A kind-mismatched genome (Bool in a Real study) must score 0.0
+        // straight from the lint gate — the evaluator must never see it.
+        struct NoBools;
+        impl Evaluator for NoBools {
+            fn num_cases(&self) -> usize {
+                1
+            }
+            fn eval_case(&self, expr: &Expr, _case: usize) -> f64 {
+                assert!(
+                    !matches!(expr, Expr::Bool(_)),
+                    "lint-rejected genome reached the evaluator: {expr}"
+                );
+                1.5
+            }
+        }
+        let fs = features();
+        let bad = Expr::Bool(crate::expr::BExpr::Const(true));
+        let good = parse_expr("(mul 2.0 x)", &fs).unwrap();
+        let mut params = GpParams::quick();
+        params.generations = 3;
+        params.population = 10;
+        params.seed = 11;
+        params.threads = 1;
+        let result = Evolution::new(params, &fs, &NoBools)
+            .with_seeds(vec![bad, good])
+            .run();
+        assert!(matches!(result.best, Expr::Real(_)));
+        assert!(result.best_fitness > 0.0);
+    }
+
+    #[test]
     fn evolution_improves_over_random_start() {
         let fs = features();
         let ev = Regress;
@@ -405,10 +440,7 @@ mod tests {
         let fs = features();
         let ev = Regress;
         let seed = parse_expr("(add (mul 2.0 x) 1.0)", &fs).unwrap();
-        let perfect = (0..3)
-            .map(|c| ev.eval_case(&seed, c))
-            .sum::<f64>()
-            / 3.0;
+        let perfect = (0..3).map(|c| ev.eval_case(&seed, c)).sum::<f64>() / 3.0;
         let mut params = GpParams::quick();
         params.generations = 5;
         params.population = 20;

@@ -312,9 +312,9 @@ fn get_r(e: &RExpr, n: &mut usize) -> Option<Expr> {
             get_r(a, n).or_else(|| get_r(b, n))
         }
         RExpr::Sqrt(a) => get_r(a, n),
-        RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => get_b(c, n)
-            .or_else(|| get_r(a, n))
-            .or_else(|| get_r(b, n)),
+        RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => {
+            get_b(c, n).or_else(|| get_r(a, n)).or_else(|| get_r(b, n))
+        }
         RExpr::Const(_) | RExpr::Feat(_) => None,
     }
 }
@@ -327,9 +327,7 @@ fn get_b(e: &BExpr, n: &mut usize) -> Option<Expr> {
     match e {
         BExpr::And(a, b) | BExpr::Or(a, b) => get_b(a, n).or_else(|| get_b(b, n)),
         BExpr::Not(a) => get_b(a, n),
-        BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => {
-            get_r(a, n).or_else(|| get_r(b, n))
-        }
+        BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => get_r(a, n).or_else(|| get_r(b, n)),
         BExpr::Const(_) | BExpr::Feat(_) => None,
     }
 }
@@ -480,7 +478,7 @@ pub fn display_named(e: &Expr, fs: &crate::features::FeatureSet) -> String {
     let raw = e.to_string();
     // Replace whole-token rN / bN occurrences.
     let mut out = String::with_capacity(raw.len());
-    let mut chars = raw.split_inclusive(|c: char| c == ' ' || c == ')' || c == '(');
+    let mut chars = raw.split_inclusive([' ', ')', '(']);
     for tok in &mut chars {
         let (body, tail) = match tok.char_indices().last() {
             Some((i, c)) if c == ' ' || c == ')' || c == '(' => (&tok[..i], &tok[i..]),
@@ -610,9 +608,9 @@ mod tests {
         assert_eq!(info[1], (Kind::Bool, 1));
         assert_eq!(info[2], (Kind::Bool, 2));
         // Every node is extractable and self-replacement is identity.
-        for ix in 0..info.len() {
+        for (ix, ni) in info.iter().enumerate() {
             let sub = subtree(&e, ix).expect("in range");
-            assert_eq!(sub.kind(), info[ix].0);
+            assert_eq!(sub.kind(), ni.0);
             let back = with_replaced(&e, ix, &sub).expect("kinds match");
             assert_eq!(back, e);
         }

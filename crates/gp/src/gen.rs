@@ -143,8 +143,14 @@ mod tests {
     fn generates_requested_kind() {
         let fs = fs();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(random_expr(&mut rng, &fs, Kind::Real, 1, 4).kind(), Kind::Real);
-        assert_eq!(random_expr(&mut rng, &fs, Kind::Bool, 1, 4).kind(), Kind::Bool);
+        assert_eq!(
+            random_expr(&mut rng, &fs, Kind::Real, 1, 4).kind(),
+            Kind::Real
+        );
+        assert_eq!(
+            random_expr(&mut rng, &fs, Kind::Bool, 1, 4).kind(),
+            Kind::Bool
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod expr;
 pub mod features;
 pub mod gen;
+pub mod lint;
 pub mod ops;
 pub mod parse;
 pub mod simplify;
@@ -40,3 +41,4 @@ pub mod simplify;
 pub use engine::{Evaluator, Evolution, EvolutionResult, GenLog, GpParams};
 pub use expr::{BExpr, Env, Expr, Kind, RExpr};
 pub use features::FeatureSet;
+pub use lint::{Lint, LintLevel};

@@ -1,0 +1,480 @@
+//! Static analysis over GP genomes.
+//!
+//! The evaluator in [`expr`](crate::expr) is *total* — protected division,
+//! NaN-to-zero clamping — so a malformed genome never crashes; it silently
+//! computes something other than what its tree says. These lints surface
+//! that class of genome before it costs a compile-and-simulate fitness
+//! evaluation ([`reject`]) and annotate evolved winners for the compiler
+//! writer ([`lint`]).
+//!
+//! Error-level rules (a genome with any of these is rejected):
+//!
+//! * `kind-mismatch` — the genome's sort differs from the study's;
+//! * `unknown-feature` — a feature terminal indexes past the feature set,
+//!   so it silently evaluates to `0.0`/`false`;
+//! * `non-finite-constant` — a NaN/∞ constant, which the arithmetic
+//!   clamps into unrelated values;
+//! * `certain-zero-division` — a denominator that is provably zero, so the
+//!   protected division *always* takes its fallback of `1`.
+//!
+//! Warning-level rules (suspicious but evaluable): `possibly-zero-denominator`,
+//! `dead-branch`, `constant-subtree`. Info-level: `unused-feature`.
+
+use crate::expr::{BExpr, Env, Expr, Kind, RExpr};
+use crate::features::FeatureSet;
+use std::fmt;
+
+/// Lint severity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LintLevel {
+    /// Observation for the compiler writer; never affects fitness.
+    Info,
+    /// Suspicious construction that still evaluates meaningfully.
+    Warning,
+    /// Malformed genome: [`reject`] refuses it.
+    Error,
+}
+
+impl LintLevel {
+    /// Lowercase label (`info` / `warning` / `error`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LintLevel::Info => "info",
+            LintLevel::Warning => "warning",
+            LintLevel::Error => "error",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Lint {
+    /// Severity.
+    pub level: LintLevel,
+    /// Stable rule identifier (e.g. `kind-mismatch`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.level.label(), self.rule, self.message)
+    }
+}
+
+/// Run every lint over `genome` as a candidate for a study expecting
+/// `expected`-sorted genomes over `features`. Findings come in discovery
+/// order (errors are not guaranteed first).
+pub fn lint(genome: &Expr, expected: Kind, features: &FeatureSet) -> Vec<Lint> {
+    let mut cx = Cx {
+        features,
+        lints: Vec::new(),
+        used_reals: vec![false; features.num_reals()],
+        used_bools: vec![false; features.num_bools()],
+    };
+    if genome.kind() != expected {
+        cx.push(
+            LintLevel::Error,
+            "kind-mismatch",
+            format!(
+                "genome is {:?}-sorted but the study evolves {:?}-sorted priority functions \
+                 (evaluation would coerce the result)",
+                genome.kind(),
+                expected
+            ),
+        );
+    }
+    match genome {
+        Expr::Real(r) => cx.walk_real(r, false),
+        Expr::Bool(b) => cx.walk_bool(b, false),
+    }
+    for (i, used) in cx.used_reals.iter().enumerate() {
+        if !used {
+            let name = cx.features.real_name(i).unwrap_or("?").to_string();
+            cx.lints.push(Lint {
+                level: LintLevel::Info,
+                rule: "unused-feature",
+                message: format!("real feature '{name}' is never read"),
+            });
+        }
+    }
+    for (i, used) in cx.used_bools.iter().enumerate() {
+        if !used {
+            let name = cx.features.bool_name(i).unwrap_or("?").to_string();
+            cx.lints.push(Lint {
+                level: LintLevel::Info,
+                rule: "unused-feature",
+                message: format!("bool feature '{name}' is never read"),
+            });
+        }
+    }
+    cx.lints
+}
+
+/// [`lint`], failing when any error-level finding exists. The GP engine
+/// calls this before spending a fitness evaluation on a genome.
+///
+/// # Errors
+/// Returns every finding (all severities) when at least one is an error.
+pub fn reject(genome: &Expr, expected: Kind, features: &FeatureSet) -> Result<(), Vec<Lint>> {
+    let lints = lint(genome, expected, features);
+    if lints.iter().any(|l| l.level == LintLevel::Error) {
+        Err(lints)
+    } else {
+        Ok(())
+    }
+}
+
+struct Cx<'a> {
+    features: &'a FeatureSet,
+    lints: Vec<Lint>,
+    used_reals: Vec<bool>,
+    used_bools: Vec<bool>,
+}
+
+const EMPTY: Env<'static> = Env {
+    reals: &[],
+    bools: &[],
+};
+
+/// Does the subtree read any feature terminal?
+fn has_features_real(e: &RExpr) -> bool {
+    match e {
+        RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::Div(a, b) => {
+            has_features_real(a) || has_features_real(b)
+        }
+        RExpr::Sqrt(a) => has_features_real(a),
+        RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => {
+            has_features_bool(c) || has_features_real(a) || has_features_real(b)
+        }
+        RExpr::Const(_) => false,
+        RExpr::Feat(_) => true,
+    }
+}
+
+fn has_features_bool(e: &BExpr) -> bool {
+    match e {
+        BExpr::And(a, b) | BExpr::Or(a, b) => has_features_bool(a) || has_features_bool(b),
+        BExpr::Not(a) => has_features_bool(a),
+        BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => {
+            has_features_real(a) || has_features_real(b)
+        }
+        BExpr::Const(_) => false,
+        BExpr::Feat(_) => true,
+    }
+}
+
+/// Constant-fold a feature-free subtree with the evaluator's own (total)
+/// semantics; `None` when the subtree reads features.
+fn const_real(e: &RExpr) -> Option<f64> {
+    (!has_features_real(e)).then(|| e.eval(&EMPTY))
+}
+
+fn const_bool(e: &BExpr) -> Option<bool> {
+    (!has_features_bool(e)).then(|| e.eval(&EMPTY))
+}
+
+/// Can the subtree evaluate to (near) zero? Syntactic witnesses only:
+/// a near-zero constant or a subtraction (which can cancel). Used to flag
+/// denominators where the protected-division fallback is plausibly live.
+fn possibly_zero(e: &RExpr) -> bool {
+    match e {
+        RExpr::Const(k) => k.abs() < 1e-9,
+        RExpr::Sub(_, _) => true,
+        RExpr::Add(a, b) | RExpr::Mul(a, b) => possibly_zero(a) || possibly_zero(b),
+        RExpr::Div(_, _) => false, // protected: yields 1 when the denominator dies
+        RExpr::Sqrt(a) => possibly_zero(a),
+        RExpr::Tern(_, a, b) | RExpr::Cmul(_, a, b) => possibly_zero(a) || possibly_zero(b),
+        RExpr::Feat(_) => false,
+    }
+}
+
+impl Cx<'_> {
+    fn push(&mut self, level: LintLevel, rule: &'static str, message: String) {
+        self.lints.push(Lint {
+            level,
+            rule,
+            message,
+        });
+    }
+
+    /// `in_const`: an enclosing subtree was already reported as constant —
+    /// suppresses nested `constant-subtree` findings so only the maximal
+    /// foldable subtree is flagged.
+    fn walk_real(&mut self, e: &RExpr, in_const: bool) {
+        let mut in_const = in_const;
+        if !in_const && e.size() > 1 {
+            if let Some(v) = const_real(e) {
+                self.push(
+                    LintLevel::Warning,
+                    "constant-subtree",
+                    format!(
+                        "{}-node real subtree reads no features and always evaluates to {v}",
+                        e.size()
+                    ),
+                );
+                in_const = true;
+            }
+        }
+        match e {
+            RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) => {
+                self.walk_real(a, in_const);
+                self.walk_real(b, in_const);
+            }
+            RExpr::Div(a, b) => {
+                if matches!(&**b, RExpr::Sub(x, y) if x == y) {
+                    self.push(
+                        LintLevel::Error,
+                        "certain-zero-division",
+                        "denominator subtracts a subtree from itself: always zero, so the \
+                         protected division always yields its fallback of 1"
+                            .to_string(),
+                    );
+                } else if let Some(v) = const_real(b) {
+                    if v.abs() < 1e-9 {
+                        self.push(
+                            LintLevel::Error,
+                            "certain-zero-division",
+                            format!(
+                                "denominator is the constant {v}: the protected division \
+                                 always yields its fallback of 1"
+                            ),
+                        );
+                    }
+                } else if possibly_zero(b) {
+                    self.push(
+                        LintLevel::Warning,
+                        "possibly-zero-denominator",
+                        "denominator can plausibly reach zero; the protected division \
+                         silently yields 1 there"
+                            .to_string(),
+                    );
+                }
+                self.walk_real(a, in_const);
+                self.walk_real(b, in_const);
+            }
+            RExpr::Sqrt(a) => self.walk_real(a, in_const),
+            RExpr::Tern(c, a, b) | RExpr::Cmul(c, a, b) => {
+                if let Some(cv) = const_bool(c) {
+                    let dead = if cv { "else" } else { "then" };
+                    self.push(
+                        LintLevel::Warning,
+                        "dead-branch",
+                        format!("condition is constantly {cv}: the {dead} branch is dead code"),
+                    );
+                }
+                self.walk_bool(c, in_const);
+                self.walk_real(a, in_const);
+                self.walk_real(b, in_const);
+            }
+            RExpr::Const(k) => {
+                if !k.is_finite() {
+                    self.push(
+                        LintLevel::Error,
+                        "non-finite-constant",
+                        format!(
+                            "real constant {k} is not finite; the evaluator clamps it into \
+                             unrelated values"
+                        ),
+                    );
+                }
+            }
+            RExpr::Feat(i) => {
+                let i = *i as usize;
+                if i >= self.features.num_reals() {
+                    self.push(
+                        LintLevel::Error,
+                        "unknown-feature",
+                        format!(
+                            "real feature index {i} is out of range (feature set has {}); \
+                             it silently evaluates to 0.0",
+                            self.features.num_reals()
+                        ),
+                    );
+                } else {
+                    self.used_reals[i] = true;
+                }
+            }
+        }
+    }
+
+    fn walk_bool(&mut self, e: &BExpr, in_const: bool) {
+        let mut in_const = in_const;
+        if !in_const && e.size() > 1 && const_bool(e).is_some() {
+            let v = const_bool(e).unwrap();
+            self.push(
+                LintLevel::Warning,
+                "constant-subtree",
+                format!(
+                    "{}-node bool subtree reads no features and always evaluates to {v}",
+                    e.size()
+                ),
+            );
+            in_const = true;
+        }
+        match e {
+            BExpr::And(a, b) | BExpr::Or(a, b) => {
+                self.walk_bool(a, in_const);
+                self.walk_bool(b, in_const);
+            }
+            BExpr::Not(a) => self.walk_bool(a, in_const),
+            BExpr::Lt(a, b) | BExpr::Gt(a, b) | BExpr::Eq(a, b) => {
+                self.walk_real(a, in_const);
+                self.walk_real(b, in_const);
+            }
+            BExpr::Const(_) => {}
+            BExpr::Feat(i) => {
+                let i = *i as usize;
+                if i >= self.features.num_bools() {
+                    self.push(
+                        LintLevel::Error,
+                        "unknown-feature",
+                        format!(
+                            "bool feature index {i} is out of range (feature set has {}); \
+                             it silently evaluates to false",
+                            self.features.num_bools()
+                        ),
+                    );
+                } else {
+                    self.used_bools[i] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    fn fs() -> FeatureSet {
+        let mut fs = FeatureSet::new();
+        fs.add_real("x");
+        fs.add_real("y");
+        fs.add_bool("p");
+        fs
+    }
+
+    fn errors(lints: &[Lint]) -> Vec<&'static str> {
+        lints
+            .iter()
+            .filter(|l| l.level == LintLevel::Error)
+            .map(|l| l.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_genome_has_no_errors_or_warnings() {
+        let f = fs();
+        let e = parse_expr("(mul x (div y 2.0))", &f).unwrap();
+        let lints = lint(&e, Kind::Real, &f);
+        assert!(
+            lints.iter().all(|l| l.level == LintLevel::Info),
+            "{lints:?}"
+        );
+        assert!(reject(&e, Kind::Real, &f).is_ok());
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let f = fs();
+        let e = parse_expr("(barg p)", &f).unwrap(); // Bool genome
+        let lints = reject(&e, Kind::Real, &f).unwrap_err();
+        assert_eq!(errors(&lints), ["kind-mismatch"]);
+        assert!(reject(&e, Kind::Bool, &f).is_ok());
+    }
+
+    #[test]
+    fn non_finite_constant_is_rejected() {
+        let f = fs();
+        let e = Expr::Real(RExpr::Add(
+            Box::new(RExpr::Feat(0)),
+            Box::new(RExpr::Const(f64::NAN)),
+        ));
+        let lints = reject(&e, Kind::Real, &f).unwrap_err();
+        assert_eq!(errors(&lints), ["non-finite-constant"]);
+    }
+
+    #[test]
+    fn out_of_range_feature_is_rejected() {
+        let f = fs();
+        let e = Expr::Real(RExpr::Feat(7));
+        let lints = reject(&e, Kind::Real, &f).unwrap_err();
+        assert_eq!(errors(&lints), ["unknown-feature"]);
+        let b = Expr::Bool(BExpr::Feat(9));
+        assert!(reject(&b, Kind::Bool, &f).is_err());
+    }
+
+    #[test]
+    fn certain_zero_division_is_rejected() {
+        let f = fs();
+        let by_const = parse_expr("(div x 0.0)", &f).unwrap();
+        assert_eq!(
+            errors(&reject(&by_const, Kind::Real, &f).unwrap_err()),
+            ["certain-zero-division"]
+        );
+        let by_cancel = parse_expr("(div x (sub y y))", &f).unwrap();
+        assert_eq!(
+            errors(&reject(&by_cancel, Kind::Real, &f).unwrap_err()),
+            ["certain-zero-division"]
+        );
+    }
+
+    #[test]
+    fn possibly_zero_denominator_warns() {
+        let f = fs();
+        let e = parse_expr("(div x (sub x y))", &f).unwrap();
+        let lints = lint(&e, Kind::Real, &f);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.rule == "possibly-zero-denominator" && l.level == LintLevel::Warning),
+            "{lints:?}"
+        );
+        assert!(reject(&e, Kind::Real, &f).is_ok(), "warnings never reject");
+    }
+
+    #[test]
+    fn dead_branch_under_constant_condition_warns() {
+        let f = fs();
+        let e = parse_expr("(tern (bconst true) x y)", &f).unwrap();
+        let lints = lint(&e, Kind::Real, &f);
+        assert!(lints.iter().any(|l| l.rule == "dead-branch"), "{lints:?}");
+    }
+
+    #[test]
+    fn maximal_constant_subtree_warns_once() {
+        let f = fs();
+        let e = parse_expr("(add x (mul 2.0 (add 1.0 3.0)))", &f).unwrap();
+        let hits: Vec<_> = lint(&e, Kind::Real, &f)
+            .into_iter()
+            .filter(|l| l.rule == "constant-subtree")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("8"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn unused_features_are_reported_as_info() {
+        let f = fs();
+        let e = parse_expr("(mul x x)", &f).unwrap();
+        let infos: Vec<_> = lint(&e, Kind::Real, &f)
+            .into_iter()
+            .filter(|l| l.rule == "unused-feature")
+            .collect();
+        assert_eq!(infos.len(), 2, "{infos:?}"); // y and p
+        assert!(infos.iter().all(|l| l.level == LintLevel::Info));
+    }
+
+    #[test]
+    fn renders_like_a_compiler_diagnostic() {
+        let l = Lint {
+            level: LintLevel::Error,
+            rule: "kind-mismatch",
+            message: "boom".into(),
+        };
+        assert_eq!(l.to_string(), "error[kind-mismatch]: boom");
+    }
+}

@@ -9,11 +9,7 @@ use rand::{Rng, RngExt};
 /// level uniformly among the levels that contain a node of the wanted kind
 /// (if any), then pick uniformly within that level. This avoids the >50 %
 /// leaf bias of naive uniform node selection (paper §3, footnote 1).
-pub fn pick_node_depth_fair<R: Rng>(
-    rng: &mut R,
-    e: &Expr,
-    want: Option<Kind>,
-) -> Option<usize> {
+pub fn pick_node_depth_fair<R: Rng>(rng: &mut R, e: &Expr, want: Option<Kind>) -> Option<usize> {
     let info = node_info(e);
     let mut levels: Vec<u16> = Vec::new();
     for (k, d) in &info {
@@ -108,13 +104,11 @@ pub fn mutate_point<R: Rng>(rng: &mut R, e: &Expr) -> Expr {
         Expr::Bool(b) => Expr::Bool(match b {
             BExpr::And(x, y) => BExpr::Or(x, y),
             BExpr::Or(x, y) => BExpr::And(x, y),
-            BExpr::Lt(x, y) | BExpr::Gt(x, y) | BExpr::Eq(x, y) => {
-                match rng.random_range(0..3u8) {
-                    0 => BExpr::Lt(x, y),
-                    1 => BExpr::Gt(x, y),
-                    _ => BExpr::Eq(x, y),
-                }
-            }
+            BExpr::Lt(x, y) | BExpr::Gt(x, y) | BExpr::Eq(x, y) => match rng.random_range(0..3u8) {
+                0 => BExpr::Lt(x, y),
+                1 => BExpr::Gt(x, y),
+                _ => BExpr::Eq(x, y),
+            },
             BExpr::Const(k) => BExpr::Const(!k),
             other => other,
         }),
@@ -275,7 +269,10 @@ mod tests {
         // Structure identical; the constant may differ.
         assert_eq!(m.size(), e.size());
         assert_eq!(m.depth(), e.depth());
-        let stripped = |x: &Expr| x.to_string().replace(|c: char| c.is_ascii_digit() || c == '.' || c == '-', "");
+        let stripped = |x: &Expr| {
+            x.to_string()
+                .replace(|c: char| c.is_ascii_digit() || c == '.' || c == '-', "")
+        };
         assert_eq!(stripped(&m), stripped(&e));
     }
 

@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn simplifies_boolean_structure() {
-        assert_eq!(simp("(tern (and (barg p) (bconst true)) x y)"), "(tern b0 r0 r1)");
+        assert_eq!(
+            simp("(tern (and (barg p) (bconst true)) x y)"),
+            "(tern b0 r0 r1)"
+        );
         assert_eq!(simp("(tern (not (not (barg p))) x y)"), "(tern b0 r0 r1)");
         assert_eq!(simp("(tern (or (barg p) (bconst true)) x y)"), "r0");
     }

@@ -75,7 +75,9 @@ impl FunctionBuilder {
     }
 
     fn emit_imm(&mut self, op: Opcode, args: &[VReg], imm: i64) -> VReg {
-        let class = op.dst_class().expect("emit_imm used with non-defining opcode");
+        let class = op
+            .dst_class()
+            .expect("emit_imm used with non-defining opcode");
         let d = self.func.new_vreg(class);
         self.push(Inst::new(op).dst(d).args(args).imm(imm));
         d

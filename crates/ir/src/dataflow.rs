@@ -1,0 +1,364 @@
+//! A generic worklist dataflow solver over per-block bit-vector facts.
+//!
+//! Analyses describe themselves through [`Problem`]: a propagation
+//! [`Direction`], a confluence [`Join`], a fact-domain size, and a per-block
+//! transfer function. The solver walks the CFG with a deduplicating worklist
+//! seeded in the direction's natural order (reverse postorder forward,
+//! postorder backward), so acyclic regions converge in one sweep and loops in
+//! a handful.
+//!
+//! Most classical analyses are *gen/kill* problems — the transfer function is
+//! `out = gen ∪ (in − kill)` — and can be expressed with [`GenKill`] rather
+//! than a hand-written [`Problem`] impl. [`crate::liveness`] (backward-may),
+//! and the reaching-definitions, def-before-use and available-expressions
+//! analyses in the `metaopt-analysis` crate (forward-may / forward-must) are
+//! all instances over this solver.
+
+use crate::program::Function;
+use crate::util::BitSet;
+
+/// Which way facts propagate along CFG edges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors into successors (e.g. reaching defs).
+    Forward,
+    /// Facts flow from successors into predecessors (e.g. liveness).
+    Backward,
+}
+
+/// Confluence operator applied where CFG paths meet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Join {
+    /// Union: the fact holds on *some* path ("may" analyses).
+    May,
+    /// Intersection: the fact holds on *every* path ("must" analyses).
+    Must,
+}
+
+/// A dataflow analysis instance over one function's CFG.
+pub trait Problem {
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// Confluence operator.
+    fn join(&self) -> Join;
+
+    /// Number of bits in the fact domain (defs, vregs, expressions, ...).
+    fn domain_size(&self) -> usize;
+
+    /// Fact at the boundary: function entry for forward problems, every
+    /// exit block for backward ones. Defaults to the empty set.
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.domain_size())
+    }
+
+    /// Transfer function of block `b` (an index into `Function::blocks`),
+    /// mapping the fact on the input side to the fact on the output side.
+    fn transfer(&self, b: usize, input: &BitSet) -> BitSet;
+}
+
+/// Solved per-block facts, named by block side rather than by direction:
+/// `entry[b]` always holds at the top of block `b` and `exit[b]` at the
+/// bottom, for forward and backward problems alike.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Fact holding on entry to each block.
+    pub entry: Vec<BitSet>,
+    /// Fact holding on exit from each block.
+    pub exit: Vec<BitSet>,
+}
+
+/// Run `problem` to fixpoint over `func`'s CFG.
+///
+/// Facts for blocks unreachable from the entry (or, backward, from which no
+/// exit is reachable — they still feed their successors) are computed with
+/// the same rules; only the worklist seeding order distinguishes them.
+pub fn solve<P: Problem + ?Sized>(func: &Function, problem: &P) -> Solution {
+    let nb = func.blocks.len();
+    let n = problem.domain_size();
+    let dir = problem.direction();
+    let join = problem.join();
+    let boundary = problem.boundary();
+    assert_eq!(boundary.capacity(), n, "boundary fact has wrong capacity");
+
+    // `flows_in[b]` lists blocks whose output-side facts join into `b`'s
+    // input side; `flows_out[b]` lists the blocks to re-queue when `b`'s
+    // output-side fact changes.
+    let preds = func.predecessors();
+    let succs: Vec<Vec<usize>> = (0..nb)
+        .map(|b| {
+            func.blocks[b]
+                .successors()
+                .into_iter()
+                .map(|s| s.index())
+                .collect()
+        })
+        .collect();
+    let preds: Vec<Vec<usize>> = preds
+        .into_iter()
+        .map(|ps| ps.into_iter().map(|p| p.index()).collect())
+        .collect();
+    let (flows_in, flows_out) = match dir {
+        Direction::Forward => (&preds, &succs),
+        Direction::Backward => (&succs, &preds),
+    };
+    // A block sits on the boundary when nothing flows into it: the function
+    // entry (forward) or an exit block (backward). Forward entry blocks that
+    // *do* have predecessors (loops back to entry) still join the boundary
+    // fact in addition to their predecessors' facts.
+    let is_boundary = |b: usize| match dir {
+        Direction::Forward => b == func.entry.index(),
+        Direction::Backward => flows_in[b].is_empty(),
+    };
+
+    // Optimistic initialization: may-facts start at ⊥ (empty) and grow to
+    // the least fixpoint; must-facts start at ⊤ (full) and shrink to the
+    // greatest. Joining in neighbors here would poison must-problems with
+    // the not-yet-computed (empty) facts of back-edge sources.
+    let mut input = vec![BitSet::new(n); nb];
+    let mut output = vec![BitSet::new(n); nb];
+    for b in 0..nb {
+        input[b] = if is_boundary(b) {
+            boundary.clone()
+        } else {
+            match join {
+                Join::May => BitSet::new(n),
+                Join::Must => BitSet::full(n),
+            }
+        };
+        output[b] = problem.transfer(b, &input[b]);
+    }
+
+    // Seed in the direction's natural order, then append blocks the RPO
+    // missed (unreachable ones) so every block gets at least one visit.
+    let rpo: Vec<usize> = func.reverse_postorder().iter().map(|b| b.index()).collect();
+    let mut order: Vec<usize> = match dir {
+        Direction::Forward => rpo,
+        Direction::Backward => rpo.into_iter().rev().collect(),
+    };
+    let mut seen = vec![false; nb];
+    for &b in &order {
+        seen[b] = true;
+    }
+    order.extend((0..nb).filter(|&b| !seen[b]));
+
+    let mut worklist: std::collections::VecDeque<usize> = order.into();
+    let mut queued = vec![true; nb];
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        let inb = join_inputs(b, flows_in, &output, join, &boundary, is_boundary(b), n);
+        let outb = problem.transfer(b, &inb);
+        input[b] = inb;
+        if outb != output[b] {
+            output[b] = outb;
+            for &d in &flows_out[b] {
+                if !queued[d] {
+                    queued[d] = true;
+                    worklist.push_back(d);
+                }
+            }
+        }
+    }
+
+    match dir {
+        Direction::Forward => Solution {
+            entry: input,
+            exit: output,
+        },
+        Direction::Backward => Solution {
+            entry: output,
+            exit: input,
+        },
+    }
+}
+
+fn join_inputs(
+    b: usize,
+    flows_in: &[Vec<usize>],
+    output: &[BitSet],
+    join: Join,
+    boundary: &BitSet,
+    at_boundary: bool,
+    n: usize,
+) -> BitSet {
+    let mut acc = if at_boundary {
+        boundary.clone()
+    } else {
+        match join {
+            Join::May => BitSet::new(n),
+            // Neutral element of intersection; refined by the first edge.
+            Join::Must => BitSet::full(n),
+        }
+    };
+    for &src in &flows_in[b] {
+        match join {
+            Join::May => {
+                acc.union_with(&output[src]);
+            }
+            Join::Must => acc.intersect_with(&output[src]),
+        }
+    }
+    acc
+}
+
+/// A gen/kill problem: `transfer(b, in) = gen[b] ∪ (in − kill[b])`.
+///
+/// Covers the classical bit-vector analyses; build the per-block `gen` and
+/// `kill` sets and hand the struct straight to [`solve`].
+#[derive(Clone, Debug)]
+pub struct GenKill {
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Confluence operator.
+    pub join: Join,
+    /// Facts generated by each block.
+    pub gen: Vec<BitSet>,
+    /// Facts invalidated by each block.
+    pub kill: Vec<BitSet>,
+    /// Fact at the boundary block(s).
+    pub boundary: BitSet,
+}
+
+impl GenKill {
+    /// A problem over `nb` blocks and `n` domain bits with empty gen/kill
+    /// sets and an empty boundary fact.
+    pub fn new(direction: Direction, join: Join, nb: usize, n: usize) -> Self {
+        GenKill {
+            direction,
+            join,
+            gen: vec![BitSet::new(n); nb],
+            kill: vec![BitSet::new(n); nb],
+            boundary: BitSet::new(n),
+        }
+    }
+}
+
+impl Problem for GenKill {
+    fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    fn join(&self) -> Join {
+        self.join
+    }
+
+    fn domain_size(&self) -> usize {
+        self.boundary.capacity()
+    }
+
+    fn boundary(&self) -> BitSet {
+        self.boundary.clone()
+    }
+
+    fn transfer(&self, b: usize, input: &BitSet) -> BitSet {
+        let mut out = input.clone();
+        out.subtract(&self.kill[b]);
+        out.union_with(&self.gen[b]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::RegClass;
+
+    /// entry → hdr → {body → hdr, exit}: the diamond-free loop every
+    /// analysis test here reuses.
+    fn loop_cfg() -> Function {
+        let mut fb = FunctionBuilder::new("loop");
+        let n = fb.param(RegClass::Int);
+        let hdr = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let i = fb.movi(0);
+        fb.br(hdr);
+        fb.switch_to(hdr);
+        let p = fb.cmp_lt(i, n);
+        fb.branch(p, body, exit);
+        fb.switch_to(body);
+        fb.br(hdr);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        fb.finish()
+    }
+
+    use crate::program::Function;
+
+    #[test]
+    fn forward_may_propagates_around_loop() {
+        let f = loop_cfg();
+        let nb = f.blocks.len();
+        // One artificial fact generated in the entry block: it must reach
+        // every block, including around the back edge.
+        let mut p = GenKill::new(Direction::Forward, Join::May, nb, 1);
+        p.gen[f.entry.index()].insert(0);
+        let sol = solve(&f, &p);
+        for b in 0..nb {
+            assert!(sol.exit[b].contains(0), "fact should reach block {b}");
+        }
+        assert!(!sol.entry[f.entry.index()].contains(0));
+    }
+
+    #[test]
+    fn forward_must_kills_on_one_path() {
+        let f = loop_cfg();
+        let nb = f.blocks.len();
+        // Fact generated in entry but killed in the loop body: at the header
+        // join (entry path ∩ body path) it must die.
+        let mut p = GenKill::new(Direction::Forward, Join::Must, nb, 1);
+        p.gen[f.entry.index()].insert(0);
+        let body = 2usize;
+        p.kill[body].insert(0);
+        let sol = solve(&f, &p);
+        assert!(sol.exit[f.entry.index()].contains(0));
+        assert!(
+            !sol.entry[1].contains(0),
+            "must-fact killed on the back edge survives at the header"
+        );
+        assert!(!sol.entry[3].contains(0), "exit inherits the killed fact");
+    }
+
+    #[test]
+    fn backward_may_reaches_loop_entry() {
+        let f = loop_cfg();
+        let nb = f.blocks.len();
+        // A fact used (generated backward) in the exit block flows backward
+        // through the header to the function entry.
+        let mut p = GenKill::new(Direction::Backward, Join::May, nb, 1);
+        p.gen[3].insert(0);
+        let sol = solve(&f, &p);
+        assert!(sol.entry[f.entry.index()].contains(0));
+        assert!(sol.entry[1].contains(0));
+        assert!(sol.exit[2].contains(0), "loop body keeps the fact live");
+    }
+
+    #[test]
+    fn boundary_fact_enters_at_entry_only() {
+        let f = loop_cfg();
+        let nb = f.blocks.len();
+        let mut p = GenKill::new(Direction::Forward, Join::May, nb, 2);
+        p.boundary = {
+            let mut b = BitSet::new(2);
+            b.insert(1);
+            b
+        };
+        let sol = solve(&f, &p);
+        assert!(sol.entry[f.entry.index()].contains(1));
+        assert!(sol.entry[3].contains(1), "boundary fact flows everywhere");
+    }
+
+    #[test]
+    fn must_join_over_empty_gen_is_stable() {
+        // Degenerate single-block function: in = boundary, out = transfer(in).
+        let mut fb = FunctionBuilder::new("one");
+        let a = fb.movi(1);
+        fb.ret(Some(a));
+        let f = fb.finish();
+        let p = GenKill::new(Direction::Forward, Join::Must, 1, 4);
+        let sol = solve(&f, &p);
+        assert!(sol.entry[0].is_empty());
+        assert!(sol.exit[0].is_empty());
+    }
+}

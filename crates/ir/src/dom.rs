@@ -16,7 +16,6 @@ pub struct DomTree {
     pub rpo: Vec<BlockId>,
     /// Position of each block in `rpo` (`usize::MAX` if unreachable).
     pub rpo_pos: Vec<usize>,
-    entry: BlockId,
 }
 
 impl DomTree {
@@ -66,12 +65,7 @@ impl DomTree {
             }
         }
         idom[func.entry.index()] = None; // drop the sentinel
-        DomTree {
-            idom,
-            rpo,
-            rpo_pos,
-            entry: func.entry,
-        }
+        DomTree { idom, rpo, rpo_pos }
     }
 
     /// Is `b` reachable from the entry?
@@ -91,7 +85,9 @@ impl DomTree {
             }
             match self.idom[cur.index()] {
                 Some(d) => cur = d,
-                None => return cur == a && a == self.entry || cur == a,
+                // `cur` is the entry (no idom) and was already compared to
+                // `a` at the top of the loop.
+                None => return false,
             }
         }
     }

@@ -220,9 +220,7 @@ impl Opcode {
         use Opcode::*;
         use RegClass::*;
         Some(match self {
-            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max => {
-                &[Int, Int]
-            }
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max => &[Int, Int],
             AddI | MulI | AndI | ShlI | ShrI | Mov | Neg | Abs | I2F | I2P | BitsF => &[Int],
             MovI => &[],
             Sel => &[Pred, Int, Int],
@@ -255,8 +253,8 @@ impl Opcode {
             Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | AddI | MulI | AndI
             | ShlI | ShrI | MovI | Mov | Neg | Abs | Min | Max | Sel | P2I | F2I | FBits
             | Ld(_) | Call | UnsafeCall => RegClass::Int,
-            FAdd | FSub | FMul | FDiv | FSqrt | FAbs | FNeg | FMin | FMax | FMovI | FMov
-            | FSel | I2F | BitsF | FLd => RegClass::Float,
+            FAdd | FSub | FMul | FDiv | FSqrt | FAbs | FNeg | FMin | FMax | FMovI | FMov | FSel
+            | I2F | BitsF | FLd => RegClass::Float,
             CmpEq | CmpNe | CmpLt | CmpLe | CmpEqI | CmpLtI | CmpGtI | PAnd | POr | PNot
             | PMovI | PMov | I2P | FCmpEq | FCmpLt | FCmpLe => RegClass::Pred,
             St(_) | FSt | Prefetch | Br | CBr | Ret => return None,
@@ -459,10 +457,10 @@ impl fmt::Display for Inst {
             | Opcode::Call
             | Opcode::UnsafeCall => write!(f, " #{}", self.imm)?,
             Opcode::FMovI => write!(f, " #{}", self.fimm)?,
-            Opcode::Ld(_) | Opcode::St(_) | Opcode::FLd | Opcode::FSt | Opcode::Prefetch => {
-                if self.imm != 0 {
-                    write!(f, " +{}", self.imm)?;
-                }
+            Opcode::Ld(_) | Opcode::St(_) | Opcode::FLd | Opcode::FSt | Opcode::Prefetch
+                if self.imm != 0 =>
+            {
+                write!(f, " +{}", self.imm)?;
             }
             _ => {}
         }

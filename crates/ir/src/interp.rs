@@ -603,8 +603,18 @@ mod tests {
         let pf = fb.cmp_lt(two, one); // false
         let pt = fb.cmp_lt(one, two); // true
         let out = fb.movi(0);
-        fb.push(crate::inst::Inst::new(Opcode::MovI).dst(out).imm(10).guarded(pf));
-        fb.push(crate::inst::Inst::new(Opcode::MovI).dst(out).imm(20).guarded(pt));
+        fb.push(
+            crate::inst::Inst::new(Opcode::MovI)
+                .dst(out)
+                .imm(10)
+                .guarded(pf),
+        );
+        fb.push(
+            crate::inst::Inst::new(Opcode::MovI)
+                .dst(out)
+                .imm(20)
+                .guarded(pt),
+        );
         fb.ret(Some(out));
         let mut p = Program::new();
         p.add_function(fb.finish());
@@ -627,7 +637,10 @@ mod tests {
         let o1 = run_main(&build());
         let o2 = run_main(&build());
         assert_eq!(o1.ret, o2.ret);
-        assert_ne!(o1.ret, 0, "two calls with same arg must differ via scratch state");
+        assert_ne!(
+            o1.ret, 0,
+            "two calls with same arg must differ via scratch state"
+        );
     }
 
     #[test]
@@ -647,9 +660,19 @@ mod tests {
         fb.branch(p, join, exit);
         fb.switch_to(join);
         let bit = fb.new_vreg(RegClass::Int);
-        fb.push(crate::inst::Inst::new(Opcode::AndI).dst(bit).args(&[i]).imm(1));
+        fb.push(
+            crate::inst::Inst::new(Opcode::AndI)
+                .dst(bit)
+                .args(&[i])
+                .imm(1),
+        );
         let isodd = fb.new_vreg(RegClass::Pred);
-        fb.push(crate::inst::Inst::new(Opcode::CmpEqI).dst(isodd).args(&[bit]).imm(1));
+        fb.push(
+            crate::inst::Inst::new(Opcode::CmpEqI)
+                .dst(isodd)
+                .args(&[bit])
+                .imm(1),
+        );
         let back = fb.new_block();
         fb.branch(isodd, odd, back);
         fb.switch_to(odd);

@@ -16,7 +16,8 @@
 //!   [`Opcode`]) and a [`builder`] for constructing them,
 //! * structural verification ([`verify`]),
 //! * classic CFG analyses: reverse postorder, [`dom`]inators, natural
-//!   [`loops`], def-use information and [`liveness`],
+//!   [`loops`], def-use information and [`liveness`] — the latter an instance
+//!   of the generic worklist [`dataflow`] solver,
 //! * a reference [`interp`]reter that both executes programs and collects the
 //!   execution [`profile`]s (block counts, edge counts, branch-predictability
 //!   statistics) that the paper's priority functions consume.
@@ -45,6 +46,7 @@
 //! ```
 
 pub mod builder;
+pub mod dataflow;
 pub mod dom;
 pub mod inst;
 pub mod interp;

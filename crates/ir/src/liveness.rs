@@ -4,6 +4,7 @@
 //! is not treated as a kill (the guard might be false, leaving the previous
 //! value live), which is the standard safe treatment for EPIC-style IRs.
 
+use crate::dataflow::{self, Direction, GenKill, Join};
 use crate::program::Function;
 use crate::types::{BlockId, VReg};
 use crate::util::BitSet;
@@ -22,65 +23,41 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    /// Compute liveness for `func`.
+    /// Compute liveness for `func` as a backward-may instance of the generic
+    /// worklist solver: gen = upward-exposed uses, kill = unconditional defs.
     pub fn compute(func: &Function) -> Self {
         let nb = func.blocks.len();
         let nv = func.num_vregs();
-        let mut use_set = vec![BitSet::new(nv); nb];
-        let mut def_set = vec![BitSet::new(nv); nb];
+        let mut problem = GenKill::new(Direction::Backward, Join::May, nb, nv);
 
         for (bi, block) in func.blocks.iter().enumerate() {
+            let (gen, kill) = (&mut problem.gen[bi], &mut problem.kill[bi]);
             for inst in &block.insts {
                 for r in inst.reads() {
-                    if !def_set[bi].contains(r.index()) {
-                        use_set[bi].insert(r.index());
+                    if !kill.contains(r.index()) {
+                        gen.insert(r.index());
                     }
                 }
                 if let Some(d) = inst.dst {
                     if inst.pred.is_none() {
-                        def_set[bi].insert(d.index());
+                        kill.insert(d.index());
                     } else {
                         // Predicated def: also an upward-exposed *use* of the
                         // old value (merge semantics), and not a kill.
-                        if !def_set[bi].contains(d.index()) {
-                            use_set[bi].insert(d.index());
+                        if !kill.contains(d.index()) {
+                            gen.insert(d.index());
                         }
                     }
                 }
             }
         }
 
-        let mut live_in = vec![BitSet::new(nv); nb];
-        let mut live_out = vec![BitSet::new(nv); nb];
-        // Iterate to fixpoint in postorder (reverse RPO) for fast convergence.
-        let rpo = func.reverse_postorder();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in rpo.iter().rev() {
-                let bi = b.index();
-                let mut out = BitSet::new(nv);
-                for s in func.successors(b) {
-                    out.union_with(&live_in[s.index()]);
-                }
-                let mut inn = out.clone();
-                inn.subtract(&def_set[bi]);
-                inn.union_with(&use_set[bi]);
-                if out != live_out[bi] {
-                    live_out[bi] = out;
-                    changed = true;
-                }
-                if inn != live_in[bi] {
-                    live_in[bi] = inn;
-                    changed = true;
-                }
-            }
-        }
+        let sol = dataflow::solve(func, &problem);
         Liveness {
-            live_in,
-            live_out,
-            use_set,
-            def_set,
+            live_in: sol.entry,
+            live_out: sol.exit,
+            use_set: problem.gen,
+            def_set: problem.kill,
         }
     }
 

@@ -87,6 +87,37 @@ impl FuncProfile {
     pub fn branch(&self, b: BlockId, i: usize) -> BranchStats {
         self.branches.get(&(b, i)).copied().unwrap_or_default()
     }
+
+    /// This profile with block ids renumbered through `map` (old id →
+    /// surviving new id), as produced by
+    /// [`Function::prune_unreachable_blocks`](crate::Function::prune_unreachable_blocks).
+    /// Entries for deleted blocks are dropped; blocks the profile never saw
+    /// (added by later passes) keep their implicit zero counts.
+    pub fn remap_blocks(&self, map: &[Option<BlockId>]) -> FuncProfile {
+        let lookup = |b: BlockId| map.get(b.index()).copied().flatten();
+        let n = map.iter().filter(|m| m.is_some()).count();
+        let mut block_counts = vec![0u64; n];
+        for (old, c) in self.block_counts.iter().enumerate() {
+            if let Some(nb) = lookup(BlockId(old as u32)) {
+                block_counts[nb.index()] = *c;
+            }
+        }
+        let edge_counts = self
+            .edge_counts
+            .iter()
+            .filter_map(|(&(f, t), &c)| Some(((lookup(f)?, lookup(t)?), c)))
+            .collect();
+        let branches = self
+            .branches
+            .iter()
+            .filter_map(|(&(b, i), &s)| Some(((lookup(b)?, i), s)))
+            .collect();
+        FuncProfile {
+            block_counts,
+            edge_counts,
+            branches,
+        }
+    }
 }
 
 /// Whole-program profile.

@@ -154,6 +154,51 @@ impl Function {
     pub fn num_insts(&self) -> usize {
         self.blocks.iter().map(|b| b.insts.len()).sum()
     }
+
+    /// Delete every block unreachable from the entry, renumbering the
+    /// survivors in place (original order preserved) and rewriting branch
+    /// targets. Returns the old-to-new block mapping, `None` for deleted
+    /// blocks; the mapping is the identity when everything is reachable.
+    ///
+    /// Passes that disconnect blocks (e.g. if-conversion absorbing a path)
+    /// call this so downstream consumers — and the inter-pass invariant
+    /// checker — never see their tombstones.
+    pub fn prune_unreachable_blocks(&mut self) -> Vec<Option<BlockId>> {
+        let n = self.blocks.len();
+        let mut keep = vec![false; n];
+        for b in self.reverse_postorder() {
+            keep[b.index()] = true;
+        }
+        let mut map: Vec<Option<BlockId>> = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for &k in &keep {
+            if k {
+                map.push(Some(BlockId(next)));
+                next += 1;
+            } else {
+                map.push(None);
+            }
+        }
+        if next as usize == n {
+            return map; // identity
+        }
+        let old = std::mem::take(&mut self.blocks);
+        self.blocks = old
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep[*i])
+            .map(|(_, mut b)| {
+                for inst in &mut b.insts {
+                    if let Some(t) = inst.target {
+                        inst.target = map[t.index()]; // reachable block's targets survive
+                    }
+                }
+                b
+            })
+            .collect();
+        self.entry = map[self.entry.index()].expect("entry is always reachable");
+        map
+    }
 }
 
 impl fmt::Display for Function {
@@ -299,17 +344,29 @@ impl Program {
             match &g.init {
                 GlobalInit::Zero => {}
                 GlobalInit::Bytes(b) => {
-                    assert!(b.len() <= g.size, "initializer larger than global {}", g.name);
+                    assert!(
+                        b.len() <= g.size,
+                        "initializer larger than global {}",
+                        g.name
+                    );
                     mem[addr..addr + b.len()].copy_from_slice(b);
                 }
                 GlobalInit::I64s(vs) => {
-                    assert!(vs.len() * 8 <= g.size, "initializer larger than global {}", g.name);
+                    assert!(
+                        vs.len() * 8 <= g.size,
+                        "initializer larger than global {}",
+                        g.name
+                    );
                     for (i, v) in vs.iter().enumerate() {
                         mem[addr + i * 8..addr + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
                     }
                 }
                 GlobalInit::F64s(vs) => {
-                    assert!(vs.len() * 8 <= g.size, "initializer larger than global {}", g.name);
+                    assert!(
+                        vs.len() * 8 <= g.size,
+                        "initializer larger than global {}",
+                        g.name
+                    );
                     for (i, v) in vs.iter().enumerate() {
                         mem[addr + i * 8..addr + i * 8 + 8]
                             .copy_from_slice(&v.to_bits().to_le_bytes());
@@ -359,11 +416,8 @@ mod tests {
     #[test]
     fn successors_in_branch_order() {
         let mut b = Block::new();
-        b.insts.push(
-            Inst::new(Opcode::CBr)
-                .args(&[VReg(0)])
-                .target(BlockId(2)),
-        );
+        b.insts
+            .push(Inst::new(Opcode::CBr).args(&[VReg(0)]).target(BlockId(2)));
         b.insts.push(Inst::new(Opcode::Br).target(BlockId(1)));
         assert_eq!(b.successors(), vec![BlockId(2), BlockId(1)]);
     }
@@ -396,7 +450,10 @@ mod tests {
         });
         let mem = p.initial_memory();
         let base = GLOBAL_BASE as usize;
-        assert_eq!(i64::from_le_bytes(mem[base..base + 8].try_into().unwrap()), 7);
+        assert_eq!(
+            i64::from_le_bytes(mem[base..base + 8].try_into().unwrap()),
+            7
+        );
         assert_eq!(
             i64::from_le_bytes(mem[base + 8..base + 16].try_into().unwrap()),
             -1
@@ -409,9 +466,9 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         let p = f.new_vreg(RegClass::Pred);
-        f.block_mut(BlockId(0)).insts.push(
-            Inst::new(Opcode::CBr).args(&[p]).target(b2),
-        );
+        f.block_mut(BlockId(0))
+            .insts
+            .push(Inst::new(Opcode::CBr).args(&[p]).target(b2));
         f.block_mut(BlockId(0))
             .insts
             .push(Inst::new(Opcode::Br).target(b1));

@@ -16,6 +16,20 @@ impl BitSet {
         }
     }
 
+    /// The full set over `len` elements (the ⊤ of must-dataflow lattices).
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        s
+    }
+
     /// Capacity (number of addressable indices).
     pub fn capacity(&self) -> usize {
         self.len
@@ -26,7 +40,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i` is out of capacity.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bitset index {i} out of capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of capacity {}",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -35,7 +53,11 @@ impl BitSet {
 
     /// Remove `i`; returns `true` if it was present.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bitset index {i} out of capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of capacity {}",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
@@ -83,10 +105,7 @@ impl BitSet {
 
     /// Does `self` intersect `other`?
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of elements present.
@@ -184,5 +203,18 @@ mod tests {
     fn out_of_range_contains_is_false() {
         let s = BitSet::new(8);
         assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn full_contains_exactly_the_domain() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count(), len, "full({len})");
+            assert!((0..len).all(|i| s.contains(i)));
+            assert!(!s.contains(len));
+        }
+        let mut s = BitSet::full(70);
+        s.intersect_with(&BitSet::new(70));
+        assert!(s.is_empty());
     }
 }

@@ -38,10 +38,9 @@ fn err(f: &Function, b: usize, i: usize, msg: impl Into<String>) -> VerifyError 
     }
 }
 
-fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
+fn check_operand_shape(inst: &Inst) -> Result<(), String> {
     use Opcode::*;
-    let expect: Option<&'static [RegClass]> = inst.op.arg_classes();
-    if let Some(sig) = expect {
+    if let Some(sig) = inst.op.arg_classes() {
         if inst.args.len() != sig.len() {
             return Err(format!(
                 "{} expects {} operands, got {}",
@@ -50,6 +49,28 @@ fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
                 inst.args.len()
             ));
         }
+    } else if inst.op == Opcode::Ret && inst.args.len() > 1 {
+        return Err("ret takes at most one value".into());
+    }
+    // Destination presence.
+    match (inst.op.dst_class(), inst.dst) {
+        (Some(_), None) if matches!(inst.op, Call | UnsafeCall) => {} // result may be dropped
+        (Some(_), None) => return Err(format!("{} requires a destination", inst.op)),
+        (None, Some(_)) => return Err(format!("{} must not have a destination", inst.op)),
+        _ => {}
+    }
+    // Branch target presence.
+    if inst.op.is_branch() && inst.target.is_none() {
+        return Err(format!("{} requires a target", inst.op));
+    }
+    if !inst.op.is_branch() && inst.target.is_some() {
+        return Err(format!("{} must not have a target", inst.op));
+    }
+    Ok(())
+}
+
+fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
+    if let Some(sig) = inst.op.arg_classes() {
         for (a, want) in inst.args.iter().zip(sig) {
             if a.index() >= func.num_vregs() {
                 return Err(format!("operand {a} out of range"));
@@ -65,25 +86,17 @@ fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
                 return Err(format!("operand {a} out of range"));
             }
         }
-        if inst.op == Opcode::Ret && inst.args.len() > 1 {
-            return Err("ret takes at most one value".into());
-        }
     }
-    // Destination.
-    match (inst.op.dst_class(), inst.dst) {
-        (Some(want), Some(d)) => {
-            if d.index() >= func.num_vregs() {
-                return Err(format!("destination {d} out of range"));
-            }
+    if let Some(d) = inst.dst {
+        if d.index() >= func.num_vregs() {
+            return Err(format!("destination {d} out of range"));
+        }
+        if let Some(want) = inst.op.dst_class() {
             let got = func.class_of(d);
             if got != want {
                 return Err(format!("destination {d} has class {got}, expected {want}"));
             }
         }
-        (Some(_), None) if matches!(inst.op, Call | UnsafeCall) => {} // result may be dropped
-        (Some(_), None) => return Err(format!("{} requires a destination", inst.op)),
-        (None, Some(_)) => return Err(format!("{} must not have a destination", inst.op)),
-        (None, None) => {}
     }
     // Guard.
     if let Some(p) = inst.pred {
@@ -94,13 +107,6 @@ fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
             return Err(format!("guard {p} is not a predicate"));
         }
     }
-    // Branch target presence.
-    if inst.op.is_branch() && inst.target.is_none() {
-        return Err(format!("{} requires a target", inst.op));
-    }
-    if !inst.op.is_branch() && inst.target.is_some() {
-        return Err(format!("{} must not have a target", inst.op));
-    }
     Ok(())
 }
 
@@ -109,6 +115,31 @@ fn check_operand_classes(func: &Function, inst: &Inst) -> Result<(), String> {
 /// # Errors
 /// Returns the first structural violation found.
 pub fn verify_function(func: &Function, form: CfgForm) -> Result<(), VerifyError> {
+    verify_function_inner(func, form, true)
+}
+
+/// [`verify_function`] minus every register-class and register-range check:
+/// block/terminator discipline, operand counts, destination and branch-target
+/// presence only.
+///
+/// This is the strongest structural check that stays valid once register
+/// allocation has rewritten the function into machine-register form, where
+/// operand indices are physical registers whose class is implied by the
+/// consuming opcode (the same index names a GPR, FPR, or predicate register
+/// depending on position) and `Function::vreg_class` no longer describes the
+/// numbering.
+///
+/// # Errors
+/// Returns the first structural violation found.
+pub fn verify_function_shape(func: &Function, form: CfgForm) -> Result<(), VerifyError> {
+    verify_function_inner(func, form, false)
+}
+
+fn verify_function_inner(
+    func: &Function,
+    form: CfgForm,
+    check_classes: bool,
+) -> Result<(), VerifyError> {
     if func.blocks.is_empty() {
         return Err(VerifyError {
             message: format!("{}: function has no blocks", func.name),
@@ -141,8 +172,13 @@ pub fn verify_function(func: &Function, form: CfgForm) -> Result<(), VerifyError
         // Control-placement discipline.
         let mut seen_cbr_tail = false;
         for (ii, inst) in block.insts.iter().enumerate() {
-            if let Err(m) = check_operand_classes(func, inst) {
+            if let Err(m) = check_operand_shape(inst) {
                 return Err(err(func, bi, ii, m));
+            }
+            if check_classes {
+                if let Err(m) = check_operand_classes(func, inst) {
+                    return Err(err(func, bi, ii, m));
+                }
             }
             if let Some(t) = inst.target {
                 if t.index() >= func.blocks.len() {
@@ -188,7 +224,12 @@ pub fn verify_program(prog: &Program, form: CfgForm) -> Result<(), VerifyError> 
                 if inst.op == Opcode::Call {
                     let callee = inst.imm;
                     if callee < 0 || callee as usize >= prog.funcs.len() {
-                        return Err(err(func, bi, ii, format!("call target {callee} out of range")));
+                        return Err(err(
+                            func,
+                            bi,
+                            ii,
+                            format!("call target {callee} out of range"),
+                        ));
                     }
                     let cf = &prog.funcs[callee as usize];
                     if cf.params.len() != inst.args.len() {
@@ -268,6 +309,82 @@ mod tests {
         assert!(verify_function(&f, CfgForm::Hyperblock).is_ok());
     }
 
+    #[test]
+    fn shape_verifier_ignores_classes_but_keeps_discipline() {
+        // Machine-form idiom after register allocation: index 1 is both a
+        // predicate register (CBr guard) and a GPR (Add operands) — the
+        // class is implied by the consuming opcode, so the full verifier
+        // rejects it while the shape verifier accepts it.
+        let mut fb = FunctionBuilder::new("machine");
+        let b1 = fb.new_block();
+        let a = fb.movi(1);
+        fb.push(Inst::new(Opcode::Add).dst(a).args(&[a, a]));
+        fb.push(Inst::new(Opcode::CBr).args(&[a]).target(b1));
+        fb.br(b1);
+        fb.switch_to(b1);
+        fb.movi(7);
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(verify_function(&f, CfgForm::Canonical).is_err());
+        assert!(verify_function_shape(&f, CfgForm::Canonical).is_ok());
+        // Shape discipline still applies: a dropped terminator is caught.
+        let mut broken = f.clone();
+        broken.blocks[1].insts.pop();
+        let e = verify_function_shape(&broken, CfgForm::Canonical).unwrap_err();
+        assert!(e.message.contains("must end with br/ret"), "{e}");
+    }
+
+    #[test]
+    fn hyperblock_form_accepts_predicated_side_exits() {
+        // If-converted shape: a guarded CBr mid-block with compute after it,
+        // then an unconditional terminator.
+        let mut fb = FunctionBuilder::new("hb");
+        let exit = fb.new_block();
+        let a = fb.movi(1);
+        let p = fb.cmp_lti(a, 10);
+        let mut side = Inst::new(Opcode::CBr).args(&[p]).target(exit);
+        side.pred = Some(p);
+        fb.push(side);
+        fb.movi(2); // compute after the side exit
+        fb.br(exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(verify_function(&f, CfgForm::Hyperblock).is_ok());
+        assert!(verify_function(&f, CfgForm::Canonical).is_err());
+    }
+
+    #[test]
+    fn hyperblock_form_still_rejects_malformed_tails() {
+        // A predicated terminator is malformed in every form: fallthrough
+        // off the end of a block when the guard is false.
+        let mut fb = FunctionBuilder::new("hb");
+        let exit = fb.new_block();
+        let a = fb.movi(1);
+        let p = fb.cmp_lti(a, 10);
+        let mut tail = Inst::new(Opcode::Br).target(exit);
+        tail.pred = Some(p);
+        fb.push(tail);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let e = verify_function(&f, CfgForm::Hyperblock).unwrap_err();
+        assert!(
+            e.message.contains("terminator must be unconditional"),
+            "{e}"
+        );
+        // Unconditional control mid-block is also still rejected.
+        let mut fb = FunctionBuilder::new("hb2");
+        let exit = fb.new_block();
+        fb.br(exit);
+        fb.movi(3);
+        fb.br(exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let e = verify_function(&f, CfgForm::Hyperblock).unwrap_err();
+        assert!(e.message.contains("unconditional control mid-block"), "{e}");
+    }
 
     #[test]
     fn rejects_out_of_range_target() {

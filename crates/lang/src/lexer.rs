@@ -36,12 +36,10 @@ pub struct SpannedTok {
     pub line: u32,
 }
 
-const PUNCTS2: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
-];
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"];
 const PUNCTS1: &[&str] = &[
-    "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|",
-    "^", "!", ":",
+    "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^",
+    "!", ":",
 ];
 
 /// Tokenize MiniC source. `//` comments run to end of line.
@@ -87,7 +85,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
             while i < bytes.len() && bytes[i].is_ascii_digit() {
                 i += 1;
             }
-            if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+            if i < bytes.len()
+                && bytes[i] == '.'
+                && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+            {
                 is_float = true;
                 i += 1;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {

@@ -5,7 +5,7 @@
 //! (0/1) in arithmetic contexts and from `int` (`!= 0`) in condition
 //! contexts.
 
-use crate::ast::{self, BinOp, ElemType, Expr, FuncDecl, Lit, LValue, Stmt, UnOp, Unit};
+use crate::ast::{self, BinOp, ElemType, Expr, FuncDecl, LValue, Lit, Stmt, UnOp, Unit};
 use crate::LangError;
 use metaopt_ir::builder::FunctionBuilder;
 use metaopt_ir::{GlobalData, GlobalInit, Inst, Opcode, Program, RegClass, VReg};
@@ -92,9 +92,7 @@ pub fn lower(unit: &Unit) -> Result<Program, LangError> {
                 for l in &g.init {
                     match l {
                         Lit::Int(v) => bytes.push(*v as u8),
-                        Lit::Float(_) => {
-                            return fail(g.line, "float initializer for byte array")
-                        }
+                        Lit::Float(_) => return fail(g.line, "float initializer for byte array"),
                     }
                 }
                 GlobalInit::Bytes(bytes)
@@ -261,10 +259,13 @@ impl<'a> FnLowerer<'a> {
                 };
                 let cell = self.fb.new_vreg(class);
                 self.copy_into(cell, v);
-                self.scopes
-                    .last_mut()
-                    .unwrap()
-                    .insert(name.clone(), Val { reg: cell, ty: v.ty });
+                self.scopes.last_mut().unwrap().insert(
+                    name.clone(),
+                    Val {
+                        reg: cell,
+                        ty: v.ty,
+                    },
+                );
                 Ok(false)
             }
             Stmt::Assign { target, value } => {
@@ -430,9 +431,8 @@ impl<'a> FnLowerer<'a> {
                                 // Functions return through integer registers;
                                 // float values pass their raw bit pattern.
                                 let bits = self.fb.new_vreg(RegClass::Int);
-                                self.fb.push(
-                                    Inst::new(Opcode::FBits).dst(bits).args(&[v.reg]),
-                                );
+                                self.fb
+                                    .push(Inst::new(Opcode::FBits).dst(bits).args(&[v.reg]));
                                 self.fb.ret(Some(bits));
                             }
                             Ty::Bool => unreachable!(),
@@ -463,7 +463,10 @@ impl<'a> FnLowerer<'a> {
         if v.ty == Ty::Bool {
             let r = self.fb.new_vreg(RegClass::Int);
             self.fb.push(Inst::new(Opcode::P2I).dst(r).args(&[v.reg]));
-            Val { reg: r, ty: Ty::Int }
+            Val {
+                reg: r,
+                ty: Ty::Int,
+            }
         } else {
             v
         }
@@ -479,11 +482,19 @@ impl<'a> FnLowerer<'a> {
                 self.fb.push(Inst::new(Opcode::I2P).dst(p).args(&[v.reg]));
                 Ok(p)
             }
-            Ty::Float => fail(e.line(), "float used as a condition (compare it explicitly)"),
+            Ty::Float => fail(
+                e.line(),
+                "float used as a condition (compare it explicitly)",
+            ),
         }
     }
 
-    fn addr_of(&mut self, name: &str, index: &Expr, line: u32) -> Result<(VReg, ElemType), LangError> {
+    fn addr_of(
+        &mut self,
+        name: &str,
+        index: &Expr,
+        line: u32,
+    ) -> Result<(VReg, ElemType), LangError> {
         let Some(g) = self.globals.get(name).cloned() else {
             return fail(line, format!("unknown array {name}"));
         };
@@ -530,7 +541,10 @@ impl<'a> FnLowerer<'a> {
         match e {
             Expr::Int(v, _) => {
                 let r = self.fb.movi(*v);
-                Ok(Val { reg: r, ty: Ty::Int })
+                Ok(Val {
+                    reg: r,
+                    ty: Ty::Int,
+                })
             }
             Expr::Float(v, _) => {
                 let r = self.fb.fmovi(*v);
@@ -557,7 +571,10 @@ impl<'a> FnLowerer<'a> {
                     (UnOp::Neg, Ty::Int) => {
                         let r = self.fb.new_vreg(RegClass::Int);
                         self.fb.push(Inst::new(Opcode::Neg).dst(r).args(&[v.reg]));
-                        Ok(Val { reg: r, ty: Ty::Int })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Int,
+                        })
                     }
                     (UnOp::Neg, Ty::Float) => {
                         let r = self.fb.new_vreg(RegClass::Float);
@@ -570,14 +587,20 @@ impl<'a> FnLowerer<'a> {
                     (UnOp::Not, Ty::Bool) => {
                         let r = self.fb.new_vreg(RegClass::Pred);
                         self.fb.push(Inst::new(Opcode::PNot).dst(r).args(&[v.reg]));
-                        Ok(Val { reg: r, ty: Ty::Bool })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Bool,
+                        })
                     }
                     (UnOp::Not, Ty::Int) => {
                         let p = self.fb.new_vreg(RegClass::Pred);
                         self.fb.push(Inst::new(Opcode::I2P).dst(p).args(&[v.reg]));
                         let r = self.fb.new_vreg(RegClass::Pred);
                         self.fb.push(Inst::new(Opcode::PNot).dst(r).args(&[p]));
-                        Ok(Val { reg: r, ty: Ty::Bool })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Bool,
+                        })
                     }
                     (op, t) => fail(*line, format!("bad operand {t:?} for unary {op:?}")),
                 }
@@ -612,12 +635,19 @@ impl<'a> FnLowerer<'a> {
         use BinOp::*;
         // Logical ops accept bool (or int coerced to bool).
         if matches!(op, LAnd | LOr) {
-            let pa = self.to_bool(a, line)?;
-            let pb = self.to_bool(b, line)?;
-            let opc = if op == LAnd { Opcode::PAnd } else { Opcode::POr };
+            let pa = self.coerce_to_bool(a, line)?;
+            let pb = self.coerce_to_bool(b, line)?;
+            let opc = if op == LAnd {
+                Opcode::PAnd
+            } else {
+                Opcode::POr
+            };
             let r = self.fb.new_vreg(RegClass::Pred);
             self.fb.push(Inst::new(opc).dst(r).args(&[pa, pb]));
-            return Ok(Val { reg: r, ty: Ty::Bool });
+            return Ok(Val {
+                reg: r,
+                ty: Ty::Bool,
+            });
         }
         let a = self.coerce_bool_to_int(a);
         let b = self.coerce_bool_to_int(b);
@@ -637,30 +667,56 @@ impl<'a> FnLowerer<'a> {
             let r = self.fb.new_vreg(RegClass::Pred);
             if is_float {
                 match op {
-                    Eq => self.fb.push(Inst::new(Opcode::FCmpEq).dst(r).args(&[a.reg, b.reg])),
+                    Eq => self
+                        .fb
+                        .push(Inst::new(Opcode::FCmpEq).dst(r).args(&[a.reg, b.reg])),
                     Ne => {
                         let t = self.fb.new_vreg(RegClass::Pred);
-                        self.fb.push(Inst::new(Opcode::FCmpEq).dst(t).args(&[a.reg, b.reg]));
+                        self.fb
+                            .push(Inst::new(Opcode::FCmpEq).dst(t).args(&[a.reg, b.reg]));
                         self.fb.push(Inst::new(Opcode::PNot).dst(r).args(&[t]));
                     }
-                    Lt => self.fb.push(Inst::new(Opcode::FCmpLt).dst(r).args(&[a.reg, b.reg])),
-                    Le => self.fb.push(Inst::new(Opcode::FCmpLe).dst(r).args(&[a.reg, b.reg])),
-                    Gt => self.fb.push(Inst::new(Opcode::FCmpLt).dst(r).args(&[b.reg, a.reg])),
-                    Ge => self.fb.push(Inst::new(Opcode::FCmpLe).dst(r).args(&[b.reg, a.reg])),
+                    Lt => self
+                        .fb
+                        .push(Inst::new(Opcode::FCmpLt).dst(r).args(&[a.reg, b.reg])),
+                    Le => self
+                        .fb
+                        .push(Inst::new(Opcode::FCmpLe).dst(r).args(&[a.reg, b.reg])),
+                    Gt => self
+                        .fb
+                        .push(Inst::new(Opcode::FCmpLt).dst(r).args(&[b.reg, a.reg])),
+                    Ge => self
+                        .fb
+                        .push(Inst::new(Opcode::FCmpLe).dst(r).args(&[b.reg, a.reg])),
                     _ => unreachable!(),
                 }
             } else {
                 match op {
-                    Eq => self.fb.push(Inst::new(Opcode::CmpEq).dst(r).args(&[a.reg, b.reg])),
-                    Ne => self.fb.push(Inst::new(Opcode::CmpNe).dst(r).args(&[a.reg, b.reg])),
-                    Lt => self.fb.push(Inst::new(Opcode::CmpLt).dst(r).args(&[a.reg, b.reg])),
-                    Le => self.fb.push(Inst::new(Opcode::CmpLe).dst(r).args(&[a.reg, b.reg])),
-                    Gt => self.fb.push(Inst::new(Opcode::CmpLt).dst(r).args(&[b.reg, a.reg])),
-                    Ge => self.fb.push(Inst::new(Opcode::CmpLe).dst(r).args(&[b.reg, a.reg])),
+                    Eq => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpEq).dst(r).args(&[a.reg, b.reg])),
+                    Ne => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpNe).dst(r).args(&[a.reg, b.reg])),
+                    Lt => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpLt).dst(r).args(&[a.reg, b.reg])),
+                    Le => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpLe).dst(r).args(&[a.reg, b.reg])),
+                    Gt => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpLt).dst(r).args(&[b.reg, a.reg])),
+                    Ge => self
+                        .fb
+                        .push(Inst::new(Opcode::CmpLe).dst(r).args(&[b.reg, a.reg])),
                     _ => unreachable!(),
                 }
             }
-            return Ok(Val { reg: r, ty: Ty::Bool });
+            return Ok(Val {
+                reg: r,
+                ty: Ty::Bool,
+            });
         }
         // Arithmetic / bitwise.
         let opc = if is_float {
@@ -669,9 +725,7 @@ impl<'a> FnLowerer<'a> {
                 Sub => Opcode::FSub,
                 Mul => Opcode::FMul,
                 Div => Opcode::FDiv,
-                other => {
-                    return fail(line, format!("operator {other:?} not defined on float"))
-                }
+                other => return fail(line, format!("operator {other:?} not defined on float")),
             }
         } else {
             match op {
@@ -688,13 +742,17 @@ impl<'a> FnLowerer<'a> {
                 _ => unreachable!(),
             }
         };
-        let class = if is_float { RegClass::Float } else { RegClass::Int };
+        let class = if is_float {
+            RegClass::Float
+        } else {
+            RegClass::Int
+        };
         let r = self.fb.new_vreg(class);
         self.fb.push(Inst::new(opc).dst(r).args(&[a.reg, b.reg]));
         Ok(Val { reg: r, ty: a.ty })
     }
 
-    fn to_bool(&mut self, v: Val, line: u32) -> Result<VReg, LangError> {
+    fn coerce_to_bool(&mut self, v: Val, line: u32) -> Result<VReg, LangError> {
         match v.ty {
             Ty::Bool => Ok(v.reg),
             Ty::Int => {
@@ -719,17 +777,26 @@ impl<'a> FnLowerer<'a> {
                     ("abs", Ty::Int) => {
                         let r = self.fb.new_vreg(RegClass::Int);
                         self.fb.push(Inst::new(Opcode::Abs).dst(r).args(&[v.reg]));
-                        Ok(Val { reg: r, ty: Ty::Int })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Int,
+                        })
                     }
                     ("abs", Ty::Float) => {
                         let r = self.fb.new_vreg(RegClass::Float);
                         self.fb.push(Inst::new(Opcode::FAbs).dst(r).args(&[v.reg]));
-                        Ok(Val { reg: r, ty: Ty::Float })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Float,
+                        })
                     }
                     ("sqrt", Ty::Float) => {
                         let r = self.fb.new_vreg(RegClass::Float);
                         self.fb.push(Inst::new(Opcode::FSqrt).dst(r).args(&[v.reg]));
-                        Ok(Val { reg: r, ty: Ty::Float })
+                        Ok(Val {
+                            reg: r,
+                            ty: Ty::Float,
+                        })
                     }
                     ("i2f", Ty::Int) => Ok(Val {
                         reg: self.fb.i2f(v.reg),
@@ -777,7 +844,10 @@ impl<'a> FnLowerer<'a> {
                     return fail(line, "ucall value must be int");
                 }
                 let r = self.fb.unsafe_call(*site, v.reg);
-                return Ok(Val { reg: r, ty: Ty::Int });
+                return Ok(Val {
+                    reg: r,
+                    ty: Ty::Int,
+                });
             }
             _ => {}
         }
@@ -818,9 +888,15 @@ impl<'a> FnLowerer<'a> {
                 // reconstruct the float losslessly.
                 let f = self.fb.new_vreg(RegClass::Float);
                 self.fb.push(Inst::new(Opcode::BitsF).dst(f).args(&[r]));
-                Ok(Val { reg: f, ty: Ty::Float })
+                Ok(Val {
+                    reg: f,
+                    ty: Ty::Float,
+                })
             }
-            _ => Ok(Val { reg: r, ty: Ty::Int }),
+            _ => Ok(Val {
+                reg: r,
+                ty: Ty::Int,
+            }),
         }
     }
 }
@@ -891,10 +967,7 @@ mod tests {
             eval("fn main() -> int { let x = 2.5; let y = x * 4.0; return f2i(y); }"),
             10
         );
-        assert_eq!(
-            eval("fn main() -> int { return f2i(sqrt(i2f(49))); }"),
-            7
-        );
+        assert_eq!(eval("fn main() -> int { return f2i(sqrt(i2f(49))); }"), 7);
         assert_eq!(
             eval("global float fs[2] = { 1.5, 2.5 }; fn main() -> int { return f2i(fs[0] + fs[1]); }"),
             4
@@ -905,25 +978,32 @@ mod tests {
     #[test]
     fn functions_and_recursion_free_calls() {
         assert_eq!(
-            eval(r#"
+            eval(
+                r#"
                 fn sq(x: int) -> int { return x * x; }
                 fn hyp(a: int, b: int) -> int { return sq(a) + sq(b); }
                 fn main() -> int { return hyp(3, 4); }
-            "#),
+            "#
+            ),
             25
         );
         assert_eq!(
-            eval(r#"
+            eval(
+                r#"
                 fn scale(x: float, k: float) -> float { return x * k; }
                 fn main() -> int { return f2i(scale(3.0, 7.0)); }
-            "#),
+            "#
+            ),
             21
         );
     }
 
     #[test]
     fn builtins() {
-        assert_eq!(eval("fn main() -> int { return abs(-9) + min(3, 5) + max(3, 5); }"), 17);
+        assert_eq!(
+            eval("fn main() -> int { return abs(-9) + min(3, 5) + max(3, 5); }"),
+            17
+        );
         assert_eq!(
             eval("fn main() -> int { let a = ucall(1, 42); let b = ucall(1, 42); return a != b; }"),
             1
@@ -954,9 +1034,6 @@ mod tests {
             eval("fn main() -> int { if (1 < 2) { return 5; } else { return 6; } }"),
             5
         );
-        assert_eq!(
-            eval("fn main() -> int { return 1; return 2; }"),
-            1
-        );
+        assert_eq!(eval("fn main() -> int { return 1; return 2; }"), 1);
     }
 }

@@ -452,10 +452,14 @@ mod tests {
 
     #[test]
     fn parses_globals() {
-        let u = parse_src("global int xs[4] = { 1, 2, -3 }; global byte b[16]; global float f = 2.5;");
+        let u =
+            parse_src("global int xs[4] = { 1, 2, -3 }; global byte b[16]; global float f = 2.5;");
         assert_eq!(u.globals.len(), 3);
         assert_eq!(u.globals[0].len, 4);
-        assert_eq!(u.globals[0].init, vec![Lit::Int(1), Lit::Int(2), Lit::Int(-3)]);
+        assert_eq!(
+            u.globals[0].init,
+            vec![Lit::Int(1), Lit::Int(2), Lit::Int(-3)]
+        );
         assert_eq!(u.globals[1].elem, ElemType::Byte);
         assert_eq!(u.globals[2].len, 1);
     }
@@ -500,7 +504,10 @@ mod tests {
     fn parses_calls_and_indexing() {
         let u = parse_src("fn f() { g(xs[i], 2); xs[0] = h(); }");
         assert_eq!(u.funcs[0].body.len(), 2);
-        assert!(matches!(&u.funcs[0].body[0], Stmt::ExprStmt(Expr::Call(..))));
+        assert!(matches!(
+            &u.funcs[0].body[0],
+            Stmt::ExprStmt(Expr::Call(..))
+        ));
         assert!(matches!(
             &u.funcs[0].body[1],
             Stmt::Assign {

@@ -23,9 +23,15 @@ fn operator_semantics_match_rust() {
     // Signed division/remainder truncate toward zero; shifts mask to 63.
     assert_eq!(eval("fn main() -> int { return -7 / 2; }"), -7i64 / 2);
     assert_eq!(eval("fn main() -> int { return -7 % 3; }"), -7i64 % 3);
-    assert_eq!(eval("fn main() -> int { return 1 << 70; }"), 1i64.wrapping_shl(70));
+    assert_eq!(
+        eval("fn main() -> int { return 1 << 70; }"),
+        1i64.wrapping_shl(70)
+    );
     assert_eq!(eval("fn main() -> int { return -16 >> 2; }"), -16i64 >> 2);
-    assert_eq!(eval("fn main() -> int { return 12 & 10 | 1 ^ 6; }"), 12 & 10 | 1 ^ 6);
+    assert_eq!(
+        eval("fn main() -> int { return 12 & 10 | 1 ^ 6; }"),
+        12 & 10 | 1 ^ 6
+    );
 }
 
 #[test]
@@ -72,7 +78,9 @@ fn deeply_nested_control_flow() {
 #[test]
 fn while_with_complex_condition() {
     assert_eq!(
-        eval("fn main() -> int { let x = 0; while (x < 10 && x * x < 50) { x = x + 1; } return x; }"),
+        eval(
+            "fn main() -> int { let x = 0; while (x < 10 && x * x < 50) { x = x + 1; } return x; }"
+        ),
         8
     );
 }
@@ -95,7 +103,10 @@ fn comparison_results_usable_as_ints() {
         eval("fn main() -> int { let t = 3 < 4; let f = 4 < 3; return t * 10 + f; }"),
         10
     );
-    assert_eq!(eval("fn main() -> int { return (1 < 2) + (3 < 4) + (5 < 4); }"), 2);
+    assert_eq!(
+        eval("fn main() -> int { return (1 < 2) + (3 < 4) + (5 < 4); }"),
+        2
+    );
 }
 
 #[test]
@@ -103,10 +114,12 @@ fn float_returning_functions_are_lossless() {
     // Regression test for the FBits/BitsF calling convention: fractional
     // values must survive the call boundary exactly.
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn half(x: float) -> float { return x * 0.5; }
             fn main() -> int { return f2i(half(0.5) * 1000.0); }
-        "#),
+        "#
+        ),
         250
     );
 }
@@ -114,7 +127,8 @@ fn float_returning_functions_are_lossless() {
 #[test]
 fn early_returns_in_loops() {
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn find(limit: int) -> int {
                 for (let i = 0; i < limit; i = i + 1) {
                     if (i * i > 50) { return i; }
@@ -122,7 +136,8 @@ fn early_returns_in_loops() {
                 return -1;
             }
             fn main() -> int { return find(100) * 100 + find(3); }
-        "#),
+        "#
+        ),
         8 * 100 - 1
     );
 }
@@ -138,7 +153,10 @@ fn diagnostics_name_the_problem() {
         "fn f() -> int { return 1; } fn f() -> int { return 2; } fn main() -> int { return 0; }",
         "duplicate function",
     );
-    rejects("global int g; global int g; fn main() -> int { return 0; }", "duplicate global");
+    rejects(
+        "global int g; global int g; fn main() -> int { return 0; }",
+        "duplicate global",
+    );
     rejects("fn main() -> int { return ucall(1, 2, 3); }", "ucall");
     rejects("fn main() -> float { return 1; }", "return type mismatch");
 }
@@ -146,7 +164,9 @@ fn diagnostics_name_the_problem() {
 #[test]
 fn global_scalar_init_values() {
     assert_eq!(
-        eval("global int k = 7; global float f = 1.5; fn main() -> int { return k + f2i(f * 2.0); }"),
+        eval(
+            "global int k = 7; global float f = 1.5; fn main() -> int { return k + f2i(f * 2.0); }"
+        ),
         10
     );
 }
@@ -180,7 +200,8 @@ fn verified_ir_comes_out_of_the_frontend() {
 #[test]
 fn break_exits_the_innermost_loop() {
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn main() -> int {
                 let s = 0;
                 for (let i = 0; i < 100; i = i + 1) {
@@ -189,12 +210,14 @@ fn break_exits_the_innermost_loop() {
                 }
                 return s;
             }
-        "#),
+        "#
+        ),
         (0..5).sum::<i64>()
     );
     // Nested: break leaves only the inner loop.
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn main() -> int {
                 let s = 0;
                 for (let i = 0; i < 4; i = i + 1) {
@@ -205,7 +228,8 @@ fn break_exits_the_innermost_loop() {
                 }
                 return s;
             }
-        "#),
+        "#
+        ),
         1 + 2 + 3 + 4
     );
 }
@@ -213,7 +237,8 @@ fn break_exits_the_innermost_loop() {
 #[test]
 fn continue_runs_the_for_step() {
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn main() -> int {
                 let s = 0;
                 for (let i = 0; i < 10; i = i + 1) {
@@ -222,7 +247,8 @@ fn continue_runs_the_for_step() {
                 }
                 return s;
             }
-        "#),
+        "#
+        ),
         1 + 3 + 5 + 7 + 9
     );
 }
@@ -230,7 +256,8 @@ fn continue_runs_the_for_step() {
 #[test]
 fn continue_in_while_rechecks_the_condition() {
     assert_eq!(
-        eval(r#"
+        eval(
+            r#"
             fn main() -> int {
                 let i = 0;
                 let s = 0;
@@ -241,7 +268,8 @@ fn continue_in_while_rechecks_the_condition() {
                 }
                 return s;
             }
-        "#),
+        "#
+        ),
         (1..=10).filter(|i| i % 3 != 0).sum::<i64>()
     );
 }
@@ -249,7 +277,10 @@ fn continue_in_while_rechecks_the_condition() {
 #[test]
 fn break_continue_outside_loops_rejected() {
     rejects("fn main() -> int { break; return 0; }", "break outside");
-    rejects("fn main() -> int { continue; return 0; }", "continue outside");
+    rejects(
+        "fn main() -> int { continue; return 0; }",
+        "continue outside",
+    );
 }
 
 #[test]
@@ -270,10 +301,16 @@ fn break_continue_compile_through_the_whole_pipeline() {
     let prog = compile(src).unwrap();
     let want = run(&prog, &RunConfig::default()).unwrap().ret;
     let prepared = metaopt_compiler::prepare(&prog).unwrap();
-    let profile = run(&prepared, &RunConfig { profile: true, ..Default::default() })
-        .unwrap()
-        .profile
-        .unwrap();
+    let profile = run(
+        &prepared,
+        &RunConfig {
+            profile: true,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .profile
+    .unwrap();
     let machine = metaopt_sim::MachineConfig::table3();
     let compiled = metaopt_compiler::compile(
         &prepared,
@@ -282,8 +319,7 @@ fn break_continue_compile_through_the_whole_pipeline() {
         &metaopt_compiler::Passes::baseline(),
     )
     .unwrap();
-    let sim =
-        metaopt_sim::simulate(&compiled.code, &machine, compiled.initial_memory(&prepared))
-            .unwrap();
+    let sim = metaopt_sim::simulate(&compiled.code, &machine, compiled.initial_memory(&prepared))
+        .unwrap();
     assert_eq!(sim.ret, want);
 }

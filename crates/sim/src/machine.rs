@@ -190,7 +190,10 @@ mod tests {
     fn table3_matches_paper() {
         let m = MachineConfig::table3();
         assert_eq!((m.gpr, m.fpr, m.pred), (64, 64, 256));
-        assert_eq!((m.int_units, m.fp_units, m.mem_units, m.branch_units), (4, 2, 2, 1));
+        assert_eq!(
+            (m.int_units, m.fp_units, m.mem_units, m.branch_units),
+            (4, 2, 2, 1)
+        );
         assert_eq!(m.mispredict_penalty, 5);
         assert_eq!(m.cache.l1_latency, 2);
         assert_eq!(m.cache.l2_latency, 7);

@@ -31,9 +31,7 @@ fn fp_divide_takes_eight_cycles() {
         bundle(vec![Inst::new(Opcode::FDiv)
             .dst(VReg(5))
             .args(&[VReg(3), VReg(4)])]),
-        bundle(vec![Inst::new(Opcode::F2I)
-            .dst(VReg(6))
-            .args(&[VReg(5)])]),
+        bundle(vec![Inst::new(Opcode::F2I).dst(VReg(6)).args(&[VReg(5)])]),
         bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(6)])]),
     ]);
     let r = simulate(&mp, &MachineConfig::table3(), mem()).unwrap();
@@ -145,9 +143,11 @@ fn sel_and_fsel_execute() {
             Inst::new(Opcode::MovI).dst(VReg(2)).imm(20),
             Inst::new(Opcode::PMovI).dst(VReg(0)).imm(1),
         ]),
-        bundle(vec![Inst::new(Opcode::Sel)
-            .dst(VReg(3))
-            .args(&[VReg(0), VReg(1), VReg(2)])]),
+        bundle(vec![Inst::new(Opcode::Sel).dst(VReg(3)).args(&[
+            VReg(0),
+            VReg(1),
+            VReg(2),
+        ])]),
         bundle(vec![Inst::new(Opcode::Ret).args(&[VReg(3)])]),
     ]);
     let r = simulate(&mp, &MachineConfig::table3(), mem()).unwrap();
@@ -167,7 +167,11 @@ fn ipc_and_stat_accounting() {
     let r = simulate(&one_block(insts), &MachineConfig::table3(), mem()).unwrap();
     assert_eq!(r.insts, 17);
     assert_eq!(r.bundles, 9);
-    assert!(r.ipc() > 1.0, "two-wide bundles should exceed IPC 1: {}", r.ipc());
+    assert!(
+        r.ipc() > 1.0,
+        "two-wide bundles should exceed IPC 1: {}",
+        r.ipc()
+    );
 }
 
 #[test]

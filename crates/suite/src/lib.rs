@@ -83,7 +83,8 @@ impl Benchmark {
         let mut mem = prog.initial_memory();
         let addr = prog
             .global_addr("dataseed")
-            .unwrap_or_else(|| panic!("benchmark {} lacks a dataseed global", self.name)) as usize;
+            .unwrap_or_else(|| panic!("benchmark {} lacks a dataseed global", self.name))
+            as usize;
         mem[addr..addr + 8].copy_from_slice(&ds.seed().to_le_bytes());
         mem
     }
@@ -241,9 +242,14 @@ mod tests {
                     max_steps: 20_000_000,
                     ..Default::default()
                 };
-                let out = run(&prog, &cfg)
-                    .unwrap_or_else(|e| panic!("{} failed on {ds:?}: {e}", b.name));
-                assert!(out.steps > 1_000, "{} too trivial: {} steps", b.name, out.steps);
+                let out =
+                    run(&prog, &cfg).unwrap_or_else(|e| panic!("{} failed on {ds:?}: {e}", b.name));
+                assert!(
+                    out.steps > 1_000,
+                    "{} too trivial: {} steps",
+                    b.name,
+                    out.steps
+                );
                 assert!(
                     out.steps < 10_000_000,
                     "{} too long for GP evaluation: {} steps",
@@ -304,7 +310,10 @@ mod tests {
         for b in prefetch_training_set().iter().chain(&prefetch_test_set()) {
             assert_eq!(b.category, Category::Fp, "{}", b.name);
         }
-        for b in hyperblock_training_set().iter().chain(&hyperblock_test_set()) {
+        for b in hyperblock_training_set()
+            .iter()
+            .chain(&hyperblock_test_set())
+        {
             assert_eq!(b.category, Category::IntMedia, "{}", b.name);
         }
     }

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the small subset of the criterion API the workspace's benches
+//! use: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs `sample_size`
+//! timed batches and reports the best per-iteration wall-clock time (the
+//! minimum is the most noise-robust single summary for a quick harness).
+//! When invoked by `cargo test` (any `--test`-ish argument present), each
+//! benchmark body runs exactly once as a smoke test.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier, preventing the optimizer from deleting bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs the closure under timing on behalf of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    smoke_only: bool,
+    /// Best per-iteration seconds from the last [`Bencher::iter`] call
+    /// (`None` in smoke mode).
+    best: Option<f64>,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f`; [`Criterion::bench_function`] reports the
+    /// per-iteration summary. Matches criterion's signature: the closure's
+    /// return value is black-boxed and discarded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_only {
+            black_box(f());
+            return;
+        }
+        // Calibrate a batch size so one timed batch is ~1ms or more.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t.elapsed().as_micros() >= 1000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.best = Some(best);
+    }
+}
+
+/// Benchmark registry/configuration entry point.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness passes `--test` (and test filters);
+        // in that mode benchmarks become one-shot smoke runs.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.smoke_only,
+            best: None,
+        };
+        if self.smoke_only {
+            f(&mut b);
+            println!("{name:<40} ok (smoke)");
+        } else {
+            f(&mut b);
+            match b.best {
+                Some(s) => println!("{name:<40} {:>12.3} µs/iter (best)", s * 1e6),
+                None => println!("{name:<40} (no measurement)"),
+            }
+        }
+        self
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, target, ...)` or
+/// the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64));
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = tiny
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn timing_mode_measures() {
+        let mut b = Bencher {
+            samples: 2,
+            smoke_only: false,
+            best: None,
+        };
+        b.iter(|| black_box(1u64).wrapping_mul(3));
+        let t = b.best.unwrap();
+        assert!(t.is_finite() && t >= 0.0);
+    }
+}

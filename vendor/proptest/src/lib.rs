@@ -1,0 +1,414 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest 1.x API used by this workspace's
+//! property tests: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`], [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each test runs `Config::cases` deterministic random cases
+//! (seeded per case index). There is **no shrinking** — a failing case
+//! panics with the generated values in scope, which is enough for CI.
+
+pub mod test_runner {
+    //! Case-count configuration and per-case RNG derivation.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic RNG for case number `case`.
+    pub fn case_rng(case: u32) -> StdRng {
+        StdRng::seed_from_u64(0xC0FF_EE00_u64 ^ ((case as u64) << 17) ^ case as u64)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategy: up to `depth` levels of `f` applied over this
+        /// leaf strategy (the `_size`/`_branch` hints are ignored).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                let rec = f(cur.clone()).boxed();
+                cur = union(vec![(1, cur), (2, rec)]);
+            }
+            cur
+        }
+
+        /// Type-erase into a clonable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted union of strategies (backs `prop_oneof!`).
+    pub fn union<V: 'static>(arms: Vec<(u32, BoxedStrategy<V>)>) -> BoxedStrategy<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        BoxedStrategy(Rc::new(move |rng| {
+            let mut draw = rng.random_range(0..total);
+            for (w, s) in &arms {
+                if draw < *w {
+                    return s.generate(rng);
+                }
+                draw -= w;
+            }
+            unreachable!("weighted draw out of range")
+        }))
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(S1);
+    impl_tuple_strategy!(S1, S2);
+    impl_tuple_strategy!(S1, S2, S3);
+    impl_tuple_strategy!(S1, S2, S3, S4);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Random;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    <$t as Random>::random(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    /// Strategy generating arbitrary values of `T`.
+    #[derive(Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoLen {
+        /// Draw a concrete length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for core::ops::Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl IntoLen for core::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, any::<bool>()), v in crate::collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_is_honored(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_generate() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn size(t: &T) -> usize {
+            match t {
+                T::Leaf(n) => (*n >= 0) as usize,
+                T::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let strat = (0i64..100)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                prop_oneof![
+                    1 => inner.clone().prop_map(|t| T::Node(Box::new(t.clone()), Box::new(t))),
+                    1 => inner,
+                ]
+            });
+        let mut rng = crate::test_runner::case_rng(0);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(size(&strat.generate(&mut rng)));
+        }
+        assert!(max > 1, "recursion never fired");
+    }
+}
