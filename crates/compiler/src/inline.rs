@@ -5,7 +5,7 @@
 //! call is inlined into the entry function. Opaque `UnsafeCall`s are *not*
 //! calls in this sense — they are hazards executed by the machine directly.
 
-use crate::CompileError;
+use crate::{CompileError, CompileErrorKind};
 use metaopt_ir::{BlockId, Function, Inst, Opcode, Program, VReg};
 
 /// Inline every `Call` reachable from the entry function; returns a program
@@ -15,26 +15,29 @@ use metaopt_ir::{BlockId, Function, Inst, Opcode, Program, VReg};
 /// Fails on recursion (depth limit) or a missing entry function.
 pub fn inline_program(prog: &Program) -> Result<Program, CompileError> {
     if prog.funcs.is_empty() {
-        return Err(CompileError {
-            message: "program has no functions".into(),
-        });
+        return Err(CompileError::new(
+            CompileErrorKind::Inline,
+            "program has no functions",
+        ));
     }
     let entry = prog.entry_func();
     let mut main = prog.func(entry).clone();
     main.name = "main".into();
     if !main.params.is_empty() {
-        return Err(CompileError {
-            message: "entry function must not take parameters".into(),
-        });
+        return Err(CompileError::new(
+            CompileErrorKind::Inline,
+            "entry function must not take parameters",
+        ));
     }
 
     let mut rounds = 0;
     while inline_one(&mut main, prog)? {
         rounds += 1;
         if rounds > 10_000 {
-            return Err(CompileError {
-                message: "inlining did not terminate (recursive call graph?)".into(),
-            });
+            return Err(CompileError::new(
+                CompileErrorKind::Inline,
+                "inlining did not terminate (recursive call graph?)",
+            ));
         }
     }
 
@@ -63,9 +66,10 @@ fn inline_one(func: &mut Function, prog: &Program) -> Result<bool, CompileError>
     let call = func.blocks[bi].insts[ii].clone();
     let callee_id = call.imm as usize;
     if callee_id >= prog.funcs.len() {
-        return Err(CompileError {
-            message: format!("call to out-of-range function {callee_id}"),
-        });
+        return Err(CompileError::new(
+            CompileErrorKind::Inline,
+            format!("call to out-of-range function {callee_id}"),
+        ));
     }
     let callee = &prog.funcs[callee_id];
 

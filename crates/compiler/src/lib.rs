@@ -65,11 +65,40 @@ impl<F: Fn(&[f64], &[bool]) -> bool + Sync> BoolPriority for F {
     }
 }
 
+/// Classification of a compilation failure. The GP evaluation layer maps
+/// these onto its quarantine taxonomy, so a run's failure ledger can say
+/// *which stage* a pathological priority function broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompileErrorKind {
+    /// Malformed input program or inlining failure (front half of the
+    /// pipeline, independent of any priority function).
+    Inline,
+    /// The inter-pass IR invariant checker flagged a broken invariant; the
+    /// offending pass is named in the message.
+    InvariantViolation,
+    /// Register allocation could not fit the program on the machine.
+    Regalloc,
+    /// Final machine-code verification rejected the generated schedule.
+    MachineVerify,
+}
+
 /// Compilation failure.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompileError {
+    /// Which stage failed.
+    pub kind: CompileErrorKind,
     /// Description.
     pub message: String,
+}
+
+impl CompileError {
+    /// A new compilation error.
+    pub fn new(kind: CompileErrorKind, message: impl Into<String>) -> Self {
+        CompileError {
+            kind,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -186,9 +215,8 @@ fn checkpoint(
     if !enabled {
         return Ok(());
     }
-    metaopt_analysis::enforce_function(func, form, pass).map_err(|e| CompileError {
-        message: e.to_string(),
-    })
+    metaopt_analysis::enforce_function(func, form, pass)
+        .map_err(|e| CompileError::new(CompileErrorKind::InvariantViolation, e.to_string()))
 }
 
 /// Inline all calls and clean up: the "front half" of the pipeline, which is
@@ -282,26 +310,26 @@ pub fn compile(
         profile,
         prepared.memory_size(),
     )
-    .map_err(|m| CompileError { message: m })?;
+    .map_err(|m| CompileError::new(CompileErrorKind::Regalloc, m))?;
     stats.spills = ra.spilled;
     // Allocation rewrites the function into machine-register form, where
     // operand indices are physical registers classed by the consuming opcode
     // and `vreg_class` no longer describes the numbering — so only the
     // shape-and-reachability subset of the checker still applies here.
     if check {
-        metaopt_analysis::enforce_machine_function(&func, form, "regalloc").map_err(|e| {
-            CompileError {
-                message: e.to_string(),
-            }
-        })?;
+        metaopt_analysis::enforce_machine_function(&func, form, "regalloc")
+            .map_err(|e| CompileError::new(CompileErrorKind::InvariantViolation, e.to_string()))?;
     }
 
     let code = schedule::schedule_function(&func, machine);
     stats.static_insts = code.num_insts() as u64;
     stats.static_bundles = code.num_bundles() as u64;
 
-    metaopt_sim::code::verify_machine(&code, machine).map_err(|m| CompileError {
-        message: format!("generated machine code failed verification: {m}"),
+    metaopt_sim::code::verify_machine(&code, machine).map_err(|m| {
+        CompileError::new(
+            CompileErrorKind::MachineVerify,
+            format!("generated machine code failed verification: {m}"),
+        )
     })?;
 
     Ok(Compiled {

@@ -12,11 +12,17 @@
 //! `--pop N`, `--gens N`, `--seed N`, `--threads N`. `--check-ir` runs the
 //! `metaopt-analysis` invariant checker at every pass boundary of every
 //! compilation (on by default when built with the `check-ir` feature).
+//!
+//! Long evolution runs can be made restartable: `--checkpoint <path>`
+//! writes a checkpoint after every completed generation, and
+//! `--resume <path>` continues a run from one (the GP parameters must
+//! match; `--gens` may be raised to extend the run). A resumed run
+//! reproduces the uninterrupted run exactly.
 
+use metaopt::experiment::{ExperimentError, RunControl};
 use metaopt::{experiment, study, PreparedBench, StudyConfig};
 use metaopt_gp::expr::display_named;
-use metaopt_gp::GpParams;
-use metaopt_suite::DataSet;
+use metaopt_gp::{GpParams, QuarantineRecord};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -31,7 +37,8 @@ fn usage() -> ExitCode {
            compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
-         options: --pop N --gens N --seed N --threads N --check-ir"
+         options: --pop N --gens N --seed N --threads N --check-ir\n\
+                  --checkpoint <path> --resume <path>"
     );
     ExitCode::FAILURE
 }
@@ -65,12 +72,14 @@ struct Options {
     positional: Vec<String>,
     params: GpParams,
     check_ir: bool,
+    control: RunControl,
 }
 
 fn parse_args() -> Option<Options> {
     let mut params = GpParams::quick();
     let mut positional = Vec::new();
     let mut check_ir = metaopt_compiler::CHECK_IR_DEFAULT;
+    let mut control = RunControl::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -79,6 +88,8 @@ fn parse_args() -> Option<Options> {
             "--seed" => params.seed = args.next()?.parse().ok()?,
             "--threads" => params.threads = args.next()?.parse().ok()?,
             "--check-ir" => check_ir = true,
+            "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
+            "--resume" => control.resume = Some(args.next()?.into()),
             _ => positional.push(a),
         }
     }
@@ -86,6 +97,7 @@ fn parse_args() -> Option<Options> {
         positional,
         params,
         check_ir,
+        control,
     })
 }
 
@@ -96,6 +108,42 @@ fn print_lints(best: &metaopt_gp::Expr, cfg: &StudyConfig) {
     for l in metaopt_gp::lint::lint(best, cfg.genome_kind, &cfg.features) {
         println!("  lint {l}");
     }
+}
+
+/// Summarize the quarantine ledger: failure counts per error class, plus
+/// the first few records for diagnosis.
+fn print_quarantine(quarantined: &[QuarantineRecord], evaluations: u64, successes: u64) {
+    if quarantined.is_empty() {
+        return;
+    }
+    let mut by_kind: Vec<(&str, usize)> = Vec::new();
+    for r in quarantined {
+        let label = r.error.kind.label();
+        match by_kind.iter_mut().find(|(k, _)| *k == label) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((label, 1)),
+        }
+    }
+    let classes: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k} x{n}")).collect();
+    println!(
+        "quarantine: {} genome-case failures ({} of {} evaluations) [{}]",
+        quarantined.len(),
+        evaluations - successes,
+        evaluations,
+        classes.join(", ")
+    );
+    const SHOW: usize = 5;
+    for r in quarantined.iter().take(SHOW) {
+        println!("  {} case {}: {}", r.genome, r.case, r.error);
+    }
+    if quarantined.len() > SHOW {
+        println!("  ... and {} more", quarantined.len() - SHOW);
+    }
+}
+
+fn report_error(e: &ExperimentError) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
@@ -119,14 +167,24 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
                 return ExitCode::FAILURE;
             };
-            let r = experiment::specialize(&cfg, &bench, &opts.params);
+            let r = match experiment::specialize_controlled(
+                &cfg,
+                &bench,
+                &opts.params,
+                &opts.control,
+            ) {
+                Ok(r) => r,
+                Err(e) => return report_error(&e),
+            };
             println!("train speedup: {:.3}", r.train_speedup);
             println!("novel speedup: {:.3}", r.novel_speedup);
             println!(
                 "evolved: {}",
                 display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
             );
+            println!("raw (re-parseable): {}", r.best.key());
             print_lints(&r.best, &cfg);
+            print_quarantine(&r.quarantined, r.evaluations, r.successes);
             ExitCode::SUCCESS
         }
         ["train", study_name] => {
@@ -134,7 +192,15 @@ fn main() -> ExitCode {
                 return usage();
             };
             let cfg = cfg.with_check_ir(opts.check_ir);
-            let r = experiment::train_general(&cfg, &training_set(&cfg), &opts.params);
+            let r = match experiment::train_general_controlled(
+                &cfg,
+                &training_set(&cfg),
+                &opts.params,
+                &opts.control,
+            ) {
+                Ok(r) => r,
+                Err(e) => return report_error(&e),
+            };
             for (name, t, n) in &r.per_bench {
                 println!("{name:<14} train {t:.3}  novel {n:.3}");
             }
@@ -143,8 +209,9 @@ fn main() -> ExitCode {
                 "winner: {}",
                 display_named(&metaopt_gp::simplify::simplify(&r.best), &cfg.features)
             );
-            println!("raw (re-parseable): {}", r.best);
+            println!("raw (re-parseable): {}", r.best.key());
             print_lints(&r.best, &cfg);
+            print_quarantine(&r.quarantined, r.evaluations, r.successes);
             ExitCode::SUCCESS
         }
         ["crossval", study_name, path] => {
@@ -163,7 +230,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cv = experiment::cross_validate(&cfg, &expr, &test_set(&cfg));
+            let cv = match experiment::try_cross_validate(&cfg, &expr, &test_set(&cfg)) {
+                Ok(cv) => cv,
+                Err(e) => return report_error(&e),
+            };
             for (name, t, n) in &cv.per_bench {
                 println!("{name:<14} train-data {t:.3}  novel-data {n:.3}");
             }
@@ -187,14 +257,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let pb = PreparedBench::new(&cfg, &bench);
-            for ds in [DataSet::Train, DataSet::Novel] {
-                println!(
-                    "{ds:?}: {} cycles (baseline {}, speedup {:.3})",
-                    pb.cycles_with(&cfg, &expr, ds),
-                    pb.baseline_cycles(ds),
-                    pb.speedup(&cfg, &expr, ds)
-                );
+            let pb = match PreparedBench::try_new(&cfg, &bench) {
+                Ok(pb) => pb,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for ds in [metaopt_suite::DataSet::Train, metaopt_suite::DataSet::Novel] {
+                match pb.try_cycles_with(&cfg, &expr, ds) {
+                    Ok(cycles) => println!(
+                        "{ds:?}: {} cycles (baseline {}, speedup {:.3})",
+                        cycles,
+                        pb.baseline_cycles(ds),
+                        pb.baseline_cycles(ds) as f64 / cycles as f64
+                    ),
+                    Err(e) => {
+                        eprintln!("{ds:?}: evaluation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }

@@ -1,11 +1,74 @@
 //! Experiment drivers: specialization, general-purpose (DSS) training, and
 //! cross-validation — the paper's two modes of operation plus its
 //! evaluation methodology.
+//!
+//! Each driver comes in two flavours: a `*_controlled` form that takes a
+//! [`RunControl`] (checkpointing, resume) and returns a `Result`, and the
+//! original panicking convenience form for tests and examples. Reporting
+//! after evolution uses the fallible evaluation path: a benchmark on which
+//! the winner fails contributes `NaN` to its column and is excluded from
+//! means, rather than aborting the whole experiment at the finish line.
 
-use crate::pipeline::{PreparedBench, StudyEvaluator};
+use crate::pipeline::{PrepareError, PreparedBench, StudyEvaluator};
 use crate::study::StudyConfig;
-use metaopt_gp::{Evolution, Expr, GenLog, GpParams};
+use metaopt_gp::checkpoint::{Checkpoint, CheckpointError};
+use metaopt_gp::{Evolution, Expr, GenLog, GpParams, QuarantineRecord};
 use metaopt_suite::{Benchmark, DataSet};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Failure of an experiment driver: either benchmark preparation broke
+/// (setup problem) or checkpoint I/O did (operational problem). Genome
+/// evaluation failures never surface here — they are quarantined inside
+/// the evolution loop.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A benchmark could not be prepared.
+    Prepare(PrepareError),
+    /// A checkpoint could not be saved, loaded, or validated.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Prepare(e) => write!(f, "{e}"),
+            ExperimentError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Prepare(e) => Some(e),
+            ExperimentError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<PrepareError> for ExperimentError {
+    fn from(e: PrepareError) -> Self {
+        ExperimentError::Prepare(e)
+    }
+}
+
+impl From<CheckpointError> for ExperimentError {
+    fn from(e: CheckpointError) -> Self {
+        ExperimentError::Checkpoint(e)
+    }
+}
+
+/// Run-lifecycle controls shared by the experiment drivers.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    /// Write a checkpoint to this path after every completed generation.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint instead of starting fresh. The file's
+    /// parameter fingerprint must match the current run (generation count
+    /// and thread count may differ).
+    pub resume: Option<PathBuf>,
+}
 
 /// Result of specializing a priority function to one benchmark (paper
 /// §5.4.1 / Figs. 4, 9, 13).
@@ -13,9 +76,10 @@ use metaopt_suite::{Benchmark, DataSet};
 pub struct SpecializationResult {
     /// Benchmark name.
     pub name: String,
-    /// Speedup on the data the function was trained on.
+    /// Speedup on the data the function was trained on (`NaN` if the
+    /// winner's final evaluation failed).
     pub train_speedup: f64,
-    /// Speedup on the novel data set.
+    /// Speedup on the novel data set (`NaN` on failure).
     pub novel_speedup: f64,
     /// The evolved priority function.
     pub best: Expr,
@@ -23,52 +87,96 @@ pub struct SpecializationResult {
     pub log: Vec<GenLog>,
     /// Uncached fitness evaluations performed.
     pub evaluations: u64,
+    /// Evaluations that produced a score.
+    pub successes: u64,
+    /// Quarantine ledger: every distinct `(genome, case)` evaluation
+    /// failure, with its classified error.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
-/// Evolve a priority function specialized to a single benchmark. Each
-/// benchmark's evolution is independent (as in the paper's per-benchmark
-/// runs): the RNG seed is derived from the configured seed and the
-/// benchmark name.
-pub fn specialize(
+fn speedup_or_nan(pb: &PreparedBench, study: &StudyConfig, expr: &Expr, ds: DataSet) -> f64 {
+    pb.try_speedup(study, expr, ds).unwrap_or(f64::NAN)
+}
+
+/// Mean of the finite entries; `NaN` when none are.
+fn mean_finite<I: Iterator<Item = f64>>(vals: I) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for v in vals.filter(|v| v.is_finite()) {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Evolve a priority function specialized to a single benchmark, with
+/// checkpoint/resume control. Each benchmark's evolution is independent
+/// (as in the paper's per-benchmark runs): the RNG seed is derived from
+/// the configured seed and the benchmark name.
+pub fn specialize_controlled(
     study: &StudyConfig,
     bench: &Benchmark,
     params: &GpParams,
-) -> SpecializationResult {
-    let pb = PreparedBench::new(study, bench);
+    control: &RunControl,
+) -> Result<SpecializationResult, ExperimentError> {
+    let pb = PreparedBench::try_new(study, bench)?;
     let benches = [pb];
-    let evaluator = StudyEvaluator {
-        study,
-        benches: &benches,
-    };
+    let evaluator = StudyEvaluator::new(study, &benches);
     let mut params = params.clone();
     params.kind = study.genome_kind;
     let mut h = std::collections::hash_map::DefaultHasher::new();
     std::hash::Hash::hash(bench.name, &mut h);
     params.seed ^= std::hash::Hasher::finish(&h);
-    let result = Evolution::new(params, &study.features, &evaluator)
-        .with_seeds(vec![study.baseline_seed.clone()])
-        .run();
-    let train_speedup = benches[0].speedup(study, &result.best, DataSet::Train);
-    let novel_speedup = benches[0].speedup(study, &result.best, DataSet::Novel);
-    SpecializationResult {
+    let mut evo = Evolution::new(params, &study.features, &evaluator)
+        .with_seeds(vec![study.baseline_seed.clone()]);
+    if let Some(path) = &control.resume {
+        evo = evo.resume_from(Checkpoint::load(path)?);
+    }
+    if let Some(path) = &control.checkpoint {
+        evo = evo.with_checkpoint_file(path);
+    }
+    let result = evo.try_run()?;
+    let train_speedup = speedup_or_nan(&benches[0], study, &result.best, DataSet::Train);
+    let novel_speedup = speedup_or_nan(&benches[0], study, &result.best, DataSet::Novel);
+    Ok(SpecializationResult {
         name: bench.name.to_string(),
         train_speedup,
         novel_speedup,
         best: result.best,
         log: result.log,
         evaluations: result.evaluations,
-    }
+        successes: result.successes,
+        quarantined: result.quarantined,
+    })
+}
+
+/// Panicking convenience wrapper around [`specialize_controlled`] with no
+/// checkpointing, for tests and examples.
+///
+/// # Panics
+/// Panics if benchmark preparation fails.
+pub fn specialize(
+    study: &StudyConfig,
+    bench: &Benchmark,
+    params: &GpParams,
+) -> SpecializationResult {
+    specialize_controlled(study, bench, params, &RunControl::default())
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Result of a general-purpose (multi-benchmark DSS) training run (paper
 /// §5.4.2 / Figs. 6, 11, 15).
 #[derive(Clone, Debug)]
 pub struct GeneralResult {
-    /// Per-benchmark `(name, train-data speedup, novel-data speedup)`.
+    /// Per-benchmark `(name, train-data speedup, novel-data speedup)`;
+    /// `NaN` marks a failed final evaluation.
     pub per_bench: Vec<(String, f64, f64)>,
-    /// Mean speedup on the training data.
+    /// Mean speedup on the training data (over finite entries).
     pub mean_train: f64,
-    /// Mean speedup on the novel data.
+    /// Mean speedup on the novel data (over finite entries).
     pub mean_novel: f64,
     /// The evolved general-purpose priority function.
     pub best: Expr,
@@ -76,78 +184,115 @@ pub struct GeneralResult {
     pub log: Vec<GenLog>,
     /// Uncached fitness evaluations performed.
     pub evaluations: u64,
+    /// Evaluations that produced a score.
+    pub successes: u64,
+    /// Quarantine ledger: every distinct `(genome, case)` evaluation
+    /// failure, with its classified error.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 /// Evolve one general-purpose priority function over `benches` using
-/// dynamic subset selection.
-pub fn train_general(
+/// dynamic subset selection, with checkpoint/resume control.
+pub fn train_general_controlled(
     study: &StudyConfig,
     benches: &[Benchmark],
     params: &GpParams,
-) -> GeneralResult {
-    let prepared: Vec<PreparedBench> = benches
+    control: &RunControl,
+) -> Result<GeneralResult, ExperimentError> {
+    let prepared = benches
         .iter()
-        .map(|b| PreparedBench::new(study, b))
-        .collect();
-    let evaluator = StudyEvaluator {
-        study,
-        benches: &prepared,
-    };
+        .map(|b| PreparedBench::try_new(study, b))
+        .collect::<Result<Vec<PreparedBench>, PrepareError>>()?;
+    let evaluator = StudyEvaluator::new(study, &prepared);
     let mut params = params.clone();
     params.kind = study.genome_kind;
     if params.subset_size.is_none() && benches.len() > 4 {
         // The paper's DSS default: train on subsets, roughly half the suite.
         params.subset_size = Some(benches.len().div_ceil(2));
     }
-    let result = Evolution::new(params, &study.features, &evaluator)
-        .with_seeds(vec![study.baseline_seed.clone()])
-        .run();
+    let mut evo = Evolution::new(params, &study.features, &evaluator)
+        .with_seeds(vec![study.baseline_seed.clone()]);
+    if let Some(path) = &control.resume {
+        evo = evo.resume_from(Checkpoint::load(path)?);
+    }
+    if let Some(path) = &control.checkpoint {
+        evo = evo.with_checkpoint_file(path);
+    }
+    let result = evo.try_run()?;
     let per_bench: Vec<(String, f64, f64)> = prepared
         .iter()
         .map(|pb| {
             (
                 pb.name.clone(),
-                pb.speedup(study, &result.best, DataSet::Train),
-                pb.speedup(study, &result.best, DataSet::Novel),
+                speedup_or_nan(pb, study, &result.best, DataSet::Train),
+                speedup_or_nan(pb, study, &result.best, DataSet::Novel),
             )
         })
         .collect();
-    let n = per_bench.len().max(1) as f64;
-    GeneralResult {
-        mean_train: per_bench.iter().map(|x| x.1).sum::<f64>() / n,
-        mean_novel: per_bench.iter().map(|x| x.2).sum::<f64>() / n,
+    Ok(GeneralResult {
+        mean_train: mean_finite(per_bench.iter().map(|x| x.1)),
+        mean_novel: mean_finite(per_bench.iter().map(|x| x.2)),
         per_bench,
         best: result.best,
         log: result.log,
         evaluations: result.evaluations,
-    }
+        successes: result.successes,
+        quarantined: result.quarantined,
+    })
+}
+
+/// Panicking convenience wrapper around [`train_general_controlled`] with
+/// no checkpointing, for tests and examples.
+///
+/// # Panics
+/// Panics if benchmark preparation fails.
+pub fn train_general(
+    study: &StudyConfig,
+    benches: &[Benchmark],
+    params: &GpParams,
+) -> GeneralResult {
+    train_general_controlled(study, benches, params, &RunControl::default())
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Cross-validation of a trained priority function on unrelated benchmarks
 /// (paper §5.4.2 / Figs. 7, 12, 16).
 #[derive(Clone, Debug)]
 pub struct CrossValidation {
-    /// Per-benchmark `(name, speedup on train data, speedup on novel data)`.
+    /// Per-benchmark `(name, speedup on train data, speedup on novel data)`;
+    /// `NaN` marks a failed evaluation.
     pub per_bench: Vec<(String, f64, f64)>,
-    /// Mean speedup (train-data column).
+    /// Mean speedup (train-data column, over finite entries).
     pub mean: f64,
 }
 
 /// Apply `expr` to benchmarks it was never trained on.
-pub fn cross_validate(study: &StudyConfig, expr: &Expr, benches: &[Benchmark]) -> CrossValidation {
-    let per_bench: Vec<(String, f64, f64)> = benches
+pub fn try_cross_validate(
+    study: &StudyConfig,
+    expr: &Expr,
+    benches: &[Benchmark],
+) -> Result<CrossValidation, ExperimentError> {
+    let per_bench = benches
         .iter()
         .map(|b| {
-            let pb = PreparedBench::new(study, b);
-            (
+            let pb = PreparedBench::try_new(study, b)?;
+            Ok((
                 b.name.to_string(),
-                pb.speedup(study, expr, DataSet::Train),
-                pb.speedup(study, expr, DataSet::Novel),
-            )
+                speedup_or_nan(&pb, study, expr, DataSet::Train),
+                speedup_or_nan(&pb, study, expr, DataSet::Novel),
+            ))
         })
-        .collect();
-    let mean = per_bench.iter().map(|x| x.1).sum::<f64>() / per_bench.len().max(1) as f64;
-    CrossValidation { per_bench, mean }
+        .collect::<Result<Vec<_>, PrepareError>>()?;
+    let mean = mean_finite(per_bench.iter().map(|x| x.1));
+    Ok(CrossValidation { per_bench, mean })
+}
+
+/// Panicking convenience wrapper around [`try_cross_validate`].
+///
+/// # Panics
+/// Panics if benchmark preparation fails.
+pub fn cross_validate(study: &StudyConfig, expr: &Expr, benches: &[Benchmark]) -> CrossValidation {
+    try_cross_validate(study, expr, benches).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -180,6 +325,9 @@ mod tests {
         );
         assert!(!r.log.is_empty());
         assert!(r.evaluations > 0);
+        // Without fault injection the bundled kernels evaluate cleanly.
+        assert_eq!(r.successes, r.evaluations);
+        assert!(r.quarantined.is_empty());
     }
 
     #[test]
@@ -203,5 +351,57 @@ mod tests {
         assert_eq!(cv.per_bench.len(), 1);
         // The baseline seed cross-validates at exactly 1.0 by construction.
         assert!((cv.per_bench[0].1 - 1.0).abs() < 1e-9, "{cv:?}");
+    }
+
+    #[test]
+    fn checkpointed_specialization_resumes_identically() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metaopt-exp-ck-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+
+        // Phase 1: short run that leaves a checkpoint behind.
+        let short = GpParams {
+            generations: 2,
+            ..tiny_params(5)
+        };
+        let ck_control = RunControl {
+            checkpoint: Some(path.clone()),
+            resume: None,
+        };
+        specialize_controlled(&cfg, &bench, &short, &ck_control).unwrap();
+        assert!(path.exists(), "checkpoint file must be written");
+
+        // Phase 2: resume to the full horizon and compare with an
+        // uninterrupted run at the same seed.
+        let full = tiny_params(5);
+        let resumed = specialize_controlled(
+            &cfg,
+            &bench,
+            &full,
+            &RunControl {
+                checkpoint: None,
+                resume: Some(path.clone()),
+            },
+        )
+        .unwrap();
+        let straight = specialize(&cfg, &bench, &full);
+        assert_eq!(resumed.best.key(), straight.best.key());
+        assert_eq!(resumed.log, straight.log);
+        assert!((resumed.train_speedup - straight.train_speedup).abs() < 1e-12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_from_missing_checkpoint_is_an_error() {
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let control = RunControl {
+            checkpoint: None,
+            resume: Some(std::path::PathBuf::from("/nonexistent/metaopt-ck.txt")),
+        };
+        let err = specialize_controlled(&cfg, &bench, &tiny_params(3), &control).unwrap_err();
+        assert!(matches!(err, ExperimentError::Checkpoint(_)), "{err}");
     }
 }

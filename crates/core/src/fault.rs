@@ -1,0 +1,232 @@
+//! Seeded deterministic fault injection for the evaluation pipeline.
+//!
+//! Robustness features (quarantine, penalty fitness, checkpoint survival)
+//! are only trustworthy if they are *exercised*: organic failures are rare
+//! by design, so the injector forces classified failures at chosen pipeline
+//! stages with a configurable probability. Injection is a pure function of
+//! `(seed, stage, genome, benchmark)` — no global state, no RNG stream —
+//! so a given genome fails (or not) identically across re-evaluations,
+//! runs, resumes, and threads. That consistency is what lets the
+//! fault-injection suite assert that the quarantine ledger matches the
+//! injected faults exactly.
+//!
+//! The injector itself always compiles (it is plain deterministic code);
+//! the `fault-inject` cargo feature gates only its *wiring* into
+//! [`crate::pipeline::StudyEvaluator`], keeping production evaluation free
+//! of even the check overhead unless explicitly requested.
+
+use metaopt_gp::{EvalError, EvalErrorKind};
+
+/// Pipeline stage at which a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Before invoking the compiler (forces a [`EvalErrorKind::Compile`]).
+    Compile,
+    /// At the inter-pass IR checking boundary (forces a
+    /// [`EvalErrorKind::IrCheck`]).
+    CheckIr,
+    /// Before simulating the compiled program (forces a
+    /// [`EvalErrorKind::Sim`]).
+    Simulate,
+}
+
+impl FaultStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [FaultStage; 3] = [
+        FaultStage::Compile,
+        FaultStage::CheckIr,
+        FaultStage::Simulate,
+    ];
+
+    /// The error class an injected fault at this stage reports as.
+    pub fn kind(self) -> EvalErrorKind {
+        match self {
+            FaultStage::Compile => EvalErrorKind::Compile,
+            FaultStage::CheckIr => EvalErrorKind::IrCheck,
+            FaultStage::Simulate => EvalErrorKind::Sim,
+        }
+    }
+
+    /// Stable label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultStage::Compile => "compile",
+            FaultStage::CheckIr => "check-ir",
+            FaultStage::Simulate => "simulate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultStage::Compile => 0,
+            FaultStage::CheckIr => 1,
+            FaultStage::Simulate => 2,
+        }
+    }
+}
+
+/// Deterministic fault injector: decides failure purely from
+/// `(seed, stage, genome key, benchmark name)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    rates: [f64; 3],
+}
+
+impl FaultInjector {
+    /// An injector with all rates zero (injects nothing until configured
+    /// via [`FaultInjector::with_rate`]).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            rates: [0.0; 3],
+        }
+    }
+
+    /// An injector failing every stage with probability `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultInjector {
+            seed,
+            rates: [rate; 3],
+        }
+    }
+
+    /// Set the failure probability for one stage (clamped to `[0, 1]`).
+    pub fn with_rate(mut self, stage: FaultStage, rate: f64) -> Self {
+        self.rates[stage.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The configured failure probability for `stage`.
+    pub fn rate(&self, stage: FaultStage) -> f64 {
+        self.rates[stage.index()]
+    }
+
+    /// Whether this injector fires for `(stage, genome, bench)` — a pure
+    /// function, identical on every call.
+    pub fn should_fail(&self, stage: FaultStage, genome_key: &str, bench: &str) -> bool {
+        let rate = self.rates[stage.index()];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // FNV-1a over the identifying tuple, then a splitmix64 finalizer to
+        // decorrelate the low-entropy inputs; top 53 bits become a uniform
+        // draw in [0, 1).
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        };
+        eat(stage.label().as_bytes());
+        eat(&[0xFF]);
+        eat(genome_key.as_bytes());
+        eat(&[0xFF]);
+        eat(bench.as_bytes());
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let draw = (z >> 11) as f64 / (1u64 << 53) as f64;
+        draw < rate
+    }
+
+    /// Fail the evaluation if the injector fires for this tuple; the error
+    /// is marked [`EvalError::injected`] so ledgers distinguish forced from
+    /// organic failures.
+    pub fn check(&self, stage: FaultStage, genome_key: &str, bench: &str) -> Result<(), EvalError> {
+        if self.should_fail(stage, genome_key, bench) {
+            return Err(EvalError::injected(
+                stage.kind(),
+                format!(
+                    "fault injector forced a {} failure on {bench}",
+                    stage.label()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires_and_one_always_does() {
+        let off = FaultInjector::new(7);
+        let on = FaultInjector::uniform(7, 1.0);
+        for stage in FaultStage::ALL {
+            assert!(!off.should_fail(stage, "(add r0 r1)", "unepic"));
+            assert!(on.should_fail(stage, "(add r0 r1)", "unepic"));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_input_sensitive() {
+        let inj = FaultInjector::uniform(42, 0.5);
+        let a = inj.should_fail(FaultStage::Compile, "(add r0 r1)", "unepic");
+        for _ in 0..10 {
+            assert_eq!(
+                a,
+                inj.should_fail(FaultStage::Compile, "(add r0 r1)", "unepic")
+            );
+        }
+        // Across many genomes, both outcomes and both stage-sensitivity and
+        // seed-sensitivity must appear.
+        let genomes: Vec<String> = (0..200).map(|i| format!("(rconst {i}.5)")).collect();
+        let fired = genomes
+            .iter()
+            .filter(|g| inj.should_fail(FaultStage::Compile, g, "unepic"))
+            .count();
+        assert!(fired > 50 && fired < 150, "~half should fire, got {fired}");
+        let other_seed = FaultInjector::uniform(43, 0.5);
+        assert!(
+            genomes
+                .iter()
+                .any(|g| inj.should_fail(FaultStage::Compile, g, "unepic")
+                    != other_seed.should_fail(FaultStage::Compile, g, "unepic")),
+            "different seeds must differ somewhere"
+        );
+        assert!(
+            genomes
+                .iter()
+                .any(|g| inj.should_fail(FaultStage::Compile, g, "unepic")
+                    != inj.should_fail(FaultStage::Simulate, g, "unepic")),
+            "different stages must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let inj = FaultInjector::uniform(1, 0.05);
+        let n = 4000;
+        let fired = (0..n)
+            .filter(|i| inj.should_fail(FaultStage::Simulate, &format!("(rconst {i})"), "102.swim"))
+            .count();
+        let observed = fired as f64 / n as f64;
+        assert!(
+            (observed - 0.05).abs() < 0.02,
+            "observed rate {observed} too far from 0.05"
+        );
+    }
+
+    #[test]
+    fn check_produces_injected_errors_with_stage_kind() {
+        let inj = FaultInjector::uniform(3, 1.0);
+        for stage in FaultStage::ALL {
+            let err = inj.check(stage, "(add r0 r1)", "unepic").unwrap_err();
+            assert_eq!(err.kind, stage.kind());
+            assert!(err.injected);
+            assert!(err.message.contains("unepic"));
+        }
+        let off = FaultInjector::new(3);
+        for stage in FaultStage::ALL {
+            off.check(stage, "(add r0 r1)", "unepic").unwrap();
+        }
+    }
+}

@@ -41,9 +41,11 @@
 //! ```
 
 pub mod experiment;
+pub mod fault;
 pub mod pipeline;
 pub mod study;
 
-pub use experiment::{CrossValidation, GeneralResult, SpecializationResult};
-pub use pipeline::PreparedBench;
+pub use experiment::{CrossValidation, GeneralResult, RunControl, SpecializationResult};
+pub use fault::{FaultInjector, FaultStage};
+pub use pipeline::{PrepareError, PreparedBench, StudyEvaluator};
 pub use study::{StudyConfig, StudyKind};

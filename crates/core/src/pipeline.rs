@@ -1,15 +1,71 @@
 //! Benchmark preparation and the compile-and-simulate fitness pipeline.
+//!
+//! Two failure regimes live here, and they are handled differently:
+//!
+//! * **Preparation** ([`PreparedBench::try_new`]) runs before evolution on
+//!   trusted, bundled benchmarks. A failure there is a setup bug, reported
+//!   as a [`PrepareError`] carrying the benchmark name.
+//! * **Evaluation** ([`PreparedBench::try_cycles_with`] and friends) runs
+//!   on *evolved* priority functions, which are adversarial inputs to the
+//!   compiler. Every failure — compile error, IR invariant violation,
+//!   budget exhaustion, simulator fault, or a wrong answer from the
+//!   compiled program — is returned as a classified
+//!   [`metaopt_gp::EvalError`] so the GP engine can quarantine the genome
+//!   instead of tearing down the run.
 
+use crate::fault::{FaultInjector, FaultStage};
 use crate::study::{ExprPriority, StudyConfig};
-use metaopt_compiler::{compile, prepare, CompileStats};
-use metaopt_gp::Expr;
+use metaopt_compiler::{compile, prepare, CompileErrorKind, CompileStats};
+use metaopt_gp::{EvalError, EvalErrorKind, EvalOutcome, Expr};
+use metaopt_ir::budget;
 use metaopt_ir::interp::{run, RunConfig};
 use metaopt_ir::profile::FuncProfile;
 use metaopt_ir::Program;
-use metaopt_sim::exec::{simulate, simulate_noisy};
-use metaopt_suite::{Benchmark, DataSet};
+use metaopt_sim::exec::{simulate, simulate_noisy, SimError};
+use metaopt_sim::machine::MachineConfig;
+use metaopt_suite::{Benchmark, DataSet, SuiteError};
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+
+/// Failure while preparing a benchmark for evaluation (loading, inlining,
+/// interpreting the reference run, or timing the baseline). These occur
+/// before any evolved genome is involved, so they indicate a broken setup
+/// rather than a bad genome.
+#[derive(Clone, Debug)]
+pub struct PrepareError {
+    /// Benchmark that failed to prepare.
+    pub bench: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot prepare benchmark {}: {}",
+            self.bench, self.message
+        )
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<SuiteError> for PrepareError {
+    fn from(e: SuiteError) -> Self {
+        let (bench, message) = match e {
+            SuiteError::Compile { bench, message } => (bench, message),
+            SuiteError::MissingDataseed { bench } => {
+                (bench, "source lacks a dataseed global".to_string())
+            }
+        };
+        PrepareError {
+            bench: bench.to_string(),
+            message,
+        }
+    }
+}
 
 /// A benchmark made ready for repeated fitness evaluation: inlined IR,
 /// training profile, per-data-set memory images and interpreter ground
@@ -27,48 +83,54 @@ pub struct PreparedBench {
     pub baseline_novel_cycles: u64,
     /// Baseline compile statistics.
     pub baseline_stats: CompileStats,
+    /// The study machine with the per-evaluation instruction budget
+    /// ([`budget::EVAL_MAX_SIM_INSTS`]) so a pathological genome cannot
+    /// stall a worker for the full default limit. Budgets only bound the
+    /// abort point, never the cycle count of a run that finishes, so
+    /// fitness is unaffected.
+    eval_machine: MachineConfig,
     train_mem: Vec<u8>,
     novel_mem: Vec<u8>,
     train_ret: i64,
     novel_ret: i64,
 }
 
-const INTERP_STEP_LIMIT: u64 = 100_000_000;
-
 impl PreparedBench {
     /// Prepare `bench` for `study`: inline, profile on the train data,
     /// verify both data sets in the interpreter, and time the baseline.
-    ///
-    /// # Panics
-    /// Panics if the bundled benchmark fails to compile, run, or verify —
-    /// all covered by the suite's own tests.
-    pub fn new(study: &StudyConfig, bench: &Benchmark) -> Self {
-        let prog = bench.program();
-        let prepared = prepare(&prog).expect("benchmark call graph is inlinable");
-        let train_mem = bench.memory(&prepared, DataSet::Train);
-        let novel_mem = bench.memory(&prepared, DataSet::Novel);
+    pub fn try_new(study: &StudyConfig, bench: &Benchmark) -> Result<Self, PrepareError> {
+        let err = |message: String| PrepareError {
+            bench: bench.name.to_string(),
+            message,
+        };
+        let prog = bench.try_program()?;
+        let prepared = prepare(&prog).map_err(|e| err(format!("inlining failed: {e}")))?;
+        let train_mem = bench.try_memory(&prepared, DataSet::Train)?;
+        let novel_mem = bench.try_memory(&prepared, DataSet::Novel)?;
 
         let train_out = run(
             &prepared,
             &RunConfig {
                 memory: Some(train_mem.clone()),
                 profile: true,
-                max_steps: INTERP_STEP_LIMIT,
+                max_steps: budget::KERNEL_VERIFY_MAX_STEPS,
                 ..Default::default()
             },
         )
-        .expect("train run succeeds");
+        .map_err(|e| err(format!("reference run on train data failed: {e}")))?;
         let novel_out = run(
             &prepared,
             &RunConfig {
                 memory: Some(novel_mem.clone()),
-                max_steps: INTERP_STEP_LIMIT,
+                max_steps: budget::KERNEL_VERIFY_MAX_STEPS,
                 ..Default::default()
             },
         )
-        .expect("novel run succeeds");
+        .map_err(|e| err(format!("reference run on novel data failed: {e}")))?;
         let profile = train_out.profile.expect("profile requested").funcs[0].clone();
 
+        let mut eval_machine = study.machine.clone();
+        eval_machine.max_insts = budget::EVAL_MAX_SIM_INSTS;
         let mut pb = PreparedBench {
             name: bench.name.to_string(),
             prepared,
@@ -76,6 +138,7 @@ impl PreparedBench {
             baseline_train_cycles: 0,
             baseline_novel_cycles: 0,
             baseline_stats: CompileStats::default(),
+            eval_machine,
             train_mem,
             novel_mem,
             train_ret: train_out.ret,
@@ -83,11 +146,25 @@ impl PreparedBench {
         };
         let passes = study.baseline_passes();
         let compiled = compile(&pb.prepared, &pb.profile, &study.machine, &passes)
-            .expect("baseline compilation succeeds");
+            .map_err(|e| err(format!("baseline compilation failed: {e}")))?;
         pb.baseline_stats = compiled.stats;
-        pb.baseline_train_cycles = pb.simulate_compiled(study, &compiled, DataSet::Train, 0);
-        pb.baseline_novel_cycles = pb.simulate_compiled(study, &compiled, DataSet::Novel, 0);
-        pb
+        pb.baseline_train_cycles = pb
+            .try_simulate(study, &study.machine, &compiled, DataSet::Train, 0)
+            .map_err(|e| err(format!("baseline timing failed: {e}")))?;
+        pb.baseline_novel_cycles = pb
+            .try_simulate(study, &study.machine, &compiled, DataSet::Novel, 0)
+            .map_err(|e| err(format!("baseline timing failed: {e}")))?;
+        Ok(pb)
+    }
+
+    /// Panicking convenience wrapper around [`PreparedBench::try_new`] for
+    /// tests, examples, and benches where a broken bundled benchmark should
+    /// abort loudly.
+    ///
+    /// # Panics
+    /// Panics if the bundled benchmark fails to compile, run, or verify.
+    pub fn new(study: &StudyConfig, bench: &Benchmark) -> Self {
+        Self::try_new(study, bench).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn mem_for(&self, compiled: &metaopt_compiler::Compiled, ds: DataSet) -> Vec<u8> {
@@ -107,56 +184,130 @@ impl PreparedBench {
         }
     }
 
-    fn simulate_compiled(
+    /// Simulate `compiled` on `ds` with the given machine, differentially
+    /// verifying the program result against the interpreter's.
+    fn try_simulate(
         &self,
         study: &StudyConfig,
+        machine: &MachineConfig,
         compiled: &metaopt_compiler::Compiled,
         ds: DataSet,
         noise_seed: u64,
-    ) -> u64 {
+    ) -> Result<u64, EvalError> {
         let mem = self.mem_for(compiled, ds);
         let result = if study.noise > 0.0 {
-            simulate_noisy(&compiled.code, &study.machine, mem, study.noise, noise_seed)
+            simulate_noisy(&compiled.code, machine, mem, study.noise, noise_seed)
         } else {
-            simulate(&compiled.code, &study.machine, mem)
+            simulate(&compiled.code, machine, mem)
         }
-        .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", self.name));
-        assert_eq!(
-            result.ret,
-            self.expected_ret(ds),
-            "{}: compiled program diverged from the interpreter on {ds:?} — \
-             a compiler bug exposed by a priority function",
-            self.name
-        );
-        result.cycles
+        .map_err(|e| match e {
+            SimError::InstLimit(n) => EvalError::new(
+                EvalErrorKind::Budget,
+                format!(
+                    "{}: simulation exceeded the {n}-instruction budget on {ds:?}",
+                    self.name
+                ),
+            ),
+            other => EvalError::new(
+                EvalErrorKind::Sim,
+                format!("{}: simulation fault on {ds:?}: {other}", self.name),
+            ),
+        })?;
+        if result.ret != self.expected_ret(ds) {
+            return Err(EvalError::new(
+                EvalErrorKind::WrongAnswer,
+                format!(
+                    "{}: compiled program returned {} but the interpreter returned {} on \
+                     {ds:?} — a compiler bug exposed by a priority function",
+                    self.name,
+                    result.ret,
+                    self.expected_ret(ds)
+                ),
+            ));
+        }
+        Ok(result.cycles)
+    }
+
+    /// Compile with `expr` in the study's priority slot and simulate on
+    /// `ds`, optionally consulting a fault injector at each pipeline stage.
+    fn eval_cycles(
+        &self,
+        study: &StudyConfig,
+        expr: &Expr,
+        ds: DataSet,
+        fault: Option<&FaultInjector>,
+    ) -> Result<u64, EvalError> {
+        let key = expr.key();
+        if let Some(f) = fault {
+            f.check(FaultStage::Compile, &key, &self.name)?;
+        }
+        let pri = ExprPriority(expr);
+        let passes = study.passes_with(&pri);
+        let compiled =
+            compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
+                let kind = match e.kind {
+                    CompileErrorKind::InvariantViolation => EvalErrorKind::IrCheck,
+                    _ => EvalErrorKind::Compile,
+                };
+                EvalError::new(kind, format!("{}: {e}", self.name))
+            })?;
+        if let Some(f) = fault {
+            f.check(FaultStage::CheckIr, &key, &self.name)?;
+            f.check(FaultStage::Simulate, &key, &self.name)?;
+        }
+        // Timing noise (if the study has any) is seeded deterministically
+        // from the expression and data set, so memoized fitness stays
+        // consistent while different expressions still see different
+        // measurement error — the situation GP must tolerate on a real
+        // machine (paper §7.1).
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        self.name.hash(&mut h);
+        (ds == DataSet::Novel).hash(&mut h);
+        self.try_simulate(study, &self.eval_machine, &compiled, ds, h.finish())
     }
 
     /// Compile with `expr` in the study's priority slot and simulate on
     /// `ds`; returns cycles. Differentially verifies the program result.
+    pub fn try_cycles_with(
+        &self,
+        study: &StudyConfig,
+        expr: &Expr,
+        ds: DataSet,
+    ) -> Result<u64, EvalError> {
+        self.eval_cycles(study, expr, ds, None)
+    }
+
+    /// Panicking wrapper around [`PreparedBench::try_cycles_with`] for
+    /// tests and examples.
     ///
-    /// Timing noise (if the study has any) is seeded deterministically from
-    /// the expression and data set, so memoized fitness stays consistent
-    /// while different expressions still see different measurement error —
-    /// the situation GP must tolerate on a real machine (paper §7.1).
+    /// # Panics
+    /// Panics if compilation, simulation, or differential verification
+    /// fails for `expr`.
     pub fn cycles_with(&self, study: &StudyConfig, expr: &Expr, ds: DataSet) -> u64 {
-        let pri = ExprPriority(expr);
-        let passes = study.passes_with(&pri);
-        let compiled = compile(&self.prepared, &self.profile, &study.machine, &passes)
-            .unwrap_or_else(|e| panic!("compilation of {} failed: {e}", self.name));
-        let mut h = DefaultHasher::new();
-        expr.key().hash(&mut h);
-        self.name.hash(&mut h);
-        (ds == DataSet::Novel).hash(&mut h);
-        self.simulate_compiled(study, &compiled, ds, h.finish())
+        self.try_cycles_with(study, expr, ds)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Speedup of `expr` over the baseline heuristic on `ds`.
+    pub fn try_speedup(
+        &self,
+        study: &StudyConfig,
+        expr: &Expr,
+        ds: DataSet,
+    ) -> Result<f64, EvalError> {
+        let base = self.baseline_cycles(ds);
+        Ok(base as f64 / self.try_cycles_with(study, expr, ds)? as f64)
+    }
+
+    /// Panicking wrapper around [`PreparedBench::try_speedup`] for tests
+    /// and examples.
+    ///
+    /// # Panics
+    /// Panics if the evaluation of `expr` fails.
     pub fn speedup(&self, study: &StudyConfig, expr: &Expr, ds: DataSet) -> f64 {
-        let base = match ds {
-            DataSet::Train => self.baseline_train_cycles,
-            DataSet::Novel => self.baseline_novel_cycles,
-        };
-        base as f64 / self.cycles_with(study, expr, ds) as f64
+        self.try_speedup(study, expr, ds)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Baseline cycles on `ds`.
@@ -172,11 +323,34 @@ impl PreparedBench {
 /// expression on case *i* is its speedup over the baseline on benchmark
 /// *i*'s training data (paper §4: "total execution time" / Table 2:
 /// "average speedup over the baseline").
+///
+/// Evaluation failures are returned as [`EvalOutcome::Failed`] with a
+/// classified error; the GP engine quarantines the genome and assigns the
+/// penalty fitness. With the `fault-inject` feature, an optional
+/// [`FaultInjector`] can deterministically force such failures for
+/// robustness testing.
 pub struct StudyEvaluator<'a> {
-    /// The study being run.
-    pub study: &'a StudyConfig,
-    /// Prepared benchmarks (the training cases).
-    pub benches: &'a [PreparedBench],
+    study: &'a StudyConfig,
+    benches: &'a [PreparedBench],
+    fault: Option<FaultInjector>,
+}
+
+impl<'a> StudyEvaluator<'a> {
+    /// Evaluator for `study` over the prepared training cases.
+    pub fn new(study: &'a StudyConfig, benches: &'a [PreparedBench]) -> Self {
+        StudyEvaluator {
+            study,
+            benches,
+            fault: None,
+        }
+    }
+
+    /// Attach a deterministic fault injector (robustness testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault(mut self, injector: FaultInjector) -> Self {
+        self.fault = Some(injector);
+        self
+    }
 }
 
 impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
@@ -184,8 +358,12 @@ impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
         self.benches.len()
     }
 
-    fn eval_case(&self, expr: &Expr, case: usize) -> f64 {
-        self.benches[case].speedup(self.study, expr, DataSet::Train)
+    fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+        let pb = &self.benches[case];
+        match pb.eval_cycles(self.study, expr, DataSet::Train, self.fault.as_ref()) {
+            Ok(cycles) => EvalOutcome::Score(pb.baseline_train_cycles as f64 / cycles as f64),
+            Err(e) => EvalOutcome::Failed(e),
+        }
     }
 }
 
@@ -235,5 +413,37 @@ mod tests {
         let bench = metaopt_suite::by_name("g721encode").unwrap();
         let pb = PreparedBench::new(&cfg, &bench);
         assert!(pb.baseline_train_cycles > 0);
+    }
+
+    #[test]
+    fn evaluator_scores_the_baseline_seed_at_one() {
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let benches = [PreparedBench::new(&cfg, &bench)];
+        let ev = StudyEvaluator::new(&cfg, &benches);
+        let out = metaopt_gp::Evaluator::eval_case(&ev, &cfg.baseline_seed, 0);
+        match out {
+            EvalOutcome::Score(s) => assert!((s - 1.0).abs() < 1e-12, "speedup {s}"),
+            EvalOutcome::Failed(e) => panic!("baseline seed failed: {e}"),
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_surface_as_classified_failures() {
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let benches = [PreparedBench::new(&cfg, &bench)];
+        for stage in FaultStage::ALL {
+            let ev = StudyEvaluator::new(&cfg, &benches)
+                .with_fault(FaultInjector::new(0).with_rate(stage, 1.0));
+            match metaopt_gp::Evaluator::eval_case(&ev, &cfg.baseline_seed, 0) {
+                EvalOutcome::Failed(e) => {
+                    assert_eq!(e.kind, stage.kind());
+                    assert!(e.injected);
+                }
+                EvalOutcome::Score(s) => panic!("expected injected failure, got score {s}"),
+            }
+        }
     }
 }

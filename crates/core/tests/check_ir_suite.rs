@@ -6,6 +6,7 @@
 
 use metaopt::study;
 use metaopt_compiler::{compile, prepare_checked};
+use metaopt_ir::budget::KERNEL_VERIFY_MAX_STEPS;
 use metaopt_ir::interp::{run, RunConfig};
 use metaopt_suite::DataSet;
 
@@ -23,7 +24,7 @@ fn every_suite_benchmark_compiles_clean_under_check_ir() {
                 &RunConfig {
                     memory: Some(mem),
                     profile: true,
-                    max_steps: 100_000_000,
+                    max_steps: KERNEL_VERIFY_MAX_STEPS,
                     ..Default::default()
                 },
             )

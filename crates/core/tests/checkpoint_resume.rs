@@ -1,0 +1,128 @@
+//! End-to-end checkpoint/resume acceptance: start a real `metaopt` run as
+//! a subprocess, SIGKILL it mid-evolution once its first checkpoint lands,
+//! resume from the checkpoint file, and require the resumed run to report
+//! *exactly* the same winner and speedups as a never-interrupted run.
+//!
+//! Works on any kill point: checkpoints are written atomically (tmp +
+//! rename), so the file on disk is always a complete generation boundary,
+//! and resumption replays the remaining generations deterministically.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const GP_ARGS: &[&str] = &[
+    "specialize",
+    "hyperblock",
+    "unepic",
+    "--pop",
+    "12",
+    "--gens",
+    "6",
+    "--seed",
+    "42",
+    "--threads",
+    "2",
+];
+
+fn metaopt(extra: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_metaopt"));
+    c.args(GP_ARGS).args(extra);
+    c
+}
+
+/// The lines a run is judged by: the re-parseable winner and its speedups.
+fn key_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("raw (re-parseable):")
+                || l.starts_with("train speedup:")
+                || l.starts_with("novel speedup:")
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn killed_run_resumes_to_the_same_result() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-kill-resume-{}.ck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Launch the run with checkpointing, then kill it as soon as the first
+    // checkpoint exists. If the run wins the race and finishes first, the
+    // kill is a no-op and resume starts from the final checkpoint — the
+    // equality below must hold at *any* kill point.
+    let mut child = metaopt(&["--checkpoint", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn metaopt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint within 120s");
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(path.exists(), "a checkpoint must survive the kill");
+
+    let resumed = metaopt(&["--resume", path.to_str().unwrap()])
+        .output()
+        .expect("resumed run");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let straight = metaopt(&[]).output().expect("uninterrupted run");
+    assert!(straight.status.success());
+
+    let r = key_lines(&resumed.stdout);
+    let s = key_lines(&straight.stdout);
+    assert_eq!(r.len(), 3, "expected 3 key lines, got {r:?}");
+    assert_eq!(
+        r, s,
+        "resumed run must reproduce the uninterrupted run exactly"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_different_parameters() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-mismatch-{}.ck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let first = metaopt(&["--checkpoint", path.to_str().unwrap()])
+        .output()
+        .expect("checkpointed run");
+    assert!(first.status.success());
+    assert!(path.exists());
+
+    // Same checkpoint, different population size: must be refused, loudly.
+    let mut c = Command::new(env!("CARGO_BIN_EXE_metaopt"));
+    c.args([
+        "specialize",
+        "hyperblock",
+        "unepic",
+        "--pop",
+        "14",
+        "--gens",
+        "6",
+        "--seed",
+        "42",
+        "--resume",
+        path.to_str().unwrap(),
+    ]);
+    let out = c.output().expect("mismatched resume");
+    assert!(!out.status.success(), "mismatched resume must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checkpoint"),
+        "error should mention the checkpoint: {stderr}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

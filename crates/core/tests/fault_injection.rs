@@ -1,0 +1,165 @@
+//! Fault-injection acceptance suite (`--features fault-inject`): with the
+//! deterministic injector forcing failures in well over 5% of evaluations
+//! across all three studies, every generation must complete, the
+//! quarantine ledger must exactly match the faults the injector predicts,
+//! and the whole run must be bit-for-bit repeatable.
+#![cfg(feature = "fault-inject")]
+
+use metaopt::fault::{FaultInjector, FaultStage};
+use metaopt::{study, PreparedBench, StudyConfig, StudyEvaluator};
+use metaopt_gp::{Evolution, EvolutionResult, GpParams};
+use std::io::Write;
+
+const RATE: f64 = 0.1;
+
+fn params(seed: u64) -> GpParams {
+    GpParams {
+        population: 16,
+        generations: 4,
+        seed,
+        threads: 2,
+        ..GpParams::quick()
+    }
+}
+
+fn run_with_faults(cfg: &StudyConfig, bench_names: &[&str], seed: u64) -> EvolutionResult {
+    let benches: Vec<PreparedBench> = bench_names
+        .iter()
+        .map(|n| {
+            let b = metaopt_suite::by_name(n).unwrap();
+            PreparedBench::new(cfg, &b)
+        })
+        .collect();
+    let injector = FaultInjector::uniform(seed, RATE);
+    let evaluator = StudyEvaluator::new(cfg, &benches).with_fault(injector);
+    let mut p = params(seed);
+    p.kind = cfg.genome_kind;
+    Evolution::new(p, &cfg.features, &evaluator)
+        .with_seeds(vec![cfg.baseline_seed.clone()])
+        .run()
+}
+
+/// Write the ledger where CI can pick it up as an artifact, *before* any
+/// assertion runs, so a failing suite still leaves its evidence behind.
+fn dump_ledger(study: &str, result: &EvolutionResult) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    let _ = std::fs::create_dir_all(&dir);
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("quarantine-ledger-{study}.txt"))) {
+        for r in &result.quarantined {
+            let _ = writeln!(f, "{}", r.to_line());
+        }
+    }
+}
+
+/// The injector's own prediction for a `(genome, bench)` pair: the first
+/// pipeline stage that fires, if any.
+fn predicted_stage(injector: &FaultInjector, genome: &str, bench: &str) -> Option<FaultStage> {
+    FaultStage::ALL
+        .into_iter()
+        .find(|s| injector.should_fail(*s, genome, bench))
+}
+
+fn check_study(name: &str, cfg: &StudyConfig, bench_names: &[&str], seed: u64) {
+    let result = run_with_faults(cfg, bench_names, seed);
+    dump_ledger(name, &result);
+    let injector = FaultInjector::uniform(seed, RATE);
+
+    // Every generation completed despite the injected failures.
+    assert_eq!(
+        result.log.len(),
+        params(seed).generations,
+        "{name}: every generation must complete"
+    );
+    // Accounting identity, and a fresh run's ledger covers every failure.
+    assert_eq!(
+        result.evaluations,
+        result.successes + result.failures,
+        "{name}: accounting identity"
+    );
+    assert_eq!(
+        result.quarantined.len() as u64,
+        result.failures,
+        "{name}: ledger covers every distinct failure"
+    );
+    // The injector actually exercised the failure path at meaningful volume.
+    assert!(
+        result.failures as f64 >= 0.05 * result.evaluations as f64,
+        "{name}: expected >=5% injected failures, got {}/{}",
+        result.failures,
+        result.evaluations
+    );
+    assert!(
+        result.successes > 0,
+        "{name}: clean genomes must still score"
+    );
+
+    // The ledger matches the injector's own predictions exactly: every
+    // record is marked injected, lands on the predicted stage's error
+    // class, and names a (genome, bench) pair the injector fires on.
+    for r in &result.quarantined {
+        let bench = bench_names[r.case];
+        assert!(
+            r.error.injected,
+            "{name}: bundled kernels only fail when injected: {r}"
+        );
+        let stage = predicted_stage(&injector, &r.genome, bench)
+            .unwrap_or_else(|| panic!("{name}: ledger record not predicted by injector: {r}"));
+        assert_eq!(
+            r.error.kind,
+            stage.kind(),
+            "{name}: error class must match the first firing stage: {r}"
+        );
+        assert!(
+            r.error.message.contains(bench),
+            "{name}: diagnostics must name the benchmark: {r}"
+        );
+    }
+    // The winner survived: it is quarantined on no case it was scored on.
+    assert!(
+        !result
+            .quarantined
+            .iter()
+            .any(|r| r.genome == result.best.key()),
+        "{name}: a quarantined genome must never win"
+    );
+
+    // Determinism: the identical run reproduces everything, ledger included.
+    let again = run_with_faults(cfg, bench_names, seed);
+    assert_eq!(result.best.key(), again.best.key(), "{name}: best differs");
+    assert_eq!(result.best_fitness, again.best_fitness, "{name}");
+    assert_eq!(result.evaluations, again.evaluations, "{name}");
+    assert_eq!(
+        result.quarantined, again.quarantined,
+        "{name}: ledger differs"
+    );
+}
+
+#[test]
+fn hyperblock_survives_injected_faults() {
+    check_study(
+        "hyperblock",
+        &study::hyperblock(),
+        &["unepic", "mpeg2dec"],
+        101,
+    );
+}
+
+#[test]
+fn regalloc_survives_injected_faults() {
+    check_study(
+        "regalloc",
+        &study::regalloc(),
+        &["g721encode", "huff_enc"],
+        202,
+    );
+}
+
+#[test]
+fn prefetch_survives_injected_faults() {
+    check_study(
+        "prefetch",
+        &study::prefetch(),
+        &["102.swim", "101.tomcatv"],
+        303,
+    );
+}

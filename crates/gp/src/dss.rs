@@ -38,6 +38,29 @@ impl Dss {
         self.difficulty.len()
     }
 
+    /// The configured subset size.
+    pub fn subset_size(&self) -> usize {
+        self.subset_size
+    }
+
+    /// Snapshot of the per-case state as `(difficulty, age)` vectors, for
+    /// checkpointing.
+    pub fn state(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.difficulty.clone(), self.age.clone())
+    }
+
+    /// Rebuild DSS state from a [`Dss::state`] snapshot. Returns `None` if
+    /// the vectors disagree in length or are empty.
+    pub fn restore(subset_size: usize, difficulty: Vec<f64>, age: Vec<f64>) -> Option<Self> {
+        if difficulty.is_empty() || difficulty.len() != age.len() {
+            return None;
+        }
+        let mut dss = Dss::new(difficulty.len(), subset_size);
+        dss.difficulty = difficulty;
+        dss.age = age;
+        Some(dss)
+    }
+
     /// Current per-case selection weight.
     pub fn weight(&self, case: usize) -> f64 {
         self.difficulty[case].powf(self.difficulty_exp) + self.age[case].powf(self.age_exp)

@@ -1,24 +1,41 @@
 //! The evolutionary search engine (paper §3–4, Table 2).
 
+use crate::checkpoint::{fingerprint, Checkpoint, CheckpointError, DssState};
 use crate::dss::Dss;
+use crate::eval::{EvalError, EvalOutcome, QuarantineRecord};
 use crate::expr::{Expr, Kind};
 use crate::features::FeatureSet;
 use crate::gen::random_expr;
 use crate::ops::{crossover, mutate};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// Fitness assigned to a genome whose evaluation failed on any case in the
+/// generation's subset (and to lint-rejected genomes): the worst possible
+/// score, so quarantined genomes lose every tournament against any genome
+/// with a real speedup, but the run itself keeps going.
+pub const PENALTY_FITNESS: f64 = 0.0;
 
 /// Supplies fitness: the **speedup over the baseline heuristic** of the
 /// program compiled with `expr` as the priority function, per training case
 /// (benchmark). Implementations compile and simulate, so calls are costly —
 /// the engine memoizes per `(expr, case)`.
+///
+/// Failure contract: a genome that breaks the compiler, exhausts a budget,
+/// or miscompiles must return [`EvalOutcome::Failed`], not panic — the run
+/// quarantines it and continues. Panics that do escape are nevertheless
+/// caught at the evaluation boundary and converted to
+/// [`crate::eval::EvalErrorKind::Panic`] failures.
 pub trait Evaluator: Sync {
     /// Number of training cases (benchmarks).
     fn num_cases(&self) -> usize;
-    /// Speedup of `expr` over the baseline on `case` (1.0 = parity).
-    fn eval_case(&self, expr: &Expr, case: usize) -> f64;
+    /// Outcome for `expr` on `case`: a speedup score (1.0 = parity) or a
+    /// classified failure.
+    fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome;
 }
 
 /// Search parameters (paper Table 2).
@@ -86,7 +103,7 @@ impl GpParams {
 }
 
 /// One generation's telemetry (drives the paper's Figs. 5/10/14).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GenLog {
     /// Generation index (0-based).
     pub generation: usize,
@@ -102,6 +119,13 @@ pub struct GenLog {
 }
 
 /// Result of an evolution run.
+///
+/// Accounting invariant: `evaluations == successes + failures` (every
+/// uncached evaluation is exactly one of the two). In a fresh (non-resumed)
+/// run `quarantined.len() == failures`, because memoization evaluates each
+/// `(genome, case)` pair at most once. A resumed run re-evaluates pairs the
+/// killed run had cached (the memo cache is deliberately not persisted), so
+/// its counters can exceed the deduplicated ledger.
 #[derive(Clone, Debug)]
 pub struct EvolutionResult {
     /// Best expression, judged on the *full* training set at the end.
@@ -112,6 +136,13 @@ pub struct EvolutionResult {
     pub log: Vec<GenLog>,
     /// Number of uncached `(expr, case)` fitness evaluations performed.
     pub evaluations: u64,
+    /// Uncached evaluations that produced a score.
+    pub successes: u64,
+    /// Uncached evaluations that failed (and were quarantined).
+    pub failures: u64,
+    /// The quarantine ledger: one record per distinct failed
+    /// `(genome, case)` pair, with the classified error and diagnostics.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 /// An evolution run: wraps GP around an [`Evaluator`].
@@ -120,32 +151,127 @@ pub struct Evolution<'a, E: Evaluator> {
     features: &'a FeatureSet,
     evaluator: &'a E,
     seeds: Vec<Expr>,
+    checkpoint_path: Option<PathBuf>,
+    resume: Option<Checkpoint>,
+}
+
+#[derive(Clone, Copy)]
+struct Counters {
+    evaluations: u64,
+    successes: u64,
+    failures: u64,
+}
+
+struct Ledger {
+    records: Vec<QuarantineRecord>,
+    seen: HashSet<(String, usize)>,
 }
 
 struct Memo {
-    cache: Mutex<HashMap<(String, usize), f64>>,
-    misses: Mutex<u64>,
+    cache: Mutex<HashMap<(String, usize), EvalOutcome>>,
+    counters: Mutex<Counters>,
+    ledger: Mutex<Ledger>,
 }
 
 impl Memo {
     fn new() -> Self {
         Memo {
             cache: Mutex::new(HashMap::new()),
-            misses: Mutex::new(0),
+            counters: Mutex::new(Counters {
+                evaluations: 0,
+                successes: 0,
+                failures: 0,
+            }),
+            ledger: Mutex::new(Ledger {
+                records: Vec::new(),
+                seen: HashSet::new(),
+            }),
         }
     }
 
-    fn get_or_eval<E: Evaluator>(&self, ev: &E, expr: &Expr, key: &str, case: usize) -> f64 {
-        if let Some(v) = self.cache.lock().unwrap().get(&(key.to_string(), case)) {
-            return *v;
+    /// Rebuild accounting state from a checkpoint. The fitness cache starts
+    /// empty — deterministic evaluators recompute identical outcomes — but
+    /// the ledger's seen-set is restored so re-observed failures don't
+    /// produce duplicate records.
+    fn resumed(ck: &Checkpoint) -> Self {
+        let seen = ck
+            .quarantined
+            .iter()
+            .map(|r| (r.genome.clone(), r.case))
+            .collect();
+        Memo {
+            cache: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters {
+                evaluations: ck.evaluations,
+                successes: ck.successes,
+                failures: ck.failures,
+            }),
+            ledger: Mutex::new(Ledger {
+                records: ck.quarantined.clone(),
+                seen,
+            }),
         }
-        let v = ev.eval_case(expr, case);
-        *self.misses.lock().unwrap() += 1;
+    }
+
+    fn counters(&self) -> Counters {
+        *self.counters.lock().unwrap()
+    }
+
+    /// The ledger in canonical `(genome, case)` order. Worker threads race
+    /// to append records, so insertion order varies run to run; sorting on
+    /// export makes ledgers comparable across runs, resumes, and CI
+    /// artifacts.
+    fn ledger_records(&self) -> Vec<QuarantineRecord> {
+        let mut records = self.ledger.lock().unwrap().records.clone();
+        records.sort_by(|a, b| (&a.genome, a.case).cmp(&(&b.genome, b.case)));
+        records
+    }
+
+    fn cache_entries(&self) -> u64 {
+        self.cache.lock().unwrap().len() as u64
+    }
+
+    /// Fetch a cached outcome or evaluate. The evaluator call is wrapped in
+    /// `catch_unwind`: a panicking genome becomes a quarantined
+    /// [`EvalOutcome::Failed`] instead of poisoning a worker thread and
+    /// aborting the run.
+    fn get_or_eval<E: Evaluator>(
+        &self,
+        ev: &E,
+        expr: &Expr,
+        key: &str,
+        case: usize,
+    ) -> EvalOutcome {
+        if let Some(v) = self.cache.lock().unwrap().get(&(key.to_string(), case)) {
+            return v.clone();
+        }
+        let outcome = match catch_unwind(AssertUnwindSafe(|| ev.eval_case(expr, case))) {
+            Ok(o) => o,
+            Err(payload) => EvalOutcome::Failed(EvalError::from_panic(&*payload)),
+        };
+        {
+            let mut c = self.counters.lock().unwrap();
+            c.evaluations += 1;
+            match &outcome {
+                EvalOutcome::Score(_) => c.successes += 1,
+                EvalOutcome::Failed(_) => c.failures += 1,
+            }
+        }
+        if let EvalOutcome::Failed(err) = &outcome {
+            let mut led = self.ledger.lock().unwrap();
+            if led.seen.insert((key.to_string(), case)) {
+                led.records.push(QuarantineRecord {
+                    genome: key.to_string(),
+                    case,
+                    error: err.clone(),
+                });
+            }
+        }
         self.cache
             .lock()
             .unwrap()
-            .insert((key.to_string(), case), v);
-        v
+            .insert((key.to_string(), case), outcome.clone());
+        outcome
     }
 }
 
@@ -157,6 +283,8 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             features,
             evaluator,
             seeds: Vec::new(),
+            checkpoint_path: None,
+            resume: None,
         }
     }
 
@@ -164,6 +292,23 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
     /// population with the compiler writer's best guess").
     pub fn with_seeds(mut self, seeds: Vec<Expr>) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Write a resumable checkpoint to `path` after every generation's
+    /// breeding step (atomically: temp file + rename).
+    pub fn with_checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume from a previously saved checkpoint instead of initializing a
+    /// fresh population. The checkpoint's parameter fingerprint must match
+    /// this run's (all params except `generations` and `threads`); with the
+    /// same deterministic evaluator, a resumed run reproduces the
+    /// uninterrupted run exactly.
+    pub fn resume_from(mut self, checkpoint: Checkpoint) -> Self {
+        self.resume = Some(checkpoint);
         self
     }
 
@@ -175,14 +320,26 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         // constants, certain zero divisions) score the worst possible
         // fitness without spending a compile-and-simulate evaluation.
         if crate::lint::reject(expr, self.params.kind, self.features).is_err() {
-            return 0.0;
+            return PENALTY_FITNESS;
         }
+        // Every case is evaluated even after a failure: the quarantine
+        // ledger then carries the genome's complete per-case failure
+        // profile, and the memo cache stays aligned with fresh runs after
+        // a resume.
         let key = expr.key();
-        let sum: f64 = subset
-            .iter()
-            .map(|&c| memo.get_or_eval(self.evaluator, expr, &key, c))
-            .sum();
-        sum / subset.len() as f64
+        let mut sum = 0.0;
+        let mut failed = false;
+        for &c in subset {
+            match memo.get_or_eval(self.evaluator, expr, &key, c) {
+                EvalOutcome::Score(s) => sum += s,
+                EvalOutcome::Failed(_) => failed = true,
+            }
+        }
+        if failed {
+            PENALTY_FITNESS
+        } else {
+            sum / subset.len() as f64
+        }
     }
 
     fn evaluate_all(&self, memo: &Memo, pop: &[Expr], subset: &[usize]) -> Vec<f64> {
@@ -228,33 +385,98 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         best
     }
 
-    /// Run the evolution.
+    /// Run the evolution, panicking on checkpoint/resume failures.
+    ///
+    /// Fitness-evaluation failures never panic — they are quarantined and
+    /// the search continues (see [`Evolution::try_run`]). The only panics
+    /// here are checkpoint I/O errors or a parameter-mismatched resume,
+    /// which have no sensible in-run recovery; callers using
+    /// checkpoint/resume should prefer [`Evolution::try_run`] and report
+    /// the error.
     pub fn run(&self) -> EvolutionResult {
-        let p = &self.params;
-        let mut rng = StdRng::seed_from_u64(p.seed);
-        let memo = Memo::new();
-        let ncases = self.evaluator.num_cases();
+        self.try_run()
+            .unwrap_or_else(|e| panic!("evolution run failed: {e}"))
+    }
 
-        // Initial population: seeds then ramped-grow randoms.
-        let mut pop: Vec<Expr> = self.seeds.iter().take(p.population).cloned().collect();
-        while pop.len() < p.population {
-            pop.push(random_expr(
-                &mut rng,
-                self.features,
-                p.kind,
-                p.init_depth.0,
-                p.init_depth.1,
-            ));
+    /// Run the evolution, surfacing checkpoint/resume errors.
+    pub fn try_run(&self) -> Result<EvolutionResult, CheckpointError> {
+        let p = &self.params;
+        let fp = fingerprint(p);
+        let ncases = self.evaluator.num_cases();
+        let all_cases: Vec<usize> = (0..ncases).collect();
+
+        let mut rng;
+        let mut pop: Vec<Expr>;
+        let mut dss;
+        let mut log;
+        let start_generation;
+        let memo;
+
+        if let Some(ck) = &self.resume {
+            ck.validate(&fp)?;
+            rng = StdRng::from_state(ck.rng_state);
+            pop = Vec::with_capacity(ck.population.len());
+            for genome in &ck.population {
+                let expr = crate::parse::parse_expr(genome, self.features).map_err(|e| {
+                    CheckpointError::Parse {
+                        line: 0,
+                        message: format!("unparseable population genome {genome:?}: {e}"),
+                    }
+                })?;
+                pop.push(expr);
+            }
+            if pop.len() != p.population {
+                return Err(CheckpointError::Parse {
+                    line: 0,
+                    message: format!(
+                        "checkpoint has {} genomes, params want {}",
+                        pop.len(),
+                        p.population
+                    ),
+                });
+            }
+            dss = match &ck.dss {
+                Some(st) => Some(
+                    Dss::restore(st.subset_size, st.difficulty.clone(), st.age.clone())
+                        .filter(|d| d.num_cases() == ncases)
+                        .ok_or_else(|| CheckpointError::Parse {
+                            line: 0,
+                            message: format!(
+                                "DSS state covers {} cases, evaluator has {ncases}",
+                                st.difficulty.len()
+                            ),
+                        })?,
+                ),
+                None => None,
+            };
+            log = ck.log.clone();
+            start_generation = ck.next_generation;
+            memo = Memo::resumed(ck);
+        } else {
+            rng = StdRng::seed_from_u64(p.seed);
+            memo = Memo::new();
+
+            // Initial population: seeds then ramped-grow randoms.
+            pop = self.seeds.iter().take(p.population).cloned().collect();
+            while pop.len() < p.population {
+                pop.push(random_expr(
+                    &mut rng,
+                    self.features,
+                    p.kind,
+                    p.init_depth.0,
+                    p.init_depth.1,
+                ));
+            }
+
+            dss = p
+                .subset_size
+                .filter(|&s| s < ncases)
+                .map(|s| Dss::new(ncases, s));
+            log = Vec::with_capacity(p.generations);
+            start_generation = 0;
         }
 
-        let mut dss = p
-            .subset_size
-            .filter(|&s| s < ncases)
-            .map(|s| Dss::new(ncases, s));
-        let all_cases: Vec<usize> = (0..ncases).collect();
-        let mut log = Vec::with_capacity(p.generations);
-
-        for generation in 0..p.generations {
+        for generation in start_generation..p.generations {
             let subset = match &mut dss {
                 Some(d) => d.select(&mut rng),
                 None => all_cases.clone(),
@@ -270,11 +492,16 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                 subset: subset.clone(),
             });
 
-            // Feed DSS with the best expression's per-case speedups.
+            // Feed DSS with the best expression's per-case speedups; a
+            // quarantined case reports the worst score, so DSS keeps
+            // re-selecting it until the population stops failing there.
             if let Some(d) = &mut dss {
                 let key = pop[best_idx].key();
                 for &c in &subset {
-                    let s = memo.get_or_eval(self.evaluator, &pop[best_idx], &key, c);
+                    let s = memo
+                        .get_or_eval(self.evaluator, &pop[best_idx], &key, c)
+                        .score()
+                        .unwrap_or(PENALTY_FITNESS);
                     d.report(c, s);
                 }
             }
@@ -306,18 +533,67 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                     }
                 }
             }
+
+            // Snapshot at the generation boundary: everything the next
+            // generation's RNG draws and fitness comparisons depend on is
+            // now settled.
+            if let Some(path) = &self.checkpoint_path {
+                self.save_checkpoint(path, &fp, generation + 1, &rng, &pop, &dss, &log, &memo)?;
+            }
         }
 
         // Final judgement on the full training set.
         let final_fits = self.evaluate_all(&memo, &pop, &all_cases);
         let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
-        let evaluations = *memo.misses.lock().unwrap();
-        EvolutionResult {
+        let counters = memo.counters();
+        Ok(EvolutionResult {
             best: pop[best_idx].clone(),
             best_fitness: final_fits[best_idx],
             log,
-            evaluations,
-        }
+            evaluations: counters.evaluations,
+            successes: counters.successes,
+            failures: counters.failures,
+            quarantined: memo.ledger_records(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        path: &Path,
+        fp: &str,
+        next_generation: usize,
+        rng: &StdRng,
+        pop: &[Expr],
+        dss: &Option<Dss>,
+        log: &[GenLog],
+        memo: &Memo,
+    ) -> Result<(), CheckpointError> {
+        let counters = memo.counters();
+        let ck = Checkpoint {
+            fingerprint: fp.to_string(),
+            next_generation,
+            rng_state: rng.state(),
+            // Serialize via `key()` (full-precision constants): `Display`
+            // rounds to four decimals, which would corrupt genomes across a
+            // resume.
+            population: pop.iter().map(|e| e.key()).collect(),
+            dss: dss.as_ref().map(|d| {
+                let (difficulty, age) = d.state();
+                DssState {
+                    subset_size: d.subset_size(),
+                    difficulty,
+                    age,
+                }
+            }),
+            log: log.to_vec(),
+            evaluations: counters.evaluations,
+            successes: counters.successes,
+            failures: counters.failures,
+            quarantined: memo.ledger_records(),
+            memo_entries: memo.cache_entries(),
+        };
+        ck.save(path)
     }
 }
 
@@ -356,7 +632,7 @@ mod tests {
             3
         }
 
-        fn eval_case(&self, expr: &Expr, case: usize) -> f64 {
+        fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
             let lo = case as f64;
             let mut err = 0.0;
             for i in 0..10 {
@@ -369,7 +645,7 @@ mod tests {
                 err += (want - got).abs();
             }
             // Map error to a "speedup"-like score: 2.0 at perfect fit.
-            2.0 / (1.0 + err / 10.0)
+            EvalOutcome::Score(2.0 / (1.0 + err / 10.0))
         }
     }
 
@@ -388,12 +664,12 @@ mod tests {
             fn num_cases(&self) -> usize {
                 1
             }
-            fn eval_case(&self, expr: &Expr, _case: usize) -> f64 {
+            fn eval_case(&self, expr: &Expr, _case: usize) -> EvalOutcome {
                 assert!(
                     !matches!(expr, Expr::Bool(_)),
                     "lint-rejected genome reached the evaluator: {expr}"
                 );
-                1.5
+                EvalOutcome::Score(1.5)
             }
         }
         let fs = features();
@@ -440,7 +716,10 @@ mod tests {
         let fs = features();
         let ev = Regress;
         let seed = parse_expr("(add (mul 2.0 x) 1.0)", &fs).unwrap();
-        let perfect = (0..3).map(|c| ev.eval_case(&seed, c)).sum::<f64>() / 3.0;
+        let perfect = (0..3)
+            .map(|c| ev.eval_case(&seed, c).score().unwrap())
+            .sum::<f64>()
+            / 3.0;
         let mut params = GpParams::quick();
         params.generations = 5;
         params.population = 20;
@@ -498,5 +777,187 @@ mod tests {
         assert!(better(1.0, 3, 1.0, 9, 1e-6));
         assert!(!better(1.0, 9, 1.0, 3, 1e-6));
         assert!(better(1.5, 9, 1.0, 3, 1e-6));
+    }
+
+    use crate::eval::{EvalError, EvalErrorKind};
+
+    /// Deterministic FNV-1a hash, stable across runs and platforms.
+    fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    /// `Regress`, except a deterministic slice of the genome space fails —
+    /// some with structured errors, some by panicking. The genome whose key
+    /// equals `safe` (the perfect seed in the tests below) never fails.
+    struct Flaky {
+        safe: String,
+    }
+
+    impl Flaky {
+        fn new(fs: &FeatureSet) -> Self {
+            Flaky {
+                safe: parse_expr("(add (mul 2.0 x) 1.0)", fs).unwrap().key(),
+            }
+        }
+    }
+
+    impl Evaluator for Flaky {
+        fn num_cases(&self) -> usize {
+            3
+        }
+
+        fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+            let key = expr.key();
+            if key != self.safe {
+                let h = fnv(&format!("{key}#{case}"));
+                match h % 10 {
+                    0 | 1 => {
+                        return EvalOutcome::Failed(EvalError::new(
+                            EvalErrorKind::Budget,
+                            format!("synthetic budget blowout on case {case}"),
+                        ))
+                    }
+                    2 => panic!("synthetic evaluator panic on case {case}"),
+                    _ => {}
+                }
+            }
+            Regress.eval_case(expr, case)
+        }
+    }
+
+    #[test]
+    fn failures_are_quarantined_and_accounted() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 6;
+        params.population = 30;
+        params.seed = 5;
+        params.threads = 2;
+        let ev = Flaky::new(&fs);
+        let result = Evolution::new(params, &fs, &ev)
+            .with_seeds(vec![parse_expr("(add (mul 2.0 x) 1.0)", &fs).unwrap()])
+            .run();
+
+        assert_eq!(result.log.len(), 6, "every generation completed");
+        assert_eq!(result.evaluations, result.successes + result.failures);
+        assert!(result.failures > 0, "the flaky slice must have been hit");
+        // Fresh run: memoization evaluates each pair once, so the deduped
+        // ledger covers every failure.
+        assert_eq!(result.quarantined.len() as u64, result.failures);
+        // Every record reproduces: the evaluator really fails that pair.
+        for r in &result.quarantined {
+            let h = fnv(&format!("{}#{}", r.genome, r.case));
+            assert!(h % 10 <= 2, "ledger record not a synthetic failure: {r}");
+            let expected_kind = if h % 10 == 2 {
+                EvalErrorKind::Panic
+            } else {
+                EvalErrorKind::Budget
+            };
+            assert_eq!(r.error.kind, expected_kind, "{r}");
+        }
+        // Panic-class failures were caught, classified, and carry the
+        // payload message.
+        assert!(result
+            .quarantined
+            .iter()
+            .any(|r| r.error.kind == EvalErrorKind::Panic
+                && r.error.message.contains("synthetic evaluator panic")));
+        // The winner is never a quarantined genome (the seed is clean and
+        // scores ~2.0; penalty fitness is 0.0).
+        assert!(!result
+            .quarantined
+            .iter()
+            .any(|r| r.genome == result.best.key()));
+        assert!(result.best_fitness > 1.0);
+    }
+
+    #[test]
+    fn flaky_runs_are_deterministic() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 5;
+        params.population = 24;
+        params.seed = 8;
+        params.threads = 2;
+        let ev = Flaky::new(&fs);
+        let a = Evolution::new(params.clone(), &fs, &ev).run();
+        let b = Evolution::new(params, &fs, &ev).run();
+        assert_eq!(a.best.key(), b.best.key());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.quarantined, b.quarantined);
+    }
+
+    fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaopt-gp-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("checkpoint.txt")
+    }
+
+    #[test]
+    fn resume_reproduces_uninterrupted_run() {
+        let fs = features();
+        let mut short = GpParams::quick();
+        short.generations = 3;
+        short.population = 16;
+        short.seed = 99;
+        short.threads = 1;
+        short.subset_size = Some(2); // exercise DSS state round-tripping
+        let mut full = short.clone();
+        full.generations = 8;
+
+        let ev = Flaky::new(&fs);
+        // Phase 1: a "killed" run — only 3 of 8 generations happen.
+        let path = temp_checkpoint("resume");
+        Evolution::new(short, &fs, &ev)
+            .with_checkpoint_file(&path)
+            .try_run()
+            .unwrap();
+
+        // Phase 2: resume from its last checkpoint with the full horizon.
+        let ck = Checkpoint::load(&path).unwrap();
+        let resumed = Evolution::new(full.clone(), &fs, &ev)
+            .resume_from(ck)
+            .try_run()
+            .unwrap();
+
+        let straight = Evolution::new(full, &fs, &ev).run();
+        assert_eq!(resumed.best.key(), straight.best.key());
+        assert_eq!(resumed.best_fitness, straight.best_fitness);
+        assert_eq!(resumed.log.len(), straight.log.len());
+        for (a, b) in resumed.log.iter().zip(&straight.log) {
+            assert_eq!(a, b, "per-generation telemetry must match");
+        }
+        // The deduped ledgers agree even though the resumed run re-evaluates
+        // pairs the killed run had cached.
+        assert_eq!(resumed.quarantined, straight.quarantined);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_params() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 2;
+        params.population = 10;
+        params.threads = 1;
+        let path = temp_checkpoint("mismatch");
+        Evolution::new(params.clone(), &fs, &Regress)
+            .with_checkpoint_file(&path)
+            .try_run()
+            .unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        let mut other = params;
+        other.seed ^= 0xFF;
+        let err = Evolution::new(other, &fs, &Regress)
+            .resume_from(ck)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        std::fs::remove_file(&path).ok();
     }
 }

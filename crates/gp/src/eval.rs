@@ -1,0 +1,321 @@
+//! Structured fitness-evaluation outcomes and the quarantine ledger.
+//!
+//! A GP search spends days evaluating thousands of `(genome, case)` pairs;
+//! a single failed compile or runaway simulation must degrade to a penalty
+//! fitness, never abort the run. This module defines the failure taxonomy
+//! threaded from the compiler, interpreter, and simulator up into the
+//! engine ([`EvalError`]), the evaluator's return channel ([`EvalOutcome`]),
+//! and the per-failure diagnostics record the engine accumulates
+//! ([`QuarantineRecord`]).
+
+use std::fmt;
+
+/// Classification of a failed fitness evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EvalErrorKind {
+    /// The compiler rejected the program compiled under this genome
+    /// (inlining, register allocation, or final machine-code verification).
+    Compile,
+    /// The inter-pass IR invariant checker flagged a broken invariant.
+    IrCheck,
+    /// An interpreter step budget or simulator instruction/cycle budget was
+    /// exhausted (probable pathological genome).
+    Budget,
+    /// The compiled program's result diverged from the interpreter's ground
+    /// truth — a compiler bug exposed by this genome.
+    WrongAnswer,
+    /// The simulator faulted (out-of-bounds access, malformed machine code).
+    Sim,
+    /// The evaluator panicked; the panic was caught at the evaluation
+    /// boundary and converted into this error.
+    Panic,
+}
+
+impl EvalErrorKind {
+    /// Stable lowercase label (used in ledgers, checkpoints, and the CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvalErrorKind::Compile => "compile",
+            EvalErrorKind::IrCheck => "ir-check",
+            EvalErrorKind::Budget => "budget",
+            EvalErrorKind::WrongAnswer => "wrong-answer",
+            EvalErrorKind::Sim => "sim",
+            EvalErrorKind::Panic => "panic",
+        }
+    }
+
+    /// Parse a [`EvalErrorKind::label`] back (checkpoint deserialization).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "compile" => EvalErrorKind::Compile,
+            "ir-check" => EvalErrorKind::IrCheck,
+            "budget" => EvalErrorKind::Budget,
+            "wrong-answer" => EvalErrorKind::WrongAnswer,
+            "sim" => EvalErrorKind::Sim,
+            "panic" => EvalErrorKind::Panic,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, for summary tables.
+    pub const ALL: [EvalErrorKind; 6] = [
+        EvalErrorKind::Compile,
+        EvalErrorKind::IrCheck,
+        EvalErrorKind::Budget,
+        EvalErrorKind::WrongAnswer,
+        EvalErrorKind::Sim,
+        EvalErrorKind::Panic,
+    ];
+}
+
+/// A classified fitness-evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError {
+    /// Failure class.
+    pub kind: EvalErrorKind,
+    /// Human-readable diagnostics (benchmark name, pass, addresses, …).
+    pub message: String,
+    /// True when the failure was forced by a deterministic fault injector
+    /// rather than arising organically.
+    pub injected: bool,
+}
+
+impl EvalError {
+    /// A new (organic) evaluation error.
+    pub fn new(kind: EvalErrorKind, message: impl Into<String>) -> Self {
+        EvalError {
+            kind,
+            message: message.into(),
+            injected: false,
+        }
+    }
+
+    /// An error forced by a fault injector.
+    pub fn injected(kind: EvalErrorKind, message: impl Into<String>) -> Self {
+        EvalError {
+            kind,
+            message: message.into(),
+            injected: true,
+        }
+    }
+
+    /// Convert a caught panic payload into an [`EvalErrorKind::Panic`]
+    /// error, extracting the panic message when it is a string.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        EvalError::new(EvalErrorKind::Panic, msg)
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.injected {
+            write!(
+                f,
+                "{} fault (injected): {}",
+                self.kind.label(),
+                self.message
+            )
+        } else {
+            write!(f, "{} fault: {}", self.kind.label(), self.message)
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result of one `(genome, case)` fitness evaluation: a speedup score, or a
+/// classified failure that quarantines the genome for this case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalOutcome {
+    /// Successful evaluation (speedup over the baseline; 1.0 = parity).
+    Score(f64),
+    /// Classified failure; the engine assigns a penalty fitness.
+    Failed(EvalError),
+}
+
+impl EvalOutcome {
+    /// The score, if the evaluation succeeded.
+    pub fn score(&self) -> Option<f64> {
+        match self {
+            EvalOutcome::Score(s) => Some(*s),
+            EvalOutcome::Failed(_) => None,
+        }
+    }
+
+    /// True when the evaluation failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, EvalOutcome::Failed(_))
+    }
+}
+
+impl From<Result<f64, EvalError>> for EvalOutcome {
+    fn from(r: Result<f64, EvalError>) -> Self {
+        match r {
+            Ok(s) => EvalOutcome::Score(s),
+            Err(e) => EvalOutcome::Failed(e),
+        }
+    }
+}
+
+/// One quarantined `(genome, case)` evaluation: full diagnostics for the
+/// post-mortem ledger surfaced in `EvolutionResult` and the CLI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineRecord {
+    /// The genome, printed in its canonical re-parseable form.
+    pub genome: String,
+    /// Training-case index the failure occurred on.
+    pub case: usize,
+    /// The classified failure.
+    pub error: EvalError,
+}
+
+impl QuarantineRecord {
+    /// One-line ledger form: `case<TAB>kind<TAB>injected<TAB>message<TAB>genome`
+    /// with tabs/newlines/backslashes escaped inside fields.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.case,
+            self.error.kind.label(),
+            if self.error.injected {
+                "injected"
+            } else {
+                "organic"
+            },
+            escape(&self.error.message),
+            escape(&self.genome),
+        )
+    }
+
+    /// Parse a [`QuarantineRecord::to_line`] line.
+    pub fn from_line(line: &str) -> Option<Self> {
+        let mut it = line.split('\t');
+        let case = it.next()?.parse().ok()?;
+        let kind = EvalErrorKind::from_label(it.next()?)?;
+        let injected = match it.next()? {
+            "injected" => true,
+            "organic" => false,
+            _ => return None,
+        };
+        let message = unescape(it.next()?)?;
+        let genome = unescape(it.next()?)?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(QuarantineRecord {
+            genome,
+            case,
+            error: EvalError {
+                kind,
+                message,
+                injected,
+            },
+        })
+    }
+}
+
+impl fmt::Display for QuarantineRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {}: {} [{}]", self.case, self.error, self.genome)
+    }
+}
+
+/// Escape a field for tab-separated serialization.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]; `None` on a malformed escape.
+pub(crate) fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for k in EvalErrorKind::ALL {
+            assert_eq!(EvalErrorKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(EvalErrorKind::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn ledger_line_round_trips_hostile_strings() {
+        let r = QuarantineRecord {
+            genome: "(add r0 1.0)".to_string(),
+            case: 7,
+            error: EvalError::injected(
+                EvalErrorKind::WrongAnswer,
+                "diverged\ton unepic\nexpected 3 \\ got 4",
+            ),
+        };
+        let line = r.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(QuarantineRecord::from_line(&line), Some(r));
+    }
+
+    #[test]
+    fn malformed_ledger_lines_are_rejected() {
+        assert_eq!(QuarantineRecord::from_line(""), None);
+        assert_eq!(
+            QuarantineRecord::from_line("x\tcompile\torganic\tm\tg"),
+            None
+        );
+        assert_eq!(QuarantineRecord::from_line("1\tnope\torganic\tm\tg"), None);
+        assert_eq!(
+            QuarantineRecord::from_line("1\tcompile\torganic\tbad\\escape\tg"),
+            None
+        );
+        assert_eq!(
+            QuarantineRecord::from_line("1\tcompile\torganic\tm\tg\textra"),
+            None
+        );
+    }
+
+    #[test]
+    fn panic_payload_extraction() {
+        let payload = std::panic::catch_unwind(|| panic!("boom {}", 42)).unwrap_err();
+        let e = EvalError::from_panic(&*payload);
+        assert_eq!(e.kind, EvalErrorKind::Panic);
+        assert_eq!(e.message, "boom 42");
+        assert!(!e.injected);
+
+        let payload = std::panic::catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(EvalError::from_panic(&*payload).message, "static message");
+    }
+}

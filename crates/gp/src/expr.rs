@@ -242,9 +242,20 @@ impl Expr {
     }
 
     /// Canonical string key (stable across runs) used for fitness
-    /// memoization.
+    /// memoization, quarantine ledgers, and checkpoint serialization.
+    ///
+    /// Unlike [`Display`](fmt::Display) (which rounds real constants to four
+    /// decimals for readability), the key prints constants with full
+    /// round-trip precision, so two genomes share a key **iff** they are the
+    /// same tree, and `crate::parse::parse_expr` reconstructs the exact
+    /// genome from it.
     pub fn key(&self) -> String {
-        self.to_string()
+        let mut out = String::with_capacity(self.size() * 8);
+        match self {
+            Expr::Real(r) => write_r(r, true, &mut out),
+            Expr::Bool(b) => write_b(b, true, &mut out),
+        }
+        out
     }
 }
 
@@ -432,34 +443,112 @@ fn rep_b(e: &BExpr, n: &mut usize, new: &Expr) -> Option<BExpr> {
 
 // ---- printing (Table 1 S-expression syntax) ----
 
+// Single recursive writer behind both printers. `exact: false` is the
+// human-facing Display (constants rounded to four decimals); `exact: true`
+// backs `Expr::key` (full round-trip precision — lossless through
+// `crate::parse::parse_expr`, as checkpoint/resume requires).
+fn write_r(e: &RExpr, exact: bool, out: &mut String) {
+    use std::fmt::Write;
+    match e {
+        RExpr::Add(a, b) => bin_r(out, "add", a, b, exact),
+        RExpr::Sub(a, b) => bin_r(out, "sub", a, b, exact),
+        RExpr::Mul(a, b) => bin_r(out, "mul", a, b, exact),
+        RExpr::Div(a, b) => bin_r(out, "div", a, b, exact),
+        RExpr::Sqrt(a) => {
+            out.push_str("(sqrt ");
+            write_r(a, exact, out);
+            out.push(')');
+        }
+        RExpr::Tern(c, a, b) => tern_r(out, "tern", c, a, b, exact),
+        RExpr::Cmul(c, a, b) => tern_r(out, "cmul", c, a, b, exact),
+        RExpr::Const(k) => {
+            if exact {
+                let _ = write!(out, "(rconst {k})");
+            } else {
+                let _ = write!(out, "(rconst {k:.4})");
+            }
+        }
+        RExpr::Feat(i) => {
+            let _ = write!(out, "r{i}");
+        }
+    }
+}
+
+fn bin_r(out: &mut String, op: &str, a: &RExpr, b: &RExpr, exact: bool) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    write_r(a, exact, out);
+    out.push(' ');
+    write_r(b, exact, out);
+    out.push(')');
+}
+
+fn tern_r(out: &mut String, op: &str, c: &BExpr, a: &RExpr, b: &RExpr, exact: bool) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    write_b(c, exact, out);
+    out.push(' ');
+    write_r(a, exact, out);
+    out.push(' ');
+    write_r(b, exact, out);
+    out.push(')');
+}
+
+fn write_b(e: &BExpr, exact: bool, out: &mut String) {
+    use std::fmt::Write;
+    let bin = |op: &str, a: &BExpr, b: &BExpr, out: &mut String| {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        write_b(a, exact, out);
+        out.push(' ');
+        write_b(b, exact, out);
+        out.push(')');
+    };
+    let cmp = |op: &str, a: &RExpr, b: &RExpr, out: &mut String| {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        write_r(a, exact, out);
+        out.push(' ');
+        write_r(b, exact, out);
+        out.push(')');
+    };
+    match e {
+        BExpr::And(a, b) => bin("and", a, b, out),
+        BExpr::Or(a, b) => bin("or", a, b, out),
+        BExpr::Not(a) => {
+            out.push_str("(not ");
+            write_b(a, exact, out);
+            out.push(')');
+        }
+        BExpr::Lt(a, b) => cmp("lt", a, b, out),
+        BExpr::Gt(a, b) => cmp("gt", a, b, out),
+        BExpr::Eq(a, b) => cmp("eq", a, b, out),
+        BExpr::Const(k) => {
+            let _ = write!(out, "(bconst {k})");
+        }
+        BExpr::Feat(i) => {
+            let _ = write!(out, "b{i}");
+        }
+    }
+}
+
 impl fmt::Display for RExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RExpr::Add(a, b) => write!(f, "(add {a} {b})"),
-            RExpr::Sub(a, b) => write!(f, "(sub {a} {b})"),
-            RExpr::Mul(a, b) => write!(f, "(mul {a} {b})"),
-            RExpr::Div(a, b) => write!(f, "(div {a} {b})"),
-            RExpr::Sqrt(a) => write!(f, "(sqrt {a})"),
-            RExpr::Tern(c, a, b) => write!(f, "(tern {c} {a} {b})"),
-            RExpr::Cmul(c, a, b) => write!(f, "(cmul {c} {a} {b})"),
-            RExpr::Const(k) => write!(f, "(rconst {k:.4})"),
-            RExpr::Feat(i) => write!(f, "r{i}"),
-        }
+        let mut out = String::new();
+        write_r(self, false, &mut out);
+        f.write_str(&out)
     }
 }
 
 impl fmt::Display for BExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BExpr::And(a, b) => write!(f, "(and {a} {b})"),
-            BExpr::Or(a, b) => write!(f, "(or {a} {b})"),
-            BExpr::Not(a) => write!(f, "(not {a})"),
-            BExpr::Lt(a, b) => write!(f, "(lt {a} {b})"),
-            BExpr::Gt(a, b) => write!(f, "(gt {a} {b})"),
-            BExpr::Eq(a, b) => write!(f, "(eq {a} {b})"),
-            BExpr::Const(k) => write!(f, "(bconst {k})"),
-            BExpr::Feat(i) => write!(f, "b{i}"),
-        }
+        let mut out = String::new();
+        write_b(self, false, &mut out);
+        f.write_str(&out)
     }
 }
 
@@ -637,6 +726,31 @@ mod tests {
             Box::new(RExpr::Const(0.5)),
         ));
         assert_eq!(e.to_string(), "(cmul (bconst true) r0 (rconst 0.5000))");
+        assert_eq!(e.key(), "(cmul (bconst true) r0 (rconst 0.5))");
+    }
+
+    #[test]
+    fn key_preserves_full_constant_precision() {
+        // Display rounds constants for readability; key() must not — a
+        // checkpointed population parses back to the exact same genomes.
+        let k = 0.123456789012345_f64;
+        let e = Expr::Real(RExpr::Add(
+            Box::new(RExpr::Const(k)),
+            Box::new(RExpr::Feat(0)),
+        ));
+        let mut fs = crate::features::FeatureSet::new();
+        fs.add_real("x");
+        let parsed = crate::parse::parse_expr(&e.key(), &fs).unwrap();
+        match &parsed {
+            Expr::Real(RExpr::Add(a, _)) => match **a {
+                RExpr::Const(v) => assert_eq!(v.to_bits(), k.to_bits()),
+                ref other => panic!("unexpected lhs {other:?}"),
+            },
+            other => panic!("unexpected parse {other:?}"),
+        }
+        assert_eq!(parsed.key(), e.key());
+        // The pretty form really is rounded (distinct trees may share it).
+        assert_eq!(e.to_string(), "(add (rconst 0.1235) r0)");
     }
 
     #[test]

@@ -28,8 +28,10 @@
 //! assert!((v - 0.25).abs() < 1e-12);
 //! ```
 
+pub mod checkpoint;
 pub mod dss;
 pub mod engine;
+pub mod eval;
 pub mod expr;
 pub mod features;
 pub mod gen;
@@ -38,7 +40,9 @@ pub mod ops;
 pub mod parse;
 pub mod simplify;
 
-pub use engine::{Evaluator, Evolution, EvolutionResult, GenLog, GpParams};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use engine::{Evaluator, Evolution, EvolutionResult, GenLog, GpParams, PENALTY_FITNESS};
+pub use eval::{EvalError, EvalErrorKind, EvalOutcome, QuarantineRecord};
 pub use expr::{BExpr, Env, Expr, Kind, RExpr};
 pub use features::FeatureSet;
 pub use lint::{Lint, LintLevel};

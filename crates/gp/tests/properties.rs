@@ -99,3 +99,96 @@ proptest! {
         }
     }
 }
+
+mod quarantine {
+    use super::*;
+    use metaopt_gp::{
+        EvalError, EvalErrorKind, EvalOutcome, Evaluator, Evolution, GpParams, PENALTY_FITNESS,
+    };
+
+    fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    /// Deterministic evaluator whose genome space fails at a configurable
+    /// percentage: a `(genome, case)` pair fails iff its hash lands under
+    /// the threshold, and otherwise scores a hash-derived pseudo-fitness.
+    struct SometimesFails {
+        /// Failure percentage, 0–100.
+        threshold: u64,
+    }
+
+    impl Evaluator for SometimesFails {
+        fn num_cases(&self) -> usize {
+            3
+        }
+
+        fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+            let h = fnv(&format!("{}#{case}", expr.key()));
+            if h % 100 < self.threshold {
+                return EvalOutcome::Failed(EvalError::new(
+                    EvalErrorKind::Sim,
+                    format!("synthetic fault on case {case}"),
+                ));
+            }
+            EvalOutcome::Score(1.0 + ((h / 100) % 1000) as f64 / 1000.0)
+        }
+    }
+
+    proptest! {
+        // Each case runs a whole (small, cheap) evolution; keep the count
+        // modest so the suite stays fast.
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// At any failure rate, the engine's accounting identity holds, the
+        /// quarantine ledger records exactly the distinct failed pairs, and
+        /// no quarantined genome ever wins through elitism.
+        #[test]
+        fn quarantine_accounting_holds_at_any_failure_rate(
+            threshold_pct in 0usize..=60,
+            seed in any::<u64>(),
+        ) {
+            let fs = features();
+            let params = GpParams {
+                population: 16,
+                generations: 3,
+                seed,
+                threads: 2,
+                ..GpParams::quick()
+            };
+            let threshold = threshold_pct as u64;
+            let eval = SometimesFails { threshold };
+            let r = Evolution::new(params, &fs, &eval).run();
+
+            prop_assert_eq!(r.evaluations, r.successes + r.failures);
+            prop_assert_eq!(r.quarantined.len() as u64, r.failures);
+            let mut seen = std::collections::HashSet::new();
+            for rec in &r.quarantined {
+                prop_assert!(
+                    seen.insert((rec.genome.clone(), rec.case)),
+                    "ledger must not repeat a (genome, case) pair: {}", rec
+                );
+                // Every record reproduces: the evaluator really does fail
+                // that pair, with the recorded error class.
+                let h = fnv(&format!("{}#{}", rec.genome, rec.case));
+                prop_assert!(h % 100 < threshold, "ledger record not reproducible: {}", rec);
+                prop_assert_eq!(rec.error.kind, EvalErrorKind::Sim);
+            }
+            // A genome with any quarantined case carries the penalty
+            // fitness, so it can only "win" when the whole population is
+            // quarantined.
+            if r.best_fitness > PENALTY_FITNESS {
+                let best = r.best.key();
+                prop_assert!(
+                    !r.quarantined.iter().any(|rec| rec.genome == best),
+                    "quarantined genome won with fitness {}", r.best_fitness
+                );
+            }
+        }
+    }
+}

@@ -61,7 +61,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             args: Vec::new(),
-            max_steps: 500_000_000,
+            max_steps: crate::budget::DEFAULT_MAX_STEPS,
             profile: false,
             entry: None,
             memory: None,

@@ -45,6 +45,7 @@
 //! assert_eq!(outcome.ret, 42);
 //! ```
 
+pub mod budget;
 pub mod builder;
 pub mod dataflow;
 pub mod dom;

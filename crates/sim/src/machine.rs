@@ -102,7 +102,7 @@ impl MachineConfig {
             mispredict_penalty: 5,
             prefetch_queue_cycles: 3,
             cache: CacheConfig::table3(),
-            max_insts: 500_000_000,
+            max_insts: metaopt_ir::budget::DEFAULT_MAX_STEPS,
         }
     }
 

@@ -19,6 +19,44 @@ pub mod int;
 
 use metaopt_ir::Program;
 use metaopt_lang::compile;
+use std::fmt;
+
+/// Failure loading a bundled benchmark.
+///
+/// These indicate a bug in this crate's bundled sources (or a caller
+/// passing mismatched programs), but downstream evaluation pipelines treat
+/// benchmark loading as fallible so a single bad benchmark cannot abort a
+/// multi-day GP run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SuiteError {
+    /// The benchmark's MiniC source failed to compile.
+    Compile {
+        /// Benchmark name.
+        bench: &'static str,
+        /// Compiler diagnostic.
+        message: String,
+    },
+    /// The benchmark program lacks the mandatory `dataseed` global.
+    MissingDataseed {
+        /// Benchmark name.
+        bench: &'static str,
+    },
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Compile { bench, message } => {
+                write!(f, "benchmark {bench} failed to compile: {message}")
+            }
+            SuiteError::MissingDataseed { bench } => {
+                write!(f, "benchmark {bench} lacks a dataseed global")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// Which input data a run uses (paper §5.4: "train data set" vs "novel data
 /// set").
@@ -65,28 +103,51 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    /// Compile the benchmark's MiniC source.
+    /// Compile the benchmark's MiniC source, with the benchmark's name
+    /// attached to any compiler diagnostic.
     ///
-    /// # Panics
-    /// Panics if the bundled source fails to compile — a bug in this crate,
-    /// covered by tests.
-    pub fn program(&self) -> Program {
-        compile(self.source)
-            .unwrap_or_else(|e| panic!("bundled benchmark {} failed to compile: {e}", self.name))
+    /// # Errors
+    /// [`SuiteError::Compile`] if the bundled source fails to compile — a
+    /// bug in this crate, covered by tests.
+    pub fn try_program(&self) -> Result<Program, SuiteError> {
+        compile(self.source).map_err(|e| SuiteError::Compile {
+            bench: self.name,
+            message: e.to_string(),
+        })
     }
 
     /// Initial memory for `prog` with the given data set's seed installed.
     ///
-    /// # Panics
-    /// Panics if the program lacks the mandatory `dataseed` global.
-    pub fn memory(&self, prog: &Program, ds: DataSet) -> Vec<u8> {
+    /// # Errors
+    /// [`SuiteError::MissingDataseed`] if the program lacks the mandatory
+    /// `dataseed` global.
+    pub fn try_memory(&self, prog: &Program, ds: DataSet) -> Result<Vec<u8>, SuiteError> {
         let mut mem = prog.initial_memory();
         let addr = prog
             .global_addr("dataseed")
-            .unwrap_or_else(|| panic!("benchmark {} lacks a dataseed global", self.name))
-            as usize;
+            .ok_or(SuiteError::MissingDataseed { bench: self.name })? as usize;
         mem[addr..addr + 8].copy_from_slice(&ds.seed().to_le_bytes());
-        mem
+        Ok(mem)
+    }
+
+    /// Panicking convenience wrapper over [`Benchmark::try_program`] for
+    /// tests, examples, and benches; production evaluation paths use the
+    /// fallible form.
+    ///
+    /// # Panics
+    /// Panics if the bundled source fails to compile.
+    pub fn program(&self) -> Program {
+        self.try_program().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking convenience wrapper over [`Benchmark::try_memory`] for
+    /// tests, examples, and benches; production evaluation paths use the
+    /// fallible form.
+    ///
+    /// # Panics
+    /// Panics if the program lacks the mandatory `dataseed` global.
+    pub fn memory(&self, prog: &Program, ds: DataSet) -> Vec<u8> {
+        self.try_memory(prog, ds).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -230,6 +291,7 @@ pub fn prefetch_test_set() -> Vec<Benchmark> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metaopt_ir::budget::{KERNEL_STEP_CEILING, KERNEL_VERIFY_MAX_STEPS};
     use metaopt_ir::interp::{run, RunConfig};
 
     #[test]
@@ -239,7 +301,7 @@ mod tests {
             for ds in [DataSet::Train, DataSet::Novel] {
                 let cfg = RunConfig {
                     memory: Some(b.memory(&prog, ds)),
-                    max_steps: 20_000_000,
+                    max_steps: KERNEL_VERIFY_MAX_STEPS,
                     ..Default::default()
                 };
                 let out =
@@ -251,7 +313,7 @@ mod tests {
                     out.steps
                 );
                 assert!(
-                    out.steps < 10_000_000,
+                    out.steps < KERNEL_STEP_CEILING,
                     "{} too long for GP evaluation: {} steps",
                     b.name,
                     out.steps
@@ -267,7 +329,7 @@ mod tests {
             let run_ds = |ds| {
                 let cfg = RunConfig {
                     memory: Some(b.memory(&prog, ds)),
-                    max_steps: 20_000_000,
+                    max_steps: KERNEL_VERIFY_MAX_STEPS,
                     ..Default::default()
                 };
                 run(&prog, &cfg).unwrap().ret
@@ -303,6 +365,41 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(before, names.len(), "duplicate benchmark names");
+    }
+
+    #[test]
+    fn loading_errors_carry_benchmark_names() {
+        let broken = Benchmark {
+            name: "synthetic-broken",
+            suite: "test",
+            description: "deliberately malformed source",
+            category: Category::IntMedia,
+            source: "fn main( { this is not MiniC",
+        };
+        match broken.try_program() {
+            Err(SuiteError::Compile { bench, message }) => {
+                assert_eq!(bench, "synthetic-broken");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected Compile error, got {other:?}"),
+        }
+
+        // A valid program without a dataseed global: memory loading fails
+        // with the benchmark named.
+        let no_seed = Benchmark {
+            name: "synthetic-no-dataseed",
+            suite: "test",
+            description: "valid program, no dataseed",
+            category: Category::IntMedia,
+            source: "global int x;\nfn main() -> int { return x; }",
+        };
+        let prog = no_seed.try_program().expect("source is valid");
+        match no_seed.try_memory(&prog, DataSet::Train) {
+            Err(SuiteError::MissingDataseed { bench }) => {
+                assert_eq!(bench, "synthetic-no-dataseed")
+            }
+            other => panic!("expected MissingDataseed, got {other:?}"),
+        }
     }
 
     #[test]
