@@ -41,12 +41,8 @@ fn main() {
         for k in 0..7 {
             let dist = 1i64 << k;
             let passes = metaopt_compiler::Passes {
-                hyperblock: None,
-                regalloc: None,
-                prefetch: Some(&metaopt_compiler::prefetch::BaselineTripCount),
                 prefetch_iters_ahead: dist,
-                unroll: None,
-                check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+                ..cfg.baseline_passes()
             };
             let compiled =
                 compile(&prepared, &profile.funcs[0], &cfg.machine, &passes).expect("compiles");

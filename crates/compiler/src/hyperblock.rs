@@ -22,8 +22,10 @@
 //! temporaries never cross block boundaries. This is what makes plain
 //! guard-predication (without phi insertion) semantics-preserving.
 
-use crate::RealPriority;
+use crate::pass::{Pass, PassCtx};
+use crate::{CompileError, RealPriority};
 use metaopt_ir::profile::{BranchStats, FuncProfile};
+use metaopt_ir::verify::CfgForm;
 use metaopt_ir::{BlockId, Function, Inst, Opcode, RegClass, VReg};
 use metaopt_sim::machine::latency_of;
 use metaopt_sim::MachineConfig;
@@ -543,6 +545,33 @@ fn if_convert(func: &mut Function, region: &Region) {
 
     merged.push(Inst::new(Opcode::Br).target(region.join));
     func.block_mut(region.a).insts = merged;
+}
+
+/// [`form_hyperblocks`] as a plan-schedulable [`Pass`]. Owns the
+/// form-transition and profile-remap logic that if-conversion causes: the
+/// CFG discipline loosens to [`CfgForm::Hyperblock`], absorbed blocks are
+/// pruned, and the block profile is renumbered to match so downstream
+/// passes (e.g. the allocator's block weights) stay aligned.
+pub struct HyperblockPass;
+
+impl Pass for HyperblockPass {
+    fn name(&self) -> &'static str {
+        "hyperblock"
+    }
+
+    fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+        let r = form_hyperblocks(func, &ctx.profile, ctx.machine, ctx.config.hyperblock);
+        ctx.stats.counters.hyperblocks += r.regions_converted;
+        ctx.stats.counters.paths_merged += r.paths_merged;
+        ctx.form = CfgForm::Hyperblock;
+        // If-conversion tombstones the absorbed blocks; delete them and
+        // renumber the profile to match.
+        let map = func.prune_unreachable_blocks();
+        if map.iter().any(|m| m.is_none()) {
+            ctx.profile = std::borrow::Cow::Owned(ctx.profile.remap_blocks(&map));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

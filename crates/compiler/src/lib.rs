@@ -5,20 +5,39 @@
 //! reproduction: a from-scratch reimplementation of the Trimaran pipeline
 //! pieces whose **priority functions** the paper evolves.
 //!
-//! Pipeline (see [`compile`]):
+//! The pipeline has two halves:
 //!
-//! 1. [`inline`] — mandatory full inlining (the machine has no call support,
-//!    matching how the suite kernels are written),
-//! 2. [`opt`] — constant folding and dead-code elimination,
-//! 3. [`prefetch`] — Mowry-style software data prefetching with a pluggable
-//!    **Boolean** confidence function (paper case study III),
-//! 4. [`hyperblock`] — if-conversion driven by a pluggable path **priority
-//!    function** (paper case study I, Trimaran/IMPACT algorithm, Eq. 1
-//!    baseline),
-//! 5. [`regalloc`] — Chow–Hennessy priority-based coloring with a pluggable
-//!    per-block **savings function** (paper case study II, Eq. 2 baseline),
-//! 6. [`schedule`] — latency-weighted-depth list scheduling into VLIW
-//!    bundles for the `metaopt-sim` machine.
+//! * **Preparation** ([`prepare`]) runs once per program, independent of any
+//!   priority function: [`inline`] (mandatory full inlining — the machine
+//!   has no call support, matching how the suite kernels are written)
+//!   followed by the [`opt`] scalar cleanups (constant folding and
+//!   dead-code elimination).
+//! * **Compilation** ([`compile`]) is driven by a declarative
+//!   [`PipelinePlan`]: an ordered pass list in the
+//!   textual syntax `unroll(N),prefetch,hyperblock,regalloc,schedule`,
+//!   executed by the [`PassManager`]. The shipped
+//!   configuration [`Passes::baseline`] runs the plan
+//!   `prefetch,hyperblock,regalloc,schedule` (the [`plan::BASELINE_PLAN`]
+//!   constant — a unit test keeps this doc and the code in sync), where
+//!
+//!   * [`unroll`] — optional counted-loop unrolling (not part of the
+//!     paper-calibrated study pipelines; enable via plan syntax),
+//!   * [`prefetch`] — Mowry-style software data prefetching with a pluggable
+//!     **Boolean** confidence function (paper case study III),
+//!   * [`hyperblock`] — if-conversion driven by a pluggable path **priority
+//!     function** (paper case study I, Trimaran/IMPACT algorithm, Eq. 1
+//!     baseline),
+//!   * [`regalloc`] — Chow–Hennessy priority-based coloring with a pluggable
+//!     per-block **savings function** (paper case study II, Eq. 2 baseline),
+//!   * [`schedule`] — latency-weighted-depth list scheduling into VLIW
+//!     bundles for the `metaopt-sim` machine.
+//!
+//! The pass manager applies the `metaopt-analysis` inter-pass invariant
+//! checker uniformly after every IR-mutating pass (when
+//! [`Passes::check_ir`] is set) and records per-pass wall time and counter
+//! deltas into [`CompileStats::per_pass`], so any pass order the plan
+//! grammar admits — the phase-ordering search space — is checked and
+//! instrumented identically.
 //!
 //! Every pass keeps program semantics: the test suite differentially checks
 //! compiled results against the IR interpreter for arbitrary priority
@@ -28,10 +47,15 @@
 pub mod hyperblock;
 pub mod inline;
 pub mod opt;
+pub mod pass;
+pub mod plan;
 pub mod prefetch;
 pub mod regalloc;
 pub mod schedule;
 pub mod unroll;
+
+pub use pass::{Pass, PassCtx, PassManager};
+pub use plan::{PassSpec, PipelinePlan, PlanError};
 
 use metaopt_ir::profile::FuncProfile;
 use metaopt_ir::{Function, Program};
@@ -73,6 +97,9 @@ pub enum CompileErrorKind {
     /// Malformed input program or inlining failure (front half of the
     /// pipeline, independent of any priority function).
     Inline,
+    /// The pipeline plan is structurally invalid (see
+    /// [`plan::PipelinePlan::validate`]).
+    Plan,
     /// The inter-pass IR invariant checker flagged a broken invariant; the
     /// offending pass is named in the message.
     InvariantViolation,
@@ -109,23 +136,27 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Which optimizations run and with which priority functions.
+/// Which passes run (the [`PipelinePlan`]) and with which priority
+/// functions. A pass participates exactly when its step appears in the
+/// plan; the priority slots merely replace the shipped baseline heuristics
+/// for the passes that do run.
 pub struct Passes<'a> {
-    /// Hyperblock formation priority (None disables if-conversion).
-    pub hyperblock: Option<&'a dyn RealPriority>,
-    /// Register-allocation per-block savings function (None = Eq. 2
-    /// baseline).
-    pub regalloc: Option<&'a dyn RealPriority>,
-    /// Prefetch confidence function (None disables prefetching).
-    pub prefetch: Option<&'a dyn BoolPriority>,
+    /// The pass schedule. [`PipelinePlan::minimal`] by default; the shipped
+    /// full pipeline is [`Passes::baseline`].
+    pub plan: PipelinePlan,
+    /// Hyperblock-formation path priority (Eq. 1 baseline by default).
+    pub hyperblock: &'a dyn RealPriority,
+    /// Register-allocation per-block savings function (Eq. 2 baseline by
+    /// default).
+    pub regalloc: &'a dyn RealPriority,
+    /// Prefetch confidence function (trip-count baseline by default).
+    pub prefetch: &'a dyn BoolPriority,
     /// Prefetch distance in loop iterations.
     pub prefetch_iters_ahead: i64,
-    /// Counted-loop unrolling factor cap (None disables the pass; it is not
-    /// part of the paper-calibrated study pipelines).
-    pub unroll: Option<u32>,
-    /// Run the `metaopt-analysis` invariant checker after every pass,
-    /// attributing the first broken invariant to the pass that produced it.
-    /// Defaults to [`CHECK_IR_DEFAULT`] (the `check-ir` cargo feature).
+    /// Run the `metaopt-analysis` invariant checker after every IR-mutating
+    /// pass, attributing the first broken invariant to the pass that
+    /// produced it. Defaults to [`CHECK_IR_DEFAULT`] (the `check-ir` cargo
+    /// feature).
     pub check_ir: bool,
 }
 
@@ -134,36 +165,40 @@ pub struct Passes<'a> {
 pub const CHECK_IR_DEFAULT: bool = cfg!(feature = "check-ir");
 
 impl<'a> Default for Passes<'a> {
+    /// The minimal pipeline (`regalloc,schedule`): no optimization passes,
+    /// baseline priority functions.
     fn default() -> Self {
         Passes {
-            hyperblock: None,
-            regalloc: None,
-            prefetch: None,
+            plan: PipelinePlan::minimal(),
+            hyperblock: &hyperblock::BaselineEq1,
+            regalloc: &regalloc::BaselineEq2,
+            prefetch: &prefetch::BaselineTripCount,
             prefetch_iters_ahead: 8,
-            unroll: None,
             check_ir: CHECK_IR_DEFAULT,
         }
     }
 }
 
 impl<'a> Passes<'a> {
-    /// The compiler's shipped configuration: all three passes enabled with
-    /// their baseline (human-written) priority functions.
+    /// The compiler's shipped configuration: the [`plan::BASELINE_PLAN`]
+    /// pipeline with the baseline (human-written) priority functions.
     pub fn baseline() -> Self {
         Passes {
-            hyperblock: Some(&hyperblock::BaselineEq1),
-            regalloc: Some(&regalloc::BaselineEq2),
-            prefetch: Some(&prefetch::BaselineTripCount),
-            prefetch_iters_ahead: 8,
-            unroll: None,
-            check_ir: CHECK_IR_DEFAULT,
+            plan: PipelinePlan::baseline(),
+            ..Passes::default()
         }
+    }
+
+    /// This configuration with a different pipeline plan.
+    pub fn with_plan(mut self, plan: PipelinePlan) -> Self {
+        self.plan = plan;
+        self
     }
 }
 
-/// Per-compilation statistics.
+/// The scalar pass counters (how much each optimization did overall).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CompileStats {
+pub struct PassCounters {
     /// Hyperblocks formed (regions if-converted).
     pub hyperblocks: u64,
     /// Paths merged into hyperblocks.
@@ -178,6 +213,90 @@ pub struct CompileStats {
     pub static_insts: u64,
     /// Static bundles (schedule length).
     pub static_bundles: u64,
+}
+
+impl PassCounters {
+    /// Field-wise difference against an earlier snapshot (counters only
+    /// grow, so this is the work attributable to the passes in between).
+    pub fn delta_since(self, before: PassCounters) -> PassCounters {
+        PassCounters {
+            hyperblocks: self.hyperblocks - before.hyperblocks,
+            paths_merged: self.paths_merged - before.paths_merged,
+            spills: self.spills - before.spills,
+            unrolled: self.unrolled - before.unrolled,
+            prefetches: self.prefetches - before.prefetches,
+            static_insts: self.static_insts - before.static_insts,
+            static_bundles: self.static_bundles - before.static_bundles,
+        }
+    }
+
+    /// The non-zero counters as `name +value` pairs, for compact display.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("hyperblocks", self.hyperblocks),
+            ("paths_merged", self.paths_merged),
+            ("spills", self.spills),
+            ("unrolled", self.unrolled),
+            ("prefetches", self.prefetches),
+            ("static_insts", self.static_insts),
+            ("static_bundles", self.static_bundles),
+        ]
+        .into_iter()
+        .filter(|(_, v)| *v > 0)
+        .collect()
+    }
+}
+
+/// Per-pass instrumentation recorded by the [`PassManager`]: what one pass
+/// cost and what it changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name (plan syntax).
+    pub name: &'static str,
+    /// Wall-clock time spent inside the pass (excluding the post-pass
+    /// invariant check).
+    pub wall_nanos: u64,
+    /// Counter changes attributable to this pass.
+    pub delta: PassCounters,
+}
+
+/// Per-compilation statistics: the overall [`PassCounters`] plus per-pass
+/// instrumentation in execution order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Totals across the whole pipeline.
+    pub counters: PassCounters,
+    /// Wall time and counter delta of every executed pass, in plan order.
+    pub per_pass: Vec<PassStat>,
+}
+
+impl CompileStats {
+    /// Render the per-pass instrumentation as an aligned text table — one
+    /// `pass  wall  changes` row per executed pass. Used by the CLI and the
+    /// bench harness.
+    pub fn per_pass_table(&self) -> String {
+        let mut out = String::new();
+        for p in &self.per_pass {
+            let delta: Vec<String> = p
+                .delta
+                .nonzero()
+                .into_iter()
+                .map(|(k, v)| format!("{k} +{v}"))
+                .collect();
+            let delta = if delta.is_empty() {
+                "-".to_string()
+            } else {
+                delta.join(", ")
+            };
+            out.push_str(&format!(
+                "{:<12} {:>9.1}us  {}\n",
+                p.name,
+                p.wall_nanos as f64 / 1000.0,
+                delta
+            ));
+        }
+        out
+    }
 }
 
 /// The compiler's output: scheduled machine code plus the memory image size
@@ -205,7 +324,8 @@ impl Compiled {
 
 /// Run the invariant checker over `func` as the output of `pass` when
 /// checking is enabled; a violation aborts the compilation with the pass
-/// named in the error.
+/// named in the error. (Used by the [`prepare`] half; the compile half's
+/// checks are applied uniformly by the [`PassManager`].)
 fn checkpoint(
     enabled: bool,
     func: &Function,
@@ -254,77 +374,32 @@ pub fn prepare_checked(prog: &Program, check_ir: bool) -> Result<Program, Compil
 }
 
 /// Compile a [`prepare`]d program (single function) to machine code using
-/// `profile` (collected on the prepared IR) and the given `passes`.
+/// `profile` (collected on the prepared IR) and the given `passes`: the
+/// [`PassManager`] executes `passes.plan`, then the generated code is
+/// verified against the machine description.
 ///
 /// # Errors
-/// Fails if register allocation cannot fit the program on the machine or if
-/// the generated code does not verify.
+/// Fails if the plan is structurally invalid, a pass fails (e.g. register
+/// allocation cannot fit the program on the machine), an IR invariant
+/// breaks under `check_ir`, or the generated code does not verify.
 pub fn compile(
     prepared: &Program,
     profile: &FuncProfile,
     machine: &MachineConfig,
     passes: &Passes<'_>,
 ) -> Result<Compiled, CompileError> {
-    use metaopt_ir::verify::CfgForm;
+    passes
+        .plan
+        .validate()
+        .map_err(|e| CompileError::new(CompileErrorKind::Plan, format!("invalid plan: {e}")))?;
     let mut func: Function = prepared.funcs[0].clone();
-    let mut stats = CompileStats::default();
-    let check = passes.check_ir;
-    // The structural discipline loosens once if-conversion has run.
-    let mut form = CfgForm::Canonical;
+    let mut ctx = PassCtx::new(profile, machine, passes, prepared.memory_size());
+    PassManager::from_plan(&passes.plan).run(&mut func, &mut ctx)?;
 
-    if let Some(factor) = passes.unroll {
-        stats.unrolled = unroll::unroll_loops(&mut func, factor);
-        checkpoint(check, &func, form, "unroll")?;
-    }
-    if let Some(pf) = passes.prefetch {
-        stats.prefetches = prefetch::insert_prefetches(
-            &mut func,
-            profile,
-            machine,
-            pf,
-            passes.prefetch_iters_ahead,
-        );
-        checkpoint(check, &func, form, "prefetch")?;
-    }
-    let remapped_profile;
-    let mut profile = profile;
-    if let Some(hp) = passes.hyperblock {
-        let r = hyperblock::form_hyperblocks(&mut func, profile, machine, hp);
-        stats.hyperblocks = r.regions_converted;
-        stats.paths_merged = r.paths_merged;
-        form = CfgForm::Hyperblock;
-        // If-conversion tombstones the absorbed blocks; delete them and
-        // renumber the profile to match so the allocator's block weights
-        // stay aligned.
-        let map = func.prune_unreachable_blocks();
-        if map.iter().any(|m| m.is_none()) {
-            remapped_profile = profile.remap_blocks(&map);
-            profile = &remapped_profile;
-        }
-        checkpoint(check, &func, form, "hyperblock")?;
-    }
-    let ra = regalloc::allocate(
-        &mut func,
-        machine,
-        passes.regalloc.unwrap_or(&regalloc::BaselineEq2),
-        profile,
-        prepared.memory_size(),
-    )
-    .map_err(|m| CompileError::new(CompileErrorKind::Regalloc, m))?;
-    stats.spills = ra.spilled;
-    // Allocation rewrites the function into machine-register form, where
-    // operand indices are physical registers classed by the consuming opcode
-    // and `vreg_class` no longer describes the numbering — so only the
-    // shape-and-reachability subset of the checker still applies here.
-    if check {
-        metaopt_analysis::enforce_machine_function(&func, form, "regalloc")
-            .map_err(|e| CompileError::new(CompileErrorKind::InvariantViolation, e.to_string()))?;
-    }
-
-    let code = schedule::schedule_function(&func, machine);
-    stats.static_insts = code.num_insts() as u64;
-    stats.static_bundles = code.num_bundles() as u64;
-
+    let code = ctx
+        .code
+        .take()
+        .expect("validated plans terminate with the schedule pass");
     metaopt_sim::code::verify_machine(&code, machine).map_err(|m| {
         CompileError::new(
             CompileErrorKind::MachineVerify,
@@ -334,7 +409,58 @@ pub fn compile(
 
     Ok(Compiled {
         code,
-        mem_size: ra.mem_size,
-        stats,
+        mem_size: ctx.mem_size,
+        stats: ctx.stats,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Anti-drift guard for the module docs: the pipeline list above is
+    /// written in plan syntax, and the source text must contain the exact
+    /// baseline plan string [`plan::BASELINE_PLAN`] that
+    /// [`Passes::baseline`] executes — so the docs cannot silently diverge
+    /// from the code again.
+    #[test]
+    fn module_docs_quote_the_baseline_plan() {
+        let source = include_str!("lib.rs");
+        assert!(
+            source.contains(&format!("`{}`", plan::BASELINE_PLAN)),
+            "lib.rs module docs must quote the baseline plan string verbatim"
+        );
+        assert_eq!(Passes::baseline().plan.to_string(), plan::BASELINE_PLAN);
+    }
+
+    #[test]
+    fn default_passes_run_the_minimal_plan() {
+        assert_eq!(Passes::default().plan.to_string(), plan::MINIMAL_PLAN);
+    }
+
+    #[test]
+    fn invalid_plan_is_a_plan_error() {
+        let prog = metaopt_lang::compile("fn main() -> int { return 7; }").unwrap();
+        let prepared = prepare(&prog).unwrap();
+        let profile = metaopt_ir::interp::run(
+            &prepared,
+            &metaopt_ir::interp::RunConfig {
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap();
+        let passes = Passes::default().with_plan(PipelinePlan::baseline().without("regalloc"));
+        let err = compile(
+            &prepared,
+            &profile.funcs[0],
+            &MachineConfig::table3(),
+            &passes,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, CompileErrorKind::Plan);
+        assert!(err.message.contains("regalloc"), "{}", err.message);
+    }
 }

@@ -1,0 +1,374 @@
+//! Declarative pipeline plans: the pass schedule as *data*.
+//!
+//! A [`PipelinePlan`] is an ordered list of [`PassSpec`] steps with a
+//! canonical textual syntax — a comma-separated list such as
+//! `unroll(2),prefetch,hyperblock,regalloc,schedule` — that round-trips
+//! through [`PipelinePlan::parse`] and [`fmt::Display`]. Plans are what the
+//! [`PassManager`](crate::pass::PassManager) executes, what the `metaopt`
+//! CLI accepts via `--passes`, and what the phase-ordering ablation driver
+//! sweeps over: the compiler's algorithm sequence becomes a first-class,
+//! searchable value instead of a hard-coded function body.
+//!
+//! Structural validity is enforced at parse/validate time rather than deep
+//! inside a compilation:
+//!
+//! * the plan must end with the `schedule` terminal (machine-code emission),
+//! * `regalloc` must run immediately before `schedule` (after allocation the
+//!   function is in machine-register form, which the optimization passes do
+//!   not understand),
+//! * no pass may appear twice,
+//! * an `unroll(N)` factor must be at least 2 (a factor of 1 is the
+//!   identity).
+//!
+//! Everything before the `regalloc,schedule` terminal pair — any subset and
+//! any order of `unroll(N)`, `prefetch` and `hyperblock` — is legal; the
+//! inter-pass invariant checker guards each boundary at runtime.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a [`PipelinePlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PassSpec {
+    /// Counted-loop unrolling with the given factor cap (≥ 2).
+    Unroll(u32),
+    /// Software data prefetching ([`crate::prefetch`]).
+    Prefetch,
+    /// Hyperblock formation / if-conversion ([`crate::hyperblock`]).
+    Hyperblock,
+    /// Register allocation ([`crate::regalloc`]); mandatory, second-to-last.
+    Regalloc,
+    /// VLIW list scheduling ([`crate::schedule`]); mandatory terminal.
+    Schedule,
+}
+
+impl PassSpec {
+    /// The pass name used in plan syntax, diagnostics, and per-pass stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassSpec::Unroll(_) => "unroll",
+            PassSpec::Prefetch => "prefetch",
+            PassSpec::Hyperblock => "hyperblock",
+            PassSpec::Regalloc => "regalloc",
+            PassSpec::Schedule => "schedule",
+        }
+    }
+}
+
+impl fmt::Display for PassSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassSpec::Unroll(n) => write!(f, "unroll({n})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A rejected [`PipelinePlan`]: what is malformed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan has no steps.
+    Empty,
+    /// A step is not one of the known passes.
+    UnknownPass(String),
+    /// A pass appears more than once.
+    Duplicate(&'static str),
+    /// An `unroll(N)` factor is missing, unparseable, or below 2.
+    BadUnrollFactor(String),
+    /// The plan does not end with the `schedule` terminal.
+    MissingTerminal,
+    /// `regalloc` is absent or not immediately before `schedule`.
+    MisplacedRegalloc,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "empty pipeline plan"),
+            PlanError::UnknownPass(s) => write!(
+                f,
+                "unknown pass {s:?} (expected unroll(N), prefetch, hyperblock, regalloc, \
+                 schedule)"
+            ),
+            PlanError::Duplicate(name) => {
+                write!(f, "pass '{name}' appears more than once in the plan")
+            }
+            PlanError::BadUnrollFactor(s) => write!(
+                f,
+                "bad unroll factor {s:?}: expected unroll(N) with an integer N >= 2"
+            ),
+            PlanError::MissingTerminal => {
+                write!(f, "plan must end with the 'schedule' terminal")
+            }
+            PlanError::MisplacedRegalloc => write!(
+                f,
+                "'regalloc' must be present and run immediately before 'schedule' \
+                 (optimization passes cannot run on machine-register form)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The canonical full pipeline in plan syntax: what [`crate::Passes::baseline`]
+/// runs. `unroll(N)` is not part of it (it is not in the paper-calibrated
+/// study pipelines) but may be prepended, e.g. `unroll(2),prefetch,...`.
+pub const BASELINE_PLAN: &str = "prefetch,hyperblock,regalloc,schedule";
+
+/// The smallest legal pipeline: allocation and scheduling only, no
+/// optimization passes. What [`crate::Passes::default`] runs.
+pub const MINIMAL_PLAN: &str = "regalloc,schedule";
+
+/// An ordered, validated pass schedule. See the [module docs](self) for the
+/// textual syntax and the structural rules.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PipelinePlan {
+    steps: Vec<PassSpec>,
+}
+
+impl PipelinePlan {
+    /// The canonical full pipeline ([`BASELINE_PLAN`]).
+    pub fn baseline() -> Self {
+        BASELINE_PLAN.parse().expect("baseline plan is valid")
+    }
+
+    /// The smallest legal pipeline ([`MINIMAL_PLAN`]).
+    pub fn minimal() -> Self {
+        MINIMAL_PLAN.parse().expect("minimal plan is valid")
+    }
+
+    /// Build a plan from explicit steps, validating the structural rules.
+    ///
+    /// # Errors
+    /// Returns the first [`PlanError`] the step list violates.
+    pub fn new(steps: Vec<PassSpec>) -> Result<Self, PlanError> {
+        let plan = PipelinePlan { steps };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Parse a comma-separated plan string (whitespace around steps is
+    /// ignored), e.g. `"unroll(2), prefetch, hyperblock, regalloc, schedule"`.
+    ///
+    /// # Errors
+    /// Returns a [`PlanError`] describing the first malformed step or
+    /// structural violation.
+    pub fn parse(text: &str) -> Result<Self, PlanError> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        let mut steps = Vec::new();
+        for raw in trimmed.split(',') {
+            let tok = raw.trim();
+            steps.push(match tok {
+                "prefetch" => PassSpec::Prefetch,
+                "hyperblock" => PassSpec::Hyperblock,
+                "regalloc" => PassSpec::Regalloc,
+                "schedule" => PassSpec::Schedule,
+                _ => {
+                    if let Some(rest) = tok.strip_prefix("unroll") {
+                        let inner = rest
+                            .strip_prefix('(')
+                            .and_then(|r| r.strip_suffix(')'))
+                            .ok_or_else(|| PlanError::BadUnrollFactor(tok.to_string()))?;
+                        let factor: u32 = inner
+                            .trim()
+                            .parse()
+                            .map_err(|_| PlanError::BadUnrollFactor(tok.to_string()))?;
+                        if factor < 2 {
+                            return Err(PlanError::BadUnrollFactor(tok.to_string()));
+                        }
+                        PassSpec::Unroll(factor)
+                    } else {
+                        return Err(PlanError::UnknownPass(tok.to_string()));
+                    }
+                }
+            });
+        }
+        Self::new(steps)
+    }
+
+    /// Check the structural rules (see the [module docs](self)).
+    ///
+    /// # Errors
+    /// Returns the first violated rule.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.steps.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if self.steps[..i].iter().any(|p| p.name() == s.name()) {
+                return Err(PlanError::Duplicate(s.name()));
+            }
+            if let PassSpec::Unroll(n) = s {
+                if *n < 2 {
+                    return Err(PlanError::BadUnrollFactor(s.to_string()));
+                }
+            }
+        }
+        if self.steps.last() != Some(&PassSpec::Schedule) {
+            return Err(PlanError::MissingTerminal);
+        }
+        if self.steps.len() < 2 || self.steps[self.steps.len() - 2] != PassSpec::Regalloc {
+            return Err(PlanError::MisplacedRegalloc);
+        }
+        Ok(())
+    }
+
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[PassSpec] {
+        &self.steps
+    }
+
+    /// Whether the plan contains a pass with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.steps.iter().any(|s| s.name() == name)
+    }
+
+    /// This plan with `unroll(factor)` prepended (replacing any existing
+    /// unroll step). A factor below 2 removes unrolling instead.
+    pub fn with_unroll(mut self, factor: u32) -> Self {
+        self.steps.retain(|s| !matches!(s, PassSpec::Unroll(_)));
+        if factor >= 2 {
+            self.steps.insert(0, PassSpec::Unroll(factor));
+        }
+        self
+    }
+
+    /// This plan with the named pass removed (no-op if absent). Removing
+    /// `regalloc` or `schedule` yields an invalid plan; [`Self::validate`]
+    /// or the compile entry point will reject it.
+    pub fn without(mut self, name: &str) -> Self {
+        self.steps.retain(|s| s.name() != name);
+        self
+    }
+}
+
+impl Default for PipelinePlan {
+    /// The minimal plan, matching [`crate::Passes::default`].
+    fn default() -> Self {
+        PipelinePlan::minimal()
+    }
+}
+
+impl fmt::Display for PipelinePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PipelinePlan {
+    type Err = PlanError;
+
+    fn from_str(s: &str) -> Result<Self, PlanError> {
+        PipelinePlan::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_plan_matches_documented_string() {
+        assert_eq!(PipelinePlan::baseline().to_string(), BASELINE_PLAN);
+        assert_eq!(PipelinePlan::minimal().to_string(), MINIMAL_PLAN);
+    }
+
+    #[test]
+    fn parse_print_round_trip_on_canonical_plans() {
+        for text in [
+            BASELINE_PLAN,
+            MINIMAL_PLAN,
+            "unroll(2),prefetch,hyperblock,regalloc,schedule",
+            "hyperblock,prefetch,regalloc,schedule",
+            "unroll(16),regalloc,schedule",
+        ] {
+            let plan = PipelinePlan::parse(text).unwrap();
+            assert_eq!(plan.to_string(), text);
+            assert_eq!(PipelinePlan::parse(&plan.to_string()).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let plan = PipelinePlan::parse("  unroll( 4 ) , prefetch ,hyperblock, regalloc,schedule ")
+            .unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "unroll(4),prefetch,hyperblock,regalloc,schedule"
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_useful_errors() {
+        let cases: [(&str, PlanError); 8] = [
+            ("", PlanError::Empty),
+            ("   ", PlanError::Empty),
+            (
+                "prefetch,frobnicate,regalloc,schedule",
+                PlanError::UnknownPass("frobnicate".to_string()),
+            ),
+            (
+                "prefetch,prefetch,regalloc,schedule",
+                PlanError::Duplicate("prefetch"),
+            ),
+            (
+                "unroll(1),regalloc,schedule",
+                PlanError::BadUnrollFactor("unroll(1)".to_string()),
+            ),
+            (
+                "unroll,regalloc,schedule",
+                PlanError::BadUnrollFactor("unroll".to_string()),
+            ),
+            ("prefetch,regalloc", PlanError::MissingTerminal),
+            ("prefetch,schedule", PlanError::MisplacedRegalloc),
+        ];
+        for (text, want) in cases {
+            let got = PipelinePlan::parse(text).unwrap_err();
+            assert_eq!(got, want, "plan {text:?}");
+            assert!(!got.to_string().is_empty());
+        }
+        // regalloc not *immediately* before schedule.
+        assert_eq!(
+            PipelinePlan::parse("regalloc,prefetch,schedule").unwrap_err(),
+            PlanError::MisplacedRegalloc
+        );
+        // Two unrolls are a duplicate even with different factors.
+        assert_eq!(
+            PipelinePlan::parse("unroll(2),unroll(4),regalloc,schedule").unwrap_err(),
+            PlanError::Duplicate("unroll")
+        );
+    }
+
+    #[test]
+    fn with_unroll_prepends_and_replaces() {
+        let p = PipelinePlan::baseline().with_unroll(2);
+        assert_eq!(
+            p.to_string(),
+            "unroll(2),prefetch,hyperblock,regalloc,schedule"
+        );
+        let p = p.with_unroll(8);
+        assert_eq!(
+            p.to_string(),
+            "unroll(8),prefetch,hyperblock,regalloc,schedule"
+        );
+        let p = p.with_unroll(0);
+        assert_eq!(p.to_string(), BASELINE_PLAN);
+    }
+
+    #[test]
+    fn without_removes_named_pass() {
+        let p = PipelinePlan::baseline().without("hyperblock");
+        assert_eq!(p.to_string(), "prefetch,regalloc,schedule");
+        assert!(p.without("schedule").validate().is_err());
+    }
+}

@@ -8,7 +8,8 @@
 //! whenever the loop's trip count is estimable — which the paper found
 //! "overzealous"; the evolved functions mostly learn to say no.
 
-use crate::BoolPriority;
+use crate::pass::{Pass, PassCtx};
+use crate::{BoolPriority, CompileError};
 use metaopt_ir::dom::DomTree;
 use metaopt_ir::loops::LoopForest;
 use metaopt_ir::profile::FuncProfile;
@@ -267,6 +268,27 @@ pub fn insert_prefetches(
         func.blocks[bi].insts.insert(ii, pf);
     }
     count
+}
+
+/// [`insert_prefetches`] as a plan-schedulable [`Pass`], reading the
+/// confidence function and prefetch distance from the [`PassCtx`] config.
+pub struct PrefetchPass;
+
+impl Pass for PrefetchPass {
+    fn name(&self) -> &'static str {
+        "prefetch"
+    }
+
+    fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+        ctx.stats.counters.prefetches += insert_prefetches(
+            func,
+            &ctx.profile,
+            ctx.machine,
+            ctx.config.prefetch,
+            ctx.config.prefetch_iters_ahead,
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]

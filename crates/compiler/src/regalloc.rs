@@ -20,7 +20,8 @@
 //! spill-base register, r1–r3 are spill temps; float f0–f2 are spill temps;
 //! predicate p0–p3 are spill temps. Everything else is allocatable.
 
-use crate::RealPriority;
+use crate::pass::{Pass, PassCtx};
+use crate::{CompileError, CompileErrorKind, RealPriority};
 use metaopt_ir::liveness::Liveness;
 use metaopt_ir::profile::FuncProfile;
 use metaopt_ir::util::BitSet;
@@ -366,6 +367,34 @@ pub fn allocate(
     })
 }
 
+/// [`allocate`] as a plan-schedulable [`Pass`]: the mandatory
+/// second-to-last step of every plan. Rewrites the function into
+/// machine-register form (flipping [`PassCtx::machine_form`] so the
+/// invariant checker switches to its shape-and-reachability subset) and
+/// records the required memory image size.
+pub struct RegallocPass;
+
+impl Pass for RegallocPass {
+    fn name(&self) -> &'static str {
+        "regalloc"
+    }
+
+    fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+        let ra = allocate(
+            func,
+            ctx.machine,
+            ctx.config.regalloc,
+            &ctx.profile,
+            ctx.base_mem_size,
+        )
+        .map_err(|m| CompileError::new(CompileErrorKind::Regalloc, m))?;
+        ctx.stats.counters.spills += ra.spilled;
+        ctx.mem_size = ra.mem_size;
+        ctx.machine_form = true;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +501,7 @@ mod tests {
             crate::compile(&prepared, &profile.funcs[0], &m, &crate::Passes::default())
                 .unwrap()
                 .stats
+                .counters
                 .spills
         };
         assert_eq!(spills_at(64), 0, "Table 3 machine should not spill");

@@ -6,6 +6,8 @@
 //! control instructions — nothing moves across a branch, which keeps
 //! hyperblock side exits correct without speculation machinery.
 
+use crate::pass::{Pass, PassCtx};
+use crate::CompileError;
 use metaopt_ir::{Function, Inst, Opcode, RegClass};
 use metaopt_sim::machine::{latency_of, unit_of, MachineConfig, UnitKind};
 use metaopt_sim::{Bundle, MachineProgram};
@@ -225,6 +227,31 @@ pub fn schedule_function(func: &Function, m: &MachineConfig) -> MachineProgram {
     MachineProgram {
         blocks,
         entry: func.entry.index(),
+    }
+}
+
+/// [`schedule_function`] as a plan-schedulable [`Pass`]: the mandatory
+/// terminal of every plan. Reads the machine-register-form function and
+/// deposits the scheduled [`MachineProgram`] into [`PassCtx::code`];
+/// `mutates_ir` is false, so the post-pass invariant checker (which would
+/// re-check an unchanged function) is skipped.
+pub struct SchedulePass;
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+        let code = schedule_function(func, ctx.machine);
+        ctx.stats.counters.static_insts = code.num_insts() as u64;
+        ctx.stats.counters.static_bundles = code.num_bundles() as u64;
+        ctx.code = Some(code);
+        Ok(())
+    }
+
+    fn mutates_ir(&self) -> bool {
+        false
     }
 }
 

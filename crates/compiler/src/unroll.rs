@@ -12,8 +12,12 @@
 //! replication is verbatim: each copy recomputes the induction variable
 //! from the cell, so no register renaming is required. The pass is **not**
 //! part of the default study pipelines (it would perturb the calibrated
-//! paper dynamics); enable it through [`Passes::unroll`](crate::Passes).
+//! paper dynamics); enable it with `unroll(N)` in a
+//! [`PipelinePlan`](crate::plan::PipelinePlan) (CLI: `--unroll N` or
+//! `--passes "unroll(2),prefetch,hyperblock,regalloc,schedule"`).
 
+use crate::pass::{Pass, PassCtx};
+use crate::CompileError;
 use metaopt_ir::dom::DomTree;
 use metaopt_ir::loops::LoopForest;
 use metaopt_ir::{Function, Inst, Opcode};
@@ -186,6 +190,24 @@ pub fn unroll_loops(func: &mut Function, max_factor: u32) -> u64 {
         unrolled += 1;
     }
     unrolled
+}
+
+/// [`unroll_loops`] as a plan-schedulable [`Pass`] (`unroll(N)` in plan
+/// syntax).
+pub struct UnrollPass {
+    /// Unrolling factor cap (≥ 2).
+    pub factor: u32,
+}
+
+impl Pass for UnrollPass {
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+
+    fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
+        ctx.stats.counters.unrolled += unroll_loops(func, self.factor);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

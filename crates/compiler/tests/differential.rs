@@ -1,9 +1,9 @@
 //! The pipeline's strongest correctness property, fuzzed: **any** MiniC
 //! program compiled under **any** priority functions (hyperblock, regalloc,
-//! prefetch) on **any** reasonable machine must produce exactly the
-//! reference interpreter's result.
+//! prefetch), **any** legal pipeline plan, on **any** reasonable machine
+//! must produce exactly the reference interpreter's result.
 
-use metaopt_compiler::{compile, prepare, Passes};
+use metaopt_compiler::{compile, prepare, Passes, PipelinePlan};
 use metaopt_ir::interp::{run, RunConfig};
 use metaopt_sim::{simulate, MachineConfig};
 use proptest::prelude::*;
@@ -173,12 +173,20 @@ proptest! {
         let hb = move |r: &[f64], _: &[bool]| r[2] * 10.0 + hb_bias;
         let ra = move |r: &[f64], _: &[bool]| r[0] * ra_bias + r[2];
         let pf = |_: &[f64], b: &[bool]| b[0];
+        // Fuzz the phase order too: any legal plan must stay correct.
+        let plan: PipelinePlan = ["prefetch,hyperblock,regalloc,schedule",
+            "hyperblock,prefetch,regalloc,schedule",
+            "hyperblock,regalloc,schedule",
+            "prefetch,regalloc,schedule"][(pick % 4) as usize]
+            .parse()
+            .unwrap();
+        let plan = if unroll { plan.with_unroll(8) } else { plan };
         let passes = Passes {
-            hyperblock: Some(&hb),
-            regalloc: Some(&ra),
-            prefetch: Some(&pf),
+            plan,
+            hyperblock: &hb,
+            regalloc: &ra,
+            prefetch: &pf,
             prefetch_iters_ahead: 4,
-            unroll: unroll.then_some(8),
             // Fuzzed pipelines double as a stress test for the inter-pass
             // invariant checker: every boundary of every case must be clean.
             check_ir: true,

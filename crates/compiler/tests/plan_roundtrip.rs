@@ -1,0 +1,60 @@
+//! Property tests for the textual [`PipelinePlan`] syntax: printing any
+//! valid plan and parsing it back is the identity, and parsing is total
+//! (returns a structured error, never panics) on arbitrary input.
+
+use metaopt_compiler::{PassSpec, PipelinePlan};
+use proptest::prelude::*;
+
+/// Any structurally valid plan: a subset of the optimization passes in any
+/// order (optionally including `unroll(N)` with a fuzzed factor), followed
+/// by the mandatory `regalloc,schedule` terminal pair.
+fn arb_plan() -> impl Strategy<Value = PipelinePlan> {
+    let opts = proptest::collection::vec(any::<bool>(), 3);
+    (opts, 2u32..=64, any::<u8>()).prop_map(|(include, factor, order)| {
+        let mut steps = Vec::new();
+        if include[0] {
+            steps.push(PassSpec::Unroll(factor));
+        }
+        if include[1] {
+            steps.push(PassSpec::Prefetch);
+        }
+        if include[2] {
+            steps.push(PassSpec::Hyperblock);
+        }
+        // A deterministic shuffle of the optimization prefix.
+        if steps.len() > 1 {
+            let rot = order as usize % steps.len();
+            steps.rotate_left(rot);
+            if order >= 128 && steps.len() > 1 {
+                steps.swap(0, 1);
+            }
+        }
+        steps.push(PassSpec::Regalloc);
+        steps.push(PassSpec::Schedule);
+        PipelinePlan::new(steps).expect("constructed plans are valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_print_is_identity(plan in arb_plan()) {
+        let text = plan.to_string();
+        let reparsed = PipelinePlan::parse(&text).expect("printed plans parse");
+        prop_assert_eq!(&reparsed, &plan);
+        // Printing is canonical: a second round trip changes nothing.
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = PipelinePlan::parse(&text);
+    }
+
+    #[test]
+    fn validate_agrees_with_parse(plan in arb_plan()) {
+        prop_assert!(plan.validate().is_ok());
+        // Dropping the terminal always invalidates.
+        prop_assert!(plan.without("schedule").validate().is_err());
+    }
+}

@@ -65,12 +65,13 @@ fn main() {
         compile(&prepared, &profile.funcs[0], &machine, &Passes::baseline()).expect("compiles");
     println!(
         "compiled: {} insts in {} bundles; {} hyperblocks, {} spills, {} prefetches",
-        compiled.stats.static_insts,
-        compiled.stats.static_bundles,
-        compiled.stats.hyperblocks,
-        compiled.stats.spills,
-        compiled.stats.prefetches
+        compiled.stats.counters.static_insts,
+        compiled.stats.counters.static_bundles,
+        compiled.stats.counters.hyperblocks,
+        compiled.stats.counters.spills,
+        compiled.stats.counters.prefetches
     );
+    println!("per-pass timing:\n{}", compiled.stats.per_pass_table());
 
     let result =
         simulate(&compiled.code, &machine, compiled.initial_memory(&prepared)).expect("simulates");

@@ -6,12 +6,20 @@
 //! metaopt train <study>                         evolve a general-purpose fn (DSS)
 //! metaopt crossval <study> <sexpr-file>         apply a saved fn to the test set
 //! metaopt compile <study> <benchmark> <sexpr>   compile+simulate with a given fn
+//! metaopt ablate <study> <benchmark> [plan ...] sweep pipeline plans, cycles per plan
 //! ```
 //!
 //! `<study>` is `hyperblock`, `regalloc`, or `prefetch`. GP scale options:
 //! `--pop N`, `--gens N`, `--seed N`, `--threads N`. `--check-ir` runs the
 //! `metaopt-analysis` invariant checker at every pass boundary of every
 //! compilation (on by default when built with the `check-ir` feature).
+//!
+//! Pipeline plans: `--passes <plan>` replaces the study's pass pipeline
+//! with a textual plan such as `unroll(2),prefetch,hyperblock,regalloc,schedule`,
+//! and `--unroll <N>` prepends loop unrolling to whatever plan is active.
+//! `ablate` sweeps a set of plans (the built-in ablation set when none are
+//! given) over one benchmark and prints a cycles-per-plan table; `compile`
+//! prints per-pass wall time and counter deltas.
 //!
 //! Long evolution runs can be made restartable: `--checkpoint <path>`
 //! writes a checkpoint after every completed generation, and
@@ -35,10 +43,14 @@ fn usage() -> ExitCode {
            train <study>                        evolve a general-purpose fn with DSS\n\
            crossval <study> <sexpr-file>        cross-validate a saved priority fn\n\
            compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
+           ablate <study> <benchmark> [plan ..] sweep pipeline plans, report cycles\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
          options: --pop N --gens N --seed N --threads N --check-ir\n\
-                  --checkpoint <path> --resume <path>"
+                  --passes <plan> --unroll <N>\n\
+                  --checkpoint <path> --resume <path>\n\
+         plans:   comma-separated passes ending in regalloc,schedule,\n\
+                  e.g. unroll(2),prefetch,hyperblock,regalloc,schedule"
     );
     ExitCode::FAILURE
 }
@@ -73,6 +85,8 @@ struct Options {
     params: GpParams,
     check_ir: bool,
     control: RunControl,
+    passes: Option<metaopt_compiler::PipelinePlan>,
+    unroll: Option<u32>,
 }
 
 fn parse_args() -> Option<Options> {
@@ -80,6 +94,8 @@ fn parse_args() -> Option<Options> {
     let mut positional = Vec::new();
     let mut check_ir = metaopt_compiler::CHECK_IR_DEFAULT;
     let mut control = RunControl::default();
+    let mut passes = None;
+    let mut unroll = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -88,6 +104,14 @@ fn parse_args() -> Option<Options> {
             "--seed" => params.seed = args.next()?.parse().ok()?,
             "--threads" => params.threads = args.next()?.parse().ok()?,
             "--check-ir" => check_ir = true,
+            "--passes" => match args.next()?.parse() {
+                Ok(plan) => passes = Some(plan),
+                Err(e) => {
+                    eprintln!("--passes: {e}");
+                    return None;
+                }
+            },
+            "--unroll" => unroll = Some(args.next()?.parse().ok()?),
             "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
             "--resume" => control.resume = Some(args.next()?.into()),
             _ => positional.push(a),
@@ -98,7 +122,24 @@ fn parse_args() -> Option<Options> {
         params,
         check_ir,
         control,
+        passes,
+        unroll,
     })
+}
+
+impl Options {
+    /// `cfg` with every global override applied: `--check-ir`, `--passes`,
+    /// `--unroll`.
+    fn configure(&self, cfg: StudyConfig) -> StudyConfig {
+        let mut cfg = cfg.with_check_ir(self.check_ir);
+        if let Some(plan) = &self.passes {
+            cfg = cfg.with_plan(plan.clone());
+        }
+        if let Some(factor) = self.unroll {
+            cfg = cfg.with_unroll(factor);
+        }
+        cfg
+    }
 }
 
 /// Annotate an evolved winner with its genome lints (warnings on the raw
@@ -162,7 +203,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
-            let cfg = cfg.with_check_ir(opts.check_ir);
+            let cfg = opts.configure(cfg);
             let Some(bench) = metaopt_suite::by_name(bench_name) else {
                 eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
                 return ExitCode::FAILURE;
@@ -191,7 +232,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
-            let cfg = cfg.with_check_ir(opts.check_ir);
+            let cfg = opts.configure(cfg);
             let r = match experiment::train_general_controlled(
                 &cfg,
                 &training_set(&cfg),
@@ -218,7 +259,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
-            let cfg = cfg.with_check_ir(opts.check_ir);
+            let cfg = opts.configure(cfg);
             let Ok(text) = std::fs::read_to_string(path) else {
                 eprintln!("cannot read {path}");
                 return ExitCode::FAILURE;
@@ -244,7 +285,7 @@ fn main() -> ExitCode {
             let Some(cfg) = study_by_name(study_name) else {
                 return usage();
             };
-            let cfg = cfg.with_check_ir(opts.check_ir);
+            let cfg = opts.configure(cfg);
             let Some(bench) = metaopt_suite::by_name(bench_name) else {
                 eprintln!("unknown benchmark {bench_name}");
                 return ExitCode::FAILURE;
@@ -264,6 +305,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            // Per-pass instrumentation of this compilation: the priority
+            // function in the study's slot, baselines elsewhere.
+            let pri = study::ExprPriority(&expr);
+            let passes = cfg.passes_with(&pri);
+            match metaopt_compiler::compile(&pb.prepared, &pb.profile, &cfg.machine, &passes) {
+                Ok(compiled) => {
+                    println!("plan: {}", cfg.plan);
+                    println!("{}", compiled.stats.per_pass_table());
+                }
+                Err(e) => {
+                    eprintln!("compilation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             for ds in [metaopt_suite::DataSet::Train, metaopt_suite::DataSet::Novel] {
                 match pb.try_cycles_with(&cfg, &expr, ds) {
                     Ok(cycles) => println!(
@@ -278,6 +333,38 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            ExitCode::SUCCESS
+        }
+        ["ablate", study_name, bench_name, plan_args @ ..] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let cfg = opts.configure(cfg);
+            let Some(bench) = metaopt_suite::by_name(bench_name) else {
+                eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
+                return ExitCode::FAILURE;
+            };
+            let plans = if plan_args.is_empty() {
+                experiment::default_ablation_plans()
+            } else {
+                let mut plans = Vec::new();
+                for text in plan_args {
+                    match text.parse::<metaopt_compiler::PipelinePlan>() {
+                        Ok(p) => plans.push(p),
+                        Err(e) => {
+                            eprintln!("bad plan {text}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                plans
+            };
+            let r = match experiment::try_ablate(&cfg, &bench, &plans) {
+                Ok(r) => r,
+                Err(e) => return report_error(&e),
+            };
+            println!("{}: cycles per pipeline plan (train data)", r.bench);
+            print!("{}", r.table());
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -1,6 +1,7 @@
-//! Experiment drivers: specialization, general-purpose (DSS) training, and
+//! Experiment drivers: specialization, general-purpose (DSS) training,
 //! cross-validation — the paper's two modes of operation plus its
-//! evaluation methodology.
+//! evaluation methodology — and the pipeline-ablation sweep that treats
+//! phase ordering itself as a workload.
 //!
 //! Each driver comes in two flavours: a `*_controlled` form that takes a
 //! [`RunControl`] (checkpointing, resume) and returns a `Result`, and the
@@ -11,6 +12,7 @@
 
 use crate::pipeline::{PrepareError, PreparedBench, StudyEvaluator};
 use crate::study::StudyConfig;
+use metaopt_compiler::{CompileStats, PipelinePlan};
 use metaopt_gp::checkpoint::{Checkpoint, CheckpointError};
 use metaopt_gp::{Evolution, Expr, GenLog, GpParams, QuarantineRecord};
 use metaopt_suite::{Benchmark, DataSet};
@@ -131,7 +133,8 @@ pub fn specialize_controlled(
     std::hash::Hash::hash(bench.name, &mut h);
     params.seed ^= std::hash::Hasher::finish(&h);
     let mut evo = Evolution::new(params, &study.features, &evaluator)
-        .with_seeds(vec![study.baseline_seed.clone()]);
+        .with_seeds(vec![study.baseline_seed.clone()])
+        .with_config_tag(study.plan.to_string());
     if let Some(path) = &control.resume {
         evo = evo.resume_from(Checkpoint::load(path)?);
     }
@@ -211,7 +214,8 @@ pub fn train_general_controlled(
         params.subset_size = Some(benches.len().div_ceil(2));
     }
     let mut evo = Evolution::new(params, &study.features, &evaluator)
-        .with_seeds(vec![study.baseline_seed.clone()]);
+        .with_seeds(vec![study.baseline_seed.clone()])
+        .with_config_tag(study.plan.to_string());
     if let Some(path) = &control.resume {
         evo = evo.resume_from(Checkpoint::load(path)?);
     }
@@ -293,6 +297,127 @@ pub fn try_cross_validate(
 /// Panics if benchmark preparation fails.
 pub fn cross_validate(study: &StudyConfig, expr: &Expr, benches: &[Benchmark]) -> CrossValidation {
     try_cross_validate(study, expr, benches).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// One pipeline plan's measured cost in an ablation sweep.
+#[derive(Clone, Debug)]
+pub struct PlanRun {
+    /// The plan that was compiled and timed.
+    pub plan: PipelinePlan,
+    /// Cycles on the training data, if the plan evaluated cleanly.
+    pub cycles: Option<u64>,
+    /// Compile statistics (counters and per-pass timing) on success.
+    pub stats: Option<CompileStats>,
+    /// The classified evaluation error, if the plan failed.
+    pub error: Option<String>,
+}
+
+/// Result of sweeping pipeline plans over one prepared benchmark: the
+/// phase-ordering experiment. Each plan compiles with the study's shipped
+/// baseline priority functions, so differences are attributable to pass
+/// selection and ordering alone.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// One row per plan, in the order given.
+    pub runs: Vec<PlanRun>,
+}
+
+impl AblationResult {
+    /// Render the cycles-per-plan table: one row per plan, cycles, speedup
+    /// relative to the first (reference) plan, and compile time.
+    pub fn table(&self) -> String {
+        let width = self
+            .runs
+            .iter()
+            .map(|r| r.plan.to_string().len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!(
+            "{:<width$} {:>12} {:>8} {:>11}\n",
+            "plan", "cycles", "vs[0]", "compile"
+        );
+        let reference = self.runs.first().and_then(|r| r.cycles);
+        for r in &self.runs {
+            let plan = r.plan.to_string();
+            match (r.cycles, &r.stats) {
+                (Some(cycles), Some(stats)) => {
+                    let rel = match reference {
+                        Some(base) => format!("{:.3}x", base as f64 / cycles as f64),
+                        None => "-".to_string(),
+                    };
+                    let compile_us: u64 = stats.per_pass.iter().map(|p| p.wall_nanos).sum();
+                    out.push_str(&format!(
+                        "{plan:<width$} {cycles:>12} {rel:>8} {:>9.1}us\n",
+                        compile_us as f64 / 1000.0
+                    ));
+                }
+                _ => {
+                    let err = r.error.as_deref().unwrap_or("failed");
+                    out.push_str(&format!("{plan:<width$} {err}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The default ablation set: the canonical baseline plan plus one-pass
+/// knockouts and an unrolled variant.
+pub fn default_ablation_plans() -> Vec<PipelinePlan> {
+    let baseline = PipelinePlan::baseline();
+    vec![
+        baseline.clone(),
+        baseline.clone().without("hyperblock"),
+        baseline.clone().without("prefetch"),
+        baseline.with_unroll(2),
+        PipelinePlan::minimal(),
+    ]
+}
+
+/// Sweep `plans` over `bench`: prepare once, then compile under every plan
+/// with the study's baseline priority functions and measure training-data
+/// cycles. Plans that fail to compile or simulate are reported per-row
+/// rather than aborting the sweep.
+pub fn try_ablate(
+    study: &StudyConfig,
+    bench: &Benchmark,
+    plans: &[PipelinePlan],
+) -> Result<AblationResult, ExperimentError> {
+    let pb = PreparedBench::try_new(study, bench)?;
+    let runs = plans
+        .iter()
+        .map(
+            |plan| match pb.try_plan_cycles(study, plan, DataSet::Train) {
+                Ok((cycles, stats)) => PlanRun {
+                    plan: plan.clone(),
+                    cycles: Some(cycles),
+                    stats: Some(stats),
+                    error: None,
+                },
+                Err(e) => PlanRun {
+                    plan: plan.clone(),
+                    cycles: None,
+                    stats: None,
+                    error: Some(e.to_string()),
+                },
+            },
+        )
+        .collect();
+    Ok(AblationResult {
+        bench: bench.name.to_string(),
+        runs,
+    })
+}
+
+/// Panicking convenience wrapper around [`try_ablate`].
+///
+/// # Panics
+/// Panics if benchmark preparation fails.
+pub fn ablate(study: &StudyConfig, bench: &Benchmark, plans: &[PipelinePlan]) -> AblationResult {
+    try_ablate(study, bench, plans).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -390,6 +515,74 @@ mod tests {
         assert_eq!(resumed.best.key(), straight.best.key());
         assert_eq!(resumed.log, straight.log);
         assert!((resumed.train_speedup - straight.train_speedup).abs() < 1e-12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ablation_sweeps_distinct_plans_and_renders_a_table() {
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("rawdaudio").unwrap();
+        let plans = default_ablation_plans();
+        assert!(plans.len() >= 4, "the default sweep covers >= 4 plans");
+        let r = ablate(&cfg, &bench, &plans);
+        assert_eq!(r.runs.len(), plans.len());
+        for run in &r.runs {
+            assert!(
+                run.cycles.is_some(),
+                "plan {} failed: {:?}",
+                run.plan,
+                run.error
+            );
+            let stats = run.stats.as_ref().unwrap();
+            assert_eq!(stats.per_pass.len(), run.plan.steps().len());
+        }
+        // Knocking out hyperblock formation must change the schedule cost.
+        let base = r.runs[0].cycles.unwrap();
+        let no_hb = r.runs[1].cycles.unwrap();
+        assert_ne!(base, no_hb, "hyperblock knockout must be observable");
+        let table = r.table();
+        for run in &r.runs {
+            assert!(table.contains(&run.plan.to_string()), "table:\n{table}");
+        }
+    }
+
+    #[test]
+    fn resume_under_a_different_plan_is_rejected() {
+        // A checkpoint's fitness values are only meaningful under the
+        // pipeline plan that produced them, so the plan is part of the
+        // config fingerprint.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metaopt-exp-plan-ck-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        // Two generations: the engine snapshots at generation boundaries,
+        // so a 1-generation run finishes before ever writing a checkpoint.
+        let params = GpParams {
+            generations: 2,
+            ..tiny_params(9)
+        };
+        let ck = RunControl {
+            checkpoint: Some(path.clone()),
+            resume: None,
+        };
+        specialize_controlled(&cfg, &bench, &params, &ck).unwrap();
+
+        let resume = RunControl {
+            checkpoint: None,
+            resume: Some(path.clone()),
+        };
+        let err = specialize_controlled(&cfg.clone().with_unroll(2), &bench, &params, &resume)
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ExperimentError::Checkpoint(CheckpointError::Mismatch { .. })
+            ),
+            "{err}"
+        );
+        // Same plan still resumes fine.
+        specialize_controlled(&cfg, &bench, &params, &resume).unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

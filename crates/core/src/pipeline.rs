@@ -147,7 +147,7 @@ impl PreparedBench {
         let passes = study.baseline_passes();
         let compiled = compile(&pb.prepared, &pb.profile, &study.machine, &passes)
             .map_err(|e| err(format!("baseline compilation failed: {e}")))?;
-        pb.baseline_stats = compiled.stats;
+        pb.baseline_stats = compiled.stats.clone();
         pb.baseline_train_cycles = pb
             .try_simulate(study, &study.machine, &compiled, DataSet::Train, 0)
             .map_err(|e| err(format!("baseline timing failed: {e}")))?;
@@ -316,6 +316,50 @@ impl PreparedBench {
             DataSet::Train => self.baseline_train_cycles,
             DataSet::Novel => self.baseline_novel_cycles,
         }
+    }
+
+    /// Compile under `plan` with the shipped baseline priority functions
+    /// and simulate on `ds`, differentially verifying the result. Returns
+    /// cycles and the compile statistics (including per-pass timing).
+    ///
+    /// This is the phase-ordering workload: the benchmark is prepared once
+    /// and then evaluated under arbitrary legal pipeline plans.
+    pub fn try_plan_cycles(
+        &self,
+        study: &StudyConfig,
+        plan: &metaopt_compiler::PipelinePlan,
+        ds: DataSet,
+    ) -> Result<(u64, CompileStats), EvalError> {
+        let passes = metaopt_compiler::Passes {
+            plan: plan.clone(),
+            ..study.baseline_passes()
+        };
+        let compiled =
+            compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
+                let kind = match e.kind {
+                    CompileErrorKind::InvariantViolation => EvalErrorKind::IrCheck,
+                    _ => EvalErrorKind::Compile,
+                };
+                EvalError::new(kind, format!("{}: plan {plan}: {e}", self.name))
+            })?;
+        let cycles = self.try_simulate(study, &self.eval_machine, &compiled, ds, 0)?;
+        Ok((cycles, compiled.stats))
+    }
+
+    /// Panicking wrapper around [`PreparedBench::try_plan_cycles`] for
+    /// tests, examples, and benches.
+    ///
+    /// # Panics
+    /// Panics if compilation, simulation, or differential verification
+    /// fails under `plan`.
+    pub fn plan_cycles(
+        &self,
+        study: &StudyConfig,
+        plan: &metaopt_compiler::PipelinePlan,
+        ds: DataSet,
+    ) -> (u64, CompileStats) {
+        self.try_plan_cycles(study, plan, ds)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

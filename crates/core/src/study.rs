@@ -1,7 +1,9 @@
 //! The three case studies: which compiler pass is evolved, on which
 //! machine, with which features, seeds and baselines.
 
-use metaopt_compiler::{hyperblock, prefetch, regalloc, BoolPriority, Passes, RealPriority};
+use metaopt_compiler::{
+    hyperblock, prefetch, regalloc, BoolPriority, Passes, PipelinePlan, RealPriority,
+};
 use metaopt_gp::expr::{Env, Expr};
 use metaopt_gp::parse::parse_expr;
 use metaopt_gp::{FeatureSet, Kind};
@@ -40,6 +42,13 @@ pub struct StudyConfig {
     /// `check-ir` feature; flip at runtime with [`StudyConfig::with_check_ir`]
     /// (the CLI's `--check-ir`).
     pub check_ir: bool,
+    /// The pipeline plan every compilation in this study executes. Each
+    /// study's constructor picks the paper-calibrated plan (the evolved
+    /// pass plus the fixed downstream passes); override with
+    /// [`StudyConfig::with_plan`] (the CLI's `--passes`) or
+    /// [`StudyConfig::with_unroll`] (the CLI's `--unroll`) to explore the
+    /// phase-ordering space.
+    pub plan: PipelinePlan,
 }
 
 fn features_from(names: (Vec<&'static str>, Vec<&'static str>)) -> FeatureSet {
@@ -72,6 +81,7 @@ pub fn hyperblock() -> StudyConfig {
         noise: 0.0,
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
     }
 }
 
@@ -89,6 +99,7 @@ pub fn regalloc() -> StudyConfig {
         noise: 0.0,
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
     }
 }
 
@@ -105,6 +116,7 @@ pub fn prefetch() -> StudyConfig {
         noise: 0.005,
         genome_kind: Kind::Bool,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        plan: PipelinePlan::parse("prefetch,regalloc,schedule").expect("study plan is valid"),
     }
 }
 
@@ -130,64 +142,43 @@ impl StudyConfig {
         self
     }
 
+    /// This study running `plan` instead of its paper-calibrated pipeline.
+    /// Priority slots for passes outside the study keep their shipped
+    /// baselines, so any legal plan is runnable.
+    pub fn with_plan(mut self, plan: PipelinePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// This study with a `unroll(factor)` step prepended to its plan
+    /// (replacing any existing unroll step; `factor < 2` removes it).
+    pub fn with_unroll(mut self, factor: u32) -> Self {
+        self.plan = self.plan.with_unroll(factor);
+        self
+    }
+
     /// The pass configuration with the study's slot filled by `expr`
     /// (the other passes run their shipped baselines).
     pub fn passes_with<'a>(&self, expr: &'a ExprPriority<'a>) -> Passes<'a> {
+        let mut passes: Passes<'a> = self.baseline_passes();
         match self.kind {
-            StudyKind::Hyperblock => Passes {
-                hyperblock: Some(expr),
-                regalloc: None, // Eq. 2 baseline
-                prefetch: None,
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
-            StudyKind::Regalloc => Passes {
-                hyperblock: Some(&hyperblock::BaselineEq1),
-                regalloc: Some(expr),
-                prefetch: None,
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
-            StudyKind::Prefetch => Passes {
-                hyperblock: None,
-                regalloc: None,
-                prefetch: Some(expr),
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
+            StudyKind::Hyperblock => passes.hyperblock = expr,
+            StudyKind::Regalloc => passes.regalloc = expr,
+            StudyKind::Prefetch => passes.prefetch = expr,
         }
+        passes
     }
 
-    /// The pass configuration with the study's shipped baseline heuristic.
+    /// The pass configuration with the study's shipped baseline heuristic:
+    /// the study's plan, baseline priorities in every slot.
     pub fn baseline_passes(&self) -> Passes<'static> {
-        match self.kind {
-            StudyKind::Hyperblock => Passes {
-                hyperblock: Some(&hyperblock::BaselineEq1),
-                regalloc: None,
-                prefetch: None,
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
-            StudyKind::Regalloc => Passes {
-                hyperblock: Some(&hyperblock::BaselineEq1),
-                regalloc: Some(&regalloc::BaselineEq2),
-                prefetch: None,
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
-            StudyKind::Prefetch => Passes {
-                hyperblock: None,
-                regalloc: None,
-                prefetch: Some(&prefetch::BaselineTripCount),
-                prefetch_iters_ahead: 8,
-                unroll: None,
-                check_ir: self.check_ir,
-            },
+        Passes {
+            plan: self.plan.clone(),
+            hyperblock: &hyperblock::BaselineEq1,
+            regalloc: &regalloc::BaselineEq2,
+            prefetch: &prefetch::BaselineTripCount,
+            prefetch_iters_ahead: 8,
+            check_ir: self.check_ir,
         }
     }
 }

@@ -77,7 +77,7 @@ fn regalloc_pressure_exists_on_the_stressed_machine() {
     let mut any_spills = false;
     for b in metaopt_suite::regalloc_training_set() {
         let pb = PreparedBench::new(&cfg, &b);
-        if pb.baseline_stats.spills > 0 {
+        if pb.baseline_stats.counters.spills > 0 {
             any_spills = true;
         }
     }

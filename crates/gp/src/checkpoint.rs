@@ -13,7 +13,7 @@
 //! serialization dependency is available in this build environment):
 //!
 //! ```text
-//! metaopt-checkpoint v1
+//! metaopt-checkpoint v2
 //! fingerprint <escaped params fingerprint>
 //! next-generation <g>
 //! rng <hex> <hex> <hex> <hex>
@@ -32,11 +32,13 @@
 //! ```
 //!
 //! The fingerprint captures every [`GpParams`] field that shapes the random
-//! stream or the selection pressure. `generations` and `threads` are
-//! deliberately excluded: resuming with a larger `generations` *extends* the
-//! run (exactly what "resume after kill" needs), and the thread count never
-//! affects results (fitness is memoized per genome and the partitioning is
-//! deterministic).
+//! stream or the selection pressure, plus the caller-supplied evaluator
+//! configuration tag (the compiler's pipeline plan — a checkpoint written
+//! under one pass pipeline must not be resumed under another).
+//! `generations` and `threads` are deliberately excluded: resuming with a
+//! larger `generations` *extends* the run (exactly what "resume after kill"
+//! needs), and the thread count never affects results (fitness is memoized
+//! per genome and the partitioning is deterministic).
 
 use crate::engine::{GenLog, GpParams};
 use crate::eval::{escape, unescape, QuarantineRecord};
@@ -46,7 +48,11 @@ use std::io;
 use std::path::Path;
 
 /// Checkpoint format version written by this build.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: the fingerprint gained the evaluator-configuration tag (the
+/// compiler's pipeline plan), so v1 checkpoints — which cannot prove which
+/// pipeline produced their fitness values — are no longer resumable.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Serialized DSS (dynamic subset selection) state.
 #[derive(Clone, Debug, PartialEq)]
@@ -136,13 +142,16 @@ impl From<io::Error> for CheckpointError {
 }
 
 /// Canonical fingerprint of every [`GpParams`] field that must match for a
-/// resume to reproduce the uninterrupted run. `generations` is excluded so
+/// resume to reproduce the uninterrupted run, plus the caller's
+/// `config_tag` describing the evaluator configuration (the experiment
+/// drivers pass the compiler's pipeline plan, so a checkpoint cannot be
+/// resumed under a different pass pipeline). `generations` is excluded so
 /// a resumed run can extend the search; `threads` is excluded because it
 /// never affects results.
-pub fn fingerprint(p: &GpParams) -> String {
+pub fn fingerprint(p: &GpParams, config_tag: &str) -> String {
     format!(
         "pop={} replace={:016x} mut={:016x} tour={} depth={} init={}-{} kind={:?} seed={} \
-         eps={:016x} subset={} elitism={}",
+         eps={:016x} subset={} elitism={} config={config_tag}",
         p.population,
         p.replace_frac.to_bits(),
         p.mutation_rate.to_bits(),
@@ -497,7 +506,7 @@ mod tests {
 
     fn sample() -> Checkpoint {
         Checkpoint {
-            fingerprint: fingerprint(&GpParams::quick()),
+            fingerprint: fingerprint(&GpParams::quick(), "prefetch,hyperblock,regalloc,schedule"),
             next_generation: 3,
             rng_state: [1, u64::MAX, 0xDEAD_BEEF, 42],
             population: vec!["(add r0 1.5)".to_string(), "(mul r1 r0)".to_string()],
@@ -570,11 +579,12 @@ mod tests {
     #[test]
     fn mismatched_fingerprint_is_refused() {
         let ck = sample();
+        let plan = "prefetch,hyperblock,regalloc,schedule";
         let mut other = GpParams::quick();
         other.seed ^= 1;
-        let err = ck.validate(&fingerprint(&other)).unwrap_err();
+        let err = ck.validate(&fingerprint(&other, plan)).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
-        ck.validate(&fingerprint(&GpParams::quick())).unwrap();
+        ck.validate(&fingerprint(&GpParams::quick(), plan)).unwrap();
     }
 
     #[test]
@@ -583,10 +593,43 @@ mod tests {
         let mut b = a.clone();
         b.generations += 17;
         b.threads = 1;
-        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a, ""), fingerprint(&b, ""));
         let mut c = a.clone();
         c.population += 1;
-        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(fingerprint(&a, ""), fingerprint(&c, ""));
+    }
+
+    #[test]
+    fn fingerprint_binds_the_pipeline_plan() {
+        // A checkpoint written under one pipeline plan must not resume
+        // under another: the fitness landscape is plan-dependent.
+        let p = GpParams::quick();
+        let ck = sample();
+        ck.validate(&fingerprint(&p, "prefetch,hyperblock,regalloc,schedule"))
+            .unwrap();
+        let err = ck
+            .validate(&fingerprint(
+                &p,
+                "unroll(2),prefetch,hyperblock,regalloc,schedule",
+            ))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        let err = ck
+            .validate(&fingerprint(&p, "regalloc,schedule"))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn v1_checkpoints_are_rejected() {
+        let old = sample()
+            .to_text()
+            .replace("metaopt-checkpoint v2", "metaopt-checkpoint v1");
+        let err = Checkpoint::parse(&old).unwrap_err();
+        assert!(
+            matches!(&err, CheckpointError::Parse { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub struct Evolution<'a, E: Evaluator> {
     seeds: Vec<Expr>,
     checkpoint_path: Option<PathBuf>,
     resume: Option<Checkpoint>,
+    config_tag: String,
 }
 
 #[derive(Clone, Copy)]
@@ -285,7 +286,18 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             seeds: Vec::new(),
             checkpoint_path: None,
             resume: None,
+            config_tag: String::new(),
         }
+    }
+
+    /// Tag the run with an evaluator-configuration description (e.g. the
+    /// compiler's pipeline plan) that becomes part of the checkpoint
+    /// fingerprint: resuming under a different configuration — which would
+    /// silently change every fitness value — is rejected like any other
+    /// parameter mismatch.
+    pub fn with_config_tag(mut self, tag: impl Into<String>) -> Self {
+        self.config_tag = tag.into();
+        self
     }
 
     /// Seed the initial population (paper §4: "we seed the initial
@@ -401,7 +413,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
     /// Run the evolution, surfacing checkpoint/resume errors.
     pub fn try_run(&self) -> Result<EvolutionResult, CheckpointError> {
         let p = &self.params;
-        let fp = fingerprint(p);
+        let fp = fingerprint(p, &self.config_tag);
         let ncases = self.evaluator.num_cases();
         let all_cases: Vec<usize> = (0..ncases).collect();
 

@@ -52,7 +52,7 @@ pub fn crossover<R: Rng>(rng: &mut R, a: &Expr, b: &Expr, max_depth: usize) -> E
     a.clone()
 }
 
-/// Mutation operators from Banzhaf et al. (paper §3 cites [2] for these):
+/// Mutation operators from Banzhaf et al. (paper §3 cites \[2\] for these):
 /// subtree replacement, operator point-mutation, and constant perturbation.
 pub fn mutate<R: Rng>(rng: &mut R, e: &Expr, fs: &FeatureSet, max_depth: usize) -> Expr {
     match rng.random_range(0..3u8) {

@@ -159,11 +159,11 @@ pub enum Opcode {
     // ---- memory (address = args[0] + imm) ----
     /// Integer load of the given width; B1 zero-extends, B4 sign-extends.
     Ld(Width),
-    /// Integer store of the given width; value = args[1].
+    /// Integer store of the given width; value = `args[1]`.
     St(Width),
     /// Float load (8 bytes).
     FLd,
-    /// Float store (8 bytes); value = args[1] (Float).
+    /// Float store (8 bytes); value = `args[1]` (Float).
     FSt,
     /// Non-binding cache prefetch of the line containing the address.
     Prefetch,
@@ -171,10 +171,10 @@ pub enum Opcode {
     // ---- control ----
     /// Unconditional jump to `target`.
     Br,
-    /// Conditional jump to `target` if args[0] (Pred) is true, else fall
+    /// Conditional jump to `target` if `args[0]` (Pred) is true, else fall
     /// through to the next instruction.
     CBr,
-    /// Return from the function; optional return value in args[0].
+    /// Return from the function; optional return value in `args[0]`.
     Ret,
     /// Call function `imm` (as a `FuncId` index); args are the call
     /// arguments; `dst` receives the return value if present.

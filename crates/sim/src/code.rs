@@ -9,7 +9,7 @@ use crate::machine::{unit_of, MachineConfig, UnitKind};
 use metaopt_ir::{Inst, Opcode};
 
 /// One VLIW issue group: instructions the scheduler placed in the same cycle.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Bundle {
     /// Slots, executed with sequential semantics (the scheduler only bundles
     /// independent instructions, so this matches EQ-model hardware).
@@ -17,7 +17,7 @@ pub struct Bundle {
 }
 
 /// A scheduled machine program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MachineProgram {
     /// Blocks of bundles; `Inst::target` indexes this vector.
     pub blocks: Vec<Vec<Bundle>>,
