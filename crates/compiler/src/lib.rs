@@ -158,6 +158,10 @@ pub struct Passes<'a> {
     /// produced it. Defaults to [`CHECK_IR_DEFAULT`] (the `check-ir` cargo
     /// feature).
     pub check_ir: bool,
+    /// Structured-trace sink: the [`PassManager`] emits one `pass` event
+    /// (wall time + counter deltas) per executed pass into it. Disabled by
+    /// default, which costs one branch per pass and changes nothing else.
+    pub tracer: metaopt_trace::Tracer,
 }
 
 /// Whether [`Passes::check_ir`] defaults to on — true when the crate is
@@ -175,6 +179,7 @@ impl<'a> Default for Passes<'a> {
             prefetch: &prefetch::BaselineTripCount,
             prefetch_iters_ahead: 8,
             check_ir: CHECK_IR_DEFAULT,
+            tracer: metaopt_trace::Tracer::disabled(),
         }
     }
 }

@@ -153,10 +153,27 @@ impl PassManager {
             if ctx.config.check_ir && pass.mutates_ir() {
                 check_after(func, ctx, pass.name())?;
             }
+            let delta = ctx.stats.counters.delta_since(before);
+            if ctx.config.tracer.enabled() {
+                use metaopt_trace::json::Value;
+                let delta_obj = delta
+                    .nonzero()
+                    .into_iter()
+                    .map(|(name, v)| (name.to_string(), Value::UInt(v)))
+                    .collect();
+                ctx.config.tracer.emit(
+                    "pass",
+                    [
+                        ("pass", Value::str(pass.name())),
+                        ("wall_ns", Value::UInt(wall_nanos)),
+                        ("delta", Value::Obj(delta_obj)),
+                    ],
+                );
+            }
             ctx.stats.per_pass.push(PassStat {
                 name: pass.name(),
                 wall_nanos,
-                delta: ctx.stats.counters.delta_since(before),
+                delta,
             });
         }
         Ok(())

@@ -190,6 +190,7 @@ proptest! {
             // Fuzzed pipelines double as a stress test for the inter-pass
             // invariant checker: every boundary of every case must be clean.
             check_ir: true,
+            tracer: metaopt_trace::Tracer::disabled(),
         };
         let mut machine = MachineConfig::table3();
         if tiny_regs {

@@ -26,11 +26,19 @@
 //! `--resume <path>` continues a run from one (the GP parameters must
 //! match; `--gens` may be raised to extend the run). A resumed run
 //! reproduces the uninterrupted run exactly.
+//!
+//! Every subcommand accepts `--trace-out <path>`: structured run telemetry
+//! (the `run-trace.v1` JSONL schema — evolution generations, uncached
+//! evaluations, compiler passes, simulations, checkpoints) streams to the
+//! file, and `metaopt trace-report <path>` renders it as throughput /
+//! cache-hit / slowest-pass / quarantine tables. Runs without `--trace-out`
+//! are bit-identical to runs of a build without tracing.
 
 use metaopt::experiment::{ExperimentError, RunControl};
 use metaopt::{experiment, study, PreparedBench, StudyConfig};
 use metaopt_gp::expr::display_named;
 use metaopt_gp::{GpParams, QuarantineRecord};
+use metaopt_trace::{json::Value, Tracer};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -44,11 +52,12 @@ fn usage() -> ExitCode {
            crossval <study> <sexpr-file>        cross-validate a saved priority fn\n\
            compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
            ablate <study> <benchmark> [plan ..] sweep pipeline plans, report cycles\n\
+           trace-report <trace.jsonl>           summarize a --trace-out file\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
          options: --pop N --gens N --seed N --threads N --check-ir\n\
                   --passes <plan> --unroll <N>\n\
-                  --checkpoint <path> --resume <path>\n\
+                  --checkpoint <path> --resume <path> --trace-out <path>\n\
          plans:   comma-separated passes ending in regalloc,schedule,\n\
                   e.g. unroll(2),prefetch,hyperblock,regalloc,schedule"
     );
@@ -87,6 +96,7 @@ struct Options {
     control: RunControl,
     passes: Option<metaopt_compiler::PipelinePlan>,
     unroll: Option<u32>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Option<Options> {
@@ -96,6 +106,7 @@ fn parse_args() -> Option<Options> {
     let mut control = RunControl::default();
     let mut passes = None;
     let mut unroll = None;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -114,6 +125,7 @@ fn parse_args() -> Option<Options> {
             "--unroll" => unroll = Some(args.next()?.parse().ok()?),
             "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
             "--resume" => control.resume = Some(args.next()?.into()),
+            "--trace-out" => trace_out = Some(args.next()?.into()),
             _ => positional.push(a),
         }
     }
@@ -124,6 +136,7 @@ fn parse_args() -> Option<Options> {
         control,
         passes,
         unroll,
+        trace_out,
     })
 }
 
@@ -191,6 +204,38 @@ fn main() -> ExitCode {
     let Some(opts) = parse_args() else {
         return usage();
     };
+    let tracer = match &opts.trace_out {
+        Some(path) => match Tracer::to_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot create trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Tracer::disabled(),
+    };
+    let command = opts.positional.join(" ");
+    let run_span = tracer.begin();
+    if tracer.enabled() {
+        tracer.emit("run-start", [("command", Value::str(command.as_str()))]);
+    }
+    let code = run(&opts, &tracer);
+    if tracer.enabled() {
+        tracer.emit(
+            "run-end",
+            [
+                ("command", Value::str(command.as_str())),
+                ("dur_ns", Value::UInt(run_span.dur_ns())),
+            ],
+        );
+        tracer.flush();
+    }
+    code
+}
+
+fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
+    let mut control = opts.control.clone();
+    control.tracer = tracer.clone();
     let pos: Vec<&str> = opts.positional.iter().map(|s| s.as_str()).collect();
     match pos.as_slice() {
         ["list"] => {
@@ -208,12 +253,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
                 return ExitCode::FAILURE;
             };
-            let r = match experiment::specialize_controlled(
-                &cfg,
-                &bench,
-                &opts.params,
-                &opts.control,
-            ) {
+            let r = match experiment::specialize_controlled(&cfg, &bench, &opts.params, &control) {
                 Ok(r) => r,
                 Err(e) => return report_error(&e),
             };
@@ -237,7 +277,7 @@ fn main() -> ExitCode {
                 &cfg,
                 &training_set(&cfg),
                 &opts.params,
-                &opts.control,
+                &control,
             ) {
                 Ok(r) => r,
                 Err(e) => return report_error(&e),
@@ -308,7 +348,8 @@ fn main() -> ExitCode {
             // Per-pass instrumentation of this compilation: the priority
             // function in the study's slot, baselines elsewhere.
             let pri = study::ExprPriority(&expr);
-            let passes = cfg.passes_with(&pri);
+            let mut passes = cfg.passes_with(&pri);
+            passes.tracer = tracer.clone();
             match metaopt_compiler::compile(&pb.prepared, &pb.profile, &cfg.machine, &passes) {
                 Ok(compiled) => {
                     println!("plan: {}", cfg.plan);
@@ -320,7 +361,7 @@ fn main() -> ExitCode {
                 }
             }
             for ds in [metaopt_suite::DataSet::Train, metaopt_suite::DataSet::Novel] {
-                match pb.try_cycles_with(&cfg, &expr, ds) {
+                match pb.try_cycles_traced(&cfg, &expr, ds, tracer) {
                     Ok(cycles) => println!(
                         "{ds:?}: {} cycles (baseline {}, speedup {:.3})",
                         cycles,
@@ -359,13 +400,32 @@ fn main() -> ExitCode {
                 }
                 plans
             };
-            let r = match experiment::try_ablate(&cfg, &bench, &plans) {
+            let r = match experiment::try_ablate_traced(&cfg, &bench, &plans, tracer) {
                 Ok(r) => r,
                 Err(e) => return report_error(&e),
             };
             println!("{}: cycles per pipeline plan (train data)", r.bench);
             print!("{}", r.table());
             ExitCode::SUCCESS
+        }
+        ["trace-report", path] => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match metaopt_trace::report::analyze(&text) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: invalid trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

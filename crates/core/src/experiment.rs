@@ -16,6 +16,7 @@ use metaopt_compiler::{CompileStats, PipelinePlan};
 use metaopt_gp::checkpoint::{Checkpoint, CheckpointError};
 use metaopt_gp::{Evolution, Expr, GenLog, GpParams, QuarantineRecord};
 use metaopt_suite::{Benchmark, DataSet};
+use metaopt_trace::Tracer;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -70,6 +71,10 @@ pub struct RunControl {
     /// parameter fingerprint must match the current run (generation count
     /// and thread count may differ).
     pub resume: Option<PathBuf>,
+    /// Structured-trace sink for the run (`run-trace.v1`): the GP engine,
+    /// the pass manager, and the simulator all emit into it. Disabled by
+    /// default, leaving results bit-identical to an untraced run.
+    pub tracer: Tracer,
 }
 
 /// Result of specializing a priority function to one benchmark (paper
@@ -126,7 +131,7 @@ pub fn specialize_controlled(
 ) -> Result<SpecializationResult, ExperimentError> {
     let pb = PreparedBench::try_new(study, bench)?;
     let benches = [pb];
-    let evaluator = StudyEvaluator::new(study, &benches);
+    let evaluator = StudyEvaluator::new(study, &benches).with_tracer(control.tracer.clone());
     let mut params = params.clone();
     params.kind = study.genome_kind;
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -134,7 +139,8 @@ pub fn specialize_controlled(
     params.seed ^= std::hash::Hasher::finish(&h);
     let mut evo = Evolution::new(params, &study.features, &evaluator)
         .with_seeds(vec![study.baseline_seed.clone()])
-        .with_config_tag(study.plan.to_string());
+        .with_config_tag(study.plan.to_string())
+        .with_tracer(control.tracer.clone());
     if let Some(path) = &control.resume {
         evo = evo.resume_from(Checkpoint::load(path)?);
     }
@@ -206,7 +212,7 @@ pub fn train_general_controlled(
         .iter()
         .map(|b| PreparedBench::try_new(study, b))
         .collect::<Result<Vec<PreparedBench>, PrepareError>>()?;
-    let evaluator = StudyEvaluator::new(study, &prepared);
+    let evaluator = StudyEvaluator::new(study, &prepared).with_tracer(control.tracer.clone());
     let mut params = params.clone();
     params.kind = study.genome_kind;
     if params.subset_size.is_none() && benches.len() > 4 {
@@ -215,7 +221,8 @@ pub fn train_general_controlled(
     }
     let mut evo = Evolution::new(params, &study.features, &evaluator)
         .with_seeds(vec![study.baseline_seed.clone()])
-        .with_config_tag(study.plan.to_string());
+        .with_config_tag(study.plan.to_string())
+        .with_tracer(control.tracer.clone());
     if let Some(path) = &control.resume {
         evo = evo.resume_from(Checkpoint::load(path)?);
     }
@@ -386,11 +393,22 @@ pub fn try_ablate(
     bench: &Benchmark,
     plans: &[PipelinePlan],
 ) -> Result<AblationResult, ExperimentError> {
+    try_ablate_traced(study, bench, plans, &Tracer::disabled())
+}
+
+/// [`try_ablate`], emitting `pass` and `sim` events for every plan's
+/// compile-and-simulate into `tracer`.
+pub fn try_ablate_traced(
+    study: &StudyConfig,
+    bench: &Benchmark,
+    plans: &[PipelinePlan],
+    tracer: &Tracer,
+) -> Result<AblationResult, ExperimentError> {
     let pb = PreparedBench::try_new(study, bench)?;
     let runs = plans
         .iter()
         .map(
-            |plan| match pb.try_plan_cycles(study, plan, DataSet::Train) {
+            |plan| match pb.try_plan_cycles_traced(study, plan, DataSet::Train, tracer) {
                 Ok((cycles, stats)) => PlanRun {
                     plan: plan.clone(),
                     cycles: Some(cycles),
@@ -493,7 +511,7 @@ mod tests {
         };
         let ck_control = RunControl {
             checkpoint: Some(path.clone()),
-            resume: None,
+            ..RunControl::default()
         };
         specialize_controlled(&cfg, &bench, &short, &ck_control).unwrap();
         assert!(path.exists(), "checkpoint file must be written");
@@ -506,8 +524,8 @@ mod tests {
             &bench,
             &full,
             &RunControl {
-                checkpoint: None,
                 resume: Some(path.clone()),
+                ..RunControl::default()
             },
         )
         .unwrap();
@@ -564,13 +582,13 @@ mod tests {
         };
         let ck = RunControl {
             checkpoint: Some(path.clone()),
-            resume: None,
+            ..RunControl::default()
         };
         specialize_controlled(&cfg, &bench, &params, &ck).unwrap();
 
         let resume = RunControl {
-            checkpoint: None,
             resume: Some(path.clone()),
+            ..RunControl::default()
         };
         let err = specialize_controlled(&cfg.clone().with_unroll(2), &bench, &params, &resume)
             .unwrap_err();
@@ -591,8 +609,8 @@ mod tests {
         let cfg = study::hyperblock();
         let bench = metaopt_suite::by_name("unepic").unwrap();
         let control = RunControl {
-            checkpoint: None,
             resume: Some(std::path::PathBuf::from("/nonexistent/metaopt-ck.txt")),
+            ..RunControl::default()
         };
         let err = specialize_controlled(&cfg, &bench, &tiny_params(3), &control).unwrap_err();
         assert!(matches!(err, ExperimentError::Checkpoint(_)), "{err}");

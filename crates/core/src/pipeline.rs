@@ -21,9 +21,10 @@ use metaopt_ir::budget;
 use metaopt_ir::interp::{run, RunConfig};
 use metaopt_ir::profile::FuncProfile;
 use metaopt_ir::Program;
-use metaopt_sim::exec::{simulate, simulate_noisy, SimError};
+use metaopt_sim::exec::{simulate_traced, SimError};
 use metaopt_sim::machine::MachineConfig;
 use metaopt_suite::{Benchmark, DataSet, SuiteError};
+use metaopt_trace::{json::Value, Tracer};
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -149,10 +150,24 @@ impl PreparedBench {
             .map_err(|e| err(format!("baseline compilation failed: {e}")))?;
         pb.baseline_stats = compiled.stats.clone();
         pb.baseline_train_cycles = pb
-            .try_simulate(study, &study.machine, &compiled, DataSet::Train, 0)
+            .try_simulate(
+                study,
+                &study.machine,
+                &compiled,
+                DataSet::Train,
+                0,
+                &Tracer::disabled(),
+            )
             .map_err(|e| err(format!("baseline timing failed: {e}")))?;
         pb.baseline_novel_cycles = pb
-            .try_simulate(study, &study.machine, &compiled, DataSet::Novel, 0)
+            .try_simulate(
+                study,
+                &study.machine,
+                &compiled,
+                DataSet::Novel,
+                0,
+                &Tracer::disabled(),
+            )
             .map_err(|e| err(format!("baseline timing failed: {e}")))?;
         Ok(pb)
     }
@@ -193,26 +208,24 @@ impl PreparedBench {
         compiled: &metaopt_compiler::Compiled,
         ds: DataSet,
         noise_seed: u64,
+        tracer: &Tracer,
     ) -> Result<u64, EvalError> {
         let mem = self.mem_for(compiled, ds);
-        let result = if study.noise > 0.0 {
-            simulate_noisy(&compiled.code, machine, mem, study.noise, noise_seed)
-        } else {
-            simulate(&compiled.code, machine, mem)
-        }
-        .map_err(|e| match e {
-            SimError::InstLimit(n) => EvalError::new(
-                EvalErrorKind::Budget,
-                format!(
-                    "{}: simulation exceeded the {n}-instruction budget on {ds:?}",
-                    self.name
+        let noise = (study.noise > 0.0).then_some((study.noise, noise_seed));
+        let result =
+            simulate_traced(&compiled.code, machine, mem, noise, tracer).map_err(|e| match e {
+                SimError::InstLimit(n) => EvalError::new(
+                    EvalErrorKind::Budget,
+                    format!(
+                        "{}: simulation exceeded the {n}-instruction budget on {ds:?}",
+                        self.name
+                    ),
                 ),
-            ),
-            other => EvalError::new(
-                EvalErrorKind::Sim,
-                format!("{}: simulation fault on {ds:?}: {other}", self.name),
-            ),
-        })?;
+                other => EvalError::new(
+                    EvalErrorKind::Sim,
+                    format!("{}: simulation fault on {ds:?}: {other}", self.name),
+                ),
+            })?;
         if result.ret != self.expected_ret(ds) {
             return Err(EvalError::new(
                 EvalErrorKind::WrongAnswer,
@@ -236,13 +249,15 @@ impl PreparedBench {
         expr: &Expr,
         ds: DataSet,
         fault: Option<&FaultInjector>,
+        tracer: &Tracer,
     ) -> Result<u64, EvalError> {
         let key = expr.key();
         if let Some(f) = fault {
             f.check(FaultStage::Compile, &key, &self.name)?;
         }
         let pri = ExprPriority(expr);
-        let passes = study.passes_with(&pri);
+        let mut passes = study.passes_with(&pri);
+        passes.tracer = tracer.clone();
         let compiled =
             compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
                 let kind = match e.kind {
@@ -264,7 +279,7 @@ impl PreparedBench {
         key.hash(&mut h);
         self.name.hash(&mut h);
         (ds == DataSet::Novel).hash(&mut h);
-        self.try_simulate(study, &self.eval_machine, &compiled, ds, h.finish())
+        self.try_simulate(study, &self.eval_machine, &compiled, ds, h.finish(), tracer)
     }
 
     /// Compile with `expr` in the study's priority slot and simulate on
@@ -275,7 +290,19 @@ impl PreparedBench {
         expr: &Expr,
         ds: DataSet,
     ) -> Result<u64, EvalError> {
-        self.eval_cycles(study, expr, ds, None)
+        self.eval_cycles(study, expr, ds, None, &Tracer::disabled())
+    }
+
+    /// [`PreparedBench::try_cycles_with`], emitting `pass` and `sim` events
+    /// for this compile-and-simulate into `tracer`.
+    pub fn try_cycles_traced(
+        &self,
+        study: &StudyConfig,
+        expr: &Expr,
+        ds: DataSet,
+        tracer: &Tracer,
+    ) -> Result<u64, EvalError> {
+        self.eval_cycles(study, expr, ds, None, tracer)
     }
 
     /// Panicking wrapper around [`PreparedBench::try_cycles_with`] for
@@ -330,8 +357,21 @@ impl PreparedBench {
         plan: &metaopt_compiler::PipelinePlan,
         ds: DataSet,
     ) -> Result<(u64, CompileStats), EvalError> {
+        self.try_plan_cycles_traced(study, plan, ds, &Tracer::disabled())
+    }
+
+    /// [`PreparedBench::try_plan_cycles`], emitting `pass` and `sim` events
+    /// into `tracer`.
+    pub fn try_plan_cycles_traced(
+        &self,
+        study: &StudyConfig,
+        plan: &metaopt_compiler::PipelinePlan,
+        ds: DataSet,
+        tracer: &Tracer,
+    ) -> Result<(u64, CompileStats), EvalError> {
         let passes = metaopt_compiler::Passes {
             plan: plan.clone(),
+            tracer: tracer.clone(),
             ..study.baseline_passes()
         };
         let compiled =
@@ -342,7 +382,7 @@ impl PreparedBench {
                 };
                 EvalError::new(kind, format!("{}: plan {plan}: {e}", self.name))
             })?;
-        let cycles = self.try_simulate(study, &self.eval_machine, &compiled, ds, 0)?;
+        let cycles = self.try_simulate(study, &self.eval_machine, &compiled, ds, 0, tracer)?;
         Ok((cycles, compiled.stats))
     }
 
@@ -377,6 +417,7 @@ pub struct StudyEvaluator<'a> {
     study: &'a StudyConfig,
     benches: &'a [PreparedBench],
     fault: Option<FaultInjector>,
+    tracer: Tracer,
 }
 
 impl<'a> StudyEvaluator<'a> {
@@ -386,7 +427,15 @@ impl<'a> StudyEvaluator<'a> {
             study,
             benches,
             fault: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit `pass`/`sim` events (stamped with the benchmark name) for every
+    /// evaluation into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Attach a deterministic fault injector (robustness testing only).
@@ -404,7 +453,16 @@ impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
 
     fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
         let pb = &self.benches[case];
-        match pb.eval_cycles(self.study, expr, DataSet::Train, self.fault.as_ref()) {
+        let tracer = self
+            .tracer
+            .scoped([("bench", Value::str(pb.name.as_str()))]);
+        match pb.eval_cycles(
+            self.study,
+            expr,
+            DataSet::Train,
+            self.fault.as_ref(),
+            &tracer,
+        ) {
             Ok(cycles) => EvalOutcome::Score(pb.baseline_train_cycles as f64 / cycles as f64),
             Err(e) => EvalOutcome::Failed(e),
         }

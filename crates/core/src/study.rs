@@ -179,6 +179,7 @@ impl StudyConfig {
             prefetch: &prefetch::BaselineTripCount,
             prefetch_iters_ahead: 8,
             check_ir: self.check_ir,
+            tracer: metaopt_trace::Tracer::disabled(),
         }
     }
 }

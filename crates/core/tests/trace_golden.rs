@@ -1,0 +1,95 @@
+//! Golden trace test: a fixed-seed two-generation specialization run must
+//! (a) emit a trace in which every line validates against `run-trace.v1`,
+//! (b) reproduce a checked-in golden of the timestamp-stripped event
+//! sequence exactly, and (c) leave the run's *results* bit-identical to the
+//! same run with tracing disabled.
+//!
+//! Regenerate the golden after an intentional schema/emission change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p metaopt --test trace_golden
+//! ```
+
+use metaopt::experiment::{self, RunControl, SpecializationResult};
+use metaopt::study;
+use metaopt_gp::GpParams;
+use metaopt_trace::{report, schema, strip_timing, Tracer};
+use std::path::Path;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/trace_smoke.golden"
+);
+
+fn smoke_run(tracer: Tracer) -> SpecializationResult {
+    let cfg = study::hyperblock();
+    let bench = metaopt_suite::by_name("unepic").unwrap();
+    let params = GpParams {
+        population: 6,
+        generations: 2,
+        seed: 4,
+        threads: 1,
+        ..GpParams::quick()
+    };
+    let control = RunControl {
+        tracer,
+        ..RunControl::default()
+    };
+    experiment::specialize_controlled(&cfg, &bench, &params, &control).unwrap()
+}
+
+#[test]
+fn fixed_seed_trace_matches_golden_and_perturbs_nothing() {
+    let tracer = Tracer::in_memory();
+    let traced = smoke_run(tracer.clone());
+    let lines = tracer.lines().unwrap();
+    let text = lines.join("\n");
+
+    // (a) Every line validates against the schema.
+    let summary = schema::validate_trace(&text).unwrap();
+    assert_eq!(summary.events, lines.len());
+    assert_eq!(summary.by_type[0].0, "trace-header");
+
+    // The report layer digests the same trace without complaint.
+    let rep = report::analyze(&text).unwrap();
+    assert_eq!(rep.generations.len(), 2);
+    assert!(rep.render().contains("generation"));
+
+    // (b) The timestamp-stripped event sequence is pinned by the golden
+    // file: everything but timing is deterministic for a fixed seed.
+    let stripped: String = lines
+        .iter()
+        .map(|l| strip_timing(l).unwrap() + "\n")
+        .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &stripped).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            Path::new(GOLDEN).display()
+        )
+    });
+    assert_eq!(
+        stripped, golden,
+        "trace event sequence drifted from the golden; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+
+    // (c) Tracing observes, never perturbs: the identical run with the
+    // tracer disabled produces a bit-identical result.
+    let plain = smoke_run(Tracer::disabled());
+    assert_eq!(plain.best.key(), traced.best.key());
+    assert_eq!(
+        plain.train_speedup.to_bits(),
+        traced.train_speedup.to_bits()
+    );
+    assert_eq!(
+        plain.novel_speedup.to_bits(),
+        traced.novel_speedup.to_bits()
+    );
+    assert_eq!(plain.log, traced.log);
+    assert_eq!(plain.evaluations, traced.evaluations);
+    assert_eq!(plain.quarantined, traced.quarantined);
+}

@@ -7,11 +7,15 @@ use crate::expr::{Expr, Kind};
 use crate::features::FeatureSet;
 use crate::gen::random_expr;
 use crate::ops::{crossover, mutate};
+use metaopt_trace::json::Value;
+use metaopt_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Fitness assigned to a genome whose evaluation failed on any case in the
@@ -143,6 +147,15 @@ pub struct EvolutionResult {
     /// The quarantine ledger: one record per distinct failed
     /// `(genome, case)` pair, with the classified error and diagnostics.
     pub quarantined: Vec<QuarantineRecord>,
+    /// Memo-cache hits: `(expr, case)` lookups answered without an
+    /// evaluation. Deterministic for a fixed configuration regardless of
+    /// thread count — every lookup counts as exactly one of
+    /// `evaluations`/`cache_hits`, and the set of evaluated pairs is
+    /// thread-schedule independent (the memo's insert is an entry guard:
+    /// a thread that loses an evaluation race records a hit, not an
+    /// evaluation). Not carried across a resume (the cache itself is not
+    /// persisted).
+    pub cache_hits: u64,
 }
 
 /// An evolution run: wraps GP around an [`Evaluator`].
@@ -154,6 +167,7 @@ pub struct Evolution<'a, E: Evaluator> {
     checkpoint_path: Option<PathBuf>,
     resume: Option<Checkpoint>,
     config_tag: String,
+    tracer: Tracer,
 }
 
 #[derive(Clone, Copy)]
@@ -168,21 +182,42 @@ struct Ledger {
     seen: HashSet<(String, usize)>,
 }
 
+/// Number of independent lock shards in the fitness memo. Worker threads
+/// hash each `(genome, case)` key onto a shard, so concurrent lookups of
+/// different pairs rarely contend on the same mutex.
+const MEMO_SHARDS: usize = 16;
+
+/// Deterministic FNV-1a — used only to spread keys across shards, so it
+/// needs no cross-process stability guarantees, but having them anyway
+/// keeps shard occupancy reproducible.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
 struct Memo {
-    cache: Mutex<HashMap<(String, usize), EvalOutcome>>,
-    counters: Mutex<Counters>,
+    shards: Vec<Mutex<HashMap<(String, usize), EvalOutcome>>>,
+    evaluations: AtomicU64,
+    successes: AtomicU64,
+    failures: AtomicU64,
+    cache_hits: AtomicU64,
     ledger: Mutex<Ledger>,
 }
 
 impl Memo {
     fn new() -> Self {
         Memo {
-            cache: Mutex::new(HashMap::new()),
-            counters: Mutex::new(Counters {
-                evaluations: 0,
-                successes: 0,
-                failures: 0,
-            }),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            evaluations: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
             ledger: Mutex::new(Ledger {
                 records: Vec::new(),
                 seen: HashSet::new(),
@@ -200,22 +235,35 @@ impl Memo {
             .iter()
             .map(|r| (r.genome.clone(), r.case))
             .collect();
-        Memo {
-            cache: Mutex::new(HashMap::new()),
-            counters: Mutex::new(Counters {
-                evaluations: ck.evaluations,
-                successes: ck.successes,
-                failures: ck.failures,
-            }),
-            ledger: Mutex::new(Ledger {
-                records: ck.quarantined.clone(),
-                seen,
-            }),
+        let memo = Memo::new();
+        memo.evaluations.store(ck.evaluations, Ordering::Relaxed);
+        memo.successes.store(ck.successes, Ordering::Relaxed);
+        memo.failures.store(ck.failures, Ordering::Relaxed);
+        *memo.ledger.lock().unwrap() = Ledger {
+            records: ck.quarantined.clone(),
+            seen,
+        };
+        memo
+    }
+
+    fn shard(&self, key: &str, case: usize) -> &Mutex<HashMap<(String, usize), EvalOutcome>> {
+        let h = fnv1a(key) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h % MEMO_SHARDS as u64) as usize]
+    }
+
+    /// Counter snapshot. Only consistent when no evaluation is in flight
+    /// (the engine reads at generation boundaries, after worker threads
+    /// have joined).
+    fn counters(&self) -> Counters {
+        Counters {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
         }
     }
 
-    fn counters(&self) -> Counters {
-        *self.counters.lock().unwrap()
+    fn hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// The ledger in canonical `(genome, case)` order. Worker threads race
@@ -229,49 +277,89 @@ impl Memo {
     }
 
     fn cache_entries(&self) -> u64 {
-        self.cache.lock().unwrap().len() as u64
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum()
     }
 
     /// Fetch a cached outcome or evaluate. The evaluator call is wrapped in
     /// `catch_unwind`: a panicking genome becomes a quarantined
     /// [`EvalOutcome::Failed`] instead of poisoning a worker thread and
     /// aborting the run.
+    ///
+    /// Accounting invariant: every call bumps exactly one of
+    /// `evaluations`/`cache_hits`. When two threads race to evaluate the
+    /// same uncached pair, the insert is an entry guard — the loser
+    /// discards its redundant result, adopts the winner's, and records a
+    /// cache hit, so the counters (and the per-pair `eval` trace span,
+    /// emitted only by the winner) are identical to a single-threaded run.
     fn get_or_eval<E: Evaluator>(
         &self,
         ev: &E,
         expr: &Expr,
         key: &str,
         case: usize,
+        gen: usize,
+        tracer: &Tracer,
     ) -> EvalOutcome {
-        if let Some(v) = self.cache.lock().unwrap().get(&(key.to_string(), case)) {
+        let shard = self.shard(key, case);
+        if let Some(v) = shard.lock().unwrap().get(&(key.to_string(), case)) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
+        let span = tracer.begin();
         let outcome = match catch_unwind(AssertUnwindSafe(|| ev.eval_case(expr, case))) {
             Ok(o) => o,
             Err(payload) => EvalOutcome::Failed(EvalError::from_panic(&*payload)),
         };
-        {
-            let mut c = self.counters.lock().unwrap();
-            c.evaluations += 1;
+        match shard.lock().unwrap().entry((key.to_string(), case)) {
+            Entry::Occupied(existing) => {
+                // Lost the race: another thread evaluated this pair first.
+                // Its outcome is canonical; this thread's work is dropped
+                // and counted as a (late) cache hit.
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return existing.get().clone();
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(outcome.clone());
+            }
+        }
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            EvalOutcome::Score(_) => {
+                self.successes.fetch_add(1, Ordering::Relaxed);
+            }
+            EvalOutcome::Failed(err) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                let mut led = self.ledger.lock().unwrap();
+                if led.seen.insert((key.to_string(), case)) {
+                    led.records.push(QuarantineRecord {
+                        genome: key.to_string(),
+                        case,
+                        error: err.clone(),
+                    });
+                }
+            }
+        }
+        if tracer.enabled() {
+            let mut attrs = vec![
+                ("gen", Value::UInt(gen as u64)),
+                ("genome", Value::str(key)),
+                ("case", Value::UInt(case as u64)),
+            ];
             match &outcome {
-                EvalOutcome::Score(_) => c.successes += 1,
-                EvalOutcome::Failed(_) => c.failures += 1,
+                EvalOutcome::Score(s) => {
+                    attrs.push(("outcome", Value::str(metaopt_trace::schema::OUTCOME_SCORE)));
+                    attrs.push(("score", Value::Num(*s)));
+                }
+                EvalOutcome::Failed(err) => {
+                    attrs.push(("outcome", Value::str(err.kind.label())));
+                }
             }
+            attrs.push(("dur_ns", Value::UInt(span.dur_ns())));
+            tracer.emit("eval", attrs);
         }
-        if let EvalOutcome::Failed(err) = &outcome {
-            let mut led = self.ledger.lock().unwrap();
-            if led.seen.insert((key.to_string(), case)) {
-                led.records.push(QuarantineRecord {
-                    genome: key.to_string(),
-                    case,
-                    error: err.clone(),
-                });
-            }
-        }
-        self.cache
-            .lock()
-            .unwrap()
-            .insert((key.to_string(), case), outcome.clone());
         outcome
     }
 }
@@ -287,7 +375,17 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             checkpoint_path: None,
             resume: None,
             config_tag: String::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit `run-trace.v1` events (evolution/generation/eval/checkpoint
+    /// spans) into `tracer`. The default is [`Tracer::disabled`], which
+    /// costs one branch per would-be event and leaves results bit-identical
+    /// to a build without tracing.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Tag the run with an evaluator-configuration description (e.g. the
@@ -324,7 +422,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         self
     }
 
-    fn mean_fitness(&self, memo: &Memo, expr: &Expr, subset: &[usize]) -> f64 {
+    fn mean_fitness(&self, memo: &Memo, expr: &Expr, subset: &[usize], gen: usize) -> f64 {
         if subset.is_empty() {
             return 1.0;
         }
@@ -342,7 +440,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         let mut sum = 0.0;
         let mut failed = false;
         for &c in subset {
-            match memo.get_or_eval(self.evaluator, expr, &key, c) {
+            match memo.get_or_eval(self.evaluator, expr, &key, c, gen, &self.tracer) {
                 EvalOutcome::Score(s) => sum += s,
                 EvalOutcome::Failed(_) => failed = true,
             }
@@ -354,12 +452,12 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         }
     }
 
-    fn evaluate_all(&self, memo: &Memo, pop: &[Expr], subset: &[usize]) -> Vec<f64> {
+    fn evaluate_all(&self, memo: &Memo, pop: &[Expr], subset: &[usize], gen: usize) -> Vec<f64> {
         let threads = self.params.threads.max(1);
         if threads == 1 || pop.len() < 4 {
             return pop
                 .iter()
-                .map(|e| self.mean_fitness(memo, e, subset))
+                .map(|e| self.mean_fitness(memo, e, subset, gen))
                 .collect();
         }
         let mut fits = vec![0.0f64; pop.len()];
@@ -369,7 +467,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                 let _ = ci;
                 s.spawn(move || {
                     for (e, f) in exprs.iter().zip(out.iter_mut()) {
-                        *f = self.mean_fitness(memo, e, subset);
+                        *f = self.mean_fitness(memo, e, subset, gen);
                     }
                 });
             }
@@ -488,12 +586,29 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             start_generation = 0;
         }
 
+        let run_span = self.tracer.begin();
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "evolution-start",
+                [
+                    ("population", Value::UInt(p.population as u64)),
+                    ("generations", Value::UInt(p.generations as u64)),
+                    ("start_gen", Value::UInt(start_generation as u64)),
+                    ("threads", Value::UInt(p.threads as u64)),
+                    ("resumed", Value::Bool(self.resume.is_some())),
+                ],
+            );
+        }
+
         for generation in start_generation..p.generations {
+            let gen_span = self.tracer.begin();
+            let evals_before = memo.counters().evaluations;
+            let hits_before = memo.hits();
             let subset = match &mut dss {
                 Some(d) => d.select(&mut rng),
                 None => all_cases.clone(),
             };
-            let fits = self.evaluate_all(&memo, &pop, &subset);
+            let fits = self.evaluate_all(&memo, &pop, &subset, generation);
 
             let best_idx = argbest(&fits, &pop, p.fitness_epsilon);
             log.push(GenLog {
@@ -511,11 +626,41 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                 let key = pop[best_idx].key();
                 for &c in &subset {
                     let s = memo
-                        .get_or_eval(self.evaluator, &pop[best_idx], &key, c)
+                        .get_or_eval(
+                            self.evaluator,
+                            &pop[best_idx],
+                            &key,
+                            c,
+                            generation,
+                            &self.tracer,
+                        )
                         .score()
                         .unwrap_or(PENALTY_FITNESS);
                     d.report(c, s);
                 }
+            }
+
+            if self.tracer.enabled() {
+                let gl = log.last().expect("just pushed");
+                self.tracer.emit(
+                    "generation",
+                    [
+                        ("gen", Value::UInt(generation as u64)),
+                        (
+                            "subset",
+                            Value::Arr(subset.iter().map(|&c| Value::UInt(c as u64)).collect()),
+                        ),
+                        (
+                            "evals",
+                            Value::UInt(memo.counters().evaluations - evals_before),
+                        ),
+                        ("cache_hits", Value::UInt(memo.hits() - hits_before)),
+                        ("best_fitness", Value::Num(gl.best_fitness)),
+                        ("mean_fitness", Value::Num(gl.mean_fitness)),
+                        ("best_size", Value::UInt(gl.best_size as u64)),
+                        ("dur_ns", Value::UInt(gen_span.dur_ns())),
+                    ],
+                );
             }
 
             if generation + 1 == p.generations {
@@ -550,15 +695,26 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             // generation's RNG draws and fitness comparisons depend on is
             // now settled.
             if let Some(path) = &self.checkpoint_path {
+                let ck_span = self.tracer.begin();
                 self.save_checkpoint(path, &fp, generation + 1, &rng, &pop, &dss, &log, &memo)?;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "checkpoint",
+                        [
+                            ("gen", Value::UInt((generation + 1) as u64)),
+                            ("dur_ns", Value::UInt(ck_span.dur_ns())),
+                        ],
+                    );
+                }
             }
         }
 
-        // Final judgement on the full training set.
-        let final_fits = self.evaluate_all(&memo, &pop, &all_cases);
+        // Final judgement on the full training set (attributed to the
+        // one-past-the-end generation index in the trace).
+        let final_fits = self.evaluate_all(&memo, &pop, &all_cases, p.generations);
         let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
         let counters = memo.counters();
-        Ok(EvolutionResult {
+        let result = EvolutionResult {
             best: pop[best_idx].clone(),
             best_fitness: final_fits[best_idx],
             log,
@@ -566,7 +722,24 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             successes: counters.successes,
             failures: counters.failures,
             quarantined: memo.ledger_records(),
-        })
+            cache_hits: memo.hits(),
+        };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "evolution-end",
+                [
+                    ("evaluations", Value::UInt(result.evaluations)),
+                    ("successes", Value::UInt(result.successes)),
+                    ("failures", Value::UInt(result.failures)),
+                    ("quarantined", Value::UInt(result.quarantined.len() as u64)),
+                    ("best_fitness", Value::Num(result.best_fitness)),
+                    ("best", Value::str(result.best.key())),
+                    ("dur_ns", Value::UInt(run_span.dur_ns())),
+                ],
+            );
+            self.tracer.flush();
+        }
+        Ok(result)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -948,6 +1121,100 @@ mod tests {
         // pairs the killed run had cached.
         assert_eq!(resumed.quarantined, straight.quarantined);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_cache_counters_match_serial_run() {
+        // The memo is sharded across MEMO_SHARDS locks and its counters are
+        // atomics with an entry-guard on insert: a threaded run must report
+        // exactly the counters (and ledger) of the serial run, because both
+        // count the same set of distinct evaluated (genome, case) pairs.
+        let fs = features();
+        let ev = Flaky::new(&fs);
+        let mut params = GpParams::quick();
+        params.generations = 6;
+        params.population = 32;
+        params.seed = 21;
+        params.subset_size = Some(2);
+        params.threads = 1;
+        let serial = Evolution::new(params.clone(), &fs, &ev).run();
+        for threads in [2, 4, 8] {
+            params.threads = threads;
+            let t = Evolution::new(params.clone(), &fs, &ev).run();
+            assert_eq!(t.evaluations, serial.evaluations, "threads={threads}");
+            assert_eq!(t.successes, serial.successes, "threads={threads}");
+            assert_eq!(t.failures, serial.failures, "threads={threads}");
+            assert_eq!(t.cache_hits, serial.cache_hits, "threads={threads}");
+            assert_eq!(t.quarantined, serial.quarantined, "threads={threads}");
+            assert_eq!(t.best.key(), serial.best.key(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn trace_events_cover_the_run() {
+        let fs = features();
+        let ev = Flaky::new(&fs);
+        let mut params = GpParams::quick();
+        params.generations = 3;
+        params.population = 16;
+        params.seed = 7;
+        params.threads = 1;
+        let tracer = Tracer::in_memory();
+        let path = temp_checkpoint("trace-events");
+        let result = Evolution::new(params, &fs, &ev)
+            .with_tracer(tracer.clone())
+            .with_checkpoint_file(&path)
+            .try_run()
+            .unwrap();
+        let lines = tracer.lines().unwrap();
+        let text = lines.join("\n");
+        let summary = metaopt_trace::schema::validate_trace(&text).unwrap();
+        let count = |ty: &str| {
+            summary
+                .by_type
+                .iter()
+                .find(|(t, _)| t == ty)
+                .map_or(0, |(_, n)| *n)
+        };
+        assert_eq!(count("evolution-start"), 1);
+        assert_eq!(count("evolution-end"), 1);
+        assert_eq!(count("generation"), 3);
+        // Checkpoints happen at every generation boundary except the last.
+        assert_eq!(count("checkpoint"), 2);
+        // One eval event per uncached evaluation, no more, no less.
+        assert_eq!(count("eval"), result.evaluations as usize);
+        // Generation events account for every evaluation up to the final
+        // full-set judgement, whose evals carry gen == params.generations.
+        let evals_in_gens: u64 = lines
+            .iter()
+            .filter_map(|l| {
+                let v = metaopt_trace::json::parse(l).ok()?;
+                (v.get("type")?.as_str()? == "generation")
+                    .then(|| v.get("evals").unwrap().as_u64().unwrap())
+            })
+            .sum();
+        assert!(evals_in_gens <= result.evaluations);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_tracer_leaves_results_identical() {
+        let fs = features();
+        let ev = Flaky::new(&fs);
+        let mut params = GpParams::quick();
+        params.generations = 4;
+        params.population = 20;
+        params.seed = 13;
+        params.threads = 2;
+        let plain = Evolution::new(params.clone(), &fs, &ev).run();
+        let traced = Evolution::new(params, &fs, &ev)
+            .with_tracer(Tracer::in_memory())
+            .run();
+        assert_eq!(plain.best.key(), traced.best.key());
+        assert_eq!(plain.best_fitness, traced.best_fitness);
+        assert_eq!(plain.log, traced.log);
+        assert_eq!(plain.evaluations, traced.evaluations);
+        assert_eq!(plain.quarantined, traced.quarantined);
     }
 
     #[test]

@@ -106,7 +106,7 @@ mod quarantine {
         EvalError, EvalErrorKind, EvalOutcome, Evaluator, Evolution, GpParams, PENALTY_FITNESS,
     };
 
-    fn fnv(s: &str) -> u64 {
+    pub(crate) fn fnv(s: &str) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in s.bytes() {
             h ^= b as u64;
@@ -118,9 +118,9 @@ mod quarantine {
     /// Deterministic evaluator whose genome space fails at a configurable
     /// percentage: a `(genome, case)` pair fails iff its hash lands under
     /// the threshold, and otherwise scores a hash-derived pseudo-fitness.
-    struct SometimesFails {
+    pub(crate) struct SometimesFails {
         /// Failure percentage, 0–100.
-        threshold: u64,
+        pub(crate) threshold: u64,
     }
 
     impl Evaluator for SometimesFails {
@@ -189,6 +189,65 @@ mod quarantine {
                     "quarantined genome won with fitness {}", r.best_fitness
                 );
             }
+        }
+    }
+}
+
+mod determinism {
+    use super::quarantine::SometimesFails;
+    use super::*;
+    use metaopt_gp::{Evolution, GpParams};
+
+    proptest! {
+        // Full-run determinism is the expensive property here: each case is
+        // 2 × (a small evolution), so keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// `Evolution::evaluate_all` (and everything downstream of it) is
+        /// thread-schedule independent: a run at `threads = 1` and the same
+        /// run at `threads = N` produce the identical per-generation fitness
+        /// telemetry, the identical winner, the identical quarantine ledger,
+        /// and the identical memo counters — across random seeds, population
+        /// sizes, and failure rates.
+        #[test]
+        fn evaluation_is_identical_across_thread_counts(
+            seed in any::<u64>(),
+            population in 8usize..=32,
+            threads in 2usize..=8,
+            threshold_pct in 0usize..=40,
+        ) {
+            let fs = features();
+            let eval = SometimesFails { threshold: threshold_pct as u64 };
+            let params = |threads| GpParams {
+                population,
+                generations: 4,
+                subset_size: Some(2),
+                seed,
+                threads,
+                ..GpParams::quick()
+            };
+            let serial = Evolution::new(params(1), &fs, &eval).run();
+            let threaded = Evolution::new(params(threads), &fs, &eval).run();
+
+            // Per-generation fitness vectors (best/mean are reductions of
+            // the full population fitness vector) and DSS subsets.
+            prop_assert_eq!(&serial.log, &threaded.log);
+            // Final full-set judgement.
+            prop_assert_eq!(serial.best.key(), threaded.best.key());
+            prop_assert_eq!(serial.best_fitness, threaded.best_fitness);
+            // The final ledger: same records, same (sorted) order.
+            prop_assert_eq!(serial.quarantined.len(), threaded.quarantined.len());
+            for (a, b) in serial.quarantined.iter().zip(&threaded.quarantined) {
+                prop_assert_eq!(&a.genome, &b.genome);
+                prop_assert_eq!(a.case, b.case);
+                prop_assert_eq!(a.error.kind, b.error.kind);
+            }
+            // Memo accounting, including cache hits (the entry-guard makes
+            // the set of evaluated pairs schedule-independent).
+            prop_assert_eq!(serial.evaluations, threaded.evaluations);
+            prop_assert_eq!(serial.successes, threaded.successes);
+            prop_assert_eq!(serial.failures, threaded.failures);
+            prop_assert_eq!(serial.cache_hits, threaded.cache_hits);
         }
     }
 }

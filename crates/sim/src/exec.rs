@@ -393,6 +393,39 @@ pub fn simulate_noisy(
     Ok(r)
 }
 
+/// Run [`simulate`] (or [`simulate_noisy`] when `noise` is set) and emit
+/// one `sim` trace event per completed simulation: simulated `cycles` and
+/// `insts`, plus the host-side wall time as `dur_ns`. Failed simulations
+/// emit nothing — the caller's evaluation layer records the failure in its
+/// own taxonomy.
+pub fn simulate_traced(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+    noise: Option<(f64, u64)>,
+    tracer: &metaopt_trace::Tracer,
+) -> Result<SimResult, SimError> {
+    let span = tracer.begin();
+    let result = match noise {
+        Some((amplitude, seed)) => simulate_noisy(mp, cfg, memory, amplitude, seed),
+        None => simulate(mp, cfg, memory),
+    };
+    if tracer.enabled() {
+        if let Ok(r) = &result {
+            use metaopt_trace::json::Value;
+            tracer.emit(
+                "sim",
+                [
+                    ("cycles", Value::UInt(r.cycles)),
+                    ("insts", Value::UInt(r.insts)),
+                    ("dur_ns", Value::UInt(span.dur_ns())),
+                ],
+            );
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,5 +33,5 @@ pub mod machine;
 pub mod predictor;
 
 pub use code::{Bundle, MachineProgram};
-pub use exec::{simulate, SimError, SimResult};
+pub use exec::{simulate, simulate_traced, SimError, SimResult};
 pub use machine::{CacheConfig, MachineConfig};

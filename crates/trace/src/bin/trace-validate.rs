@@ -1,0 +1,48 @@
+//! Validate `run-trace.v1` JSONL files from the command line.
+//!
+//! Usage: `trace-validate <trace.jsonl>...` — exits non-zero if any file
+//! fails schema validation, printing the offending line number and reason.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-validate <trace.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{path}: cannot read: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        match metaopt_trace::schema::validate_trace(&text) {
+            Ok(summary) => {
+                let by_type: Vec<String> = summary
+                    .by_type
+                    .iter()
+                    .map(|(ty, n)| format!("{ty} x{n}"))
+                    .collect();
+                println!(
+                    "{path}: OK ({} events: {})",
+                    summary.events,
+                    by_type.join(", ")
+                );
+            }
+            Err(err) => {
+                eprintln!("{path}: INVALID at line {}: {}", err.line, err.message);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,363 @@
+//! Aggregate a `run-trace.v1` JSONL file into a human-readable report:
+//! per-generation evaluation throughput and cache behaviour, the slowest
+//! compiler passes, simulation volume, and quarantine pressure.
+
+use crate::json::Value;
+use crate::schema::{validate_line, SchemaError, OUTCOME_SCORE};
+
+/// One generation's aggregated row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenRow {
+    /// Generation index.
+    pub gen: u64,
+    /// Subset size evaluated this generation.
+    pub subset_len: usize,
+    /// Uncached evaluations performed.
+    pub evals: u64,
+    /// Memo-cache hits observed.
+    pub cache_hits: u64,
+    /// Best fitness this generation.
+    pub best_fitness: f64,
+    /// Mean population fitness.
+    pub mean_fitness: f64,
+    /// Wall time of the generation in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl GenRow {
+    /// Uncached evaluations per wall-clock second (0 when instantaneous).
+    pub fn evals_per_sec(&self) -> f64 {
+        if self.dur_ns == 0 {
+            0.0
+        } else {
+            self.evals as f64 * 1e9 / self.dur_ns as f64
+        }
+    }
+
+    /// Cache hit rate over this generation's lookups, in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.evals;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One compiler pass's aggregated cost across every traced compilation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassRow {
+    /// Pass name (plan syntax).
+    pub pass: String,
+    /// Number of executions.
+    pub runs: u64,
+    /// Total wall nanoseconds across all executions.
+    pub total_ns: u64,
+    /// Slowest single execution.
+    pub max_ns: u64,
+}
+
+/// Aggregated view of one trace file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Total events.
+    pub events: usize,
+    /// Per-generation rows, in emission order.
+    pub generations: Vec<GenRow>,
+    /// Per-pass totals, sorted by total wall time (descending).
+    pub passes: Vec<PassRow>,
+    /// Quarantine counts per error class, in first-seen order.
+    pub quarantine: Vec<(String, u64)>,
+    /// Number of simulations and their total simulated cycles.
+    pub sims: (u64, u64),
+    /// Number of checkpoint writes and their total wall nanoseconds.
+    pub checkpoints: (u64, u64),
+    /// Uncached evaluations across the whole trace.
+    pub total_evals: u64,
+    /// Cache hits across the whole trace.
+    pub total_hits: u64,
+}
+
+impl Report {
+    /// Overall cache hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.total_hits + self.total_evals;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.total_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Render the report as aligned text tables (the `metaopt trace-report`
+    /// output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} events · {} generations · cache hit rate {:.1}%\n",
+            self.events,
+            self.generations.len(),
+            100.0 * self.hit_rate()
+        );
+        if !self.generations.is_empty() {
+            out.push_str(&format!(
+                "\n{:>4} {:>6} {:>6} {:>10} {:>6} {:>9} {:>9}\n",
+                "gen", "subset", "evals", "evals/sec", "hit%", "best", "mean"
+            ));
+            for g in &self.generations {
+                out.push_str(&format!(
+                    "{:>4} {:>6} {:>6} {:>10.1} {:>6.1} {:>9.4} {:>9.4}\n",
+                    g.gen,
+                    g.subset_len,
+                    g.evals,
+                    g.evals_per_sec(),
+                    100.0 * g.hit_rate(),
+                    g.best_fitness,
+                    g.mean_fitness,
+                ));
+            }
+        }
+        if !self.passes.is_empty() {
+            out.push_str(&format!(
+                "\n{:<12} {:>8} {:>12} {:>12} {:>12}\n",
+                "pass", "runs", "total", "mean", "max"
+            ));
+            for p in self.passes.iter().take(10) {
+                let mean = p.total_ns as f64 / p.runs.max(1) as f64;
+                out.push_str(&format!(
+                    "{:<12} {:>8} {:>10.1}us {:>10.1}us {:>10.1}us\n",
+                    p.pass,
+                    p.runs,
+                    p.total_ns as f64 / 1e3,
+                    mean / 1e3,
+                    p.max_ns as f64 / 1e3,
+                ));
+            }
+        }
+        if self.sims.0 > 0 {
+            out.push_str(&format!(
+                "\nsimulations: {} runs, {} cycles total\n",
+                self.sims.0, self.sims.1
+            ));
+        }
+        if self.checkpoints.0 > 0 {
+            out.push_str(&format!(
+                "checkpoints: {} writes, {:.1}ms total\n",
+                self.checkpoints.0,
+                self.checkpoints.1 as f64 / 1e6
+            ));
+        }
+        if self.quarantine.is_empty() {
+            out.push_str("quarantine: none\n");
+        } else {
+            let classes: Vec<String> = self
+                .quarantine
+                .iter()
+                .map(|(k, n)| format!("{k} x{n}"))
+                .collect();
+            out.push_str(&format!("quarantine: {}\n", classes.join(", ")));
+        }
+        out
+    }
+}
+
+/// Validate and aggregate a JSONL trace.
+///
+/// # Errors
+/// Fails (with the offending line) when any line violates `run-trace.v1`.
+pub fn analyze(text: &str) -> Result<Report, SchemaError> {
+    let mut report = Report::default();
+    let mut any = false;
+    for (ix, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        any = true;
+        let ty = validate_line(ix + 1, line)?;
+        report.events += 1;
+        // validate_line proved every field below present and typed.
+        let v = crate::json::parse(line).expect("validated line parses");
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let f = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        match ty.as_str() {
+            "generation" => {
+                let row = GenRow {
+                    gen: u("gen"),
+                    subset_len: v
+                        .get("subset")
+                        .and_then(Value::as_arr)
+                        .map_or(0, <[Value]>::len),
+                    evals: u("evals"),
+                    cache_hits: u("cache_hits"),
+                    best_fitness: f("best_fitness"),
+                    mean_fitness: f("mean_fitness"),
+                    dur_ns: u("dur_ns"),
+                };
+                report.total_evals += row.evals;
+                report.total_hits += row.cache_hits;
+                report.generations.push(row);
+            }
+            "pass" => {
+                let name = v.get("pass").and_then(Value::as_str).unwrap_or("?");
+                let wall = u("wall_ns");
+                match report.passes.iter_mut().find(|p| p.pass == name) {
+                    Some(p) => {
+                        p.runs += 1;
+                        p.total_ns += wall;
+                        p.max_ns = p.max_ns.max(wall);
+                    }
+                    None => report.passes.push(PassRow {
+                        pass: name.to_string(),
+                        runs: 1,
+                        total_ns: wall,
+                        max_ns: wall,
+                    }),
+                }
+            }
+            "eval" => {
+                let outcome = v.get("outcome").and_then(Value::as_str).unwrap_or("?");
+                if outcome != OUTCOME_SCORE {
+                    match report.quarantine.iter_mut().find(|(k, _)| k == outcome) {
+                        Some((_, n)) => *n += 1,
+                        None => report.quarantine.push((outcome.to_string(), 1)),
+                    }
+                }
+            }
+            "sim" => {
+                report.sims.0 += 1;
+                report.sims.1 += u("cycles");
+            }
+            "checkpoint" => {
+                report.checkpoints.0 += 1;
+                report.checkpoints.1 += u("dur_ns");
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        return Err(SchemaError {
+            line: 1,
+            message: "empty trace".to_string(),
+        });
+    }
+    report
+        .passes
+        .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.pass.cmp(&b.pass)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn synthetic_trace() -> String {
+        let t = Tracer::in_memory();
+        for gen in 0..2u64 {
+            for case in 0..3u64 {
+                t.emit(
+                    "eval",
+                    [
+                        ("gen", Value::UInt(gen)),
+                        ("genome", Value::str(format!("(g{gen}-{case})"))),
+                        ("case", Value::UInt(case)),
+                        (
+                            "outcome",
+                            Value::str(if case == 2 && gen == 1 {
+                                "budget"
+                            } else {
+                                OUTCOME_SCORE
+                            }),
+                        ),
+                        ("score", Value::Num(1.1)),
+                        ("dur_ns", Value::UInt(500)),
+                    ],
+                );
+                t.emit(
+                    "pass",
+                    [
+                        (
+                            "pass",
+                            Value::str(if case == 0 { "regalloc" } else { "schedule" }),
+                        ),
+                        ("wall_ns", Value::UInt(1000 * (case + 1))),
+                        ("delta", Value::Obj(vec![])),
+                    ],
+                );
+                t.emit(
+                    "sim",
+                    [
+                        ("cycles", Value::UInt(100)),
+                        ("insts", Value::UInt(50)),
+                        ("dur_ns", Value::UInt(10)),
+                    ],
+                );
+            }
+            t.emit(
+                "generation",
+                [
+                    ("gen", Value::UInt(gen)),
+                    (
+                        "subset",
+                        Value::Arr(vec![Value::UInt(0), Value::UInt(1), Value::UInt(2)]),
+                    ),
+                    ("evals", Value::UInt(3)),
+                    ("cache_hits", Value::UInt(1)),
+                    ("best_fitness", Value::Num(1.5)),
+                    ("mean_fitness", Value::Num(1.2)),
+                    ("best_size", Value::UInt(5)),
+                    ("dur_ns", Value::UInt(3_000_000)),
+                ],
+            );
+            t.emit(
+                "checkpoint",
+                [
+                    ("gen", Value::UInt(gen + 1)),
+                    ("dur_ns", Value::UInt(2_000_000)),
+                ],
+            );
+        }
+        t.lines().unwrap().join("\n")
+    }
+
+    #[test]
+    fn aggregates_generations_passes_and_quarantine() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        assert_eq!(r.generations.len(), 2);
+        assert_eq!(r.generations[0].evals, 3);
+        assert!((r.generations[0].evals_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((r.generations[0].hit_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(r.total_evals, 6);
+        assert_eq!(r.sims, (6, 600));
+        assert_eq!(r.checkpoints.0, 2);
+        assert_eq!(r.quarantine, vec![("budget".to_string(), 1)]);
+        // schedule ran 4x at 2000/3000ns, regalloc 2x at 1000ns; schedule
+        // dominates total wall and sorts first.
+        assert_eq!(r.passes[0].pass, "schedule");
+        assert_eq!(r.passes[0].runs, 4);
+        assert_eq!(r.passes[1].pass, "regalloc");
+        assert_eq!(r.passes[1].max_ns, 1000);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        let text = r.render();
+        for needle in [
+            "evals/sec",
+            "hit%",
+            "pass",
+            "schedule",
+            "simulations",
+            "quarantine: budget x1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_invalid_traces() {
+        assert!(analyze("").is_err());
+        assert!(analyze("{\"type\":\"generation\",\"ts\":0}").is_err());
+    }
+}
