@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""CI throughput gate: compare a fresh fixed-seed smoke-run digest against
+the committed BENCH_evals.json baseline and fail on a >2x regression in
+evaluation throughput or simulator speed.
+
+Usage: bench_gate.py BENCH_evals.json target/BENCH_evals.json
+
+Both files are `metaopt trace-report --bench-json` output. The 2x margin
+absorbs runner-to-runner noise; a real pathology (accidentally quadratic
+pass, validation left on in the hot path) shows up as 10x+.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+    failed = False
+    for key in ("evals_per_sec", "sim_cycles_per_sec"):
+        b, got = base[key], fresh[key]
+        ratio = got / b if b else float("inf")
+        print(f"{key}: baseline {b:.1f}, fresh {got:.1f} ({ratio:.2f}x)")
+        if got * 2 < b:
+            print(f"FAIL: {key} regressed more than 2x against BENCH_evals.json")
+            failed = True
+    print(
+        "cache_hit_rate: baseline {:.3f}, fresh {:.3f}".format(
+            base["cache_hit_rate"], fresh["cache_hit_rate"]
+        )
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,18 +21,33 @@ use std::fmt;
 pub struct CheckFailure {
     /// Name of the pass whose output failed the check.
     pub pass: String,
+    /// The pipeline plan that ordered the passes, when known. Ablation
+    /// sweeps and plan genomes run many plans over one benchmark; the plan
+    /// string pins the failure to the right one.
+    pub plan: Option<String>,
     /// All diagnostics from the failing checkpoint.
     pub diagnostics: Vec<Diagnostic>,
 }
 
+impl CheckFailure {
+    /// Attach the pipeline plan to the failure and every diagnostic in it.
+    pub fn with_plan(mut self, plan: impl Into<String>) -> Self {
+        let plan = plan.into();
+        for d in &mut self.diagnostics {
+            d.plan = Some(plan.clone());
+        }
+        self.plan = Some(plan);
+        self
+    }
+}
+
 impl fmt::Display for CheckFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ir invariants violated after pass '{}':\n{}",
-            self.pass,
-            render_lines(&self.diagnostics)
-        )
+        write!(f, "ir invariants violated after pass '{}'", self.pass)?;
+        if let Some(plan) = &self.plan {
+            write!(f, " (plan {plan})")?;
+        }
+        write!(f, ":\n{}", render_lines(&self.diagnostics))
     }
 }
 
@@ -86,6 +101,7 @@ pub fn enforce_function(func: &Function, form: CfgForm, pass: &str) -> Result<()
     if first_error(&diags).is_some() {
         Err(CheckFailure {
             pass: pass.to_string(),
+            plan: None,
             diagnostics: diags,
         })
     } else {
@@ -126,6 +142,7 @@ pub fn enforce_machine_function(
     if first_error(&diags).is_some() {
         Err(CheckFailure {
             pass: pass.to_string(),
+            plan: None,
             diagnostics: diags,
         })
     } else {
@@ -146,6 +163,7 @@ pub fn enforce(prog: &Program, form: CfgForm, pass: &str) -> Result<(), CheckFai
     if first_error(&diags).is_some() {
         Err(CheckFailure {
             pass: pass.to_string(),
+            plan: None,
             diagnostics: diags,
         })
     } else {

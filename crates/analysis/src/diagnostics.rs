@@ -50,6 +50,10 @@ pub struct Diagnostic {
     pub block: Option<BlockId>,
     /// Instruction index within the block, when attributable to one.
     pub inst: Option<usize>,
+    /// The pipeline plan under which the finding was produced, when known.
+    /// Lets ablation sweeps and plan genomes attribute bad IR to the plan
+    /// that ordered the passes, not just the pass that ran last.
+    pub plan: Option<String>,
     /// What is wrong.
     pub message: String,
 }
@@ -68,6 +72,7 @@ impl Diagnostic {
             function: function.into(),
             block: None,
             inst: None,
+            plan: None,
             message: message.into(),
         }
     }
@@ -85,6 +90,12 @@ impl Diagnostic {
         self
     }
 
+    /// Attach the pipeline plan that produced the IR being checked.
+    pub fn with_plan(mut self, plan: impl Into<String>) -> Self {
+        self.plan = Some(plan.into());
+        self
+    }
+
     /// One-line human-readable rendering:
     /// `error[hyperblock] main b2[3]: use of v7 before definition`.
     pub fn render(&self) -> String {
@@ -95,7 +106,11 @@ impl Diagnostic {
                 loc.push_str(&format!("[{i}]"));
             }
         }
-        format!("{}[{}] {}: {}", self.severity, self.pass, loc, self.message)
+        let origin = match &self.plan {
+            Some(plan) => format!("{}@{plan}", self.pass),
+            None => self.pass.clone(),
+        };
+        format!("{}[{}] {}: {}", self.severity, origin, loc, self.message)
     }
 
     /// Machine-readable rendering as one JSON object.
@@ -110,6 +125,9 @@ impl Diagnostic {
         }
         if let Some(i) = self.inst {
             fields.push(format!("\"inst\":{i}"));
+        }
+        if let Some(plan) = &self.plan {
+            fields.push(format!("\"plan\":{}", json_string(plan)));
         }
         fields.push(format!("\"message\":{}", json_string(&self.message)));
         format!("{{{}}}", fields.join(","))
@@ -189,6 +207,65 @@ mod tests {
         let arr = render_json(&[d.clone(), d]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));
         assert_eq!(arr.matches("\"pass\"").count(), 2);
+    }
+
+    #[test]
+    fn plan_attribution_shows_in_both_renderings() {
+        let d = Diagnostic::new(Severity::Error, "schedule", "main", "broken bundle")
+            .with_plan("regalloc,schedule");
+        assert_eq!(
+            d.render(),
+            "error[schedule@regalloc,schedule] main: broken bundle"
+        );
+        assert!(d.to_json().contains("\"plan\":\"regalloc,schedule\""));
+        // Without a plan the JSON shape is unchanged (no "plan" key).
+        let bare = Diagnostic::new(Severity::Error, "schedule", "main", "broken bundle");
+        assert!(!bare.to_json().contains("\"plan\""));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_trace_parser() {
+        // Dogfood the hand-rolled metaopt-trace JSON parser: everything
+        // render_json emits must parse, and every field must come back with
+        // its value intact (including escapes and optional fields).
+        let diags = vec![
+            Diagnostic::new(Severity::Warning, "p", "f", "uses \"quotes\"\nand newline")
+                .at_block(BlockId(1)),
+            Diagnostic::new(Severity::Error, "regalloc", "main", "tab\there")
+                .at_inst(BlockId(2), 5)
+                .with_plan("prefetch,regalloc,schedule"),
+            Diagnostic::new(Severity::Info, "absint", "f", "control \u{1} char"),
+        ];
+        let v = metaopt_trace::json::parse(&render_json(&diags)).expect("parses");
+        let arr = v.as_arr().expect("is an array");
+        assert_eq!(arr.len(), diags.len());
+        for (obj, d) in arr.iter().zip(&diags) {
+            assert_eq!(
+                obj.get("severity").and_then(|s| s.as_str()),
+                Some(d.severity.label())
+            );
+            assert_eq!(obj.get("pass").and_then(|s| s.as_str()), Some(&d.pass[..]));
+            assert_eq!(
+                obj.get("function").and_then(|s| s.as_str()),
+                Some(&d.function[..])
+            );
+            assert_eq!(
+                obj.get("message").and_then(|s| s.as_str()),
+                Some(&d.message[..])
+            );
+            assert_eq!(
+                obj.get("block").and_then(|b| b.as_u64()),
+                d.block.map(|b| b.index() as u64)
+            );
+            assert_eq!(
+                obj.get("inst").and_then(|i| i.as_u64()),
+                d.inst.map(|i| i as u64)
+            );
+            assert_eq!(obj.get("plan").and_then(|p| p.as_str()), d.plan.as_deref());
+        }
+        // The empty batch is the empty array.
+        assert_eq!(render_json(&[]), "[]");
+        assert!(metaopt_trace::json::parse("[]").is_ok());
     }
 
     #[test]

@@ -11,11 +11,20 @@
 //! depend on this one); this crate re-exports it and adds the classical
 //! [`instances`] — reaching definitions, def-before-use, and available
 //! expressions — plus everything built on top of them.
+//!
+//! On top of the structural checker sit two semantic tiers (DESIGN.md §13):
+//! [`absint`], an abstract interpreter over intervals and initialization
+//! state that flags statically-provable faults in post-pass IR, and
+//! [`validate`], per-pass translation validators that prove an optimization
+//! pass preserved the meaning of its input where that is decidable.
 
+pub mod absint;
 pub mod checker;
 pub mod diagnostics;
 pub mod instances;
+pub mod validate;
 
+pub use absint::{analyze_function, AbsForm};
 pub use checker::{
     check_function, check_machine_function, check_program, enforce, enforce_function,
     enforce_machine_function, CheckFailure,
@@ -24,3 +33,6 @@ pub use diagnostics::{first_error, render_json, render_lines, Diagnostic, Severi
 pub use instances::{AvailableExprs, DefBeforeUse, DefSite, ExprKey, PredicatedDefs, ReachingDefs};
 /// The generic worklist dataflow solver these analyses are instances of.
 pub use metaopt_ir::dataflow;
+pub use validate::{
+    validate_hyperblock, validate_prefetch, validate_regalloc, validate_schedule, validate_unroll,
+};

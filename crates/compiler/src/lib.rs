@@ -39,6 +39,15 @@
 //! grammar admits — the phase-ordering search space — is checked and
 //! instrumented identically.
 //!
+//! On top of the structural checks sits **semantic validation**
+//! ([`Passes::validate`], DESIGN.md §13): at [`ValidationLevel::Fast`] the
+//! per-pass translation validators from `metaopt-analysis` prove each
+//! optimization preserved the meaning of its input where decidable;
+//! [`ValidationLevel::Full`] additionally abstract-interprets the post-pass
+//! IR to flag statically-provable faults. Validation findings ride along in
+//! [`Compiled::validation`]; an error-severity finding aborts compilation
+//! with [`CompileErrorKind::Validation`] and per-pass, per-plan blame.
+//!
 //! Every pass keeps program semantics: the test suite differentially checks
 //! compiled results against the IR interpreter for arbitrary priority
 //! functions, which is what lets the genetic search explore the heuristic
@@ -107,6 +116,12 @@ pub enum CompileErrorKind {
     Regalloc,
     /// Final machine-code verification rejected the generated schedule.
     MachineVerify,
+    /// Semantic validation ([`Passes::validate`]) proved a pass broke the
+    /// program's meaning: a translation validator could not reconstruct a
+    /// semantic correspondence, or abstract interpretation found a
+    /// statically-provable fault. The offending pass and plan are named in
+    /// the message and in [`CompileError::diagnostics`].
+    Validation,
 }
 
 /// Compilation failure.
@@ -116,6 +131,10 @@ pub struct CompileError {
     pub kind: CompileErrorKind,
     /// Description.
     pub message: String,
+    /// Structured findings backing the error, when the failing stage
+    /// produced diagnostics (the invariant checker and semantic validation
+    /// do; other stages leave this empty). Each carries pass and plan blame.
+    pub diagnostics: Vec<metaopt_analysis::Diagnostic>,
 }
 
 impl CompileError {
@@ -124,7 +143,62 @@ impl CompileError {
         CompileError {
             kind,
             message: message.into(),
+            diagnostics: Vec::new(),
         }
+    }
+
+    /// Attach the structured findings behind this error.
+    pub fn with_diagnostics(mut self, diagnostics: Vec<metaopt_analysis::Diagnostic>) -> Self {
+        self.diagnostics = diagnostics;
+        self
+    }
+}
+
+/// How much semantic validation the [`PassManager`] runs after each pass.
+///
+/// Ordered: each level includes everything below it. Structural IR checking
+/// is a separate, orthogonal knob ([`Passes::check_ir`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValidationLevel {
+    /// No semantic validation (the default).
+    #[default]
+    Off,
+    /// Per-pass translation validation: after every plan pass, prove the
+    /// output means the same as the input where decidable (register
+    /// assignment consistency, dependence-respecting schedules, exact loop
+    /// replication, insertion-only prefetching, hyperblock obligations).
+    Fast,
+    /// [`Fast`](ValidationLevel::Fast) plus abstract interpretation of the
+    /// post-pass IR (interval + initialization domains), flagging
+    /// statically-provable out-of-bounds accesses, uninitialized reads,
+    /// division by a provable zero, and definite overflow.
+    Full,
+}
+
+impl ValidationLevel {
+    /// Lowercase label, as used in plan/CLI syntax and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValidationLevel::Off => "off",
+            ValidationLevel::Fast => "fast",
+            ValidationLevel::Full => "full",
+        }
+    }
+
+    /// Parse a [`label`](ValidationLevel::label).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ValidationLevel::Off),
+            "fast" => Some(ValidationLevel::Fast),
+            "full" => Some(ValidationLevel::Full),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValidationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -158,6 +232,9 @@ pub struct Passes<'a> {
     /// produced it. Defaults to [`CHECK_IR_DEFAULT`] (the `check-ir` cargo
     /// feature).
     pub check_ir: bool,
+    /// Semantic validation level: per-pass translation validation and
+    /// abstract interpretation (see [`ValidationLevel`]). Off by default.
+    pub validate: ValidationLevel,
     /// Structured-trace sink: the [`PassManager`] emits one `pass` event
     /// (wall time + counter deltas) per executed pass into it. Disabled by
     /// default, which costs one branch per pass and changes nothing else.
@@ -179,6 +256,7 @@ impl<'a> Default for Passes<'a> {
             prefetch: &prefetch::BaselineTripCount,
             prefetch_iters_ahead: 8,
             check_ir: CHECK_IR_DEFAULT,
+            validate: ValidationLevel::Off,
             tracer: metaopt_trace::Tracer::disabled(),
         }
     }
@@ -197,6 +275,12 @@ impl<'a> Passes<'a> {
     /// This configuration with a different pipeline plan.
     pub fn with_plan(mut self, plan: PipelinePlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// This configuration with a different semantic validation level.
+    pub fn with_validate(mut self, level: ValidationLevel) -> Self {
+        self.validate = level;
         self
     }
 }
@@ -315,6 +399,9 @@ pub struct Compiled {
     pub mem_size: usize,
     /// Pass statistics.
     pub stats: CompileStats,
+    /// Semantic-validation findings that did not abort the compilation
+    /// (warnings and notes; empty when [`Passes::validate`] is off).
+    pub validation: Vec<metaopt_analysis::Diagnostic>,
 }
 
 impl Compiled {
@@ -340,8 +427,10 @@ fn checkpoint(
     if !enabled {
         return Ok(());
     }
-    metaopt_analysis::enforce_function(func, form, pass)
-        .map_err(|e| CompileError::new(CompileErrorKind::InvariantViolation, e.to_string()))
+    metaopt_analysis::enforce_function(func, form, pass).map_err(|e| {
+        CompileError::new(CompileErrorKind::InvariantViolation, e.to_string())
+            .with_diagnostics(e.diagnostics)
+    })
 }
 
 /// Inline all calls and clean up: the "front half" of the pipeline, which is
@@ -416,6 +505,7 @@ pub fn compile(
         code,
         mem_size: ctx.mem_size,
         stats: ctx.stats,
+        validation: ctx.validation,
     })
 }
 

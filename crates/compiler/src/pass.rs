@@ -19,7 +19,8 @@
 //!   remap after block pruning, and the machine-form switch all live in the
 //!   passes that cause them, carried by the shared [`PassCtx`].
 
-use crate::{CompileError, CompileErrorKind, CompileStats, PassStat, Passes};
+use crate::{CompileError, CompileErrorKind, CompileStats, PassStat, Passes, ValidationLevel};
+use metaopt_analysis::{first_error, Diagnostic};
 use metaopt_ir::profile::FuncProfile;
 use metaopt_ir::verify::CfgForm;
 use metaopt_ir::Function;
@@ -55,6 +56,11 @@ pub struct PassCtx<'a> {
     pub mem_size: usize,
     /// The scheduled machine code; set by the `schedule` terminal.
     pub code: Option<MachineProgram>,
+    /// Semantic-validation findings accumulated across the run (when
+    /// [`Passes::validate`] is on). Error-severity findings abort the
+    /// pipeline; the warnings that remain here ship in
+    /// [`Compiled::validation`](crate::Compiled::validation).
+    pub validation: Vec<Diagnostic>,
 }
 
 impl<'a> PassCtx<'a> {
@@ -75,6 +81,7 @@ impl<'a> PassCtx<'a> {
             stats: CompileStats::default(),
             mem_size: base_mem_size,
             code: None,
+            validation: Vec::new(),
         }
     }
 }
@@ -147,11 +154,19 @@ impl PassManager {
     pub fn run(&self, func: &mut Function, ctx: &mut PassCtx<'_>) -> Result<(), CompileError> {
         for pass in &self.passes {
             let before = ctx.stats.counters;
+            // Translation validation compares the pass's input against its
+            // output, so snapshot the function for the passes that rewrite
+            // it (the scheduler is validated IR-vs-bundles instead).
+            let pre = (ctx.config.validate > ValidationLevel::Off && pass.mutates_ir())
+                .then(|| func.clone());
             let start = Instant::now();
             pass.run(func, ctx)?;
             let wall_nanos = start.elapsed().as_nanos() as u64;
             if ctx.config.check_ir && pass.mutates_ir() {
                 check_after(func, ctx, pass.name())?;
+            }
+            if ctx.config.validate > ValidationLevel::Off {
+                validate_after(pre.as_ref(), func, ctx, pass.name())?;
             }
             let delta = ctx.stats.counters.delta_since(before);
             if ctx.config.tracer.enabled() {
@@ -181,12 +196,97 @@ impl PassManager {
 }
 
 /// Run the invariant checker over `func` as the output of `pass`, selecting
-/// the machine-form subset once register allocation has run.
+/// the machine-form subset once register allocation has run. Failures carry
+/// the pipeline plan so sweeps over many plans can attribute broken IR.
 fn check_after(func: &Function, ctx: &PassCtx<'_>, pass: &str) -> Result<(), CompileError> {
     let result = if ctx.machine_form {
         metaopt_analysis::enforce_machine_function(func, ctx.form, pass)
     } else {
         metaopt_analysis::enforce_function(func, ctx.form, pass)
     };
-    result.map_err(|e| CompileError::new(CompileErrorKind::InvariantViolation, e.to_string()))
+    result.map_err(|e| {
+        let e = e.with_plan(ctx.config.plan.to_string());
+        CompileError::new(CompileErrorKind::InvariantViolation, e.to_string())
+            .with_diagnostics(e.diagnostics)
+    })
+}
+
+/// Run semantic validation over the output of `pass`: the matching
+/// translation validator (comparing against the pre-pass snapshot `pre`, or
+/// the emitted bundles for the scheduler), plus abstract interpretation of
+/// the post-pass IR at [`ValidationLevel::Full`]. Findings accumulate in
+/// [`PassCtx::validation`] with pass and plan blame; an error-severity
+/// finding aborts the pipeline as [`CompileErrorKind::Validation`].
+fn validate_after(
+    pre: Option<&Function>,
+    func: &Function,
+    ctx: &mut PassCtx<'_>,
+    pass: &'static str,
+) -> Result<(), CompileError> {
+    use metaopt_analysis as analysis;
+    let start = Instant::now();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    match (pass, pre) {
+        ("unroll", Some(pre)) => diags.extend(analysis::validate_unroll(pre, func, pass)),
+        ("prefetch", Some(pre)) => diags.extend(analysis::validate_prefetch(pre, func, pass)),
+        ("hyperblock", Some(pre)) => diags.extend(analysis::validate_hyperblock(pre, func, pass)),
+        ("regalloc", Some(pre)) => diags.extend(analysis::validate_regalloc(
+            pre,
+            func,
+            ctx.machine,
+            ctx.base_mem_size,
+            ctx.mem_size,
+            pass,
+        )),
+        ("schedule", _) => {
+            if let Some(code) = &ctx.code {
+                diags.extend(analysis::validate_schedule(func, code, ctx.machine, pass));
+            }
+        }
+        _ => {}
+    }
+    // Abstract interpretation of the pass's output IR; the scheduler does
+    // not rewrite the IR, so its output was already analyzed after the
+    // previous pass.
+    if ctx.config.validate >= ValidationLevel::Full && pass != "schedule" {
+        let form = if ctx.machine_form {
+            analysis::AbsForm::Machine(ctx.machine)
+        } else {
+            analysis::AbsForm::Virtual
+        };
+        diags.extend(analysis::analyze_function(func, form, ctx.mem_size, pass));
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let plan = ctx.config.plan.to_string();
+    for d in &mut diags {
+        d.plan = Some(plan.clone());
+    }
+    let ok = first_error(&diags).is_none();
+    if ctx.config.tracer.enabled() {
+        use metaopt_trace::json::Value;
+        ctx.config.tracer.emit(
+            "validate",
+            [
+                ("pass", Value::str(pass)),
+                ("level", Value::str(ctx.config.validate.label())),
+                ("ok", Value::Bool(ok)),
+                ("findings", Value::UInt(diags.len() as u64)),
+                ("wall_ns", Value::UInt(wall_ns)),
+            ],
+        );
+    }
+    ctx.validation.extend(diags.iter().cloned());
+    if !ok {
+        let first = first_error(&diags).expect("checked above");
+        return Err(CompileError::new(
+            CompileErrorKind::Validation,
+            format!(
+                "semantic validation failed after pass '{pass}' (plan {plan}): {}",
+                first.render()
+            ),
+        )
+        .with_diagnostics(diags));
+    }
+    Ok(())
 }

@@ -188,8 +188,12 @@ proptest! {
             prefetch: &pf,
             prefetch_iters_ahead: 4,
             // Fuzzed pipelines double as a stress test for the inter-pass
-            // invariant checker: every boundary of every case must be clean.
+            // invariant checker and the semantic validators: every boundary
+            // of every case must be clean, and validation must never reject
+            // a compile the interpreter differential accepts (the soundness
+            // stance of DESIGN.md §13).
             check_ir: true,
+            validate: metaopt_compiler::ValidationLevel::Full,
             tracer: metaopt_trace::Tracer::disabled(),
         };
         let mut machine = MachineConfig::table3();

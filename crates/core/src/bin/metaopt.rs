@@ -7,12 +7,19 @@
 //! metaopt crossval <study> <sexpr-file>         apply a saved fn to the test set
 //! metaopt compile <study> <benchmark> <sexpr>   compile+simulate with a given fn
 //! metaopt ablate <study> <benchmark> [plan ...] sweep pipeline plans, cycles per plan
+//! metaopt check <study> [benchmark]             semantically validate baseline compiles
 //! ```
 //!
 //! `<study>` is `hyperblock`, `regalloc`, or `prefetch`. GP scale options:
 //! `--pop N`, `--gens N`, `--seed N`, `--threads N`. `--check-ir` runs the
 //! `metaopt-analysis` invariant checker at every pass boundary of every
 //! compilation (on by default when built with the `check-ir` feature).
+//! `--validate off|fast|full` turns on semantic validation: per-pass
+//! translation validators at `fast`, plus abstract interpretation of the
+//! post-pass IR at `full`. `check` sweeps every suite kernel (or one
+//! benchmark) through the study plan plus the standard ablation plans at
+//! `full` validation and fails on any error-severity finding; `--json`
+//! emits the diagnostics as a machine-readable report.
 //!
 //! Pipeline plans: `--passes <plan>` replaces the study's pass pipeline
 //! with a textual plan such as `unroll(2),prefetch,hyperblock,regalloc,schedule`,
@@ -52,12 +59,15 @@ fn usage() -> ExitCode {
            crossval <study> <sexpr-file>        cross-validate a saved priority fn\n\
            compile <study> <benchmark> <sexpr>  compile+simulate with a priority fn\n\
            ablate <study> <benchmark> [plan ..] sweep pipeline plans, report cycles\n\
+           check <study> [benchmark]            semantically validate baseline compiles\n\
            trace-report <trace.jsonl>           summarize a --trace-out file\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
          options: --pop N --gens N --seed N --threads N --check-ir\n\
+                  --validate off|fast|full --json\n\
                   --passes <plan> --unroll <N>\n\
                   --checkpoint <path> --resume <path> --trace-out <path>\n\
+                  --bench-json <path> (trace-report: write throughput digest)\n\
          plans:   comma-separated passes ending in regalloc,schedule,\n\
                   e.g. unroll(2),prefetch,hyperblock,regalloc,schedule"
     );
@@ -93,20 +103,26 @@ struct Options {
     positional: Vec<String>,
     params: GpParams,
     check_ir: bool,
+    validate: metaopt_compiler::ValidationLevel,
+    json: bool,
     control: RunControl,
     passes: Option<metaopt_compiler::PipelinePlan>,
     unroll: Option<u32>,
     trace_out: Option<std::path::PathBuf>,
+    bench_json: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Option<Options> {
     let mut params = GpParams::quick();
     let mut positional = Vec::new();
     let mut check_ir = metaopt_compiler::CHECK_IR_DEFAULT;
+    let mut validate = metaopt_compiler::ValidationLevel::Off;
+    let mut json = false;
     let mut control = RunControl::default();
     let mut passes = None;
     let mut unroll = None;
     let mut trace_out = None;
+    let mut bench_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -115,6 +131,14 @@ fn parse_args() -> Option<Options> {
             "--seed" => params.seed = args.next()?.parse().ok()?,
             "--threads" => params.threads = args.next()?.parse().ok()?,
             "--check-ir" => check_ir = true,
+            "--validate" => match metaopt_compiler::ValidationLevel::parse(&args.next()?) {
+                Some(level) => validate = level,
+                None => {
+                    eprintln!("--validate: expected off, fast, or full");
+                    return None;
+                }
+            },
+            "--json" => json = true,
             "--passes" => match args.next()?.parse() {
                 Ok(plan) => passes = Some(plan),
                 Err(e) => {
@@ -126,6 +150,7 @@ fn parse_args() -> Option<Options> {
             "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
             "--resume" => control.resume = Some(args.next()?.into()),
             "--trace-out" => trace_out = Some(args.next()?.into()),
+            "--bench-json" => bench_json = Some(args.next()?.into()),
             _ => positional.push(a),
         }
     }
@@ -133,18 +158,23 @@ fn parse_args() -> Option<Options> {
         positional,
         params,
         check_ir,
+        validate,
+        json,
         control,
         passes,
         unroll,
         trace_out,
+        bench_json,
     })
 }
 
 impl Options {
-    /// `cfg` with every global override applied: `--check-ir`, `--passes`,
-    /// `--unroll`.
+    /// `cfg` with every global override applied: `--check-ir`,
+    /// `--validate`, `--passes`, `--unroll`.
     fn configure(&self, cfg: StudyConfig) -> StudyConfig {
-        let mut cfg = cfg.with_check_ir(self.check_ir);
+        let mut cfg = cfg
+            .with_check_ir(self.check_ir)
+            .with_validate(self.validate);
         if let Some(plan) = &self.passes {
             cfg = cfg.with_plan(plan.clone());
         }
@@ -408,6 +438,103 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
             print!("{}", r.table());
             ExitCode::SUCCESS
         }
+        ["check", study_name, bench_args @ ..] => {
+            let Some(cfg) = study_by_name(study_name) else {
+                return usage();
+            };
+            let cfg = opts.configure(cfg);
+            // `check` exists to validate; without an explicit level it runs
+            // the whole battery.
+            let level = if opts.validate == metaopt_compiler::ValidationLevel::Off {
+                metaopt_compiler::ValidationLevel::Full
+            } else {
+                opts.validate
+            };
+            let benches = match bench_args {
+                [] => metaopt_suite::all_benchmarks(),
+                [name] => match metaopt_suite::by_name(name) {
+                    Some(b) => vec![b],
+                    None => {
+                        eprintln!("unknown benchmark {name} (try `metaopt list`)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => return usage(),
+            };
+            // The study's own plan plus the standard ablation set, deduped.
+            let mut plans = vec![cfg.plan.clone()];
+            for p in experiment::default_ablation_plans() {
+                if plans.iter().all(|q| q.to_string() != p.to_string()) {
+                    plans.push(p);
+                }
+            }
+            let mut failures = 0usize;
+            let mut compiles = 0usize;
+            let mut results = Vec::new();
+            for bench in &benches {
+                let pb = match PreparedBench::try_new(&cfg, bench) {
+                    Ok(pb) => pb,
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", bench.name);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for plan in &plans {
+                    let passes = metaopt_compiler::Passes {
+                        plan: plan.clone(),
+                        validate: level,
+                        tracer: tracer.clone(),
+                        ..cfg.baseline_passes()
+                    };
+                    compiles += 1;
+                    let (ok, diags) = match metaopt_compiler::compile(
+                        &pb.prepared,
+                        &pb.profile,
+                        &cfg.machine,
+                        &passes,
+                    ) {
+                        Ok(compiled) => (true, compiled.validation),
+                        Err(e) => {
+                            failures += 1;
+                            (false, e.diagnostics)
+                        }
+                    };
+                    if opts.json {
+                        results.push(format!(
+                            "{{\"bench\":\"{}\",\"plan\":\"{plan}\",\"ok\":{ok},\"diagnostics\":{}}}",
+                            bench.name,
+                            metaopt_analysis::render_json(&diags)
+                        ));
+                    } else if !ok {
+                        let blame = metaopt_analysis::first_error(&diags)
+                            .map_or_else(String::new, |d| format!(": {}", d.render()));
+                        println!("FAIL {:<14} {plan}{blame}", bench.name);
+                    } else if !diags.is_empty() {
+                        println!("warn {:<14} {plan}: {} finding(s)", bench.name, diags.len());
+                    }
+                }
+            }
+            if opts.json {
+                println!(
+                    "{{\"study\":\"{study_name}\",\"level\":\"{level}\",\"compiles\":{compiles},\
+                     \"failures\":{failures},\"results\":[{}]}}",
+                    results.join(",")
+                );
+            } else {
+                println!(
+                    "check {study_name} ({level}): {} benchmark(s) x {} plan(s), {} compile(s), {} validation failure(s)",
+                    benches.len(),
+                    plans.len(),
+                    compiles,
+                    failures
+                );
+            }
+            if failures == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         ["trace-report", path] => {
             let text = match std::fs::read_to_string(path) {
                 Ok(text) => text,
@@ -418,6 +545,14 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
             };
             match metaopt_trace::report::analyze(&text) {
                 Ok(report) => {
+                    if let Some(out) = &opts.bench_json {
+                        let digest = report.bench_json();
+                        if let Err(e) = std::fs::write(out, format!("{digest}\n")) {
+                            eprintln!("cannot write {}: {e}", out.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("bench digest -> {}", out.display());
+                    }
                     print!("{}", report.render());
                     ExitCode::SUCCESS
                 }

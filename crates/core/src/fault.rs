@@ -25,6 +25,9 @@ pub enum FaultStage {
     /// At the inter-pass IR checking boundary (forces a
     /// [`EvalErrorKind::IrCheck`]).
     CheckIr,
+    /// At the semantic-validation boundary (forces a
+    /// [`EvalErrorKind::Validation`]).
+    Validate,
     /// Before simulating the compiled program (forces a
     /// [`EvalErrorKind::Sim`]).
     Simulate,
@@ -32,9 +35,10 @@ pub enum FaultStage {
 
 impl FaultStage {
     /// All stages, in pipeline order.
-    pub const ALL: [FaultStage; 3] = [
+    pub const ALL: [FaultStage; 4] = [
         FaultStage::Compile,
         FaultStage::CheckIr,
+        FaultStage::Validate,
         FaultStage::Simulate,
     ];
 
@@ -43,6 +47,7 @@ impl FaultStage {
         match self {
             FaultStage::Compile => EvalErrorKind::Compile,
             FaultStage::CheckIr => EvalErrorKind::IrCheck,
+            FaultStage::Validate => EvalErrorKind::Validation,
             FaultStage::Simulate => EvalErrorKind::Sim,
         }
     }
@@ -52,6 +57,7 @@ impl FaultStage {
         match self {
             FaultStage::Compile => "compile",
             FaultStage::CheckIr => "check-ir",
+            FaultStage::Validate => "validate",
             FaultStage::Simulate => "simulate",
         }
     }
@@ -60,7 +66,8 @@ impl FaultStage {
         match self {
             FaultStage::Compile => 0,
             FaultStage::CheckIr => 1,
-            FaultStage::Simulate => 2,
+            FaultStage::Validate => 2,
+            FaultStage::Simulate => 3,
         }
     }
 }
@@ -70,7 +77,7 @@ impl FaultStage {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultInjector {
     seed: u64,
-    rates: [f64; 3],
+    rates: [f64; 4],
 }
 
 impl FaultInjector {
@@ -79,7 +86,7 @@ impl FaultInjector {
     pub fn new(seed: u64) -> Self {
         FaultInjector {
             seed,
-            rates: [0.0; 3],
+            rates: [0.0; 4],
         }
     }
 
@@ -87,7 +94,7 @@ impl FaultInjector {
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultInjector {
             seed,
-            rates: [rate; 3],
+            rates: [rate; 4],
         }
     }
 

@@ -262,12 +262,14 @@ impl PreparedBench {
             compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
                 let kind = match e.kind {
                     CompileErrorKind::InvariantViolation => EvalErrorKind::IrCheck,
+                    CompileErrorKind::Validation => EvalErrorKind::Validation,
                     _ => EvalErrorKind::Compile,
                 };
                 EvalError::new(kind, format!("{}: {e}", self.name))
             })?;
         if let Some(f) = fault {
             f.check(FaultStage::CheckIr, &key, &self.name)?;
+            f.check(FaultStage::Validate, &key, &self.name)?;
             f.check(FaultStage::Simulate, &key, &self.name)?;
         }
         // Timing noise (if the study has any) is seeded deterministically
@@ -378,6 +380,7 @@ impl PreparedBench {
             compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
                 let kind = match e.kind {
                     CompileErrorKind::InvariantViolation => EvalErrorKind::IrCheck,
+                    CompileErrorKind::Validation => EvalErrorKind::Validation,
                     _ => EvalErrorKind::Compile,
                 };
                 EvalError::new(kind, format!("{}: plan {plan}: {e}", self.name))

@@ -3,6 +3,7 @@
 
 use metaopt_compiler::{
     hyperblock, prefetch, regalloc, BoolPriority, Passes, PipelinePlan, RealPriority,
+    ValidationLevel,
 };
 use metaopt_gp::expr::{Env, Expr};
 use metaopt_gp::parse::parse_expr;
@@ -49,6 +50,12 @@ pub struct StudyConfig {
     /// [`StudyConfig::with_unroll`] (the CLI's `--unroll`) to explore the
     /// phase-ordering space.
     pub plan: PipelinePlan,
+    /// Semantic-validation level every compilation in this study runs at:
+    /// per-pass translation validators at [`ValidationLevel::Fast`], plus
+    /// post-pass abstract interpretation at [`ValidationLevel::Full`]. Off
+    /// by default; flip with [`StudyConfig::with_validate`] (the CLI's
+    /// `--validate`).
+    pub validate: ValidationLevel,
 }
 
 fn features_from(names: (Vec<&'static str>, Vec<&'static str>)) -> FeatureSet {
@@ -82,6 +89,7 @@ pub fn hyperblock() -> StudyConfig {
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
         plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
+        validate: ValidationLevel::Off,
     }
 }
 
@@ -100,6 +108,7 @@ pub fn regalloc() -> StudyConfig {
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
         plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
+        validate: ValidationLevel::Off,
     }
 }
 
@@ -117,6 +126,7 @@ pub fn prefetch() -> StudyConfig {
         genome_kind: Kind::Bool,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
         plan: PipelinePlan::parse("prefetch,regalloc,schedule").expect("study plan is valid"),
+        validate: ValidationLevel::Off,
     }
 }
 
@@ -139,6 +149,13 @@ impl StudyConfig {
     /// This study with IR invariant checking switched on or off.
     pub fn with_check_ir(mut self, on: bool) -> Self {
         self.check_ir = on;
+        self
+    }
+
+    /// This study with semantic validation at `level` (the translation
+    /// validators at `fast`, plus abstract interpretation at `full`).
+    pub fn with_validate(mut self, level: ValidationLevel) -> Self {
+        self.validate = level;
         self
     }
 
@@ -179,6 +196,7 @@ impl StudyConfig {
             prefetch: &prefetch::BaselineTripCount,
             prefetch_iters_ahead: 8,
             check_ir: self.check_ir,
+            validate: self.validate,
             tracer: metaopt_trace::Tracer::disabled(),
         }
     }

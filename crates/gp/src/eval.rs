@@ -18,6 +18,9 @@ pub enum EvalErrorKind {
     Compile,
     /// The inter-pass IR invariant checker flagged a broken invariant.
     IrCheck,
+    /// Semantic validation (translation validators or abstract
+    /// interpretation) proved a pass miscompiled under this genome.
+    Validation,
     /// An interpreter step budget or simulator instruction/cycle budget was
     /// exhausted (probable pathological genome).
     Budget,
@@ -37,6 +40,7 @@ impl EvalErrorKind {
         match self {
             EvalErrorKind::Compile => "compile",
             EvalErrorKind::IrCheck => "ir-check",
+            EvalErrorKind::Validation => "validation",
             EvalErrorKind::Budget => "budget",
             EvalErrorKind::WrongAnswer => "wrong-answer",
             EvalErrorKind::Sim => "sim",
@@ -49,6 +53,7 @@ impl EvalErrorKind {
         Some(match s {
             "compile" => EvalErrorKind::Compile,
             "ir-check" => EvalErrorKind::IrCheck,
+            "validation" => EvalErrorKind::Validation,
             "budget" => EvalErrorKind::Budget,
             "wrong-answer" => EvalErrorKind::WrongAnswer,
             "sim" => EvalErrorKind::Sim,
@@ -58,9 +63,10 @@ impl EvalErrorKind {
     }
 
     /// All kinds, for summary tables.
-    pub const ALL: [EvalErrorKind; 6] = [
+    pub const ALL: [EvalErrorKind; 7] = [
         EvalErrorKind::Compile,
         EvalErrorKind::IrCheck,
+        EvalErrorKind::Validation,
         EvalErrorKind::Budget,
         EvalErrorKind::WrongAnswer,
         EvalErrorKind::Sim,

@@ -20,6 +20,7 @@
 //! | `eval`            | GP engine         | uncached `(genome, case)` evaluation |
 //! | `pass`            | pass manager      | executed compiler pass               |
 //! | `sim`             | simulator         | completed simulation                 |
+//! | `validate`        | pass manager      | semantic validation of one pass      |
 //! | `checkpoint`      | GP engine         | checkpoint write                     |
 //!
 //! Design constraints, in order:

@@ -58,6 +58,22 @@ pub struct PassRow {
     pub max_ns: u64,
 }
 
+/// One pass's aggregated semantic-validation cost and outcomes across every
+/// traced compilation (`validate` events).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidateRow {
+    /// Pass name (plan syntax).
+    pub pass: String,
+    /// Number of validation runs.
+    pub runs: u64,
+    /// Runs whose validation failed (`ok: false`).
+    pub failures: u64,
+    /// Total findings (warnings and errors) across all runs.
+    pub findings: u64,
+    /// Total wall nanoseconds spent validating this pass.
+    pub total_ns: u64,
+}
+
 /// Aggregated view of one trace file.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
@@ -67,10 +83,15 @@ pub struct Report {
     pub generations: Vec<GenRow>,
     /// Per-pass totals, sorted by total wall time (descending).
     pub passes: Vec<PassRow>,
+    /// Per-pass semantic-validation totals, sorted by total wall time
+    /// (descending).
+    pub validation: Vec<ValidateRow>,
     /// Quarantine counts per error class, in first-seen order.
     pub quarantine: Vec<(String, u64)>,
     /// Number of simulations and their total simulated cycles.
     pub sims: (u64, u64),
+    /// Total wall nanoseconds spent inside the simulator (`sim` events).
+    pub sim_ns: u64,
     /// Number of checkpoint writes and their total wall nanoseconds.
     pub checkpoints: (u64, u64),
     /// Uncached evaluations across the whole trace.
@@ -88,6 +109,48 @@ impl Report {
         } else {
             self.total_hits as f64 / lookups as f64
         }
+    }
+
+    /// Uncached evaluations per wall-clock second across the whole trace
+    /// (0 when no generation time was recorded).
+    pub fn evals_per_sec(&self) -> f64 {
+        let gen_ns: u64 = self.generations.iter().map(|g| g.dur_ns).sum();
+        if gen_ns == 0 {
+            0.0
+        } else {
+            self.total_evals as f64 * 1e9 / gen_ns as f64
+        }
+    }
+
+    /// Simulated cycles per wall-clock second spent in the simulator
+    /// (0 when no simulator time was recorded).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.sims.1 as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+
+    /// The throughput digest consumed by `BENCH_evals.json` and the CI
+    /// regression gate: evaluation throughput, cache behaviour, and
+    /// simulator speed, rendered as a JSON object.
+    pub fn bench_json(&self) -> String {
+        use crate::json::Value;
+        Value::Obj(vec![
+            (
+                "evals_per_sec".to_string(),
+                Value::Num(self.evals_per_sec()),
+            ),
+            ("cache_hit_rate".to_string(), Value::Num(self.hit_rate())),
+            (
+                "sim_cycles_per_sec".to_string(),
+                Value::Num(self.sim_cycles_per_sec()),
+            ),
+            ("total_evals".to_string(), Value::UInt(self.total_evals)),
+            ("sim_cycles".to_string(), Value::UInt(self.sims.1)),
+        ])
+        .to_string()
     }
 
     /// Render the report as aligned text tables (the `metaopt trace-report`
@@ -131,6 +194,29 @@ impl Report {
                     p.total_ns as f64 / 1e3,
                     mean / 1e3,
                     p.max_ns as f64 / 1e3,
+                ));
+            }
+        }
+        if !self.validation.is_empty() {
+            let grand: u64 = self.validation.iter().map(|r| r.total_ns).sum();
+            out.push_str(&format!(
+                "\n{:<12} {:>8} {:>9} {:>9} {:>12} {:>7}\n",
+                "validate", "runs", "failures", "findings", "total", "share"
+            ));
+            for r in &self.validation {
+                let share = if grand == 0 {
+                    0.0
+                } else {
+                    100.0 * r.total_ns as f64 / grand as f64
+                };
+                out.push_str(&format!(
+                    "{:<12} {:>8} {:>9} {:>9} {:>10.1}us {:>6.1}%\n",
+                    r.pass,
+                    r.runs,
+                    r.failures,
+                    r.findings,
+                    r.total_ns as f64 / 1e3,
+                    share,
                 ));
             }
         }
@@ -226,6 +312,28 @@ pub fn analyze(text: &str) -> Result<Report, SchemaError> {
             "sim" => {
                 report.sims.0 += 1;
                 report.sims.1 += u("cycles");
+                report.sim_ns += u("dur_ns");
+            }
+            "validate" => {
+                let name = v.get("pass").and_then(Value::as_str).unwrap_or("?");
+                let ok = matches!(v.get("ok"), Some(Value::Bool(true)));
+                let wall = u("wall_ns");
+                let found = u("findings");
+                match report.validation.iter_mut().find(|r| r.pass == name) {
+                    Some(r) => {
+                        r.runs += 1;
+                        r.failures += u64::from(!ok);
+                        r.findings += found;
+                        r.total_ns += wall;
+                    }
+                    None => report.validation.push(ValidateRow {
+                        pass: name.to_string(),
+                        runs: 1,
+                        failures: u64::from(!ok),
+                        findings: found,
+                        total_ns: wall,
+                    }),
+                }
             }
             "checkpoint" => {
                 report.checkpoints.0 += 1;
@@ -242,6 +350,9 @@ pub fn analyze(text: &str) -> Result<Report, SchemaError> {
     }
     report
         .passes
+        .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.pass.cmp(&b.pass)));
+    report
+        .validation
         .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.pass.cmp(&b.pass)));
     Ok(report)
 }
@@ -292,6 +403,19 @@ mod tests {
                         ("dur_ns", Value::UInt(10)),
                     ],
                 );
+                t.emit(
+                    "validate",
+                    [
+                        (
+                            "pass",
+                            Value::str(if case == 0 { "regalloc" } else { "schedule" }),
+                        ),
+                        ("level", Value::str("full")),
+                        ("ok", Value::Bool(!(case == 2 && gen == 1))),
+                        ("findings", Value::UInt(case)),
+                        ("wall_ns", Value::UInt(200 * (case + 1))),
+                    ],
+                );
             }
             t.emit(
                 "generation",
@@ -340,6 +464,36 @@ mod tests {
     }
 
     #[test]
+    fn aggregates_validate_events_per_pass() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        // schedule validated 4x (cases 1,2 per gen): one failure (gen 1
+        // case 2), findings 1+2 per gen, wall 400+600 per gen.
+        let sched = r.validation.iter().find(|v| v.pass == "schedule").unwrap();
+        assert_eq!((sched.runs, sched.failures, sched.findings), (4, 1, 6));
+        assert_eq!(sched.total_ns, 2000);
+        let ra = r.validation.iter().find(|v| v.pass == "regalloc").unwrap();
+        assert_eq!((ra.runs, ra.failures, ra.findings), (2, 0, 0));
+        assert_eq!(ra.total_ns, 400);
+        // Sorted by total wall time: schedule first.
+        assert_eq!(r.validation[0].pass, "schedule");
+    }
+
+    #[test]
+    fn bench_json_digests_throughput() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        // 6 evals over 6ms of generation time, 600 cycles over 60ns of sim.
+        assert!((r.evals_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((r.sim_cycles_per_sec() - 1e10).abs() < 1.0);
+        let digest = r.bench_json();
+        let v = crate::json::parse(&digest).expect("bench digest is valid JSON");
+        assert_eq!(v.get("total_evals").and_then(Value::as_u64), Some(6));
+        assert_eq!(v.get("sim_cycles").and_then(Value::as_u64), Some(600));
+        let hit = v.get("cache_hit_rate").and_then(Value::as_f64).unwrap();
+        assert!((hit - 0.25).abs() < 1e-9, "hit rate {hit}");
+        assert!(v.get("evals_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
     fn render_mentions_every_section() {
         let r = analyze(&synthetic_trace()).unwrap();
         let text = r.render();
@@ -348,6 +502,8 @@ mod tests {
             "hit%",
             "pass",
             "schedule",
+            "validate",
+            "failures",
             "simulations",
             "quarantine: budget x1",
         ] {

@@ -117,6 +117,16 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
         ],
     ),
     (
+        "validate",
+        &[
+            ("pass", FieldKind::Str),
+            ("level", FieldKind::Str),
+            ("ok", FieldKind::Bool),
+            ("findings", FieldKind::UInt),
+            ("wall_ns", FieldKind::UInt),
+        ],
+    ),
+    (
         "checkpoint",
         &[("gen", FieldKind::UInt), ("dur_ns", FieldKind::UInt)],
     ),
