@@ -22,7 +22,13 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         fresh = json.load(f)
     failed = False
-    for key in ("evals_per_sec", "sim_cycles_per_sec"):
+    # warm_evals_per_sec only means something when the run used a persistent
+    # fitness cache and it was warm; the cold smoke digest carries 0. Gate it
+    # only when both sides actually measured it (older digests lack the key).
+    keys = ["evals_per_sec", "sim_cycles_per_sec"]
+    if base.get("warm_evals_per_sec", 0) > 0 and fresh.get("warm_evals_per_sec", 0) > 0:
+        keys.append("warm_evals_per_sec")
+    for key in keys:
         b, got = base[key], fresh[key]
         ratio = got / b if b else float("inf")
         print(f"{key}: baseline {b:.1f}, fresh {got:.1f} ({ratio:.2f}x)")
@@ -34,6 +40,8 @@ def main() -> int:
             base["cache_hit_rate"], fresh["cache_hit_rate"]
         )
     )
+    if "warm_evals" in fresh:
+        print(f"warm_evals: fresh {fresh['warm_evals']}")
     return 1 if failed else 0
 
 

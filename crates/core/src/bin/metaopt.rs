@@ -34,6 +34,14 @@
 //! match; `--gens` may be raised to extend the run). A resumed run
 //! reproduces the uninterrupted run exactly.
 //!
+//! `--eval-cache <path>` adds a crash-safe persistent fitness cache:
+//! every successful score is appended as it is computed, and a rerun (or
+//! resume) under the same configuration answers those evaluations from
+//! disk — the run prints its warm-hit count. Corrupt or foreign cache
+//! files are recovered or ignored, never fatal. `--retries N` bounds how
+//! many times a transiently failing evaluation (timeout) is retried
+//! before quarantine (default 2).
+//!
 //! Every subcommand accepts `--trace-out <path>`: structured run telemetry
 //! (the `run-trace.v1` JSONL schema — evolution generations, uncached
 //! evaluations, compiler passes, simulations, checkpoints) streams to the
@@ -67,6 +75,7 @@ fn usage() -> ExitCode {
                   --validate off|fast|full --json\n\
                   --passes <plan> --unroll <N>\n\
                   --checkpoint <path> --resume <path> --trace-out <path>\n\
+                  --eval-cache <path> (persistent fitness cache) --retries N\n\
                   --bench-json <path> (trace-report: write throughput digest)\n\
          plans:   comma-separated passes ending in regalloc,schedule,\n\
                   e.g. unroll(2),prefetch,hyperblock,regalloc,schedule"
@@ -149,6 +158,8 @@ fn parse_args() -> Option<Options> {
             "--unroll" => unroll = Some(args.next()?.parse().ok()?),
             "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
             "--resume" => control.resume = Some(args.next()?.into()),
+            "--eval-cache" => control.eval_cache = Some(args.next()?.into()),
+            "--retries" => params.retries = args.next()?.parse().ok()?,
             "--trace-out" => trace_out = Some(args.next()?.into()),
             "--bench-json" => bench_json = Some(args.next()?.into()),
             _ => positional.push(a),
@@ -225,6 +236,15 @@ fn print_quarantine(quarantined: &[QuarantineRecord], evaluations: u64, successe
     }
 }
 
+/// One greppable line for scripts and CI: how many evaluations the
+/// persistent fitness cache answered. Printed only when `--eval-cache`
+/// was given, so default output is unchanged.
+fn print_warm_hits(control: &RunControl, warm_hits: u64) {
+    if control.eval_cache.is_some() {
+        println!("eval cache warm hits: {warm_hits}");
+    }
+}
+
 fn report_error(e: &ExperimentError) -> ExitCode {
     eprintln!("error: {e}");
     ExitCode::FAILURE
@@ -296,6 +316,7 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
             println!("raw (re-parseable): {}", r.best.key());
             print_lints(&r.best, &cfg);
             print_quarantine(&r.quarantined, r.evaluations, r.successes);
+            print_warm_hits(&control, r.warm_hits);
             ExitCode::SUCCESS
         }
         ["train", study_name] => {
@@ -323,6 +344,7 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
             println!("raw (re-parseable): {}", r.best.key());
             print_lints(&r.best, &cfg);
             print_quarantine(&r.quarantined, r.evaluations, r.successes);
+            print_warm_hits(&control, r.warm_hits);
             ExitCode::SUCCESS
         }
         ["crossval", study_name, path] => {

@@ -75,6 +75,12 @@ pub struct RunControl {
     /// the pass manager, and the simulator all emit into it. Disabled by
     /// default, leaving results bit-identical to an untraced run.
     pub tracer: Tracer,
+    /// Crash-safe persistent fitness cache. Scores are appended as they
+    /// are computed and replayed on the next run with the same config
+    /// fingerprint, so a warm rerun skips straight past every evaluation
+    /// it has already paid for. Corrupt or foreign files degrade to
+    /// in-memory caching; they never abort the run.
+    pub eval_cache: Option<PathBuf>,
 }
 
 /// Result of specializing a priority function to one benchmark (paper
@@ -96,6 +102,9 @@ pub struct SpecializationResult {
     pub evaluations: u64,
     /// Evaluations that produced a score.
     pub successes: u64,
+    /// Evaluations answered by the persistent fitness cache (0 unless
+    /// [`RunControl::eval_cache`] is set and the store was warm).
+    pub warm_hits: u64,
     /// Quarantine ledger: every distinct `(genome, case)` evaluation
     /// failure, with its classified error.
     pub quarantined: Vec<QuarantineRecord>,
@@ -147,6 +156,9 @@ pub fn specialize_controlled(
     if let Some(path) = &control.checkpoint {
         evo = evo.with_checkpoint_file(path);
     }
+    if let Some(path) = &control.eval_cache {
+        evo = evo.with_eval_cache(path);
+    }
     let result = evo.try_run()?;
     let train_speedup = speedup_or_nan(&benches[0], study, &result.best, DataSet::Train);
     let novel_speedup = speedup_or_nan(&benches[0], study, &result.best, DataSet::Novel);
@@ -158,6 +170,7 @@ pub fn specialize_controlled(
         log: result.log,
         evaluations: result.evaluations,
         successes: result.successes,
+        warm_hits: result.warm_hits,
         quarantined: result.quarantined,
     })
 }
@@ -195,6 +208,9 @@ pub struct GeneralResult {
     pub evaluations: u64,
     /// Evaluations that produced a score.
     pub successes: u64,
+    /// Evaluations answered by the persistent fitness cache (0 unless
+    /// [`RunControl::eval_cache`] is set and the store was warm).
+    pub warm_hits: u64,
     /// Quarantine ledger: every distinct `(genome, case)` evaluation
     /// failure, with its classified error.
     pub quarantined: Vec<QuarantineRecord>,
@@ -229,6 +245,9 @@ pub fn train_general_controlled(
     if let Some(path) = &control.checkpoint {
         evo = evo.with_checkpoint_file(path);
     }
+    if let Some(path) = &control.eval_cache {
+        evo = evo.with_eval_cache(path);
+    }
     let result = evo.try_run()?;
     let per_bench: Vec<(String, f64, f64)> = prepared
         .iter()
@@ -248,6 +267,7 @@ pub fn train_general_controlled(
         log: result.log,
         evaluations: result.evaluations,
         successes: result.successes,
+        warm_hits: result.warm_hits,
         quarantined: result.quarantined,
     })
 }
@@ -601,6 +621,33 @@ mod tests {
         );
         // Same plan still resumes fine.
         specialize_controlled(&cfg, &bench, &params, &resume).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_specialization_reproduces_the_cold_run() {
+        // A second run over the same persistent fitness cache must land on
+        // the same winner and telemetry, only faster: every score the cold
+        // run paid for is answered from disk.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metaopt-exp-store-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = study::hyperblock();
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let params = tiny_params(13);
+        let control = RunControl {
+            eval_cache: Some(path.clone()),
+            ..RunControl::default()
+        };
+        let cold = specialize_controlled(&cfg, &bench, &params, &control).unwrap();
+        assert_eq!(cold.warm_hits, 0, "a fresh store cannot answer anything");
+        let warm = specialize_controlled(&cfg, &bench, &params, &control).unwrap();
+        assert!(warm.warm_hits > 0, "second run must hit the store");
+        assert_eq!(warm.best.key(), cold.best.key());
+        assert_eq!(warm.log, cold.log);
+        assert_eq!(warm.evaluations, cold.evaluations);
+        assert_eq!(warm.successes, cold.successes);
+        assert!((warm.train_speedup - cold.train_speedup).abs() < 1e-12);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -28,17 +28,43 @@ pub enum FaultStage {
     /// At the semantic-validation boundary (forces a
     /// [`EvalErrorKind::Validation`]).
     Validate,
-    /// Before simulating the compiled program (forces a
-    /// [`EvalErrorKind::Sim`]).
+    /// Before simulating the compiled program, after the timeout check
+    /// (forces a [`EvalErrorKind::Sim`]).
     Simulate,
+    /// An operational timeout between validation and simulation (forces a
+    /// *transient* [`EvalErrorKind::Timeout`], which the engine retries).
+    /// Unlike the other stages, timeout decisions are attempt-sensitive —
+    /// see [`FaultInjector::should_fail_at`] — so a timeout can clear on
+    /// retry, exercising the retry path end to end.
+    Timeout,
+    /// Corruption of a persistent fitness-cache record as it is written.
+    /// Not part of the per-evaluation pipeline: exercised through
+    /// [`metaopt_gp::store::FitnessStore`]'s corruption hook, so the store's
+    /// detect-and-recover machinery is what gets tested. [`FaultStage::kind`]
+    /// for this stage exists only for totality.
+    CacheCorrupt,
 }
 
 impl FaultStage {
-    /// All stages, in pipeline order.
-    pub const ALL: [FaultStage; 4] = [
+    /// All stages. The first five are the per-evaluation pipeline stages
+    /// (see [`FaultStage::EVAL`] for those in pipeline order);
+    /// `CacheCorrupt` acts at the storage layer instead.
+    pub const ALL: [FaultStage; 6] = [
         FaultStage::Compile,
         FaultStage::CheckIr,
         FaultStage::Validate,
+        FaultStage::Timeout,
+        FaultStage::Simulate,
+        FaultStage::CacheCorrupt,
+    ];
+
+    /// The per-evaluation pipeline stages, in the order the pipeline
+    /// checks them.
+    pub const EVAL: [FaultStage; 5] = [
+        FaultStage::Compile,
+        FaultStage::CheckIr,
+        FaultStage::Validate,
+        FaultStage::Timeout,
         FaultStage::Simulate,
     ];
 
@@ -48,7 +74,11 @@ impl FaultStage {
             FaultStage::Compile => EvalErrorKind::Compile,
             FaultStage::CheckIr => EvalErrorKind::IrCheck,
             FaultStage::Validate => EvalErrorKind::Validation,
+            FaultStage::Timeout => EvalErrorKind::Timeout,
             FaultStage::Simulate => EvalErrorKind::Sim,
+            // Cache corruption never surfaces as an evaluation error (the
+            // store detects and recovers); mapped for totality only.
+            FaultStage::CacheCorrupt => EvalErrorKind::Sim,
         }
     }
 
@@ -58,7 +88,9 @@ impl FaultStage {
             FaultStage::Compile => "compile",
             FaultStage::CheckIr => "check-ir",
             FaultStage::Validate => "validate",
+            FaultStage::Timeout => "timeout",
             FaultStage::Simulate => "simulate",
+            FaultStage::CacheCorrupt => "cache-corrupt",
         }
     }
 
@@ -67,7 +99,9 @@ impl FaultStage {
             FaultStage::Compile => 0,
             FaultStage::CheckIr => 1,
             FaultStage::Validate => 2,
-            FaultStage::Simulate => 3,
+            FaultStage::Timeout => 3,
+            FaultStage::Simulate => 4,
+            FaultStage::CacheCorrupt => 5,
         }
     }
 }
@@ -77,7 +111,7 @@ impl FaultStage {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultInjector {
     seed: u64,
-    rates: [f64; 4],
+    rates: [f64; 6],
 }
 
 impl FaultInjector {
@@ -86,7 +120,7 @@ impl FaultInjector {
     pub fn new(seed: u64) -> Self {
         FaultInjector {
             seed,
-            rates: [0.0; 4],
+            rates: [0.0; 6],
         }
     }
 
@@ -94,7 +128,7 @@ impl FaultInjector {
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultInjector {
             seed,
-            rates: [rate; 4],
+            rates: [rate; 6],
         }
     }
 
@@ -109,9 +143,25 @@ impl FaultInjector {
         self.rates[stage.index()]
     }
 
-    /// Whether this injector fires for `(stage, genome, bench)` — a pure
-    /// function, identical on every call.
+    /// Whether this injector fires for `(stage, genome, bench)` on the
+    /// first attempt — a pure function, identical on every call.
     pub fn should_fail(&self, stage: FaultStage, genome_key: &str, bench: &str) -> bool {
+        self.should_fail_at(stage, genome_key, bench, 0)
+    }
+
+    /// Whether this injector fires for `(stage, genome, bench)` on retry
+    /// attempt `attempt`. Permanent stages ignore `attempt` — a compile
+    /// fault that fired once fires on every retry, which is exactly why the
+    /// engine never retries them. [`FaultStage::Timeout`] folds the attempt
+    /// into the draw, so an injected timeout can clear on a later attempt
+    /// (or persist through the whole retry budget and quarantine).
+    pub fn should_fail_at(
+        &self,
+        stage: FaultStage,
+        genome_key: &str,
+        bench: &str,
+        attempt: u32,
+    ) -> bool {
         let rate = self.rates[stage.index()];
         if rate <= 0.0 {
             return false;
@@ -134,6 +184,10 @@ impl FaultInjector {
         eat(genome_key.as_bytes());
         eat(&[0xFF]);
         eat(bench.as_bytes());
+        if stage == FaultStage::Timeout {
+            eat(&[0xFF]);
+            eat(&attempt.to_le_bytes());
+        }
         let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -142,15 +196,26 @@ impl FaultInjector {
         draw < rate
     }
 
-    /// Fail the evaluation if the injector fires for this tuple; the error
-    /// is marked [`EvalError::injected`] so ledgers distinguish forced from
-    /// organic failures.
+    /// Fail the evaluation if the injector fires for this tuple on the
+    /// first attempt; the error is marked [`EvalError::injected`] so
+    /// ledgers distinguish forced from organic failures.
     pub fn check(&self, stage: FaultStage, genome_key: &str, bench: &str) -> Result<(), EvalError> {
-        if self.should_fail(stage, genome_key, bench) {
+        self.check_at(stage, genome_key, bench, 0)
+    }
+
+    /// [`FaultInjector::check`] with an explicit retry attempt.
+    pub fn check_at(
+        &self,
+        stage: FaultStage,
+        genome_key: &str,
+        bench: &str,
+        attempt: u32,
+    ) -> Result<(), EvalError> {
+        if self.should_fail_at(stage, genome_key, bench, attempt) {
             return Err(EvalError::injected(
                 stage.kind(),
                 format!(
-                    "fault injector forced a {} failure on {bench}",
+                    "fault injector forced a {} failure on {bench} (attempt {attempt})",
                     stage.label()
                 ),
             ));
@@ -220,6 +285,41 @@ mod tests {
             (observed - 0.05).abs() < 0.02,
             "observed rate {observed} too far from 0.05"
         );
+    }
+
+    #[test]
+    fn timeout_is_attempt_sensitive_and_permanent_stages_are_not() {
+        let inj = FaultInjector::uniform(11, 0.5);
+        let genomes: Vec<String> = (0..200).map(|i| format!("(rconst {i}.25)")).collect();
+        // Permanent stages: the attempt index must not change the decision.
+        for stage in [
+            FaultStage::Compile,
+            FaultStage::CheckIr,
+            FaultStage::Validate,
+        ] {
+            for g in &genomes {
+                let base = inj.should_fail_at(stage, g, "unepic", 0);
+                for attempt in 1..4 {
+                    assert_eq!(base, inj.should_fail_at(stage, g, "unepic", attempt));
+                }
+            }
+        }
+        // Timeout: some pair must clear on a retry, and some must persist,
+        // or the retry path is untestable at this rate.
+        let clears = genomes.iter().any(|g| {
+            inj.should_fail_at(FaultStage::Timeout, g, "unepic", 0)
+                && !inj.should_fail_at(FaultStage::Timeout, g, "unepic", 1)
+        });
+        let persists = genomes
+            .iter()
+            .any(|g| (0..3).all(|a| inj.should_fail_at(FaultStage::Timeout, g, "unepic", a)));
+        assert!(clears, "no timeout cleared on retry");
+        assert!(persists, "no timeout persisted through retries");
+        // Transience contract: the timeout stage maps to the one transient
+        // error kind, everything else permanent.
+        for stage in FaultStage::ALL {
+            assert_eq!(stage.kind().is_transient(), stage == FaultStage::Timeout);
+        }
     }
 
     #[test]

@@ -132,6 +132,10 @@ impl PreparedBench {
 
         let mut eval_machine = study.machine.clone();
         eval_machine.max_insts = budget::EVAL_MAX_SIM_INSTS;
+        // The cooperative deadline: the simulator checks the cycle budget
+        // every bundle, so even a low-IPC pathological schedule terminates
+        // deterministically — the evaluation service's primary hang bound.
+        eval_machine.max_cycles = budget::EVAL_MAX_SIM_CYCLES;
         let mut pb = PreparedBench {
             name: bench.name.to_string(),
             prepared,
@@ -221,6 +225,16 @@ impl PreparedBench {
                         self.name
                     ),
                 ),
+                // The cooperative deadline is deterministic (a property of
+                // the genome's schedule, not of the host), so it classifies
+                // as a permanent budget fault — retrying would be futile.
+                SimError::CycleLimit(n) => EvalError::new(
+                    EvalErrorKind::Budget,
+                    format!(
+                        "{}: simulation exceeded the {n}-cycle cooperative deadline on {ds:?}",
+                        self.name
+                    ),
+                ),
                 other => EvalError::new(
                     EvalErrorKind::Sim,
                     format!("{}: simulation fault on {ds:?}: {other}", self.name),
@@ -243,12 +257,15 @@ impl PreparedBench {
 
     /// Compile with `expr` in the study's priority slot and simulate on
     /// `ds`, optionally consulting a fault injector at each pipeline stage.
+    /// `attempt` is the engine's retry attempt index; only the (transient)
+    /// timeout stage is attempt-sensitive.
     fn eval_cycles(
         &self,
         study: &StudyConfig,
         expr: &Expr,
         ds: DataSet,
         fault: Option<&FaultInjector>,
+        attempt: u32,
         tracer: &Tracer,
     ) -> Result<u64, EvalError> {
         let key = expr.key();
@@ -270,6 +287,7 @@ impl PreparedBench {
         if let Some(f) = fault {
             f.check(FaultStage::CheckIr, &key, &self.name)?;
             f.check(FaultStage::Validate, &key, &self.name)?;
+            f.check_at(FaultStage::Timeout, &key, &self.name, attempt)?;
             f.check(FaultStage::Simulate, &key, &self.name)?;
         }
         // Timing noise (if the study has any) is seeded deterministically
@@ -292,7 +310,7 @@ impl PreparedBench {
         expr: &Expr,
         ds: DataSet,
     ) -> Result<u64, EvalError> {
-        self.eval_cycles(study, expr, ds, None, &Tracer::disabled())
+        self.eval_cycles(study, expr, ds, None, 0, &Tracer::disabled())
     }
 
     /// [`PreparedBench::try_cycles_with`], emitting `pass` and `sim` events
@@ -304,7 +322,7 @@ impl PreparedBench {
         ds: DataSet,
         tracer: &Tracer,
     ) -> Result<u64, EvalError> {
-        self.eval_cycles(study, expr, ds, None, tracer)
+        self.eval_cycles(study, expr, ds, None, 0, tracer)
     }
 
     /// Panicking wrapper around [`PreparedBench::try_cycles_with`] for
@@ -455,6 +473,10 @@ impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
     }
 
     fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+        self.eval_case_attempt(expr, case, 0)
+    }
+
+    fn eval_case_attempt(&self, expr: &Expr, case: usize, attempt: u32) -> EvalOutcome {
         let pb = &self.benches[case];
         let tracer = self
             .tracer
@@ -464,6 +486,7 @@ impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
             expr,
             DataSet::Train,
             self.fault.as_ref(),
+            attempt,
             &tracer,
         ) {
             Ok(cycles) => EvalOutcome::Score(pb.baseline_train_cycles as f64 / cycles as f64),
@@ -539,7 +562,10 @@ mod tests {
         let cfg = study::hyperblock();
         let bench = metaopt_suite::by_name("unepic").unwrap();
         let benches = [PreparedBench::new(&cfg, &bench)];
-        for stage in FaultStage::ALL {
+        // Only the per-evaluation pipeline stages surface through
+        // `eval_case`; `CacheCorrupt` acts at the storage layer and is
+        // exercised through the fitness store's corruption hook instead.
+        for stage in FaultStage::EVAL {
             let ev = StudyEvaluator::new(&cfg, &benches)
                 .with_fault(FaultInjector::new(0).with_rate(stage, 1.0));
             match metaopt_gp::Evaluator::eval_case(&ev, &cfg.baseline_seed, 0) {

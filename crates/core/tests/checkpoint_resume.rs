@@ -91,6 +91,101 @@ fn killed_run_resumes_to_the_same_result() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Kill -9 a run while it is appending to the persistent fitness cache,
+/// then deliberately tear the file's tail mid-record (the worst crash the
+/// append protocol can leave behind). The next run must recover the cache
+/// on open — dropping only the torn tail — answer evaluations from it
+/// (warm hits > 0), and still report *exactly* the same winner and
+/// speedups as a never-interrupted, never-cached run.
+#[test]
+fn killed_run_leaves_a_recoverable_fitness_cache() {
+    let cache: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-kill-cache-{}.bin", std::process::id()));
+    let trace: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-kill-cache-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&trace);
+
+    // Kill once the cache holds the header plus a few full records. If the
+    // run wins the race and finishes first, the kill is a no-op and the
+    // torn tail below still exercises recovery.
+    let mut child = metaopt(&["--eval-cache", cache.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn metaopt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let len = std::fs::metadata(&cache).map(|m| m.len()).unwrap_or(0);
+        if len >= 1000 || child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cache never grew within 120s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Tear the last record: chop a few bytes off the tail, as a crash in
+    // the middle of a `write_all` would.
+    let len = std::fs::metadata(&cache)
+        .expect("cache must survive the kill")
+        .len();
+    assert!(
+        len > 100,
+        "cache should hold at least the header: {len} bytes"
+    );
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&cache)
+        .expect("open cache for truncation");
+    f.set_len(len - 5).expect("tear the tail");
+    drop(f);
+
+    let warm = metaopt(&[
+        "--eval-cache",
+        cache.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ])
+    .output()
+    .expect("warm run");
+    assert!(
+        warm.status.success(),
+        "warm run failed: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let straight = metaopt(&[]).output().expect("uninterrupted run");
+    assert!(straight.status.success());
+
+    // Same winner and speedups as a run that never saw a cache or a crash.
+    assert_eq!(
+        key_lines(&warm.stdout),
+        key_lines(&straight.stdout),
+        "warm recovered run must reproduce the uninterrupted run exactly"
+    );
+    // The store actually answered evaluations.
+    let stdout = String::from_utf8_lossy(&warm.stdout).to_string();
+    let hits: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("eval cache warm hits: "))
+        .expect("warm run must report its warm-hit count")
+        .trim()
+        .parse()
+        .expect("warm-hit count parses");
+    assert!(hits > 0, "expected warm hits > 0:\n{stdout}");
+    // And the trace records the truncated-tail recovery.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file");
+    assert!(
+        trace_text
+            .lines()
+            .any(|l| l.contains("\"type\":\"cache-recovered\"")
+                && l.contains("\"mode\":\"recovered\"")),
+        "trace must carry the cache-recovered event"
+    );
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&trace);
+}
+
 #[test]
 fn resume_rejects_a_checkpoint_from_different_parameters() {
     let path: PathBuf =

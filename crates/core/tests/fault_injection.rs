@@ -51,12 +51,36 @@ fn dump_ledger(study: &str, result: &EvolutionResult) {
     }
 }
 
-/// The injector's own prediction for a `(genome, bench)` pair: the first
-/// pipeline stage that fires, if any.
-fn predicted_stage(injector: &FaultInjector, genome: &str, bench: &str) -> Option<FaultStage> {
-    FaultStage::ALL
-        .into_iter()
-        .find(|s| injector.should_fail(*s, genome, bench))
+/// The injector's own prediction for a `(genome, bench)` pair under the
+/// engine's retry policy: which stage, if any, ends up in the ledger.
+///
+/// Permanent stages are attempt-invariant, so the first one that fires
+/// (in pipeline check order, before the timeout check) decides the
+/// outcome on attempt 0 and no retry can change it. Otherwise the engine
+/// retries transient timeouts up to `retries` times: the evaluation
+/// succeeds (or falls through to the attempt-invariant Simulate check) on
+/// the first attempt where the timeout does not fire, and quarantines as
+/// a timeout only when every attempt timed out.
+fn predicted_failure(
+    injector: &FaultInjector,
+    genome: &str,
+    bench: &str,
+    retries: u32,
+) -> Option<FaultStage> {
+    use FaultStage::{CheckIr, Compile, Simulate, Timeout, Validate};
+    for stage in [Compile, CheckIr, Validate] {
+        if injector.should_fail(stage, genome, bench) {
+            return Some(stage);
+        }
+    }
+    for attempt in 0..=retries {
+        if !injector.should_fail_at(Timeout, genome, bench, attempt) {
+            return injector
+                .should_fail(Simulate, genome, bench)
+                .then_some(Simulate);
+        }
+    }
+    Some(Timeout)
 }
 
 fn check_study(name: &str, cfg: &StudyConfig, bench_names: &[&str], seed: u64) {
@@ -102,12 +126,12 @@ fn check_study(name: &str, cfg: &StudyConfig, bench_names: &[&str], seed: u64) {
             r.error.injected,
             "{name}: bundled kernels only fail when injected: {r}"
         );
-        let stage = predicted_stage(&injector, &r.genome, bench)
+        let stage = predicted_failure(&injector, &r.genome, bench, params(seed).retries)
             .unwrap_or_else(|| panic!("{name}: ledger record not predicted by injector: {r}"));
         assert_eq!(
             r.error.kind,
             stage.kind(),
-            "{name}: error class must match the first firing stage: {r}"
+            "{name}: error class must match the predicted stage: {r}"
         );
         assert!(
             r.error.message.contains(bench),
@@ -132,6 +156,53 @@ fn check_study(name: &str, cfg: &StudyConfig, bench_names: &[&str], seed: u64) {
         result.quarantined, again.quarantined,
         "{name}: ledger differs"
     );
+}
+
+/// The `CacheCorrupt` stage never flows through the evaluation pipeline —
+/// it models torn writes to the persistent fitness store. Drive it through
+/// the store's corruption hook and prove the recovery contract: a reopened
+/// store drops the corrupt record and everything after it, serves every
+/// record before it with the exact appended score, and never surfaces a
+/// wrong fitness.
+#[test]
+fn cache_corrupt_faults_are_recovered_on_reopen() {
+    use metaopt_gp::{FitnessStore, StoreHealth};
+    use metaopt_trace::Tracer;
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("metaopt-fault-cache-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    const FP: &str = "pop=16 seed=7 config=fault";
+    let injector = FaultInjector::uniform(7, 0.2);
+    let hook = Arc::new(move |key: &str, case: usize| {
+        injector.should_fail(FaultStage::CacheCorrupt, key, &format!("case{case}"))
+    });
+    let store = FitnessStore::open(&path, FP, &Tracer::disabled()).with_corrupt_hook(hook.clone());
+
+    let rows: Vec<(String, usize, f64)> = (0..64)
+        .map(|i| (format!("(add x {i}.0)"), i % 3, i as f64 * 0.5 - 1.0))
+        .collect();
+    for (k, c, v) in &rows {
+        store.append(k, *c, *v);
+    }
+    drop(store);
+
+    let first_bad = rows
+        .iter()
+        .position(|(k, c, _)| hook(k, *c))
+        .expect("at 20% corruption over 64 appends, at least one must fire");
+
+    let s = FitnessStore::open(&path, FP, &Tracer::disabled());
+    assert_eq!(s.health(), StoreHealth::Recovered);
+    assert_eq!(s.entries(), first_bad as u64);
+    for (i, (k, c, v)) in rows.iter().enumerate() {
+        if i < first_bad {
+            assert_eq!(s.lookup(k, *c), Some(*v), "record {i} must survive intact");
+        } else {
+            assert_eq!(s.lookup(k, *c), None, "record {i} is past the corrupt tail");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

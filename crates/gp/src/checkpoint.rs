@@ -151,7 +151,7 @@ impl From<io::Error> for CheckpointError {
 pub fn fingerprint(p: &GpParams, config_tag: &str) -> String {
     format!(
         "pop={} replace={:016x} mut={:016x} tour={} depth={} init={}-{} kind={:?} seed={} \
-         eps={:016x} subset={} elitism={} config={config_tag}",
+         eps={:016x} subset={} elitism={} retries={} config={config_tag}",
         p.population,
         p.replace_frac.to_bits(),
         p.mutation_rate.to_bits(),
@@ -164,6 +164,7 @@ pub fn fingerprint(p: &GpParams, config_tag: &str) -> String {
         p.fitness_epsilon.to_bits(),
         p.subset_size.map_or("none".to_string(), |s| s.to_string()),
         p.elitism,
+        p.retries,
     )
 }
 

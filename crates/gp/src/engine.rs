@@ -2,21 +2,22 @@
 
 use crate::checkpoint::{fingerprint, Checkpoint, CheckpointError, DssState};
 use crate::dss::Dss;
-use crate::eval::{EvalError, EvalOutcome, QuarantineRecord};
+use crate::eval::{EvalError, EvalErrorKind, EvalOutcome, QuarantineRecord};
 use crate::expr::{Expr, Kind};
 use crate::features::FeatureSet;
 use crate::gen::random_expr;
 use crate::ops::{crossover, mutate};
+use crate::service::{self, Containment};
+use crate::store::FitnessStore;
 use metaopt_trace::json::Value;
 use metaopt_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Fitness assigned to a genome whose evaluation failed on any case in the
 /// generation's subset (and to lint-rejected genomes): the worst possible
@@ -40,6 +41,15 @@ pub trait Evaluator: Sync {
     /// Outcome for `expr` on `case`: a speedup score (1.0 = parity) or a
     /// classified failure.
     fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome;
+    /// [`Evaluator::eval_case`] with a retry-attempt index (0 = first try).
+    /// The engine calls this; the default ignores `attempt`, which is right
+    /// for deterministic evaluators. Implementations whose transient
+    /// failures depend on the attempt (fault injectors, evaluators talking
+    /// to real hosts) override it.
+    fn eval_case_attempt(&self, expr: &Expr, case: usize, attempt: u32) -> EvalOutcome {
+        let _ = attempt;
+        self.eval_case(expr, case)
+    }
 }
 
 /// Search parameters (paper Table 2).
@@ -73,6 +83,12 @@ pub struct GpParams {
     /// Table 2: "Best expression is guaranteed survival"). Disable only for
     /// ablation studies.
     pub elitism: bool,
+    /// How many times a *transient* evaluation failure (see
+    /// [`crate::eval::EvalErrorKind::is_transient`]) is retried before the
+    /// pair is quarantined. Deterministic failures never retry. Part of the
+    /// checkpoint fingerprint: a different retry budget can change which
+    /// pairs quarantine, hence every fitness downstream.
+    pub retries: u32,
 }
 
 impl GpParams {
@@ -93,6 +109,7 @@ impl GpParams {
             fitness_epsilon: 1e-6,
             subset_size: None,
             elitism: true,
+            retries: 2,
         }
     }
 
@@ -156,6 +173,14 @@ pub struct EvolutionResult {
     /// evaluation). Not carried across a resume (the cache itself is not
     /// persisted).
     pub cache_hits: u64,
+    /// Evaluations answered by the *persistent* fitness store (see
+    /// [`Evolution::with_eval_cache`]) instead of a live compile-and-
+    /// simulate. A warm hit still counts as one of `evaluations` (and one
+    /// of `successes` — only scores are persisted), so a warm run's
+    /// counters, ledger, and result are identical to the cold run that
+    /// populated the store, with `warm_hits` recording how much work the
+    /// store saved. Zero when no store is configured.
+    pub warm_hits: u64,
 }
 
 /// An evolution run: wraps GP around an [`Evaluator`].
@@ -168,6 +193,7 @@ pub struct Evolution<'a, E: Evaluator> {
     resume: Option<Checkpoint>,
     config_tag: String,
     tracer: Tracer,
+    eval_cache: Option<PathBuf>,
 }
 
 #[derive(Clone, Copy)]
@@ -199,17 +225,47 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Per-shard memo map: genome key → outcomes for the cases seen so far.
+/// Keyed by the genome string alone (cases nest inside) so the hot-path
+/// lookup can borrow the caller's `&str` — no per-probe allocation; a
+/// `String` is built only when inserting a genuinely new genome.
+type ShardMap = HashMap<String, Vec<(usize, EvalOutcome)>>;
+
+/// Deterministic backoff before retrying a transient failure, derived from
+/// the pair identity and attempt index so retried runs trace identical
+/// `backoff_ns` values on every host and thread schedule. The real sleep
+/// is capped well below the nominal value — the determinism contract is
+/// about the *traced* schedule, not wall time.
+fn backoff_ns(key: &str, case: usize, attempt: u32) -> u64 {
+    let h = fnv1a(key)
+        ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(attempt) + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+    // Exponential ladder (64 µs, 128 µs, 256 µs, …) plus deterministic
+    // jitter of up to one base step.
+    let base = 1u64 << (16 + attempt.min(8));
+    base + h % base
+}
+
+/// Hard cap on how long a retry actually sleeps (1 ms): backoff exists to
+/// let a transient host condition clear, not to stall the search.
+const MAX_BACKOFF_SLEEP_NS: u64 = 1_000_000;
+
 struct Memo {
-    shards: Vec<Mutex<HashMap<(String, usize), EvalOutcome>>>,
+    shards: Vec<Mutex<ShardMap>>,
     evaluations: AtomicU64,
     successes: AtomicU64,
     failures: AtomicU64,
     cache_hits: AtomicU64,
+    warm_hits: AtomicU64,
     ledger: Mutex<Ledger>,
+    /// Persistent fitness store; `None` runs in-memory only.
+    store: Option<FitnessStore>,
+    /// Transient-failure retry budget (from [`GpParams::retries`]).
+    retries: u32,
 }
 
 impl Memo {
-    fn new() -> Self {
+    fn new(store: Option<FitnessStore>, retries: u32) -> Self {
         Memo {
             shards: (0..MEMO_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -218,10 +274,13 @@ impl Memo {
             successes: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             ledger: Mutex::new(Ledger {
                 records: Vec::new(),
                 seen: HashSet::new(),
             }),
+            store,
+            retries,
         }
     }
 
@@ -229,13 +288,13 @@ impl Memo {
     /// empty — deterministic evaluators recompute identical outcomes — but
     /// the ledger's seen-set is restored so re-observed failures don't
     /// produce duplicate records.
-    fn resumed(ck: &Checkpoint) -> Self {
+    fn resumed(ck: &Checkpoint, store: Option<FitnessStore>, retries: u32) -> Self {
         let seen = ck
             .quarantined
             .iter()
             .map(|r| (r.genome.clone(), r.case))
             .collect();
-        let memo = Memo::new();
+        let memo = Memo::new(store, retries);
         memo.evaluations.store(ck.evaluations, Ordering::Relaxed);
         memo.successes.store(ck.successes, Ordering::Relaxed);
         memo.failures.store(ck.failures, Ordering::Relaxed);
@@ -246,9 +305,24 @@ impl Memo {
         memo
     }
 
-    fn shard(&self, key: &str, case: usize) -> &Mutex<HashMap<(String, usize), EvalOutcome>> {
+    /// Shard index for a `(genome, case)` pair — also used to spread the
+    /// evaluation service's job queues, so jobs for the same shard land on
+    /// the same queue and their memo locks stay warm per worker.
+    fn shard_index(key: &str, case: usize) -> usize {
         let h = fnv1a(key) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h % MEMO_SHARDS as u64) as usize]
+        (h % MEMO_SHARDS as u64) as usize
+    }
+
+    fn shard(&self, key: &str, case: usize) -> &Mutex<ShardMap> {
+        &self.shards[Self::shard_index(key, case)]
+    }
+
+    /// Borrow-only cache probe: no allocation on the hit path.
+    fn probe(map: &ShardMap, key: &str, case: usize) -> Option<EvalOutcome> {
+        map.get(key)?
+            .iter()
+            .find(|(c, _)| *c == case)
+            .map(|(_, o)| o.clone())
     }
 
     /// Counter snapshot. Only consistent when no evaluation is in flight
@@ -266,6 +340,10 @@ impl Memo {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
+    fn warm(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
     /// The ledger in canonical `(genome, case)` order. Worker threads race
     /// to append records, so insertion order varies run to run; sorting on
     /// export makes ledgers comparable across runs, resumes, and CI
@@ -279,7 +357,13 @@ impl Memo {
     fn cache_entries(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().len() as u64)
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .values()
+                    .map(|cases| cases.len() as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
@@ -288,12 +372,22 @@ impl Memo {
     /// [`EvalOutcome::Failed`] instead of poisoning a worker thread and
     /// aborting the run.
     ///
+    /// Resolution order for an uncached pair:
+    /// 1. the persistent store (a warm hit counts as an evaluation — one of
+    ///    `evaluations` *and* `successes` *and* `warm_hits` — so a warm
+    ///    run's accounting matches the cold run that wrote the store);
+    /// 2. the evaluator, with up to `retries` retried attempts when the
+    ///    failure is transient; each retry sleeps a deterministic (traced)
+    ///    backoff before the next attempt. Fresh scores are appended to the
+    ///    store.
+    ///
     /// Accounting invariant: every call bumps exactly one of
     /// `evaluations`/`cache_hits`. When two threads race to evaluate the
     /// same uncached pair, the insert is an entry guard — the loser
     /// discards its redundant result, adopts the winner's, and records a
-    /// cache hit, so the counters (and the per-pair `eval` trace span,
-    /// emitted only by the winner) are identical to a single-threaded run.
+    /// cache hit, so the counters (and the per-pair `eval`/`retry` trace
+    /// spans, emitted only by the winner) are identical to a
+    /// single-threaded run.
     fn get_or_eval<E: Evaluator>(
         &self,
         ev: &E,
@@ -303,32 +397,65 @@ impl Memo {
         gen: usize,
         tracer: &Tracer,
     ) -> EvalOutcome {
-        let shard = self.shard(key, case);
-        if let Some(v) = shard.lock().unwrap().get(&(key.to_string(), case)) {
+        if let Some(v) = Self::probe(&self.shard(key, case).lock().unwrap(), key, case) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
+            return v;
         }
         let span = tracer.begin();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| ev.eval_case(expr, case))) {
-            Ok(o) => o,
-            Err(payload) => EvalOutcome::Failed(EvalError::from_panic(&*payload)),
+        let (outcome, warm, retried) = match self.store.as_ref().and_then(|s| s.lookup(key, case)) {
+            Some(score) => (EvalOutcome::Score(score), true, Vec::new()),
+            None => {
+                let mut retried: Vec<(u32, EvalErrorKind, u64)> = Vec::new();
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    let o = match catch_unwind(AssertUnwindSafe(|| {
+                        ev.eval_case_attempt(expr, case, attempt)
+                    })) {
+                        Ok(o) => o,
+                        Err(payload) => EvalOutcome::Failed(EvalError::from_panic(&*payload)),
+                    };
+                    match &o {
+                        EvalOutcome::Failed(err)
+                            if err.kind.is_transient() && attempt < self.retries =>
+                        {
+                            let ns = backoff_ns(key, case, attempt);
+                            retried.push((attempt, err.kind, ns));
+                            std::thread::sleep(std::time::Duration::from_nanos(
+                                ns.min(MAX_BACKOFF_SLEEP_NS),
+                            ));
+                            attempt += 1;
+                        }
+                        _ => break o,
+                    }
+                };
+                (outcome, false, retried)
+            }
         };
-        match shard.lock().unwrap().entry((key.to_string(), case)) {
-            Entry::Occupied(existing) => {
-                // Lost the race: another thread evaluated this pair first.
+        {
+            let mut shard = self.shard(key, case).lock().unwrap();
+            let cases = shard.entry(key.to_string()).or_default();
+            if let Some((_, existing)) = cases.iter().find(|(c, _)| *c == case) {
+                // Lost the race: another thread resolved this pair first.
                 // Its outcome is canonical; this thread's work is dropped
                 // and counted as a (late) cache hit.
+                let existing = existing.clone();
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return existing.get().clone();
+                return existing;
             }
-            Entry::Vacant(slot) => {
-                slot.insert(outcome.clone());
-            }
+            cases.push((case, outcome.clone()));
         }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if warm {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        }
         match &outcome {
-            EvalOutcome::Score(_) => {
+            EvalOutcome::Score(s) => {
                 self.successes.fetch_add(1, Ordering::Relaxed);
+                if !warm {
+                    if let Some(store) = &self.store {
+                        store.append(key, case, *s);
+                    }
+                }
             }
             EvalOutcome::Failed(err) => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
@@ -343,6 +470,19 @@ impl Memo {
             }
         }
         if tracer.enabled() {
+            for (attempt, kind, ns) in &retried {
+                tracer.emit(
+                    "retry",
+                    [
+                        ("gen", Value::UInt(gen as u64)),
+                        ("genome", Value::str(key)),
+                        ("case", Value::UInt(case as u64)),
+                        ("attempt", Value::UInt(u64::from(*attempt))),
+                        ("kind", Value::str(kind.label())),
+                        ("backoff_ns", Value::UInt(*ns)),
+                    ],
+                );
+            }
             let mut attrs = vec![
                 ("gen", Value::UInt(gen as u64)),
                 ("genome", Value::str(key)),
@@ -357,11 +497,105 @@ impl Memo {
                     attrs.push(("outcome", Value::str(err.kind.label())));
                 }
             }
+            if warm {
+                attrs.push(("warm", Value::Bool(true)));
+            }
             attrs.push(("dur_ns", Value::UInt(span.dur_ns())));
             tracer.emit("eval", attrs);
         }
         outcome
     }
+
+    /// Complete a `(genome, case)` pair the evaluation service had to
+    /// finish on a worker's behalf (worker crash or wall-clock stall): a
+    /// quarantined [`EvalErrorKind::Timeout`] failure, inserted through the
+    /// same entry guard as a real result. If a real outcome won the race —
+    /// the stalled worker finished after all — it stays canonical and this
+    /// containment is a no-op. This path never fires in a healthy run; it
+    /// exists so a wedged host cannot hang the search.
+    fn complete_contained(
+        &self,
+        key: &str,
+        case: usize,
+        gen: usize,
+        why: Containment,
+        tracer: &Tracer,
+    ) {
+        let (message, wall_ns) = match why {
+            Containment::WorkerCrash => (
+                "evaluation worker crashed; job completed by the supervisor".to_string(),
+                0,
+            ),
+            Containment::Stalled { wall_ns } => (
+                format!(
+                    "evaluation stalled past the wall-clock watchdog ({} ms)",
+                    wall_ns / 1_000_000
+                ),
+                wall_ns,
+            ),
+        };
+        let err = EvalError::new(EvalErrorKind::Timeout, message);
+        {
+            let mut shard = self.shard(key, case).lock().unwrap();
+            let cases = shard.entry(key.to_string()).or_default();
+            if cases.iter().any(|(c, _)| *c == case) {
+                return;
+            }
+            cases.push((case, EvalOutcome::Failed(err.clone())));
+        }
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut led = self.ledger.lock().unwrap();
+            if led.seen.insert((key.to_string(), case)) {
+                led.records.push(QuarantineRecord {
+                    genome: key.to_string(),
+                    case,
+                    error: err.clone(),
+                });
+            }
+        }
+        if tracer.enabled() {
+            if let Containment::Stalled { .. } = why {
+                tracer.emit(
+                    "timeout",
+                    [
+                        ("genome", Value::str(key)),
+                        ("case", Value::UInt(case as u64)),
+                        ("wall_ns", Value::UInt(wall_ns)),
+                    ],
+                );
+            }
+            tracer.emit(
+                "eval",
+                [
+                    ("gen", Value::UInt(gen as u64)),
+                    ("genome", Value::str(key)),
+                    ("case", Value::UInt(case as u64)),
+                    ("outcome", Value::str(err.kind.label())),
+                    ("dur_ns", Value::UInt(wall_ns)),
+                ],
+            );
+        }
+    }
+}
+
+/// One generation's evaluation wave, shared read-only with the service's
+/// workers. The population snapshot is cloned in (waves outlive no
+/// generation, but the borrow checker cannot see that across the service's
+/// long-lived threads); scores land in atomic slots indexed
+/// `genome * cases.len() + case_slot`.
+struct Wave {
+    pop: Vec<Expr>,
+    /// Canonical key per genome; `None` for lint-rejected genomes, which
+    /// never reach the evaluator.
+    keys: Vec<Option<String>>,
+    cases: Vec<usize>,
+    gen: usize,
+    /// Raw `f64` bits of each `(genome, case_slot)` score.
+    scores: Vec<AtomicU64>,
+    /// Set when any case of the genome failed (penalty fitness).
+    failed: Vec<AtomicBool>,
 }
 
 impl<'a, E: Evaluator> Evolution<'a, E> {
@@ -376,7 +610,21 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             resume: None,
             config_tag: String::new(),
             tracer: Tracer::disabled(),
+            eval_cache: None,
         }
+    }
+
+    /// Back the fitness memo with a crash-safe persistent store at `path`
+    /// (see [`crate::store::FitnessStore`]). Scores persist across runs
+    /// keyed on the exact genome and the full configuration fingerprint: a
+    /// rerun under an identical configuration answers evaluations from the
+    /// store ("warm hits") and produces a bit-identical
+    /// [`EvolutionResult`]; a store written under any other configuration
+    /// is ignored. An unreadable or corrupted store degrades to in-memory
+    /// operation — it never fails the run.
+    pub fn with_eval_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.eval_cache = Some(path.into());
+        self
     }
 
     /// Emit `run-trace.v1` events (evolution/generation/eval/checkpoint
@@ -452,27 +700,69 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         }
     }
 
-    fn evaluate_all(&self, memo: &Memo, pop: &[Expr], subset: &[usize], gen: usize) -> Vec<f64> {
+    /// Population fitness for one generation. With a single thread (or a
+    /// tiny population, or no service running) the serial path evaluates
+    /// in-place — this is what the single-threaded golden trace pins. With
+    /// the service, each lint-passing `(genome, case)` pair becomes one
+    /// job on the shard-affine queues; the calling thread blocks on the
+    /// wave and then aggregates scores in serial case order, so the float
+    /// sums are bit-identical to the serial path.
+    fn evaluate_all(
+        &self,
+        memo: &Memo,
+        pop: &[Expr],
+        subset: &[usize],
+        gen: usize,
+        svc: Option<&service::State<Wave, (u32, u32)>>,
+    ) -> Vec<f64> {
         let threads = self.params.threads.max(1);
-        if threads == 1 || pop.len() < 4 {
-            return pop
-                .iter()
-                .map(|e| self.mean_fitness(memo, e, subset, gen))
-                .collect();
-        }
-        let mut fits = vec![0.0f64; pop.len()];
-        let chunk = pop.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (ci, (exprs, out)) in pop.chunks(chunk).zip(fits.chunks_mut(chunk)).enumerate() {
-                let _ = ci;
-                s.spawn(move || {
-                    for (e, f) in exprs.iter().zip(out.iter_mut()) {
-                        *f = self.mean_fitness(memo, e, subset, gen);
-                    }
-                });
+        let svc = match svc {
+            Some(svc) if threads > 1 && pop.len() >= 4 && !subset.is_empty() => svc,
+            _ => {
+                return pop
+                    .iter()
+                    .map(|e| self.mean_fitness(memo, e, subset, gen))
+                    .collect();
             }
+        };
+        let keys: Vec<Option<String>> = pop
+            .iter()
+            .map(|e| {
+                crate::lint::reject(e, self.params.kind, self.features)
+                    .ok()
+                    .map(|()| e.key())
+            })
+            .collect();
+        let wave = Arc::new(Wave {
+            pop: pop.to_vec(),
+            keys,
+            cases: subset.to_vec(),
+            gen,
+            scores: (0..pop.len() * subset.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            failed: (0..pop.len()).map(|_| AtomicBool::new(false)).collect(),
         });
-        fits
+        let mut jobs = Vec::with_capacity(pop.len() * subset.len());
+        for (g, key) in wave.keys.iter().enumerate() {
+            let Some(key) = key else { continue };
+            for (ci, &case) in wave.cases.iter().enumerate() {
+                jobs.push((Memo::shard_index(key, case), (g as u32, ci as u32)));
+            }
+        }
+        svc.submit(wave.clone(), jobs);
+        (0..pop.len())
+            .map(|g| {
+                if wave.keys[g].is_none() || wave.failed[g].load(Ordering::SeqCst) {
+                    return PENALTY_FITNESS;
+                }
+                let n = wave.cases.len();
+                let sum: f64 = (0..n)
+                    .map(|ci| f64::from_bits(wave.scores[g * n + ci].load(Ordering::SeqCst)))
+                    .sum();
+                sum / n as f64
+            })
+            .collect()
     }
 
     /// Tournament of `k` with parsimony: highest fitness wins; ties go to
@@ -514,6 +804,14 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         let fp = fingerprint(p, &self.config_tag);
         let ncases = self.evaluator.num_cases();
         let all_cases: Vec<usize> = (0..ncases).collect();
+
+        // Open (and, if needed, recover) the persistent fitness store
+        // before anything evaluates. The fingerprint gate means a store
+        // from any other configuration degrades to in-memory operation.
+        let store = self
+            .eval_cache
+            .as_ref()
+            .map(|path| FitnessStore::open(path, &fp, &self.tracer));
 
         let mut rng;
         let mut pop: Vec<Expr>;
@@ -561,10 +859,10 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             };
             log = ck.log.clone();
             start_generation = ck.next_generation;
-            memo = Memo::resumed(ck);
+            memo = Memo::resumed(ck, store, p.retries);
         } else {
             rng = StdRng::seed_from_u64(p.seed);
-            memo = Memo::new();
+            memo = Memo::new(store, p.retries);
 
             // Initial population: seeds then ramped-grow randoms.
             pop = self.seeds.iter().take(p.population).cloned().collect();
@@ -586,160 +884,223 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             start_generation = 0;
         }
 
-        let run_span = self.tracer.begin();
-        if self.tracer.enabled() {
-            self.tracer.emit(
-                "evolution-start",
-                [
-                    ("population", Value::UInt(p.population as u64)),
-                    ("generations", Value::UInt(p.generations as u64)),
-                    ("start_gen", Value::UInt(start_generation as u64)),
-                    ("threads", Value::UInt(p.threads as u64)),
-                    ("resumed", Value::Bool(self.resume.is_some())),
-                ],
-            );
-        }
-
-        for generation in start_generation..p.generations {
-            let gen_span = self.tracer.begin();
-            let evals_before = memo.counters().evaluations;
-            let hits_before = memo.hits();
-            let subset = match &mut dss {
-                Some(d) => d.select(&mut rng),
-                None => all_cases.clone(),
-            };
-            let fits = self.evaluate_all(&memo, &pop, &subset, generation);
-
-            let best_idx = argbest(&fits, &pop, p.fitness_epsilon);
-            log.push(GenLog {
-                generation,
-                best_fitness: fits[best_idx],
-                mean_fitness: fits.iter().sum::<f64>() / fits.len().max(1) as f64,
-                best_size: pop[best_idx].size(),
-                subset: subset.clone(),
-            });
-
-            // Feed DSS with the best expression's per-case speedups; a
-            // quarantined case reports the worst score, so DSS keeps
-            // re-selecting it until the population stops failing there.
-            if let Some(d) = &mut dss {
-                let key = pop[best_idx].key();
-                for &c in &subset {
-                    let s = memo
-                        .get_or_eval(
-                            self.evaluator,
-                            &pop[best_idx],
-                            &key,
-                            c,
-                            generation,
-                            &self.tracer,
-                        )
-                        .score()
-                        .unwrap_or(PENALTY_FITNESS);
-                    d.report(c, s);
+        // The supervised evaluation service: one pool of workers for the
+        // whole run (waves per generation), supervised for crashes and
+        // stalls. Single-threaded (and tiny-population) configurations
+        // never start it — they keep the inline-serial path whose exact
+        // event order the golden trace pins. The state and both closures
+        // live outside the thread scope so workers can borrow them.
+        let svc_state: Option<service::State<Wave, (u32, u32)>> = (p.threads.max(1) > 1
+            && p.population >= 4)
+            .then(|| service::State::new(p.threads.max(1), MEMO_SHARDS));
+        let exec = |wave: &Wave, (g, ci): (u32, u32)| {
+            let (g, ci) = (g as usize, ci as usize);
+            let key = wave.keys[g]
+                .as_ref()
+                .expect("only lint-passed genomes are enqueued");
+            let case = wave.cases[ci];
+            match memo.get_or_eval(
+                self.evaluator,
+                &wave.pop[g],
+                key,
+                case,
+                wave.gen,
+                &self.tracer,
+            ) {
+                EvalOutcome::Score(s) => {
+                    wave.scores[g * wave.cases.len() + ci].store(s.to_bits(), Ordering::SeqCst);
+                }
+                EvalOutcome::Failed(_) => {
+                    wave.failed[g].store(true, Ordering::SeqCst);
                 }
             }
-
-            if self.tracer.enabled() {
-                let gl = log.last().expect("just pushed");
-                self.tracer.emit(
-                    "generation",
-                    [
-                        ("gen", Value::UInt(generation as u64)),
-                        (
-                            "subset",
-                            Value::Arr(subset.iter().map(|&c| Value::UInt(c as u64)).collect()),
-                        ),
-                        (
-                            "evals",
-                            Value::UInt(memo.counters().evaluations - evals_before),
-                        ),
-                        ("cache_hits", Value::UInt(memo.hits() - hits_before)),
-                        ("best_fitness", Value::Num(gl.best_fitness)),
-                        ("mean_fitness", Value::Num(gl.mean_fitness)),
-                        ("best_size", Value::UInt(gl.best_size as u64)),
-                        ("dur_ns", Value::UInt(gen_span.dur_ns())),
-                    ],
-                );
+        };
+        let contain = |wave: &Wave, (g, ci): (u32, u32), why: Containment| {
+            let (g, ci) = (g as usize, ci as usize);
+            if let Some(key) = wave.keys[g].as_ref() {
+                memo.complete_contained(key, wave.cases[ci], wave.gen, why, &self.tracer);
             }
+            wave.failed[g].store(true, Ordering::SeqCst);
+        };
 
-            if generation + 1 == p.generations {
-                break;
+        std::thread::scope(|scope| {
+            if let Some(st) = &svc_state {
+                service::start(scope, st, &exec, &contain, &self.tracer);
             }
-
-            // Breed: replace `replace_frac` of the population (elitism: the
-            // best expression is never displaced).
-            let k = ((p.replace_frac * p.population as f64).round() as usize)
-                .clamp(1, p.population.saturating_sub(1));
-            let mut offspring = Vec::with_capacity(k);
-            for _ in 0..k {
-                let a = self.tournament(&mut rng, &pop, &fits);
-                let b = self.tournament(&mut rng, &pop, &fits);
-                let mut child = crossover(&mut rng, &pop[a], &pop[b], p.max_depth);
-                if rng.random_bool(p.mutation_rate) {
-                    child = mutate(&mut rng, &child, self.features, p.max_depth);
-                }
-                offspring.push(child);
-            }
-            for child in offspring {
-                loop {
-                    let slot = rng.random_range(0..pop.len());
-                    if !p.elitism || slot != best_idx {
-                        pop[slot] = child;
-                        break;
-                    }
-                }
-            }
-
-            // Snapshot at the generation boundary: everything the next
-            // generation's RNG draws and fitness comparisons depend on is
-            // now settled.
-            if let Some(path) = &self.checkpoint_path {
-                let ck_span = self.tracer.begin();
-                self.save_checkpoint(path, &fp, generation + 1, &rng, &pop, &dss, &log, &memo)?;
+            let svc = svc_state.as_ref();
+            let run = (|| {
+                let run_span = self.tracer.begin();
                 if self.tracer.enabled() {
                     self.tracer.emit(
-                        "checkpoint",
+                        "evolution-start",
                         [
-                            ("gen", Value::UInt((generation + 1) as u64)),
-                            ("dur_ns", Value::UInt(ck_span.dur_ns())),
+                            ("population", Value::UInt(p.population as u64)),
+                            ("generations", Value::UInt(p.generations as u64)),
+                            ("start_gen", Value::UInt(start_generation as u64)),
+                            ("threads", Value::UInt(p.threads as u64)),
+                            ("resumed", Value::Bool(self.resume.is_some())),
                         ],
                     );
                 }
-            }
-        }
 
-        // Final judgement on the full training set (attributed to the
-        // one-past-the-end generation index in the trace).
-        let final_fits = self.evaluate_all(&memo, &pop, &all_cases, p.generations);
-        let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
-        let counters = memo.counters();
-        let result = EvolutionResult {
-            best: pop[best_idx].clone(),
-            best_fitness: final_fits[best_idx],
-            log,
-            evaluations: counters.evaluations,
-            successes: counters.successes,
-            failures: counters.failures,
-            quarantined: memo.ledger_records(),
-            cache_hits: memo.hits(),
-        };
-        if self.tracer.enabled() {
-            self.tracer.emit(
-                "evolution-end",
-                [
-                    ("evaluations", Value::UInt(result.evaluations)),
-                    ("successes", Value::UInt(result.successes)),
-                    ("failures", Value::UInt(result.failures)),
-                    ("quarantined", Value::UInt(result.quarantined.len() as u64)),
-                    ("best_fitness", Value::Num(result.best_fitness)),
-                    ("best", Value::str(result.best.key())),
-                    ("dur_ns", Value::UInt(run_span.dur_ns())),
-                ],
-            );
-            self.tracer.flush();
-        }
-        Ok(result)
+                for generation in start_generation..p.generations {
+                    let gen_span = self.tracer.begin();
+                    let evals_before = memo.counters().evaluations;
+                    let hits_before = memo.hits();
+                    let subset = match &mut dss {
+                        Some(d) => d.select(&mut rng),
+                        None => all_cases.clone(),
+                    };
+                    let fits = self.evaluate_all(&memo, &pop, &subset, generation, svc);
+
+                    let best_idx = argbest(&fits, &pop, p.fitness_epsilon);
+                    log.push(GenLog {
+                        generation,
+                        best_fitness: fits[best_idx],
+                        mean_fitness: fits.iter().sum::<f64>() / fits.len().max(1) as f64,
+                        best_size: pop[best_idx].size(),
+                        subset: subset.clone(),
+                    });
+
+                    // Feed DSS with the best expression's per-case speedups; a
+                    // quarantined case reports the worst score, so DSS keeps
+                    // re-selecting it until the population stops failing there.
+                    if let Some(d) = &mut dss {
+                        let key = pop[best_idx].key();
+                        for &c in &subset {
+                            let s = memo
+                                .get_or_eval(
+                                    self.evaluator,
+                                    &pop[best_idx],
+                                    &key,
+                                    c,
+                                    generation,
+                                    &self.tracer,
+                                )
+                                .score()
+                                .unwrap_or(PENALTY_FITNESS);
+                            d.report(c, s);
+                        }
+                    }
+
+                    if self.tracer.enabled() {
+                        let gl = log.last().expect("just pushed");
+                        self.tracer.emit(
+                            "generation",
+                            [
+                                ("gen", Value::UInt(generation as u64)),
+                                (
+                                    "subset",
+                                    Value::Arr(
+                                        subset.iter().map(|&c| Value::UInt(c as u64)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "evals",
+                                    Value::UInt(memo.counters().evaluations - evals_before),
+                                ),
+                                ("cache_hits", Value::UInt(memo.hits() - hits_before)),
+                                ("best_fitness", Value::Num(gl.best_fitness)),
+                                ("mean_fitness", Value::Num(gl.mean_fitness)),
+                                ("best_size", Value::UInt(gl.best_size as u64)),
+                                ("dur_ns", Value::UInt(gen_span.dur_ns())),
+                            ],
+                        );
+                    }
+
+                    if generation + 1 == p.generations {
+                        break;
+                    }
+
+                    // Breed: replace `replace_frac` of the population (elitism: the
+                    // best expression is never displaced).
+                    let k = ((p.replace_frac * p.population as f64).round() as usize)
+                        .clamp(1, p.population.saturating_sub(1));
+                    let mut offspring = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        let a = self.tournament(&mut rng, &pop, &fits);
+                        let b = self.tournament(&mut rng, &pop, &fits);
+                        let mut child = crossover(&mut rng, &pop[a], &pop[b], p.max_depth);
+                        if rng.random_bool(p.mutation_rate) {
+                            child = mutate(&mut rng, &child, self.features, p.max_depth);
+                        }
+                        offspring.push(child);
+                    }
+                    for child in offspring {
+                        loop {
+                            let slot = rng.random_range(0..pop.len());
+                            if !p.elitism || slot != best_idx {
+                                pop[slot] = child;
+                                break;
+                            }
+                        }
+                    }
+
+                    // Snapshot at the generation boundary: everything the next
+                    // generation's RNG draws and fitness comparisons depend on is
+                    // now settled.
+                    if let Some(path) = &self.checkpoint_path {
+                        let ck_span = self.tracer.begin();
+                        self.save_checkpoint(
+                            path,
+                            &fp,
+                            generation + 1,
+                            &rng,
+                            &pop,
+                            &dss,
+                            &log,
+                            &memo,
+                        )?;
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                "checkpoint",
+                                [
+                                    ("gen", Value::UInt((generation + 1) as u64)),
+                                    ("dur_ns", Value::UInt(ck_span.dur_ns())),
+                                ],
+                            );
+                        }
+                    }
+                }
+
+                // Final judgement on the full training set (attributed to the
+                // one-past-the-end generation index in the trace).
+                let final_fits = self.evaluate_all(&memo, &pop, &all_cases, p.generations, svc);
+                let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
+                let counters = memo.counters();
+                let result = EvolutionResult {
+                    best: pop[best_idx].clone(),
+                    best_fitness: final_fits[best_idx],
+                    log,
+                    evaluations: counters.evaluations,
+                    successes: counters.successes,
+                    failures: counters.failures,
+                    quarantined: memo.ledger_records(),
+                    cache_hits: memo.hits(),
+                    warm_hits: memo.warm(),
+                };
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "evolution-end",
+                        [
+                            ("evaluations", Value::UInt(result.evaluations)),
+                            ("successes", Value::UInt(result.successes)),
+                            ("failures", Value::UInt(result.failures)),
+                            ("quarantined", Value::UInt(result.quarantined.len() as u64)),
+                            ("best_fitness", Value::Num(result.best_fitness)),
+                            ("best", Value::str(result.best.key())),
+                            ("dur_ns", Value::UInt(run_span.dur_ns())),
+                        ],
+                    );
+                    self.tracer.flush();
+                }
+                Ok(result)
+            })();
+            if let Some(st) = &svc_state {
+                st.shutdown();
+            }
+            run
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1215,6 +1576,222 @@ mod tests {
         assert_eq!(plain.log, traced.log);
         assert_eq!(plain.evaluations, traced.evaluations);
         assert_eq!(plain.quarantined, traced.quarantined);
+    }
+
+    /// `Regress`, except a deterministic slice of `(genome, case)` pairs
+    /// fails with a *transient* timeout on attempts below `clears_at`.
+    /// With `retries >= clears_at` every pair eventually scores; with
+    /// fewer retries the slice quarantines as `Timeout`.
+    struct Transient {
+        clears_at: u32,
+    }
+
+    impl Evaluator for Transient {
+        fn num_cases(&self) -> usize {
+            3
+        }
+
+        fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+            self.eval_case_attempt(expr, case, 0)
+        }
+
+        fn eval_case_attempt(&self, expr: &Expr, case: usize, attempt: u32) -> EvalOutcome {
+            let h = fnv(&format!("{}#{case}", expr.key()));
+            if h.is_multiple_of(4) && attempt < self.clears_at {
+                return EvalOutcome::Failed(EvalError::new(
+                    EvalErrorKind::Timeout,
+                    format!("synthetic transient timeout, attempt {attempt}"),
+                ));
+            }
+            Regress.eval_case(expr, case)
+        }
+    }
+
+    #[test]
+    fn transient_timeouts_are_retried_to_success() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 4;
+        params.population = 20;
+        params.seed = 17;
+        params.threads = 2;
+        params.retries = 2;
+        let tracer = Tracer::in_memory();
+        let result = Evolution::new(params.clone(), &fs, &Transient { clears_at: 2 })
+            .with_tracer(tracer.clone())
+            .run();
+        // Every transient pair cleared within the retry budget: nothing
+        // quarantines, and the run matches a never-failing evaluator's.
+        assert_eq!(result.failures, 0, "{:?}", result.quarantined);
+        let clean = Evolution::new(params, &fs, &Regress).run();
+        assert_eq!(result.best.key(), clean.best.key());
+        assert_eq!(result.best_fitness, clean.best_fitness);
+        // Retry events were traced, all timeout-kind, attempts 0 then 1
+        // for each retried pair.
+        let lines = tracer.lines().unwrap();
+        let retries: Vec<_> = lines
+            .iter()
+            .filter_map(|l| {
+                let v = metaopt_trace::json::parse(l).ok()?;
+                (v.get("type")?.as_str()? == "retry").then_some(v)
+            })
+            .collect();
+        assert!(!retries.is_empty(), "expected traced retries");
+        let mut per_pair: HashMap<String, Vec<u64>> = HashMap::new();
+        for r in &retries {
+            assert_eq!(r.get("kind").unwrap().as_str().unwrap(), "timeout");
+            assert!(r.get("backoff_ns").unwrap().as_u64().unwrap() > 0);
+            let pair = format!(
+                "{}#{}",
+                r.get("genome").unwrap().as_str().unwrap(),
+                r.get("case").unwrap().as_u64().unwrap()
+            );
+            per_pair
+                .entry(pair)
+                .or_default()
+                .push(r.get("attempt").unwrap().as_u64().unwrap());
+        }
+        for (pair, attempts) in &per_pair {
+            assert_eq!(attempts, &vec![0, 1], "attempts for {pair}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_as_timeout() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 3;
+        params.population = 16;
+        params.seed = 17;
+        params.threads = 2;
+        params.retries = 1; // clears_at = 2 ⇒ the slice never clears
+        let result = Evolution::new(params, &fs, &Transient { clears_at: 2 }).run();
+        assert!(result.failures > 0, "transient slice must have been hit");
+        assert_eq!(result.evaluations, result.successes + result.failures);
+        for r in &result.quarantined {
+            assert_eq!(r.error.kind, EvalErrorKind::Timeout, "{r}");
+        }
+    }
+
+    #[test]
+    fn retried_runs_are_deterministic_across_threads() {
+        let fs = features();
+        let mut params = GpParams::quick();
+        params.generations = 4;
+        params.population = 24;
+        params.seed = 23;
+        params.retries = 2;
+        params.threads = 1;
+        let serial = Evolution::new(params.clone(), &fs, &Transient { clears_at: 3 }).run();
+        for threads in [2, 4] {
+            params.threads = threads;
+            let t = Evolution::new(params.clone(), &fs, &Transient { clears_at: 3 }).run();
+            assert_eq!(t.evaluations, serial.evaluations, "threads={threads}");
+            assert_eq!(t.failures, serial.failures, "threads={threads}");
+            assert_eq!(t.cache_hits, serial.cache_hits, "threads={threads}");
+            assert_eq!(t.quarantined, serial.quarantined, "threads={threads}");
+            assert_eq!(t.best.key(), serial.best.key(), "threads={threads}");
+        }
+    }
+
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaopt-gp-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("fitness.cache")
+    }
+
+    #[test]
+    fn warm_cache_run_reproduces_cold_run() {
+        let fs = features();
+        let ev = Flaky::new(&fs);
+        let mut params = GpParams::quick();
+        params.generations = 5;
+        params.population = 24;
+        params.seed = 31;
+        params.threads = 2;
+        params.subset_size = Some(2);
+        let path = temp_store("warm");
+        std::fs::remove_file(&path).ok();
+
+        let cold = Evolution::new(params.clone(), &fs, &ev)
+            .with_eval_cache(&path)
+            .run();
+        assert_eq!(cold.warm_hits, 0, "first run has nothing to be warm from");
+
+        let tracer = Tracer::in_memory();
+        let warm = Evolution::new(params.clone(), &fs, &ev)
+            .with_eval_cache(&path)
+            .with_tracer(tracer.clone())
+            .run();
+        // Identical results and accounting — the store only substitutes
+        // *where* scores come from, never what they are. Failures are not
+        // persisted, so failed pairs re-evaluate (and re-fail identically).
+        assert_eq!(warm.best.key(), cold.best.key());
+        assert_eq!(warm.best_fitness, cold.best_fitness);
+        assert_eq!(warm.log, cold.log);
+        assert_eq!(warm.evaluations, cold.evaluations);
+        assert_eq!(warm.successes, cold.successes);
+        assert_eq!(warm.failures, cold.failures);
+        assert_eq!(warm.cache_hits, cold.cache_hits);
+        assert_eq!(warm.quarantined, cold.quarantined);
+        assert_eq!(
+            warm.warm_hits, cold.successes,
+            "every scored pair should come from the store"
+        );
+        // Warm evals are marked in the trace.
+        let warm_evals = tracer
+            .lines()
+            .unwrap()
+            .iter()
+            .filter(|l| l.contains("\"type\":\"eval\"") && l.contains("\"warm\":true"))
+            .count() as u64;
+        assert_eq!(warm_evals, warm.warm_hits);
+
+        // Corrupt the tail: the next run recovers (dropping the damaged
+        // record) and still reproduces the cold run bit-for-bit.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            let len = f.metadata().unwrap().len();
+            f.seek(SeekFrom::Start(len - 3)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let recovered = Evolution::new(params, &fs, &ev)
+            .with_eval_cache(&path)
+            .run();
+        assert_eq!(recovered.best.key(), cold.best.key());
+        assert_eq!(recovered.best_fitness, cold.best_fitness);
+        assert_eq!(recovered.evaluations, cold.evaluations);
+        assert!(
+            recovered.warm_hits >= cold.successes - 1,
+            "at most the damaged record re-evaluates: {} vs {}",
+            recovered.warm_hits,
+            cold.successes
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eval_cache_is_fingerprint_scoped() {
+        // A store written under one configuration must not leak scores
+        // into a run under another: the second run degrades to cold.
+        let fs = features();
+        let ev = Regress;
+        let mut params = GpParams::quick();
+        params.generations = 3;
+        params.population = 16;
+        params.seed = 41;
+        params.threads = 1;
+        let path = temp_store("fp-scope");
+        std::fs::remove_file(&path).ok();
+        Evolution::new(params.clone(), &fs, &ev)
+            .with_eval_cache(&path)
+            .run();
+        let mut other = params;
+        other.seed ^= 0x1000;
+        let fresh = Evolution::new(other, &fs, &ev).with_eval_cache(&path).run();
+        assert_eq!(fresh.warm_hits, 0, "foreign-fingerprint store was used");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum EvalErrorKind {
     /// The evaluator panicked; the panic was caught at the evaluation
     /// boundary and converted into this error.
     Panic,
+    /// The evaluation exceeded an operational wall-clock deadline (a stuck
+    /// worker timed out by the supervisor, or an injected timeout fault).
+    /// Unlike [`EvalErrorKind::Budget`] — the *deterministic* cooperative
+    /// deadline — a timeout reflects host-side conditions and is the one
+    /// transient class: the engine retries it before quarantining.
+    Timeout,
 }
 
 impl EvalErrorKind {
@@ -45,6 +51,7 @@ impl EvalErrorKind {
             EvalErrorKind::WrongAnswer => "wrong-answer",
             EvalErrorKind::Sim => "sim",
             EvalErrorKind::Panic => "panic",
+            EvalErrorKind::Timeout => "timeout",
         }
     }
 
@@ -58,12 +65,13 @@ impl EvalErrorKind {
             "wrong-answer" => EvalErrorKind::WrongAnswer,
             "sim" => EvalErrorKind::Sim,
             "panic" => EvalErrorKind::Panic,
+            "timeout" => EvalErrorKind::Timeout,
             _ => return None,
         })
     }
 
     /// All kinds, for summary tables.
-    pub const ALL: [EvalErrorKind; 7] = [
+    pub const ALL: [EvalErrorKind; 8] = [
         EvalErrorKind::Compile,
         EvalErrorKind::IrCheck,
         EvalErrorKind::Validation,
@@ -71,7 +79,17 @@ impl EvalErrorKind {
         EvalErrorKind::WrongAnswer,
         EvalErrorKind::Sim,
         EvalErrorKind::Panic,
+        EvalErrorKind::Timeout,
     ];
+
+    /// True for failure classes worth retrying: the failure reflects
+    /// transient host-side conditions rather than a deterministic property
+    /// of the `(genome, case)` pair. Everything deterministic — compiles,
+    /// validation, budgets, wrong answers, panics — quarantines immediately,
+    /// because an identical retry would fail identically.
+    pub fn is_transient(self) -> bool {
+        matches!(self, EvalErrorKind::Timeout)
+    }
 }
 
 /// A classified fitness-evaluation failure.
@@ -278,6 +296,13 @@ mod tests {
             assert_eq!(EvalErrorKind::from_label(k.label()), Some(k));
         }
         assert_eq!(EvalErrorKind::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn only_timeouts_are_transient() {
+        for k in EvalErrorKind::ALL {
+            assert_eq!(k.is_transient(), k == EvalErrorKind::Timeout, "{k:?}");
+        }
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod gen;
 pub mod lint;
 pub mod ops;
 pub mod parse;
+pub mod service;
 pub mod simplify;
+pub mod store;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use engine::{Evaluator, Evolution, EvolutionResult, GenLog, GpParams, PENALTY_FITNESS};
@@ -46,3 +48,4 @@ pub use eval::{EvalError, EvalErrorKind, EvalOutcome, QuarantineRecord};
 pub use expr::{BExpr, Env, Expr, Kind, RExpr};
 pub use features::FeatureSet;
 pub use lint::{Lint, LintLevel};
+pub use store::{FitnessStore, StoreHealth};

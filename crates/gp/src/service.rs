@@ -1,0 +1,574 @@
+//! Supervised evaluation service: a long-lived worker pool with failure
+//! containment.
+//!
+//! [`crate::engine::Evolution`] used to spawn a fresh batch of scoped
+//! threads for every generation's fitness wave. That shape has two
+//! robustness holes: a worker that panics takes its sibling joins down with
+//! it, and a worker that wedges (a stuck evaluator, a runaway host
+//! syscall) hangs the whole run. This module replaces the per-wave spawn
+//! with a *service*: workers are spawned once per run, pull `(genome,
+//! case)` jobs from sharded work-stealing queues, and are watched by a
+//! supervisor thread that respawns dead workers and — as a last resort —
+//! completes jobs whose worker has stalled past a wall-clock deadline.
+//!
+//! # Containment layers, in order of preference
+//!
+//! 1. **Cooperative deadline** (primary): the simulator's cycle budget
+//!    (`metaopt_ir::budget::EVAL_MAX_SIM_CYCLES`) bounds every evaluation
+//!    deterministically — a pathological genome gets a budget fault, not a
+//!    hang. Healthy runs never reach the layers below.
+//! 2. **Panic isolation**: each job runs under `catch_unwind`; a panicking
+//!    executor marks the job contained ([`Containment::WorkerCrash`]),
+//!    completes it, and retires the worker thread cleanly so the scope
+//!    join never propagates. The supervisor respawns the slot.
+//! 3. **Wall-clock watchdog** (last resort): the supervisor steals the
+//!    job of a worker that has been busy longer than
+//!    [`Tuning::stall_timeout`] and completes it as
+//!    [`Containment::Stalled`], so the wave — and the run — always
+//!    finishes. The hung thread itself cannot be killed (Rust scoped
+//!    threads have no kill switch); it is abandoned and its eventual
+//!    result discarded by the memo's entry guard.
+//!
+//! The service is generic over the wave payload `W` (the engine uses a
+//! snapshot of the population plus atomic score slots) and the job type
+//! `J`, which keeps this module free of GP-specific types and lets the
+//! unit tests drive it with toy payloads.
+//!
+//! # Determinism
+//!
+//! Work stealing makes job *order* schedule-dependent, but the engine's
+//! memo entry guard already makes every counter and ledger outcome
+//! schedule-independent, so the service preserves the engine's
+//! threads-1-vs-N determinism contract. Supervision events
+//! (`worker-restart`, `timeout`) only fire on genuine failures, never in a
+//! healthy run.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+use metaopt_trace::json::Value;
+use metaopt_trace::Tracer;
+
+/// Why the service completed a job on behalf of its worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Containment {
+    /// The executor panicked; the panic was caught at the job boundary.
+    WorkerCrash,
+    /// The worker exceeded the wall-clock stall deadline; the supervisor
+    /// stole the job. Carries the observed wall time in nanoseconds.
+    Stalled {
+        /// Wall-clock nanoseconds the job had been running when stolen.
+        wall_ns: u64,
+    },
+}
+
+/// Supervision timing knobs. Defaults are deliberately generous: in a
+/// healthy run the cooperative cycle budget bounds every evaluation long
+/// before the wall clock matters, so the watchdog should only ever fire on
+/// a genuine host-side wedge. Tests shrink these to milliseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Tuning {
+    /// How long a worker may stay on one job before the supervisor steals
+    /// and force-completes it.
+    pub stall_timeout: Duration,
+    /// Supervisor polling cadence (heartbeat check + respawn scan).
+    pub poll: Duration,
+    /// How long an idle worker parks before re-scanning the queues.
+    pub idle_park: Duration,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            stall_timeout: Duration::from_secs(60),
+            poll: Duration::from_millis(25),
+            idle_park: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Per-worker-slot supervision record. Slots are stable identities:
+/// a respawned worker reuses the slot of the thread it replaces.
+struct Slot<J> {
+    /// False once the occupying thread has exited (panic or shutdown);
+    /// the supervisor respawns any dead slot while the service is live.
+    alive: AtomicBool,
+    /// Milliseconds since service start at which the current job began;
+    /// 0 when idle. The watchdog's staleness source.
+    busy_since_ms: AtomicU64,
+    /// The job the worker is currently executing. Completion ownership:
+    /// whoever `take`s the job out (the worker on finish, or the
+    /// supervisor on stall) completes it; the other side sees `None` and
+    /// stands down. This is what prevents a stolen job from being
+    /// completed twice.
+    current: Mutex<Option<J>>,
+    /// Cumulative respawns of this slot.
+    restarts: AtomicU64,
+}
+
+/// Shared state of one evaluation service. Created *before* the run's
+/// thread scope so worker threads (whose lifetime is bounded by the scope)
+/// can borrow it.
+pub struct State<W, J> {
+    /// Sharded job queues; a worker prefers queue `slot % queues.len()`
+    /// and steals from the others when its own is empty.
+    queues: Vec<Mutex<VecDeque<J>>>,
+    /// Payload shared by every job of the current wave.
+    wave: Mutex<Option<Arc<W>>>,
+    /// Jobs submitted but not yet completed in the current wave.
+    pending: AtomicUsize,
+    /// Signals workers that new work arrived (guards a wave epoch counter).
+    work: (Mutex<u64>, Condvar),
+    /// Signals the submitter that `pending` reached zero.
+    done: (Mutex<()>, Condvar),
+    /// Set once at end of run; workers and supervisor drain and exit.
+    shutdown: AtomicBool,
+    /// One record per worker slot.
+    slots: Vec<Slot<J>>,
+    /// Supervision timing.
+    tuning: Tuning,
+    /// Service epoch for millisecond timestamps.
+    started: Instant,
+}
+
+impl<W, J: Copy> State<W, J> {
+    /// A service with `workers` worker slots and `queues` job queues,
+    /// using default supervision timing.
+    pub fn new(workers: usize, queues: usize) -> Self {
+        State::with_tuning(workers, queues, Tuning::default())
+    }
+
+    /// A service with explicit supervision timing (tests use millisecond
+    /// deadlines to exercise the watchdog without real minutes of wall
+    /// clock).
+    pub fn with_tuning(workers: usize, queues: usize, tuning: Tuning) -> Self {
+        State {
+            queues: (0..queues.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            wave: Mutex::new(None),
+            pending: AtomicUsize::new(0),
+            work: (Mutex::new(0), Condvar::new()),
+            done: (Mutex::new(()), Condvar::new()),
+            shutdown: AtomicBool::new(false),
+            slots: (0..workers.max(1))
+                .map(|_| Slot {
+                    alive: AtomicBool::new(false),
+                    busy_since_ms: AtomicU64::new(0),
+                    current: Mutex::new(None),
+                    restarts: AtomicU64::new(0),
+                })
+                .collect(),
+            tuning,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total worker respawns across all slots so far.
+    pub fn restarts(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.restarts.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Milliseconds since the service was created (never 0, so 0 can mean
+    /// "idle" in `busy_since_ms`).
+    fn now_ms(&self) -> u64 {
+        (self.started.elapsed().as_millis() as u64).max(1)
+    }
+
+    /// Run one wave: publish `wave`, enqueue each `(queue, job)` pair onto
+    /// its queue, and block until every job has been completed (by a
+    /// worker, or by the supervisor containing a failure). Queue indices
+    /// are taken modulo the queue count.
+    pub fn submit(&self, wave: Arc<W>, jobs: Vec<(usize, J)>) {
+        if jobs.is_empty() {
+            return;
+        }
+        *self.wave.lock().unwrap() = Some(wave);
+        self.pending.store(jobs.len(), Ordering::SeqCst);
+        for (q, job) in jobs {
+            self.queues[q % self.queues.len()]
+                .lock()
+                .unwrap()
+                .push_back(job);
+        }
+        {
+            let mut epoch = self.work.0.lock().unwrap();
+            *epoch += 1;
+            self.work.1.notify_all();
+        }
+        let mut guard = self.done.0.lock().unwrap();
+        while self.pending.load(Ordering::SeqCst) > 0 {
+            // Timed wait: completion can race the notify, and the
+            // supervisor may complete the final job.
+            let (g, _) = self
+                .done
+                .1
+                .wait_timeout(guard, Duration::from_millis(20))
+                .unwrap();
+            guard = g;
+        }
+    }
+
+    /// Mark the run over. Workers and the supervisor observe the flag and
+    /// exit; the caller's thread scope then joins them.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work.1.notify_all();
+    }
+
+    /// Pop a job, preferring this slot's own queue, stealing otherwise.
+    fn grab(&self, slot: usize) -> Option<J> {
+        let n = self.queues.len();
+        for i in 0..n {
+            if let Some(job) = self.queues[(slot + i) % n].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Complete one job: decrement `pending` and wake the submitter when
+    /// the wave is drained.
+    fn job_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.done.0.lock().unwrap();
+            self.done.1.notify_all();
+        }
+    }
+
+    /// Record that `slot` started `job` (heartbeat + ownership).
+    fn job_started(&self, slot: usize, job: J) {
+        *self.slots[slot].current.lock().unwrap() = Some(job);
+        self.slots[slot]
+            .busy_since_ms
+            .store(self.now_ms(), Ordering::SeqCst);
+    }
+
+    /// Try to reclaim completion ownership of `slot`'s current job.
+    /// Returns the job if this caller owns completion, `None` if the other
+    /// side (worker vs. supervisor) already took it.
+    fn job_taken(&self, slot: usize) -> Option<J> {
+        let job = self.slots[slot].current.lock().unwrap().take();
+        self.slots[slot].busy_since_ms.store(0, Ordering::SeqCst);
+        job
+    }
+}
+
+/// Start the service inside `scope`: spawn the initial workers plus the
+/// supervisor. All closures and the state are borrowed for the scope's
+/// `'env` lifetime, so they must be created before the scope.
+///
+/// * `exec(wave, job)` — evaluate one job. May panic; panics are contained.
+/// * `contain(wave, job, why)` — record a job the service had to complete
+///   on the executor's behalf (crash or stall). Must not panic.
+pub fn start<'scope, 'env, W, J, E, C>(
+    scope: &'scope Scope<'scope, 'env>,
+    state: &'env State<W, J>,
+    exec: &'env E,
+    contain: &'env C,
+    tracer: &'env Tracer,
+) where
+    W: Send + Sync,
+    J: Copy + Send + 'static,
+    E: Fn(&W, J) + Sync,
+    C: Fn(&W, J, Containment) + Sync,
+{
+    for slot in 0..state.slots.len() {
+        state.slots[slot].alive.store(true, Ordering::SeqCst);
+        scope.spawn(move || worker(state, exec, contain, slot));
+    }
+    scope.spawn(move || supervise(scope, state, exec, contain, tracer));
+}
+
+/// Worker loop: pull jobs, execute under `catch_unwind`, heartbeat.
+/// Exits (marking the slot dead) on shutdown or after containing a panic —
+/// the supervisor respawns panicked slots.
+fn worker<W, J, E, C>(state: &State<W, J>, exec: &E, contain: &C, slot: usize)
+where
+    W: Send + Sync,
+    J: Copy + Send,
+    E: Fn(&W, J) + Sync,
+    C: Fn(&W, J, Containment) + Sync,
+{
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            state.slots[slot].alive.store(false, Ordering::SeqCst);
+            return;
+        }
+        let Some(job) = state.grab(slot) else {
+            // Idle: park briefly on the work condvar, then rescan. The
+            // timeout keeps shutdown latency bounded even if a notify is
+            // missed.
+            let guard = state.work.0.lock().unwrap();
+            let _ = state
+                .work
+                .1
+                .wait_timeout(guard, state.tuning.idle_park)
+                .unwrap();
+            continue;
+        };
+        let wave = state.wave.lock().unwrap().clone();
+        let Some(wave) = wave else {
+            // A job without a published wave cannot happen via `submit`;
+            // tolerate it instead of unwrapping in a worker.
+            state.job_done();
+            continue;
+        };
+        state.job_started(slot, job);
+        let result = catch_unwind(AssertUnwindSafe(|| exec(&wave, job)));
+        let owned = state.job_taken(slot);
+        if let Err(_panic) = result {
+            if let Some(job) = owned {
+                contain(&wave, job, Containment::WorkerCrash);
+                state.job_done();
+            }
+            // Retire this thread cleanly so the scope join sees no panic;
+            // the supervisor observes the dead slot and respawns it.
+            state.slots[slot].alive.store(false, Ordering::SeqCst);
+            return;
+        }
+        if owned.is_some() {
+            state.job_done();
+        }
+        // else: the supervisor stole the job mid-run (stall) and already
+        // completed it; this worker's result was discarded by the caller's
+        // entry guard.
+    }
+}
+
+/// Supervisor loop: respawn dead slots, steal jobs from stalled workers.
+fn supervise<'scope, 'env, W, J, E, C>(
+    scope: &'scope Scope<'scope, 'env>,
+    state: &'env State<W, J>,
+    exec: &'env E,
+    contain: &'env C,
+    tracer: &'env Tracer,
+) where
+    W: Send + Sync,
+    J: Copy + Send + 'static,
+    E: Fn(&W, J) + Sync,
+    C: Fn(&W, J, Containment) + Sync,
+{
+    let stall_ms = state.tuning.stall_timeout.as_millis() as u64;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(state.tuning.poll);
+        for slot in 0..state.slots.len() {
+            if !state.slots[slot].alive.load(Ordering::SeqCst) {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    continue; // clean exit, not a death
+                }
+                let restarts = state.slots[slot].restarts.fetch_add(1, Ordering::SeqCst) + 1;
+                state.slots[slot].alive.store(true, Ordering::SeqCst);
+                if tracer.enabled() {
+                    tracer.emit(
+                        "worker-restart",
+                        [
+                            ("worker", Value::UInt(slot as u64)),
+                            ("restarts", Value::UInt(restarts)),
+                            ("reason", Value::str("worker thread died")),
+                        ],
+                    );
+                }
+                scope.spawn(move || worker(state, exec, contain, slot));
+                continue;
+            }
+            let busy = state.slots[slot].busy_since_ms.load(Ordering::SeqCst);
+            if busy != 0 && state.now_ms().saturating_sub(busy) > stall_ms {
+                // Last-resort watchdog: reclaim completion ownership. If
+                // the worker finished in the meantime, `job_taken` yields
+                // None and we stand down.
+                if let Some(job) = state.job_taken(slot) {
+                    let wall_ns = state.now_ms().saturating_sub(busy) * 1_000_000;
+                    let wave = state.wave.lock().unwrap().clone();
+                    if let Some(wave) = wave {
+                        contain(&wave, job, Containment::Stalled { wall_ns });
+                    }
+                    state.job_done();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_tuning() -> Tuning {
+        Tuning {
+            stall_timeout: Duration::from_millis(60),
+            poll: Duration::from_millis(5),
+            idle_park: Duration::from_millis(2),
+        }
+    }
+
+    /// Toy wave: one atomic cell per job index.
+    struct Cells {
+        done: Vec<AtomicU64>,
+    }
+
+    fn run_wave<E, C>(workers: usize, jobs: usize, exec: E, contain: C) -> (Arc<Cells>, u64)
+    where
+        E: Fn(&Cells, usize) + Sync,
+        C: Fn(&Cells, usize, Containment) + Sync,
+    {
+        let state = State::with_tuning(workers, 4, tiny_tuning());
+        let tracer = Tracer::in_memory();
+        let wave = Arc::new(Cells {
+            done: (0..jobs).map(|_| AtomicU64::new(0)).collect(),
+        });
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            state.submit(wave.clone(), (0..jobs).map(|j| (j, j)).collect());
+            state.shutdown();
+        });
+        let restarts = state.restarts();
+        (wave, restarts)
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let (wave, restarts) = run_wave(
+            3,
+            64,
+            |w: &Cells, j: usize| {
+                w.done[j].fetch_add(1, Ordering::SeqCst);
+            },
+            |_w, _j, _why| panic!("no containment expected"),
+        );
+        for (j, cell) in wave.done.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::SeqCst), 1, "job {j}");
+        }
+        assert_eq!(restarts, 0);
+    }
+
+    #[test]
+    fn multiple_waves_reuse_the_same_workers() {
+        let state: State<Cells, usize> = State::with_tuning(2, 4, tiny_tuning());
+        let tracer = Tracer::in_memory();
+        let exec = |w: &Cells, j: usize| {
+            w.done[j].fetch_add(1, Ordering::SeqCst);
+        };
+        let contain = |_w: &Cells, _j: usize, _why: Containment| {};
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            for _ in 0..3 {
+                let wave = Arc::new(Cells {
+                    done: (0..10).map(|_| AtomicU64::new(0)).collect(),
+                });
+                state.submit(wave.clone(), (0..10).map(|j| (j, j)).collect());
+                for cell in &wave.done {
+                    assert_eq!(cell.load(Ordering::SeqCst), 1);
+                }
+            }
+            state.shutdown();
+        });
+        assert_eq!(state.restarts(), 0);
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_and_workers_respawned() {
+        let contained = AtomicU64::new(0);
+        let state: State<Cells, usize> = State::with_tuning(2, 4, tiny_tuning());
+        let tracer = Tracer::in_memory();
+        let wave = Arc::new(Cells {
+            done: (0..20).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let exec = |w: &Cells, j: usize| {
+            if j.is_multiple_of(5) {
+                panic!("job {j} exploded");
+            }
+            w.done[j].fetch_add(1, Ordering::SeqCst);
+        };
+        let contain = |w: &Cells, j: usize, why: Containment| {
+            assert_eq!(why, Containment::WorkerCrash);
+            w.done[j].fetch_add(100, Ordering::SeqCst);
+            contained.fetch_add(1, Ordering::SeqCst);
+        };
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            state.submit(wave.clone(), (0..20).map(|j| (j, j)).collect());
+            state.shutdown();
+        });
+        // Every panicking job (0,5,10,15) was contained; every other job ran.
+        assert_eq!(contained.load(Ordering::SeqCst), 4);
+        for (j, cell) in wave.done.iter().enumerate() {
+            let want = if j.is_multiple_of(5) { 100 } else { 1 };
+            assert_eq!(cell.load(Ordering::SeqCst), want, "job {j}");
+        }
+        // With 4 panics on 2 slots the supervisor had to respawn workers to
+        // keep draining the wave.
+        assert!(state.restarts() >= 1, "restarts = {}", state.restarts());
+        let lines = tracer.lines().unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("\"worker-restart\"")),
+            "expected a worker-restart event, got: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn stalled_jobs_are_stolen_by_the_watchdog() {
+        let state: State<Cells, usize> = State::with_tuning(2, 4, tiny_tuning());
+        let tracer = Tracer::in_memory();
+        let wave = Arc::new(Cells {
+            done: (0..6).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let exec = |w: &Cells, j: usize| {
+            if j == 0 {
+                // Wedge well past the 60 ms stall deadline. The sleep is
+                // bounded, so the scope join still completes.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            w.done[j].fetch_add(1, Ordering::SeqCst);
+        };
+        let contain = |w: &Cells, j: usize, why: Containment| {
+            assert!(matches!(why, Containment::Stalled { wall_ns } if wall_ns > 0));
+            w.done[j].fetch_add(100, Ordering::SeqCst);
+        };
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            let begun = Instant::now();
+            state.submit(wave.clone(), (0..6).map(|j| (j, j)).collect());
+            // The wave must complete without waiting out the 400 ms wedge.
+            assert!(
+                begun.elapsed() < Duration::from_millis(350),
+                "submit blocked on the stalled worker"
+            );
+            state.shutdown();
+        });
+        // Job 0 was force-completed by the watchdog (the wedged worker's
+        // own completion was disowned); the rest ran normally.
+        assert_eq!(wave.done[0].load(Ordering::SeqCst), 101);
+        for j in 1..6 {
+            assert_eq!(wave.done[j].load(Ordering::SeqCst), 1, "job {j}");
+        }
+    }
+
+    #[test]
+    fn empty_wave_returns_immediately() {
+        let state: State<Cells, usize> = State::with_tuning(1, 1, tiny_tuning());
+        let tracer = Tracer::in_memory();
+        let exec = |_w: &Cells, _j: usize| {};
+        let contain = |_w: &Cells, _j: usize, _why: Containment| {};
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            state.submit(Arc::new(Cells { done: Vec::new() }), Vec::new());
+            state.shutdown();
+        });
+    }
+}

@@ -194,9 +194,46 @@ mod quarantine {
 }
 
 mod determinism {
-    use super::quarantine::SometimesFails;
+    use super::quarantine::{fnv, SometimesFails};
     use super::*;
-    use metaopt_gp::{Evolution, GpParams};
+    use metaopt_gp::{EvalError, EvalErrorKind, EvalOutcome, Evaluator, Evolution, GpParams};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// [`SometimesFails`] plus a transient layer: a hash-selected slice of
+    /// `(genome, case)` pairs times out on early attempts and clears after
+    /// one or two retries — exercising the retry loop, while the permanent
+    /// `Sim` failures underneath keep exercising quarantine.
+    struct FlakyTimeouts {
+        permanent: SometimesFails,
+        /// Percentage of pairs that are transiently flaky, 0–100.
+        transient: u64,
+    }
+
+    impl Evaluator for FlakyTimeouts {
+        fn num_cases(&self) -> usize {
+            self.permanent.num_cases()
+        }
+
+        fn eval_case(&self, expr: &Expr, case: usize) -> EvalOutcome {
+            self.eval_case_attempt(expr, case, 0)
+        }
+
+        fn eval_case_attempt(&self, expr: &Expr, case: usize, attempt: u32) -> EvalOutcome {
+            let h = fnv(&format!("{}#{case}#t", expr.key()));
+            if h % 100 < self.transient {
+                // Clears at attempt 1 or 2 — always within the default
+                // retry budget, so no timeout ever reaches the ledger.
+                let clears_at = 1 + (h / 100) % 2;
+                if u64::from(attempt) < clears_at {
+                    return EvalOutcome::Failed(EvalError::new(
+                        EvalErrorKind::Timeout,
+                        format!("transient timeout on case {case} attempt {attempt}"),
+                    ));
+                }
+            }
+            self.permanent.eval_case(expr, case)
+        }
+    }
 
     proptest! {
         // Full-run determinism is the expensive property here: each case is
@@ -248,6 +285,70 @@ mod determinism {
             prop_assert_eq!(serial.successes, threaded.successes);
             prop_assert_eq!(serial.failures, threaded.failures);
             prop_assert_eq!(serial.cache_hits, threaded.cache_hits);
+        }
+
+        /// The same property with the whole reliability stack engaged:
+        /// transient timeouts retried under the supervised service, and a
+        /// persistent fitness cache feeding a warm rerun. Serial, threaded
+        /// cold-cache, and threaded warm-cache runs must all agree on every
+        /// observable except the warm-hit counter.
+        #[test]
+        fn retried_and_cached_runs_are_identical_across_thread_counts(
+            seed in any::<u64>(),
+            population in 8usize..=24,
+            threads in 2usize..=6,
+            threshold_pct in 0usize..=30,
+            transient_pct in 1usize..=40,
+        ) {
+            static UNIQ: AtomicU64 = AtomicU64::new(0);
+            let cache = std::env::temp_dir().join(format!(
+                "metaopt-prop-cache-{}-{}.bin",
+                std::process::id(),
+                UNIQ.fetch_add(1, Ordering::Relaxed),
+            ));
+            let _ = std::fs::remove_file(&cache);
+
+            let fs = features();
+            let eval = FlakyTimeouts {
+                permanent: SometimesFails { threshold: threshold_pct as u64 },
+                transient: transient_pct as u64,
+            };
+            let params = |threads| GpParams {
+                population,
+                generations: 3,
+                subset_size: Some(2),
+                seed,
+                threads,
+                retries: 2,
+                ..GpParams::quick()
+            };
+            let serial = Evolution::new(params(1), &fs, &eval).run();
+            let cold = Evolution::new(params(threads), &fs, &eval)
+                .with_eval_cache(&cache)
+                .run();
+            let warm = Evolution::new(params(threads), &fs, &eval)
+                .with_eval_cache(&cache)
+                .run();
+            let _ = std::fs::remove_file(&cache);
+
+            // Transient timeouts always clear within the retry budget, so
+            // the ledger holds only the permanent failures.
+            for rec in &serial.quarantined {
+                prop_assert_eq!(rec.error.kind, EvalErrorKind::Sim);
+            }
+            for (label, other) in [("cold", &cold), ("warm", &warm)] {
+                prop_assert_eq!(&serial.log, &other.log, "{} log", label);
+                prop_assert_eq!(serial.best.key(), other.best.key(), "{} best", label);
+                prop_assert_eq!(serial.best_fitness, other.best_fitness, "{}", label);
+                prop_assert_eq!(serial.evaluations, other.evaluations, "{}", label);
+                prop_assert_eq!(serial.successes, other.successes, "{}", label);
+                prop_assert_eq!(serial.failures, other.failures, "{}", label);
+                prop_assert_eq!(serial.cache_hits, other.cache_hits, "{}", label);
+                prop_assert_eq!(serial.quarantined.len(), other.quarantined.len(), "{}", label);
+            }
+            // The store answers every previously successful evaluation.
+            prop_assert_eq!(cold.warm_hits, 0);
+            prop_assert_eq!(warm.warm_hits, cold.successes);
         }
     }
 }

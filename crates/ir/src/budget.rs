@@ -49,6 +49,17 @@ pub const KERNEL_VERIFY_MAX_STEPS: u64 = 2 * KERNEL_STEP_CEILING;
 /// far; beyond this the genome is pathological and gets quarantined).
 pub const EVAL_MAX_SIM_INSTS: u64 = 6 * KERNEL_STEP_CEILING;
 
+/// Per-evaluation simulated-*cycle* budget for genome-compiled code: the
+/// cooperative deadline the evaluation service relies on as its primary
+/// hang bound. The instruction budget caps how much *work* a simulation
+/// retires, but a low-IPC schedule (serialized stalls, saturated memory
+/// queues) can burn many cycles per instruction; 4× the instruction budget
+/// covers every legitimate kernel with an order of magnitude to spare
+/// (suite kernels finish in well under 100 M cycles) while still bounding
+/// the pathological case deterministically — the simulator checks it every
+/// bundle and returns a budget fault instead of relying on a wall clock.
+pub const EVAL_MAX_SIM_CYCLES: u64 = 4 * EVAL_MAX_SIM_INSTS;
+
 /// Generic backstop for arbitrary (non-suite) programs; the interpreter and
 /// simulator defaults.
 pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
@@ -58,5 +69,6 @@ pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
 const _: () = {
     assert!(KERNEL_STEP_CEILING < KERNEL_VERIFY_MAX_STEPS);
     assert!(KERNEL_VERIFY_MAX_STEPS < EVAL_MAX_SIM_INSTS);
-    assert!(EVAL_MAX_SIM_INSTS < DEFAULT_MAX_STEPS);
+    assert!(EVAL_MAX_SIM_INSTS < EVAL_MAX_SIM_CYCLES);
+    assert!(EVAL_MAX_SIM_CYCLES < DEFAULT_MAX_STEPS);
 };

@@ -28,6 +28,8 @@ pub enum SimError {
     },
     /// Dynamic instruction limit exceeded.
     InstLimit(u64),
+    /// Simulated-cycle limit exceeded: the cooperative deadline fired.
+    CycleLimit(u64),
     /// The program fell off the end of a block (malformed machine code).
     FellOffBlock(usize),
 }
@@ -37,6 +39,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::OutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
             SimError::InstLimit(n) => write!(f, "instruction limit of {n} exceeded"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
             SimError::FellOffBlock(b) => write!(f, "fell off end of block {b}"),
         }
     }
@@ -121,7 +124,8 @@ impl RegFiles {
 ///
 /// # Errors
 /// Fails on out-of-bounds memory accesses, malformed machine code (a block
-/// without a terminating branch), or when `cfg.max_insts` is exceeded.
+/// without a terminating branch), or when `cfg.max_insts` or
+/// `cfg.max_cycles` is exceeded.
 pub fn simulate(
     mp: &MachineProgram,
     cfg: &MachineConfig,
@@ -349,6 +353,13 @@ pub fn simulate(
         }
 
         cycle = issue + 1 + penalty;
+        // Cooperative deadline: bail out deterministically once the cycle
+        // counter passes the budget, instead of leaving hang detection to a
+        // wall clock. Checked per bundle, so a stalled schedule that stays
+        // under `max_insts` still terminates.
+        if cycle > cfg.max_cycles {
+            return Err(SimError::CycleLimit(cfg.max_cycles));
+        }
         match next {
             Some(t) => {
                 block = t;
@@ -636,5 +647,31 @@ mod tests {
             simulate(&mp, &cfg, vec![0u8; 4096]),
             Err(SimError::InstLimit(50))
         ));
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        // An infinite loop with a huge instruction budget: only the
+        // cooperative cycle deadline can stop it.
+        let mp = MachineProgram {
+            blocks: vec![vec![bundle(vec![Inst::new(Opcode::Br).target(BlockId(0))])]],
+            entry: 0,
+        };
+        let mut cfg = MachineConfig::table3();
+        cfg.max_cycles = 40;
+        assert!(matches!(
+            simulate(&mp, &cfg, vec![0u8; 4096]),
+            Err(SimError::CycleLimit(40))
+        ));
+    }
+
+    #[test]
+    fn cycle_limit_does_not_fire_on_terminating_programs() {
+        let mp = MachineProgram {
+            blocks: vec![vec![bundle(vec![Inst::new(Opcode::Ret)])]],
+            entry: 0,
+        };
+        let r = simulate(&mp, &MachineConfig::table3(), vec![0u8; 4096]).unwrap();
+        assert!(r.cycles < MachineConfig::table3().max_cycles);
     }
 }

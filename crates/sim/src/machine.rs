@@ -86,6 +86,10 @@ pub struct MachineConfig {
     pub cache: CacheConfig,
     /// Maximum simulated instructions before aborting.
     pub max_insts: u64,
+    /// Maximum simulated cycles before aborting: the cooperative deadline
+    /// checked once per issued bundle, bounding low-IPC schedules that stay
+    /// under `max_insts` but stall indefinitely.
+    pub max_cycles: u64,
 }
 
 impl MachineConfig {
@@ -103,6 +107,7 @@ impl MachineConfig {
             prefetch_queue_cycles: 3,
             cache: CacheConfig::table3(),
             max_insts: metaopt_ir::budget::DEFAULT_MAX_STEPS,
+            max_cycles: metaopt_ir::budget::DEFAULT_MAX_STEPS,
         }
     }
 

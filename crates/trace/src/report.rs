@@ -74,6 +74,34 @@ pub struct ValidateRow {
     pub total_ns: u64,
 }
 
+/// Reliability counters: containment activity from the supervised
+/// evaluation service (`retry`, `timeout`, `worker-restart` events) plus
+/// persistent fitness-cache behaviour (`cache-recovered` events and warm
+/// `eval`s). All zero on a healthy run without a persistent cache.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Reliability {
+    /// Transient evaluation failures that were retried.
+    pub retries: u64,
+    /// Stalled jobs reclaimed by the wall-clock watchdog.
+    pub timeouts: u64,
+    /// Worker threads the supervisor respawned.
+    pub worker_restarts: u64,
+    /// Store opens that recovered a truncated/corrupt tail.
+    pub cache_recovered: u64,
+    /// Store opens (or appends) that degraded to in-memory-only.
+    pub cache_degraded: u64,
+    /// Evaluations answered by the persistent fitness cache
+    /// (`eval` events carrying `"warm": true`).
+    pub warm_evals: u64,
+}
+
+impl Reliability {
+    /// True when every counter is zero (nothing to report).
+    pub fn is_quiet(&self) -> bool {
+        *self == Reliability::default()
+    }
+}
+
 /// Aggregated view of one trace file.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
@@ -98,6 +126,8 @@ pub struct Report {
     pub total_evals: u64,
     /// Cache hits across the whole trace.
     pub total_hits: u64,
+    /// Service containment and persistent-cache counters.
+    pub reliability: Reliability,
 }
 
 impl Report {
@@ -119,6 +149,28 @@ impl Report {
             0.0
         } else {
             self.total_evals as f64 * 1e9 / gen_ns as f64
+        }
+    }
+
+    /// Share of evaluations answered by the persistent fitness cache,
+    /// in [0, 1]. Warm hits are counted as evaluations by the engine, so
+    /// this is `warm_evals / total_evals`.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.total_evals == 0 {
+            0.0
+        } else {
+            self.reliability.warm_evals as f64 / self.total_evals as f64
+        }
+    }
+
+    /// Warm (persistent-cache-served) evaluations per wall-clock second
+    /// of generation time — the throughput headroom a warm rerun gains.
+    pub fn warm_evals_per_sec(&self) -> f64 {
+        let gen_ns: u64 = self.generations.iter().map(|g| g.dur_ns).sum();
+        if gen_ns == 0 {
+            0.0
+        } else {
+            self.reliability.warm_evals as f64 * 1e9 / gen_ns as f64
         }
     }
 
@@ -149,6 +201,14 @@ impl Report {
             ),
             ("total_evals".to_string(), Value::UInt(self.total_evals)),
             ("sim_cycles".to_string(), Value::UInt(self.sims.1)),
+            (
+                "warm_evals".to_string(),
+                Value::UInt(self.reliability.warm_evals),
+            ),
+            (
+                "warm_evals_per_sec".to_string(),
+                Value::Num(self.warm_evals_per_sec()),
+            ),
         ])
         .to_string()
     }
@@ -233,6 +293,22 @@ impl Report {
                 self.checkpoints.1 as f64 / 1e6
             ));
         }
+        if !self.reliability.is_quiet() {
+            let r = &self.reliability;
+            out.push_str(&format!(
+                "reliability: {} retries, {} timeouts, {} worker restarts, \
+                 {} cache recoveries, {} cache degradations\n",
+                r.retries, r.timeouts, r.worker_restarts, r.cache_recovered, r.cache_degraded
+            ));
+            if r.warm_evals > 0 {
+                out.push_str(&format!(
+                    "warm cache: {} evals served ({:.1}% of evaluations, {:.1}/sec)\n",
+                    r.warm_evals,
+                    100.0 * self.warm_hit_rate(),
+                    self.warm_evals_per_sec()
+                ));
+            }
+        }
         if self.quarantine.is_empty() {
             out.push_str("quarantine: none\n");
         } else {
@@ -308,7 +384,17 @@ pub fn analyze(text: &str) -> Result<Report, SchemaError> {
                         None => report.quarantine.push((outcome.to_string(), 1)),
                     }
                 }
+                if matches!(v.get("warm"), Some(Value::Bool(true))) {
+                    report.reliability.warm_evals += 1;
+                }
             }
+            "retry" => report.reliability.retries += 1,
+            "timeout" => report.reliability.timeouts += 1,
+            "worker-restart" => report.reliability.worker_restarts += 1,
+            "cache-recovered" => match v.get("mode").and_then(Value::as_str) {
+                Some("recovered") => report.reliability.cache_recovered += 1,
+                _ => report.reliability.cache_degraded += 1,
+            },
             "sim" => {
                 report.sims.0 += 1;
                 report.sims.1 += u("cycles");
@@ -382,6 +468,7 @@ mod tests {
                         ),
                         ("score", Value::Num(1.1)),
                         ("dur_ns", Value::UInt(500)),
+                        ("warm", Value::Bool(gen == 0 && case == 0)),
                     ],
                 );
                 t.emit(
@@ -441,6 +528,42 @@ mod tests {
                 ],
             );
         }
+        // Reliability events from a contained run over a recovered cache.
+        t.emit(
+            "retry",
+            [
+                ("gen", Value::UInt(0)),
+                ("genome", Value::str("(g0-0)")),
+                ("case", Value::UInt(0)),
+                ("attempt", Value::UInt(0)),
+                ("kind", Value::str("timeout")),
+                ("backoff_ns", Value::UInt(65_536)),
+            ],
+        );
+        t.emit(
+            "timeout",
+            [
+                ("genome", Value::str("(g0-1)")),
+                ("case", Value::UInt(1)),
+                ("wall_ns", Value::UInt(5_000_000)),
+            ],
+        );
+        t.emit(
+            "worker-restart",
+            [
+                ("worker", Value::UInt(1)),
+                ("restarts", Value::UInt(1)),
+                ("reason", Value::str("worker thread died")),
+            ],
+        );
+        t.emit(
+            "cache-recovered",
+            [
+                ("mode", Value::str("recovered")),
+                ("entries", Value::UInt(4)),
+                ("dropped_bytes", Value::UInt(12)),
+            ],
+        );
         t.lines().unwrap().join("\n")
     }
 
@@ -505,10 +628,43 @@ mod tests {
             "validate",
             "failures",
             "simulations",
+            "reliability: 1 retries, 1 timeouts, 1 worker restarts",
+            "warm cache: 1 evals served",
             "quarantine: budget x1",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        // A trace with no reliability events renders no reliability line.
+        let quiet = Tracer::in_memory();
+        quiet.emit(
+            "checkpoint",
+            [("gen", Value::UInt(1)), ("dur_ns", Value::UInt(1))],
+        );
+        let quiet = analyze(&quiet.lines().unwrap().join("\n")).unwrap();
+        assert!(quiet.reliability.is_quiet());
+        assert!(!quiet.render().contains("reliability:"));
+    }
+
+    #[test]
+    fn reliability_counters_and_warm_throughput() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        assert_eq!(
+            r.reliability,
+            Reliability {
+                retries: 1,
+                timeouts: 1,
+                worker_restarts: 1,
+                cache_recovered: 1,
+                cache_degraded: 0,
+                warm_evals: 1,
+            }
+        );
+        // 1 warm eval of 6 total, over 6ms of generation time.
+        assert!((r.warm_hit_rate() - 1.0 / 6.0).abs() < 1e-9);
+        assert!((r.warm_evals_per_sec() - 1e9 / 6e6).abs() < 1e-6);
+        let v = crate::json::parse(&r.bench_json()).unwrap();
+        assert_eq!(v.get("warm_evals").and_then(Value::as_u64), Some(1));
+        assert!(v.get("warm_evals_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
     }
 
     #[test]

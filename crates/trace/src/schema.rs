@@ -130,6 +130,44 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
         "checkpoint",
         &[("gen", FieldKind::UInt), ("dur_ns", FieldKind::UInt)],
     ),
+    // Reliability events (additive within v1): retry/timeout/worker-restart
+    // come from the supervised evaluation service, cache-recovered from the
+    // persistent fitness store.
+    (
+        "retry",
+        &[
+            ("gen", FieldKind::UInt),
+            ("genome", FieldKind::Str),
+            ("case", FieldKind::UInt),
+            ("attempt", FieldKind::UInt),
+            ("kind", FieldKind::Str),
+            ("backoff_ns", FieldKind::UInt),
+        ],
+    ),
+    (
+        "timeout",
+        &[
+            ("genome", FieldKind::Str),
+            ("case", FieldKind::UInt),
+            ("wall_ns", FieldKind::UInt),
+        ],
+    ),
+    (
+        "worker-restart",
+        &[
+            ("worker", FieldKind::UInt),
+            ("restarts", FieldKind::UInt),
+            ("reason", FieldKind::Str),
+        ],
+    ),
+    (
+        "cache-recovered",
+        &[
+            ("mode", FieldKind::Str),
+            ("entries", FieldKind::UInt),
+            ("dropped_bytes", FieldKind::UInt),
+        ],
+    ),
 ];
 
 /// The `eval` outcome label for a successful evaluation; any other label is
