@@ -35,6 +35,19 @@ def main() -> int:
         if got * 2 < b:
             print(f"FAIL: {key} regressed more than 2x against BENCH_evals.json")
             failed = True
+    # Latency keys gate in the other direction: a regression is the fresh
+    # value growing, not shrinking. The histogram quantiles are log2-bucket
+    # upper bounds (quantized up to 2x), so use a 4x margin: 2x quantization
+    # plus the same 2x runner-noise allowance as the throughput keys.
+    for key in ["eval_p50_ms", "eval_p99_ms"]:
+        if key not in base or key not in fresh:
+            continue  # older digests lack the latency keys
+        b, got = base[key], fresh[key]
+        ratio = got / b if b else float("inf")
+        print(f"{key}: baseline {b:.3f}ms, fresh {got:.3f}ms ({ratio:.2f}x)")
+        if b > 0 and got > b * 4:
+            print(f"FAIL: {key} regressed more than 4x against BENCH_evals.json")
+            failed = True
     print(
         "cache_hit_rate: baseline {:.3f}, fresh {:.3f}".format(
             base["cache_hit_rate"], fresh["cache_hit_rate"]

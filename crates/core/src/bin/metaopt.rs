@@ -48,6 +48,14 @@
 //! file, and `metaopt trace-report <path>` renders it as throughput /
 //! cache-hit / slowest-pass / quarantine tables. Runs without `--trace-out`
 //! are bit-identical to runs of a build without tracing.
+//!
+//! Live observability: `--trace-out` (or `--metrics-addr`) also enables the
+//! in-process metrics registry — counters, gauges, and log2-bucket latency
+//! histograms updated on the hot path with relaxed atomics. `metaopt top
+//! <trace.jsonl> --follow` tails a running trace and renders a live status
+//! view (generation progress, eval throughput, latency quantiles, worker
+//! pool health). `--metrics-addr 127.0.0.1:9184` additionally serves the
+//! registry as Prometheus text exposition on `GET /metrics`.
 
 use metaopt::experiment::{ExperimentError, RunControl};
 use metaopt::{experiment, study, PreparedBench, StudyConfig};
@@ -69,6 +77,7 @@ fn usage() -> ExitCode {
            ablate <study> <benchmark> [plan ..] sweep pipeline plans, report cycles\n\
            check <study> [benchmark]            semantically validate baseline compiles\n\
            trace-report <trace.jsonl>           summarize a --trace-out file\n\
+           top <trace.jsonl> [--follow]         live status view of a (running) trace\n\
          \n\
          studies: hyperblock | regalloc | prefetch\n\
          options: --pop N --gens N --seed N --threads N --check-ir\n\
@@ -77,6 +86,8 @@ fn usage() -> ExitCode {
                   --checkpoint <path> --resume <path> --trace-out <path>\n\
                   --eval-cache <path> (persistent fitness cache) --retries N\n\
                   --bench-json <path> (trace-report: write throughput digest)\n\
+                  --metrics-addr HOST:PORT (serve Prometheus /metrics)\n\
+                  --follow (top: keep tailing until the run ends)\n\
          plans:   comma-separated passes ending in regalloc,schedule,\n\
                   e.g. unroll(2),prefetch,hyperblock,regalloc,schedule"
     );
@@ -119,6 +130,8 @@ struct Options {
     unroll: Option<u32>,
     trace_out: Option<std::path::PathBuf>,
     bench_json: Option<std::path::PathBuf>,
+    metrics_addr: Option<String>,
+    follow: bool,
 }
 
 fn parse_args() -> Option<Options> {
@@ -132,6 +145,8 @@ fn parse_args() -> Option<Options> {
     let mut unroll = None;
     let mut trace_out = None;
     let mut bench_json = None;
+    let mut metrics_addr = None;
+    let mut follow = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -162,6 +177,8 @@ fn parse_args() -> Option<Options> {
             "--retries" => params.retries = args.next()?.parse().ok()?,
             "--trace-out" => trace_out = Some(args.next()?.into()),
             "--bench-json" => bench_json = Some(args.next()?.into()),
+            "--metrics-addr" => metrics_addr = Some(args.next()?),
+            "--follow" => follow = true,
             _ => positional.push(a),
         }
     }
@@ -176,6 +193,8 @@ fn parse_args() -> Option<Options> {
         unroll,
         trace_out,
         bench_json,
+        metrics_addr,
+        follow,
     })
 }
 
@@ -250,11 +269,77 @@ fn report_error(e: &ExperimentError) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// `metaopt top <trace.jsonl> [--follow]` — render a live status view of a
+/// trace. Without `--follow` it reads the file once and prints one frame;
+/// with it, the file is tailed (partial trailing lines are buffered until
+/// their newline arrives) and the screen repainted until `run-end` appears.
+fn top_command(path: &str, follow: bool) -> ExitCode {
+    use metaopt_trace::live::LiveStatus;
+    use std::io::{Read as _, Seek as _};
+
+    let mut status = LiveStatus::new();
+    let mut offset = 0u64;
+    let mut partial = String::new();
+    loop {
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < offset {
+            // Truncated underneath us (a fresh run reusing the path):
+            // start over rather than resuming mid-file.
+            status = LiveStatus::new();
+            offset = 0;
+            partial.clear();
+        }
+        if len > offset {
+            if file.seek(std::io::SeekFrom::Start(offset)).is_err() {
+                eprintln!("cannot seek {path}");
+                return ExitCode::FAILURE;
+            }
+            let mut chunk = String::new();
+            match file.take(len - offset).read_to_string(&mut chunk) {
+                Ok(n) => offset += n as u64,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            partial.push_str(&chunk);
+            while let Some(nl) = partial.find('\n') {
+                let line: String = partial.drain(..=nl).collect();
+                status.push_line(line.trim_end());
+            }
+        }
+        if follow {
+            // Repaint in place: clear screen, home the cursor.
+            print!("\x1b[2J\x1b[H{}", status.render());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            if status.finished() {
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        } else {
+            // One-shot: flush any unterminated final line, print one frame.
+            if !partial.is_empty() {
+                status.push_line(partial.trim_end());
+            }
+            print!("{}", status.render());
+            return ExitCode::SUCCESS;
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let Some(opts) = parse_args() else {
         return usage();
     };
-    let tracer = match &opts.trace_out {
+    let mut tracer = match &opts.trace_out {
         Some(path) => match Tracer::to_file(path) {
             Ok(t) => t,
             Err(e) => {
@@ -264,6 +349,28 @@ fn main() -> ExitCode {
         },
         None => Tracer::disabled(),
     };
+    // The metrics registry rides on the tracer; `--metrics-addr` alone is
+    // enough to enable it (histograms fill even without a trace sink).
+    let mut _metrics_server = None;
+    if opts.trace_out.is_some() || opts.metrics_addr.is_some() {
+        let registry = metaopt_trace::metrics::MetricsRegistry::new();
+        if let Some(addr) = &opts.metrics_addr {
+            match metaopt_trace::serve::serve(addr.as_str(), registry.clone()) {
+                Ok(server) => {
+                    eprintln!(
+                        "serving Prometheus metrics on http://{}/metrics",
+                        server.local_addr()
+                    );
+                    _metrics_server = Some(server);
+                }
+                Err(e) => {
+                    eprintln!("cannot serve metrics on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        tracer = tracer.with_metrics(registry);
+    }
     let command = opts.positional.join(" ");
     let run_span = tracer.begin();
     if tracer.enabled() {
@@ -557,6 +664,7 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        ["top", path] => top_command(path, opts.follow),
         ["trace-report", path] => {
             let text = match std::fs::read_to_string(path) {
                 Ok(text) => text,

@@ -13,6 +13,7 @@
 use metaopt::experiment::{self, RunControl, SpecializationResult};
 use metaopt::study;
 use metaopt_gp::GpParams;
+use metaopt_trace::metrics::MetricsRegistry;
 use metaopt_trace::{report, schema, strip_timing, Tracer};
 use std::path::Path;
 
@@ -40,7 +41,9 @@ fn smoke_run(tracer: Tracer) -> SpecializationResult {
 
 #[test]
 fn fixed_seed_trace_matches_golden_and_perturbs_nothing() {
-    let tracer = Tracer::in_memory();
+    // Metrics enabled: the golden also pins the stripped metrics-snapshot
+    // sequence, proving the snapshot counters are seed-deterministic.
+    let tracer = Tracer::in_memory().with_metrics(MetricsRegistry::new());
     let traced = smoke_run(tracer.clone());
     let lines = tracer.lines().unwrap();
     let text = lines.join("\n");
@@ -54,6 +57,27 @@ fn fixed_seed_trace_matches_golden_and_perturbs_nothing() {
     let rep = report::analyze(&text).unwrap();
     assert_eq!(rep.generations.len(), 2);
     assert!(rep.render().contains("generation"));
+
+    // Snapshots appear once per generation plus a final one, carry a
+    // strictly increasing seq, and keep all schedule-dependent registry
+    // state inside the strippable "runtime" attribute.
+    let snapshots: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"metrics-snapshot\""))
+        .collect();
+    assert_eq!(snapshots.len(), 3, "2 generations + final snapshot");
+    for (seq, line) in snapshots.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"seq\":{seq}")),
+            "snapshot seq should count 0.. in emission order: {line}"
+        );
+        assert!(line.contains("\"runtime\""));
+        let stripped = strip_timing(line).unwrap();
+        assert!(
+            !stripped.contains("runtime"),
+            "strip_timing must remove the schedule-dependent runtime dump"
+        );
+    }
 
     // (b) The timestamp-stripped event sequence is pinned by the golden
     // file: everything but timing is deterministic for a fixed seed.

@@ -10,6 +10,7 @@ use crate::ops::{crossover, mutate};
 use crate::service::{self, Containment};
 use crate::store::FitnessStore;
 use metaopt_trace::json::Value;
+use metaopt_trace::metrics::{Counter, Histogram, MetricsRegistry};
 use metaopt_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -250,6 +251,36 @@ fn backoff_ns(key: &str, case: usize, attempt: u32) -> u64 {
 /// let a transient host condition clear, not to stall the search.
 const MAX_BACKOFF_SLEEP_NS: u64 = 1_000_000;
 
+/// Cached handles onto the live [`MetricsRegistry`], registered once at
+/// memo construction so the evaluation hot path records lock-free. These
+/// mirror (never replace) the memo's own atomic counters: results and
+/// traces are derived from the memo, metrics only feed observers.
+struct MemoMetrics {
+    evaluations: Arc<Counter>,
+    successes: Arc<Counter>,
+    failures: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    warm_hits: Arc<Counter>,
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    eval_latency: Arc<Histogram>,
+}
+
+impl MemoMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        MemoMetrics {
+            evaluations: registry.counter("metaopt_evaluations_total"),
+            successes: registry.counter("metaopt_eval_success_total"),
+            failures: registry.counter("metaopt_eval_failure_total"),
+            cache_hits: registry.counter("metaopt_cache_hits_total"),
+            warm_hits: registry.counter("metaopt_warm_hits_total"),
+            retries: registry.counter("metaopt_retries_total"),
+            timeouts: registry.counter("metaopt_timeouts_total"),
+            eval_latency: registry.histogram("metaopt_eval_latency_ns"),
+        }
+    }
+}
+
 struct Memo {
     shards: Vec<Mutex<ShardMap>>,
     evaluations: AtomicU64,
@@ -262,10 +293,12 @@ struct Memo {
     store: Option<FitnessStore>,
     /// Transient-failure retry budget (from [`GpParams::retries`]).
     retries: u32,
+    /// Live metrics mirror; `None` when the run has no registry attached.
+    metrics: Option<MemoMetrics>,
 }
 
 impl Memo {
-    fn new(store: Option<FitnessStore>, retries: u32) -> Self {
+    fn new(store: Option<FitnessStore>, retries: u32, registry: Option<&MetricsRegistry>) -> Self {
         Memo {
             shards: (0..MEMO_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -281,6 +314,7 @@ impl Memo {
             }),
             store,
             retries,
+            metrics: registry.map(MemoMetrics::new),
         }
     }
 
@@ -288,13 +322,18 @@ impl Memo {
     /// empty — deterministic evaluators recompute identical outcomes — but
     /// the ledger's seen-set is restored so re-observed failures don't
     /// produce duplicate records.
-    fn resumed(ck: &Checkpoint, store: Option<FitnessStore>, retries: u32) -> Self {
+    fn resumed(
+        ck: &Checkpoint,
+        store: Option<FitnessStore>,
+        retries: u32,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
         let seen = ck
             .quarantined
             .iter()
             .map(|r| (r.genome.clone(), r.case))
             .collect();
-        let memo = Memo::new(store, retries);
+        let memo = Memo::new(store, retries, registry);
         memo.evaluations.store(ck.evaluations, Ordering::Relaxed);
         memo.successes.store(ck.successes, Ordering::Relaxed);
         memo.failures.store(ck.failures, Ordering::Relaxed);
@@ -342,6 +381,12 @@ impl Memo {
 
     fn warm(&self) -> u64 {
         self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined pair count (schedule-independent at generation
+    /// boundaries, like the other counters).
+    fn quarantined_len(&self) -> u64 {
+        self.ledger.lock().unwrap().records.len() as u64
     }
 
     /// The ledger in canonical `(genome, case)` order. Worker threads race
@@ -399,6 +444,9 @@ impl Memo {
     ) -> EvalOutcome {
         if let Some(v) = Self::probe(&self.shard(key, case).lock().unwrap(), key, case) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.cache_hits.inc();
+            }
             return v;
         }
         let span = tracer.begin();
@@ -440,6 +488,9 @@ impl Memo {
                 // and counted as a (late) cache hit.
                 let existing = existing.clone();
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
                 return existing;
             }
             cases.push((case, outcome.clone()));
@@ -468,6 +519,18 @@ impl Memo {
                     });
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.evaluations.inc();
+            if warm {
+                m.warm_hits.inc();
+            }
+            match &outcome {
+                EvalOutcome::Score(_) => m.successes.inc(),
+                EvalOutcome::Failed(_) => m.failures.inc(),
+            }
+            m.retries.add(retried.len() as u64);
+            m.eval_latency.record(span.dur_ns());
         }
         if tracer.enabled() {
             for (attempt, kind, ns) in &retried {
@@ -545,6 +608,13 @@ impl Memo {
         }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         self.failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.evaluations.inc();
+            m.failures.inc();
+            if matches!(why, Containment::Stalled { .. }) {
+                m.timeouts.inc();
+            }
+        }
         {
             let mut led = self.ledger.lock().unwrap();
             if led.seen.insert((key.to_string(), case)) {
@@ -859,10 +929,10 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             };
             log = ck.log.clone();
             start_generation = ck.next_generation;
-            memo = Memo::resumed(ck, store, p.retries);
+            memo = Memo::resumed(ck, store, p.retries, self.tracer.metrics());
         } else {
             rng = StdRng::seed_from_u64(p.seed);
-            memo = Memo::new(store, p.retries);
+            memo = Memo::new(store, p.retries, self.tracer.metrics());
 
             // Initial population: seeds then ramped-grow randoms.
             pop = self.seeds.iter().take(p.population).cloned().collect();
@@ -890,9 +960,11 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
         // never start it — they keep the inline-serial path whose exact
         // event order the golden trace pins. The state and both closures
         // live outside the thread scope so workers can borrow them.
-        let svc_state: Option<service::State<Wave, (u32, u32)>> = (p.threads.max(1) > 1
-            && p.population >= 4)
-            .then(|| service::State::new(p.threads.max(1), MEMO_SHARDS));
+        let svc_state: Option<service::State<Wave, (u32, u32)>> =
+            (p.threads.max(1) > 1 && p.population >= 4).then(|| {
+                service::State::new(p.threads.max(1), MEMO_SHARDS)
+                    .with_metrics(self.tracer.metrics())
+            });
         let exec = |wave: &Wave, (g, ci): (u32, u32)| {
             let (g, ci) = (g as usize, ci as usize);
             let key = wave.keys[g]
@@ -942,6 +1014,15 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                         ],
                     );
                 }
+                if let Some(m) = self.tracer.metrics() {
+                    m.gauge("metaopt_population").set(p.population as u64);
+                    m.gauge("metaopt_generations").set(p.generations as u64);
+                    m.gauge("metaopt_threads").set(p.threads.max(1) as u64);
+                }
+                // Monotonic metrics-snapshot sequence number: one snapshot
+                // per generation boundary plus a final one after the
+                // full-set judgement. Deterministic (no wall time).
+                let mut metrics_seq = 0u64;
 
                 for generation in start_generation..p.generations {
                     let gen_span = self.tracer.begin();
@@ -1007,6 +1088,12 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                             ],
                         );
                     }
+                    if let Some(m) = self.tracer.metrics() {
+                        m.gauge("metaopt_generation").set(generation as u64);
+                        m.gauge("metaopt_quarantined").set(memo.quarantined_len());
+                        m.histogram("metaopt_gen_wall_ns").record(gen_span.dur_ns());
+                    }
+                    self.emit_metrics_snapshot(&memo, &mut metrics_seq, generation);
 
                     if generation + 1 == p.generations {
                         break;
@@ -1066,6 +1153,10 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                 // Final judgement on the full training set (attributed to the
                 // one-past-the-end generation index in the trace).
                 let final_fits = self.evaluate_all(&memo, &pop, &all_cases, p.generations, svc);
+                if let Some(m) = self.tracer.metrics() {
+                    m.gauge("metaopt_quarantined").set(memo.quarantined_len());
+                }
+                self.emit_metrics_snapshot(&memo, &mut metrics_seq, p.generations);
                 let best_idx = argbest(&final_fits, &pop, p.fitness_epsilon);
                 let counters = memo.counters();
                 let result = EvolutionResult {
@@ -1101,6 +1192,46 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             }
             run
         })
+    }
+
+    /// Emit one `metrics-snapshot` event: a monotonic `seq` (never wall
+    /// time), the deterministic engine `counters` read from the memo at the
+    /// generation boundary (schedule-independent by the entry-guard
+    /// invariant), and the full registry dump under `runtime` (latency
+    /// histograms, service gauges — stripped by `strip_timing` because
+    /// they are wall-clock- and schedule-dependent). Requires both a trace
+    /// sink and a metrics registry; otherwise a no-op.
+    fn emit_metrics_snapshot(&self, memo: &Memo, seq: &mut u64, gen: usize) {
+        let Some(registry) = self.tracer.metrics() else {
+            return;
+        };
+        if !self.tracer.enabled() {
+            return;
+        }
+        let counters = memo.counters();
+        self.tracer.emit(
+            "metrics-snapshot",
+            [
+                ("seq", Value::UInt(*seq)),
+                ("gen", Value::UInt(gen as u64)),
+                (
+                    "counters",
+                    Value::Obj(vec![
+                        ("evaluations".to_string(), Value::UInt(counters.evaluations)),
+                        ("successes".to_string(), Value::UInt(counters.successes)),
+                        ("failures".to_string(), Value::UInt(counters.failures)),
+                        ("cache_hits".to_string(), Value::UInt(memo.hits())),
+                        ("warm_hits".to_string(), Value::UInt(memo.warm())),
+                        (
+                            "quarantined".to_string(),
+                            Value::UInt(memo.quarantined_len()),
+                        ),
+                    ]),
+                ),
+                ("runtime", registry.snapshot_value()),
+            ],
+        );
+        *seq += 1;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1568,14 +1699,80 @@ mod tests {
         params.seed = 13;
         params.threads = 2;
         let plain = Evolution::new(params.clone(), &fs, &ev).run();
-        let traced = Evolution::new(params, &fs, &ev)
+        let traced = Evolution::new(params.clone(), &fs, &ev)
             .with_tracer(Tracer::in_memory())
             .run();
-        assert_eq!(plain.best.key(), traced.best.key());
-        assert_eq!(plain.best_fitness, traced.best_fitness);
-        assert_eq!(plain.log, traced.log);
-        assert_eq!(plain.evaluations, traced.evaluations);
-        assert_eq!(plain.quarantined, traced.quarantined);
+        // A live metrics registry is derived state only: attaching one (and
+        // streaming per-generation snapshots) perturbs nothing either.
+        let metered = Evolution::new(params, &fs, &ev)
+            .with_tracer(Tracer::in_memory().with_metrics(MetricsRegistry::new()))
+            .run();
+        for (label, other) in [("traced", &traced), ("metered", &metered)] {
+            assert_eq!(plain.best.key(), other.best.key(), "{label}");
+            assert_eq!(plain.best_fitness, other.best_fitness, "{label}");
+            assert_eq!(plain.log, other.log, "{label}");
+            assert_eq!(plain.evaluations, other.evaluations, "{label}");
+            assert_eq!(plain.quarantined, other.quarantined, "{label}");
+        }
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_result_counters() {
+        let fs = features();
+        let ev = Flaky::new(&fs);
+        let mut params = GpParams::quick();
+        params.generations = 3;
+        params.population = 16;
+        params.seed = 7;
+        params.threads = 2;
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::in_memory().with_metrics(registry.clone());
+        let result = Evolution::new(params.clone(), &fs, &ev)
+            .with_tracer(tracer.clone())
+            .run();
+
+        // The hot-path atomics agree with the engine's own accounting.
+        assert_eq!(
+            registry.counter("metaopt_evaluations_total").get(),
+            result.evaluations
+        );
+        assert_eq!(
+            registry.counter("metaopt_eval_success_total").get(),
+            result.successes
+        );
+        assert_eq!(
+            registry.counter("metaopt_eval_failure_total").get(),
+            result.failures
+        );
+        assert_eq!(
+            registry.counter("metaopt_cache_hits_total").get(),
+            result.cache_hits
+        );
+        assert_eq!(
+            registry.histogram("metaopt_eval_latency_ns").count(),
+            result.evaluations
+        );
+        assert_eq!(
+            registry.gauge("metaopt_quarantined").get(),
+            result.quarantined.len() as u64
+        );
+        assert_eq!(registry.gauge("metaopt_population").get(), 16);
+        assert_eq!(registry.gauge("metaopt_threads").get(), 2);
+
+        // One snapshot per generation plus the final full-set snapshot,
+        // and every line passes strict validation (validate_trace above
+        // covers them in other tests; here check the count and ordering).
+        let snaps: Vec<String> = tracer
+            .lines()
+            .unwrap()
+            .iter()
+            .filter(|l| l.contains("\"metrics-snapshot\""))
+            .cloned()
+            .collect();
+        assert_eq!(snaps.len(), params.generations + 1);
+        for (seq, line) in snaps.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{seq}")), "{line}");
+        }
     }
 
     /// `Regress`, except a deterministic slice of `(genome, case)` pairs

@@ -51,6 +51,7 @@ use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 use metaopt_trace::json::Value;
+use metaopt_trace::metrics::{Counter, Gauge, MetricsRegistry};
 use metaopt_trace::Tracer;
 
 /// Why the service completed a job on behalf of its worker.
@@ -87,6 +88,37 @@ impl Default for Tuning {
             stall_timeout: Duration::from_secs(60),
             poll: Duration::from_millis(25),
             idle_park: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Cached live-metrics handles for the service: queue pressure, worker
+/// utilization, steal and restart counts. Purely observational — nothing
+/// in the service reads these back, so scheduling stays unaffected.
+struct ServiceMetrics {
+    jobs: Arc<Counter>,
+    steals: Arc<Counter>,
+    restarts: Arc<Counter>,
+    busy: Arc<Gauge>,
+    /// One depth gauge per job queue (`metaopt_service_queue_depth{shard=N}`).
+    depth: Vec<Arc<Gauge>>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &MetricsRegistry, workers: usize, queues: usize) -> Self {
+        registry
+            .gauge("metaopt_service_workers")
+            .set(workers as u64);
+        ServiceMetrics {
+            jobs: registry.counter("metaopt_service_jobs_total"),
+            steals: registry.counter("metaopt_service_steals_total"),
+            restarts: registry.counter("metaopt_service_restarts_total"),
+            busy: registry.gauge("metaopt_service_workers_busy"),
+            depth: (0..queues)
+                .map(|q| {
+                    registry.gauge_labeled("metaopt_service_queue_depth", "shard", &q.to_string())
+                })
+                .collect(),
         }
     }
 }
@@ -133,6 +165,8 @@ pub struct State<W, J> {
     tuning: Tuning,
     /// Service epoch for millisecond timestamps.
     started: Instant,
+    /// Live metrics mirror; `None` when the run has no registry attached.
+    metrics: Option<ServiceMetrics>,
 }
 
 impl<W, J: Copy> State<W, J> {
@@ -165,7 +199,18 @@ impl<W, J: Copy> State<W, J> {
                 .collect(),
             tuning,
             started: Instant::now(),
+            metrics: None,
         }
+    }
+
+    /// Attach live metrics (queue depth, busy workers, steal/restart
+    /// counters) to this service. A `None` registry is a no-op, so callers
+    /// can pass [`Tracer::metrics`](metaopt_trace::Tracer::metrics)
+    /// straight through.
+    pub fn with_metrics(mut self, registry: Option<&MetricsRegistry>) -> Self {
+        self.metrics =
+            registry.map(|r| ServiceMetrics::new(r, self.slots.len(), self.queues.len()));
+        self
     }
 
     /// Number of worker slots.
@@ -198,10 +243,12 @@ impl<W, J: Copy> State<W, J> {
         *self.wave.lock().unwrap() = Some(wave);
         self.pending.store(jobs.len(), Ordering::SeqCst);
         for (q, job) in jobs {
-            self.queues[q % self.queues.len()]
-                .lock()
-                .unwrap()
-                .push_back(job);
+            let ix = q % self.queues.len();
+            let mut queue = self.queues[ix].lock().unwrap();
+            queue.push_back(job);
+            if let Some(m) = &self.metrics {
+                m.depth[ix].set(queue.len() as u64);
+            }
         }
         {
             let mut epoch = self.work.0.lock().unwrap();
@@ -232,7 +279,16 @@ impl<W, J: Copy> State<W, J> {
     fn grab(&self, slot: usize) -> Option<J> {
         let n = self.queues.len();
         for i in 0..n {
-            if let Some(job) = self.queues[(slot + i) % n].lock().unwrap().pop_front() {
+            let ix = (slot + i) % n;
+            let mut queue = self.queues[ix].lock().unwrap();
+            if let Some(job) = queue.pop_front() {
+                if let Some(m) = &self.metrics {
+                    m.depth[ix].set(queue.len() as u64);
+                    m.jobs.inc();
+                    if i > 0 {
+                        m.steals.inc();
+                    }
+                }
                 return Some(job);
             }
         }
@@ -254,6 +310,9 @@ impl<W, J: Copy> State<W, J> {
         self.slots[slot]
             .busy_since_ms
             .store(self.now_ms(), Ordering::SeqCst);
+        if let Some(m) = &self.metrics {
+            m.busy.inc();
+        }
     }
 
     /// Try to reclaim completion ownership of `slot`'s current job.
@@ -262,6 +321,11 @@ impl<W, J: Copy> State<W, J> {
     fn job_taken(&self, slot: usize) -> Option<J> {
         let job = self.slots[slot].current.lock().unwrap().take();
         self.slots[slot].busy_since_ms.store(0, Ordering::SeqCst);
+        if job.is_some() {
+            if let Some(m) = &self.metrics {
+                m.busy.dec();
+            }
+        }
         job
     }
 }
@@ -374,6 +438,9 @@ fn supervise<'scope, 'env, W, J, E, C>(
                 }
                 let restarts = state.slots[slot].restarts.fetch_add(1, Ordering::SeqCst) + 1;
                 state.slots[slot].alive.store(true, Ordering::SeqCst);
+                if let Some(m) = &state.metrics {
+                    m.restarts.inc();
+                }
                 if tracer.enabled() {
                     tracer.emit(
                         "worker-restart",
@@ -557,6 +624,39 @@ mod tests {
         for j in 1..6 {
             assert_eq!(wave.done[j].load(Ordering::SeqCst), 1, "job {j}");
         }
+    }
+
+    #[test]
+    fn metrics_track_jobs_and_settle_idle() {
+        let registry = MetricsRegistry::new();
+        let state: State<Cells, usize> =
+            State::with_tuning(3, 4, tiny_tuning()).with_metrics(Some(&registry));
+        let tracer = Tracer::in_memory();
+        let wave = Arc::new(Cells {
+            done: (0..32).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let exec = |w: &Cells, j: usize| {
+            w.done[j].fetch_add(1, Ordering::SeqCst);
+        };
+        let contain = |_w: &Cells, _j: usize, _why: Containment| {};
+        std::thread::scope(|s| {
+            start(s, &state, &exec, &contain, &tracer);
+            state.submit(wave.clone(), (0..32).map(|j| (j, j)).collect());
+            state.shutdown();
+        });
+        assert_eq!(registry.counter("metaopt_service_jobs_total").get(), 32);
+        assert_eq!(registry.gauge("metaopt_service_workers").get(), 3);
+        assert_eq!(registry.gauge("metaopt_service_workers_busy").get(), 0);
+        for q in 0..4 {
+            assert_eq!(
+                registry
+                    .gauge_labeled("metaopt_service_queue_depth", "shard", &q.to_string())
+                    .get(),
+                0,
+                "queue {q} should drain"
+            );
+        }
+        assert_eq!(registry.counter("metaopt_service_restarts_total").get(), 0);
     }
 
     #[test]

@@ -197,7 +197,27 @@ mod determinism {
     use super::quarantine::{fnv, SometimesFails};
     use super::*;
     use metaopt_gp::{EvalError, EvalErrorKind, EvalOutcome, Evaluator, Evolution, GpParams};
+    use metaopt_trace::metrics::MetricsRegistry;
+    use metaopt_trace::{strip_timing, Tracer};
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// The metrics-snapshot stream of a finished run with timing and the
+    /// schedule-dependent `runtime` registry dump stripped — everything
+    /// that is *supposed* to be deterministic.
+    fn stripped_snapshots(tracer: &Tracer) -> Vec<String> {
+        tracer
+            .lines()
+            .unwrap()
+            .iter()
+            .filter(|l| l.contains("\"metrics-snapshot\""))
+            .map(|l| strip_timing(l).unwrap())
+            .collect()
+    }
+
+    /// A metrics tracer for one run: in-memory sink plus a fresh registry.
+    fn metrics_tracer() -> Tracer {
+        Tracer::in_memory().with_metrics(MetricsRegistry::new())
+    }
 
     /// [`SometimesFails`] plus a transient layer: a hash-selected slice of
     /// `(genome, case)` pairs times out on early attempts and clears after
@@ -263,8 +283,14 @@ mod determinism {
                 threads,
                 ..GpParams::quick()
             };
-            let serial = Evolution::new(params(1), &fs, &eval).run();
-            let threaded = Evolution::new(params(threads), &fs, &eval).run();
+            let serial_tracer = metrics_tracer();
+            let threaded_tracer = metrics_tracer();
+            let serial = Evolution::new(params(1), &fs, &eval)
+                .with_tracer(serial_tracer.clone())
+                .run();
+            let threaded = Evolution::new(params(threads), &fs, &eval)
+                .with_tracer(threaded_tracer.clone())
+                .run();
 
             // Per-generation fitness vectors (best/mean are reductions of
             // the full population fitness vector) and DSS subsets.
@@ -285,6 +311,11 @@ mod determinism {
             prop_assert_eq!(serial.successes, threaded.successes);
             prop_assert_eq!(serial.failures, threaded.failures);
             prop_assert_eq!(serial.cache_hits, threaded.cache_hits);
+            // The stripped metrics-snapshot stream (one per generation plus
+            // the final full-set snapshot) is schedule-independent too.
+            let serial_snaps = stripped_snapshots(&serial_tracer);
+            prop_assert_eq!(serial_snaps.len(), 5, "4 generations + final");
+            prop_assert_eq!(serial_snaps, stripped_snapshots(&threaded_tracer));
         }
 
         /// The same property with the whole reliability stack engaged:
@@ -322,12 +353,19 @@ mod determinism {
                 retries: 2,
                 ..GpParams::quick()
             };
-            let serial = Evolution::new(params(1), &fs, &eval).run();
+            let serial_tracer = metrics_tracer();
+            let cold_tracer = metrics_tracer();
+            let warm_tracer = metrics_tracer();
+            let serial = Evolution::new(params(1), &fs, &eval)
+                .with_tracer(serial_tracer.clone())
+                .run();
             let cold = Evolution::new(params(threads), &fs, &eval)
                 .with_eval_cache(&cache)
+                .with_tracer(cold_tracer.clone())
                 .run();
             let warm = Evolution::new(params(threads), &fs, &eval)
                 .with_eval_cache(&cache)
+                .with_tracer(warm_tracer.clone())
                 .run();
             let _ = std::fs::remove_file(&cache);
 
@@ -349,6 +387,25 @@ mod determinism {
             // The store answers every previously successful evaluation.
             prop_assert_eq!(cold.warm_hits, 0);
             prop_assert_eq!(warm.warm_hits, cold.successes);
+            // Snapshot streams agree too; the warm run's snapshots differ
+            // only in the warm_hits counter, which is the cache's job.
+            let serial_snaps = stripped_snapshots(&serial_tracer);
+            prop_assert_eq!(&serial_snaps, &stripped_snapshots(&cold_tracer));
+            let neutral = |snaps: Vec<String>| -> Vec<String> {
+                snaps.into_iter().map(|line| {
+                    let key = "\"warm_hits\":";
+                    let Some(ix) = line.find(key) else { return line };
+                    let start = ix + key.len();
+                    let end = line[start..]
+                        .find(|c: char| !c.is_ascii_digit())
+                        .map_or(line.len(), |d| start + d);
+                    format!("{}0{}", &line[..start], &line[end..])
+                }).collect()
+            };
+            prop_assert_eq!(
+                neutral(serial_snaps),
+                neutral(stripped_snapshots(&warm_tracer))
+            );
         }
     }
 }

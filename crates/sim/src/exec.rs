@@ -421,8 +421,13 @@ pub fn simulate_traced(
         Some((amplitude, seed)) => simulate_noisy(mp, cfg, memory, amplitude, seed),
         None => simulate(mp, cfg, memory),
     };
-    if tracer.enabled() {
-        if let Ok(r) = &result {
+    if let Ok(r) = &result {
+        if let Some(m) = tracer.metrics() {
+            m.counter("metaopt_sim_total").inc();
+            m.counter("metaopt_sim_cycles_total").add(r.cycles);
+            m.counter("metaopt_sim_wall_ns_total").add(span.dur_ns());
+        }
+        if tracer.enabled() {
             use metaopt_trace::json::Value;
             tracer.emit(
                 "sim",

@@ -22,6 +22,7 @@
 //! | `sim`             | simulator         | completed simulation                 |
 //! | `validate`        | pass manager      | semantic validation of one pass      |
 //! | `checkpoint`      | GP engine         | checkpoint write                     |
+//! | `metrics-snapshot` | GP engine        | generation (live [`metrics`] dump)   |
 //!
 //! Design constraints, in order:
 //!
@@ -39,10 +40,14 @@
 //!    never interleave.
 
 pub mod json;
+pub mod live;
+pub mod metrics;
 pub mod report;
 pub mod schema;
+pub mod serve;
 
 use json::Value;
+use metrics::MetricsRegistry;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -81,10 +86,17 @@ impl Drop for Inner {
 /// the `trace-header` event on creation, stamp every event with a monotonic
 /// timestamp, and append scope attributes (see [`Tracer::scoped`]) to each
 /// payload.
+///
+/// A tracer can additionally carry a live [`MetricsRegistry`]
+/// ([`Tracer::with_metrics`]); instrumentation sites fetch it via
+/// [`Tracer::metrics`]. The registry rides along independently of the event
+/// sink — `--metrics-addr` without `--trace-out` yields a sink-disabled
+/// tracer that still aggregates metrics.
 #[derive(Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<Inner>>,
     scope: Vec<(&'static str, Value)>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl fmt::Debug for Tracer {
@@ -110,6 +122,7 @@ impl Tracer {
                 sink: Mutex::new(sink),
             })),
             scope: Vec::new(),
+            metrics: None,
         };
         t.emit(
             "trace-header",
@@ -143,6 +156,19 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// The same tracer carrying `registry` for live metrics aggregation.
+    /// Works on sink-disabled tracers too (metrics without a trace file).
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Tracer {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The live metrics registry, when one is attached. Instrumentation
+    /// sites gate recording work on this returning `Some`.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
     /// A handle onto the same sink that appends `attrs` to every event it
     /// emits (after the event's own attributes). Used to stamp ambient
     /// context — e.g. the benchmark name — onto `pass`/`sim` events emitted
@@ -152,21 +178,29 @@ impl Tracer {
         I: IntoIterator<Item = (&'static str, Value)>,
     {
         if self.inner.is_none() {
-            return Tracer::disabled();
+            // Sink stays disabled, but an attached metrics registry rides
+            // along so scoped call sites keep aggregating.
+            let mut t = Tracer::disabled();
+            t.metrics = self.metrics.clone();
+            return t;
         }
         let mut scope = self.scope.clone();
         scope.extend(attrs);
         Tracer {
             inner: self.inner.clone(),
             scope,
+            metrics: self.metrics.clone(),
         }
     }
 
     /// Start timing a span; free (no clock read) when the tracer is
-    /// disabled.
+    /// disabled and no metrics registry is attached. With metrics attached
+    /// the span times even without a sink, so latency histograms fill under
+    /// `--metrics-addr` alone.
     pub fn begin(&self) -> Span {
+        let timed = self.inner.is_some() || self.metrics.is_some();
         Span {
-            start: self.inner.as_ref().map(|_| Instant::now()),
+            start: timed.then(Instant::now),
         }
     }
 
@@ -229,10 +263,13 @@ impl Span {
     }
 }
 
-/// The attribute keys that carry timing and therefore vary run to run.
-/// Everything else in a `run-trace.v1` payload is deterministic for a fixed
-/// configuration.
-pub const TIMING_KEYS: [&str; 3] = ["ts", "dur_ns", "wall_ns"];
+/// The attribute keys that vary run to run and are therefore stripped from
+/// the canonical payload: the timing fields, plus `runtime` — the live
+/// registry dump on `metrics-snapshot` events, whose latency histograms and
+/// scheduling gauges are wall-clock- and schedule-dependent (the snapshot's
+/// `counters` object is the deterministic part). Everything else in a
+/// `run-trace.v1` payload is deterministic for a fixed configuration.
+pub const TIMING_KEYS: [&str; 4] = ["ts", "dur_ns", "wall_ns", "runtime"];
 
 /// One trace line with its timing fields ([`TIMING_KEYS`]) removed — the
 /// canonical deterministic payload the golden test pins.
@@ -269,6 +306,33 @@ mod tests {
         assert_eq!(t.begin().dur_ns(), 0);
         // Scoping a disabled tracer stays disabled.
         assert!(!t.scoped([("bench", Value::str("x"))]).enabled());
+    }
+
+    #[test]
+    fn metrics_ride_along_without_a_sink() {
+        let t = Tracer::disabled().with_metrics(MetricsRegistry::new());
+        assert!(!t.enabled());
+        assert!(t.metrics().is_some());
+        // Scoping preserves the registry (same shared storage) even though
+        // the sink stays disabled.
+        let scoped = t.scoped([("bench", Value::str("x"))]);
+        assert!(!scoped.enabled());
+        scoped.metrics().unwrap().counter("x").inc();
+        assert_eq!(t.metrics().unwrap().counter("x").get(), 1);
+        // Spans time when metrics are attached, so histograms fill without
+        // a trace file. (A zero reading is technically possible on a coarse
+        // clock, but the Instant is real; just assert emit stays a no-op.)
+        t.emit("generation", [("gen", Value::UInt(0))]);
+        assert_eq!(t.lines(), None);
+    }
+
+    #[test]
+    fn strip_timing_removes_snapshot_runtime() {
+        let line = r#"{"type":"metrics-snapshot","ts":5,"seq":0,"gen":1,"counters":{"evaluations":3},"runtime":{"metaopt_eval_latency_ns":{"count":3,"sum":99,"buckets":[[5,3]]}}}"#;
+        assert_eq!(
+            strip_timing(line).unwrap(),
+            r#"{"type":"metrics-snapshot","seq":0,"gen":1,"counters":{"evaluations":3}}"#
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! compiler passes, simulation volume, and quarantine pressure.
 
 use crate::json::Value;
+use crate::metrics::quantile_from_buckets;
 use crate::schema::{validate_line, SchemaError, OUTCOME_SCORE};
 
 /// One generation's aggregated row.
@@ -126,6 +127,10 @@ pub struct Report {
     pub total_evals: u64,
     /// Cache hits across the whole trace.
     pub total_hits: u64,
+    /// Log₂-bucketed evaluation latency: non-empty `(bucket index, count)`
+    /// pairs over every `eval` event's `dur_ns` (the same bucket scheme as
+    /// [`crate::metrics::Histogram`]). Empty when the trace has no evals.
+    pub eval_latency: Vec<(usize, u64)>,
     /// Service containment and persistent-cache counters.
     pub reliability: Reliability,
 }
@@ -184,6 +189,46 @@ impl Report {
         }
     }
 
+    /// The `q_num/q_den` quantile of per-evaluation latency in nanoseconds,
+    /// derived from the log₂ buckets (so an upper bound, within 2x);
+    /// 0 when the trace recorded no evaluations.
+    pub fn eval_latency_quantile_ns(&self, q_num: u64, q_den: u64) -> u64 {
+        quantile_from_buckets(&self.eval_latency, q_num, q_den)
+    }
+
+    /// Median evaluation latency in milliseconds (log₂-bucket upper bound).
+    pub fn eval_p50_ms(&self) -> f64 {
+        self.eval_latency_quantile_ns(50, 100) as f64 / 1e6
+    }
+
+    /// 99th-percentile evaluation latency in milliseconds (log₂-bucket
+    /// upper bound).
+    pub fn eval_p99_ms(&self) -> f64 {
+        self.eval_latency_quantile_ns(99, 100) as f64 / 1e6
+    }
+
+    /// Anomalies worth surfacing next to the digest: throughput figures
+    /// that read 0 not because the run was slow but because the trace holds
+    /// no evaluations, no recorded generation time, or no simulator time.
+    pub fn notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        let gen_ns: u64 = self.generations.iter().map(|g| g.dur_ns).sum();
+        if self.total_evals == 0 {
+            notes.push("no evaluations recorded; evals/sec reported as 0".to_string());
+        } else if gen_ns == 0 {
+            notes.push(
+                "no generation wall time recorded (instant trace); evals/sec reported as 0"
+                    .to_string(),
+            );
+        }
+        if self.sims.0 > 0 && self.sim_ns == 0 {
+            notes.push(
+                "simulations recorded no wall time; sim cycles/sec reported as 0".to_string(),
+            );
+        }
+        notes
+    }
+
     /// The throughput digest consumed by `BENCH_evals.json` and the CI
     /// regression gate: evaluation throughput, cache behaviour, and
     /// simulator speed, rendered as a JSON object.
@@ -209,6 +254,8 @@ impl Report {
                 "warm_evals_per_sec".to_string(),
                 Value::Num(self.warm_evals_per_sec()),
             ),
+            ("eval_p50_ms".to_string(), Value::Num(self.eval_p50_ms())),
+            ("eval_p99_ms".to_string(), Value::Num(self.eval_p99_ms())),
         ])
         .to_string()
     }
@@ -309,6 +356,13 @@ impl Report {
                 ));
             }
         }
+        if !self.eval_latency.is_empty() {
+            out.push_str(&format!(
+                "eval latency: p50 {:.3}ms, p99 {:.3}ms (log2-bucket upper bounds)\n",
+                self.eval_p50_ms(),
+                self.eval_p99_ms()
+            ));
+        }
         if self.quarantine.is_empty() {
             out.push_str("quarantine: none\n");
         } else {
@@ -318,6 +372,9 @@ impl Report {
                 .map(|(k, n)| format!("{k} x{n}"))
                 .collect();
             out.push_str(&format!("quarantine: {}\n", classes.join(", ")));
+        }
+        for note in self.notes() {
+            out.push_str(&format!("note: {note}\n"));
         }
         out
     }
@@ -386,6 +443,16 @@ pub fn analyze(text: &str) -> Result<Report, SchemaError> {
                 }
                 if matches!(v.get("warm"), Some(Value::Bool(true))) {
                     report.reliability.warm_evals += 1;
+                }
+                // Same bucket scheme as metrics::Histogram: index = bit
+                // length of the duration.
+                let idx = (64 - u("dur_ns").leading_zeros()) as usize;
+                match report.eval_latency.iter_mut().find(|(i, _)| *i == idx) {
+                    Some((_, n)) => *n += 1,
+                    None => {
+                        report.eval_latency.push((idx, 1));
+                        report.eval_latency.sort_unstable_by_key(|(i, _)| *i);
+                    }
                 }
             }
             "retry" => report.reliability.retries += 1,
@@ -671,5 +738,83 @@ mod tests {
     fn analyze_rejects_invalid_traces() {
         assert!(analyze("").is_err());
         assert!(analyze("{\"type\":\"generation\",\"ts\":0}").is_err());
+    }
+
+    #[test]
+    fn eval_latency_quantiles_ride_the_digest() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        // Every synthetic eval takes 500ns -> bucket 9 (upper bound 511).
+        assert_eq!(r.eval_latency, vec![(9, 6)]);
+        assert_eq!(r.eval_latency_quantile_ns(50, 100), 511);
+        assert_eq!(r.eval_latency_quantile_ns(99, 100), 511);
+        let v = crate::json::parse(&r.bench_json()).unwrap();
+        let p50 = v.get("eval_p50_ms").and_then(Value::as_f64).unwrap();
+        let p99 = v.get("eval_p99_ms").and_then(Value::as_f64).unwrap();
+        assert!((p50 - 511e-6).abs() < 1e-12, "p50 {p50}");
+        assert!((p99 - 511e-6).abs() < 1e-12, "p99 {p99}");
+        assert!(r.render().contains("eval latency: p50"));
+    }
+
+    #[test]
+    fn empty_and_instant_traces_report_zero_with_a_note() {
+        // A header-only trace: no evals, no sims, no generations.
+        let t = Tracer::in_memory();
+        let r = analyze(&t.lines().unwrap().join("\n")).unwrap();
+        assert_eq!(r.evals_per_sec(), 0.0);
+        assert_eq!(r.sim_cycles_per_sec(), 0.0);
+        assert_eq!(r.warm_evals_per_sec(), 0.0);
+        assert_eq!(r.eval_p50_ms(), 0.0);
+        let digest = r.bench_json();
+        // The digest stays finite JSON: no NaN/Inf leaks (which would
+        // serialize as null) and every figure is a number.
+        assert!(!digest.contains("null"), "{digest}");
+        let v = crate::json::parse(&digest).unwrap();
+        assert_eq!(v.get("evals_per_sec").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(
+            v.get("sim_cycles_per_sec").and_then(Value::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            r.notes(),
+            vec!["no evaluations recorded; evals/sec reported as 0".to_string()]
+        );
+        assert!(r.render().contains("note: no evaluations recorded"));
+
+        // An "instant" trace: work recorded, but zero wall time everywhere
+        // (e.g. a clock too coarse to observe the run).
+        let t = Tracer::in_memory();
+        t.emit(
+            "generation",
+            [
+                ("gen", Value::UInt(0)),
+                ("subset", Value::Arr(vec![Value::UInt(0)])),
+                ("evals", Value::UInt(5)),
+                ("cache_hits", Value::UInt(0)),
+                ("best_fitness", Value::Num(1.0)),
+                ("mean_fitness", Value::Num(1.0)),
+                ("best_size", Value::UInt(1)),
+                ("dur_ns", Value::UInt(0)),
+            ],
+        );
+        t.emit(
+            "sim",
+            [
+                ("cycles", Value::UInt(100)),
+                ("insts", Value::UInt(50)),
+                ("dur_ns", Value::UInt(0)),
+            ],
+        );
+        let r = analyze(&t.lines().unwrap().join("\n")).unwrap();
+        assert_eq!(r.evals_per_sec(), 0.0);
+        assert_eq!(r.sim_cycles_per_sec(), 0.0);
+        assert!(r.evals_per_sec().is_finite() && r.sim_cycles_per_sec().is_finite());
+        let notes = r.notes();
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("no generation wall time"), "{notes:?}");
+        assert!(
+            notes[1].contains("simulations recorded no wall time"),
+            "{notes:?}"
+        );
+        assert!(!r.bench_json().contains("null"));
     }
 }

@@ -168,6 +168,20 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
             ("dropped_bytes", FieldKind::UInt),
         ],
     ),
+    // Live metrics (additive within v1): one registry dump per generation.
+    // `seq` is a monotonic snapshot sequence number (not wall time);
+    // `counters` holds the deterministic engine counters; the optional
+    // `runtime` object carries the full registry dump (latency histograms,
+    // service gauges) and is stripped by `strip_timing` because it is
+    // schedule-dependent.
+    (
+        "metrics-snapshot",
+        &[
+            ("seq", FieldKind::UInt),
+            ("gen", FieldKind::UInt),
+            ("counters", FieldKind::Obj),
+        ],
+    ),
 ];
 
 /// The `eval` outcome label for a successful evaluation; any other label is
@@ -271,7 +285,58 @@ pub fn validate_line(lineno: usize, line: &str) -> Result<String, SchemaError> {
             ));
         }
     }
+    // Metrics snapshots: the deterministic `counters` object holds unsigned
+    // counts only; the optional `runtime` registry dump must be an object,
+    // and any histogram inside it must have well-formed log2 buckets.
+    if ty == "metrics-snapshot" {
+        let counters = v.get("counters").and_then(Value::as_obj).unwrap_or(&[]);
+        if counters.iter().any(|(_, c)| c.as_u64().is_none()) {
+            return Err(err(
+                "metrics-snapshot counters must be unsigned integers".to_string()
+            ));
+        }
+        if let Some(runtime) = v.get("runtime") {
+            let Some(metrics) = runtime.as_obj() else {
+                return Err(err(
+                    "metrics-snapshot \"runtime\" must be an object".to_string()
+                ));
+            };
+            for (name, metric) in metrics {
+                if let Some(buckets) = metric.get("buckets") {
+                    validate_histogram(name, metric, buckets).map_err(err)?;
+                }
+            }
+        }
+    }
     Ok(ty.to_string())
+}
+
+/// Check one `runtime` histogram dump: `count`/`sum` unsigned, `buckets`
+/// an array of `[bucket index, count]` pairs with indices inside the log2
+/// bucket range.
+fn validate_histogram(name: &str, metric: &Value, buckets: &Value) -> Result<(), String> {
+    for key in ["count", "sum"] {
+        if metric.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("histogram {name:?} lacks unsigned field {key:?}"));
+        }
+    }
+    let Some(pairs) = buckets.as_arr() else {
+        return Err(format!("histogram {name:?} buckets must be an array"));
+    };
+    for pair in pairs {
+        let ok = pair.as_arr().is_some_and(|p| {
+            p.len() == 2
+                && p.iter().all(|x| x.as_u64().is_some())
+                && p[0].as_u64().unwrap() < crate::metrics::HISTOGRAM_BUCKETS as u64
+        });
+        if !ok {
+            return Err(format!(
+                "histogram {name:?} buckets must be [index < {}, count] pairs",
+                crate::metrics::HISTOGRAM_BUCKETS
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Validate a whole JSONL trace.
@@ -413,5 +478,77 @@ mod tests {
     fn empty_and_garbage_traces_are_rejected() {
         assert!(validate_trace("").is_err());
         assert!(validate_trace("not json").is_err());
+    }
+
+    fn snapshot_line(counters: &str, runtime: &str) -> String {
+        let header = smoke_trace().lines().next().unwrap().to_string();
+        format!(
+            "{header}\n{{\"type\":\"metrics-snapshot\",\"ts\":9,\"seq\":0,\"gen\":1,\
+             \"counters\":{counters}{runtime}}}"
+        )
+    }
+
+    #[test]
+    fn metrics_snapshots_validate_and_tolerate_unknown_attrs() {
+        // A full snapshot with a runtime histogram dump.
+        let ok = snapshot_line(
+            "{\"evaluations\":12,\"cache_hits\":3}",
+            ",\"runtime\":{\"metaopt_evaluations_total\":12,\
+             \"metaopt_eval_latency_ns\":{\"count\":12,\"sum\":480,\"buckets\":[[5,9],[6,3]]}}",
+        );
+        validate_trace(&ok).unwrap();
+        // `runtime` is optional (emission may dump counters only).
+        validate_trace(&snapshot_line("{\"evaluations\":0}", "")).unwrap();
+        // Unknown extra attributes are tolerated (additive-within-v1).
+        let extra = snapshot_line("{\"evaluations\":1}", ",\"experimental_zzz\":\"yes\"");
+        validate_trace(&extra).unwrap();
+    }
+
+    #[test]
+    fn malformed_metrics_snapshots_are_rejected() {
+        // Missing required field.
+        let header = smoke_trace().lines().next().unwrap().to_string();
+        let missing =
+            format!("{header}\n{{\"type\":\"metrics-snapshot\",\"ts\":1,\"seq\":0,\"gen\":0}}");
+        assert!(validate_trace(&missing)
+            .unwrap_err()
+            .message
+            .contains("counters"));
+        // Counters must be unsigned integers.
+        let signed = snapshot_line("{\"evaluations\":-3}", "");
+        assert!(validate_trace(&signed)
+            .unwrap_err()
+            .message
+            .contains("unsigned"));
+        // Runtime must be an object.
+        let bad_runtime = snapshot_line("{}", ",\"runtime\":[1,2]");
+        assert!(validate_trace(&bad_runtime)
+            .unwrap_err()
+            .message
+            .contains("must be an object"));
+        // Histogram buckets must be [index, count] pairs...
+        let bad_pair = snapshot_line(
+            "{}",
+            ",\"runtime\":{\"h\":{\"count\":1,\"sum\":2,\"buckets\":[[5]]}}",
+        );
+        assert!(validate_trace(&bad_pair)
+            .unwrap_err()
+            .message
+            .contains("pairs"));
+        // ...with in-range indices...
+        let bad_index = snapshot_line(
+            "{}",
+            ",\"runtime\":{\"h\":{\"count\":1,\"sum\":2,\"buckets\":[[99,1]]}}",
+        );
+        assert!(validate_trace(&bad_index)
+            .unwrap_err()
+            .message
+            .contains("pairs"));
+        // ...and count/sum alongside them.
+        let no_count = snapshot_line("{}", ",\"runtime\":{\"h\":{\"buckets\":[[5,1]]}}");
+        assert!(validate_trace(&no_count)
+            .unwrap_err()
+            .message
+            .contains("count"));
     }
 }

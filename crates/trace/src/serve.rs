@@ -1,0 +1,152 @@
+//! An optional, std-only `/metrics` scrape endpoint.
+//!
+//! [`serve`] binds a [`std::net::TcpListener`] on a background thread and
+//! answers every `GET /metrics` with the registry rendered in Prometheus
+//! text exposition format 0.0.4 ([`crate::metrics::MetricsRegistry::render_prometheus`]).
+//! The server is read-only derived state: it never feeds back into the run,
+//! so scraping cannot perturb determinism.
+//!
+//! The implementation is deliberately minimal — HTTP/1.0 semantics, one
+//! connection at a time, `Connection: close` — because its only clients are
+//! `curl` in CI and a Prometheus scraper on a trusted host.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint. Dropping the handle (or calling
+/// [`MetricsServer::shutdown`]) stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when serving on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() by poking the listener ourselves.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `registry` over HTTP at `addr` (e.g. `127.0.0.1:9184`, or port 0
+/// for an OS-assigned port) on a background thread.
+///
+/// # Errors
+/// Fails when the address cannot be bound.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    registry: MetricsRegistry,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("metaopt-metrics".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A hung client must not wedge the endpoint.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = answer(stream, &registry);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn answer(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line so the client sees a clean close.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", registry.render_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_exposition() {
+        let registry = MetricsRegistry::new();
+        registry.counter("metaopt_evaluations_total").add(7);
+        registry.histogram("metaopt_eval_latency_ns").record(1000);
+        let mut server = serve("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let response = fetch(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response
+            .contains("# TYPE metaopt_evaluations_total counter\nmetaopt_evaluations_total 7\n"));
+        assert!(response.contains("metaopt_eval_latency_ns_bucket{le=\"+Inf\"} 1\n"));
+
+        // Scrapes observe live updates.
+        registry.counter("metaopt_evaluations_total").add(3);
+        assert!(fetch(addr, "/metrics").contains("metaopt_evaluations_total 10\n"));
+
+        assert!(fetch(addr, "/nope").starts_with("HTTP/1.0 404"));
+
+        server.shutdown();
+        // After shutdown the port stops answering (connect may succeed
+        // briefly on some platforms; a second shutdown is a no-op).
+        server.shutdown();
+    }
+}
