@@ -58,6 +58,7 @@ pub mod inline;
 pub mod opt;
 pub mod pass;
 pub mod plan;
+pub mod plan_ops;
 pub mod prefetch;
 pub mod regalloc;
 pub mod schedule;

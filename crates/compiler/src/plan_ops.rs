@@ -1,0 +1,187 @@
+//! Genetic operators over [`PipelinePlan`]s: mutation and crossover in the
+//! pipeline-plan search space, for co-evolving phase orderings alongside
+//! priority functions.
+//!
+//! The operators work on the *optimization prefix* of a plan — everything
+//! before the mandatory `regalloc,schedule` terminal pair, which the
+//! structural grammar pins in place. Because they only ever toggle, retune,
+//! reorder, or merge prefix passes (keeping pass names unique) and never
+//! touch the terminal pair, **every plan they produce is structurally valid
+//! by construction**: it round-trips through the textual grammar and passes
+//! [`PipelinePlan::validate`]. The property test in
+//! `tests/plan_ops_proptest.rs` holds them to that contract.
+//!
+//! All randomness flows through the caller's RNG, so plan evolution is as
+//! deterministic as the rest of the GP engine: same seed, same plans.
+
+use crate::plan::{PassSpec, PipelinePlan};
+use rand::{Rng, RngExt};
+
+/// Smallest unroll factor the mutation operator will produce. (The grammar
+/// itself accepts any factor >= 2; existing larger factors are preserved.)
+pub const MIN_UNROLL: u32 = 2;
+/// Largest unroll factor the mutation operator will produce.
+pub const MAX_UNROLL: u32 = 16;
+
+/// Split a valid plan into its optimization prefix and the fixed
+/// `regalloc,schedule` tail. Validation guarantees the tail is exactly the
+/// last two steps.
+fn split(plan: &PipelinePlan) -> (Vec<PassSpec>, [PassSpec; 2]) {
+    let steps = plan.steps();
+    debug_assert!(steps.len() >= 2, "valid plans end in regalloc,schedule");
+    let n = steps.len();
+    (steps[..n - 2].to_vec(), [steps[n - 2], steps[n - 1]])
+}
+
+/// Reassemble a prefix (unique pass names, factors >= 2) with the terminal
+/// pair. Infallible by construction.
+fn rebuild(prefix: Vec<PassSpec>, tail: [PassSpec; 2]) -> PipelinePlan {
+    let steps: Vec<PassSpec> = prefix.into_iter().chain(tail).collect();
+    PipelinePlan::new(steps).expect("operator output is structurally valid")
+}
+
+/// Mutate one plan: toggle an optimization pass in or out, toggle or retune
+/// the `unroll(N)` knob, or swap two adjacent prefix passes. The result is
+/// always a valid plan; it may equal the input when the chosen edit is a
+/// no-op (e.g. a swap on a prefix shorter than two passes).
+pub fn mutate_plan<R: Rng>(rng: &mut R, plan: &PipelinePlan) -> PipelinePlan {
+    let (mut prefix, tail) = split(plan);
+    match rng.random_range(0u8..4) {
+        0 => {
+            // Toggle presence of a boolean optimization pass.
+            let (name, spec) = if rng.random_bool(0.5) {
+                ("prefetch", PassSpec::Prefetch)
+            } else {
+                ("hyperblock", PassSpec::Hyperblock)
+            };
+            if let Some(i) = prefix.iter().position(|s| s.name() == name) {
+                prefix.remove(i);
+            } else {
+                let at = rng.random_range(0..=prefix.len());
+                prefix.insert(at, spec);
+            }
+        }
+        1 => {
+            // Toggle the unroll knob in or out.
+            if let Some(i) = prefix.iter().position(|s| matches!(s, PassSpec::Unroll(_))) {
+                prefix.remove(i);
+            } else {
+                let factor = MIN_UNROLL << rng.random_range(0u32..3); // 2, 4, or 8
+                prefix.insert(0, PassSpec::Unroll(factor));
+            }
+        }
+        2 => {
+            // Retune the unroll factor (doubling/halving walks the knob
+            // range); introduce the pass at the minimum factor if absent.
+            match prefix.iter_mut().find(|s| matches!(s, PassSpec::Unroll(_))) {
+                Some(PassSpec::Unroll(f)) => {
+                    *f = if rng.random_bool(0.5) {
+                        f.saturating_mul(2).min(MAX_UNROLL)
+                    } else {
+                        (*f / 2).max(MIN_UNROLL)
+                    };
+                }
+                _ => prefix.insert(0, PassSpec::Unroll(MIN_UNROLL)),
+            }
+        }
+        _ => {
+            // Reorder: swap two adjacent prefix passes.
+            if prefix.len() >= 2 {
+                let i = rng.random_range(0..prefix.len() - 1);
+                prefix.swap(i, i + 1);
+            }
+        }
+    }
+    rebuild(prefix, tail)
+}
+
+/// Cross two plans: the child's prefix inherits each pass name present in
+/// both parents (taking either parent's `unroll` factor), keeps passes
+/// unique to one parent with probability 1/2, and preserves relative order
+/// (first parent's order, then the second's for its exclusive passes). The
+/// terminal pair is untouched, so the child is always valid.
+pub fn crossover_plans<R: Rng>(rng: &mut R, a: &PipelinePlan, b: &PipelinePlan) -> PipelinePlan {
+    let (pa, tail) = split(a);
+    let (pb, _) = split(b);
+    let mut prefix = Vec::new();
+    for s in &pa {
+        let in_b = pb.iter().find(|t| t.name() == s.name());
+        if in_b.is_none() && !rng.random_bool(0.5) {
+            continue;
+        }
+        let spec = match (s, in_b) {
+            (PassSpec::Unroll(fa), Some(PassSpec::Unroll(fb))) => {
+                PassSpec::Unroll(if rng.random_bool(0.5) { *fa } else { *fb })
+            }
+            _ => *s,
+        };
+        prefix.push(spec);
+    }
+    for t in &pb {
+        if pa.iter().all(|s| s.name() != t.name()) && rng.random_bool(0.5) {
+            prefix.push(*t);
+        }
+    }
+    rebuild(prefix, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutation_is_deterministic_for_a_seed() {
+        let plan = PipelinePlan::baseline();
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..32)
+                .map(|_| mutate_plan(&mut rng, &plan).to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..32)
+                .map(|_| mutate_plan(&mut rng, &plan).to_string())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_explores_beyond_the_seed_plan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut plan = PipelinePlan::baseline();
+        for _ in 0..64 {
+            plan = mutate_plan(&mut rng, &plan);
+            seen.insert(plan.to_string());
+        }
+        assert!(seen.len() > 3, "mutation walked only {seen:?}");
+    }
+
+    #[test]
+    fn unroll_factor_stays_in_knob_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut plan = PipelinePlan::minimal().with_unroll(2);
+        for _ in 0..256 {
+            plan = mutate_plan(&mut rng, &plan);
+            for s in plan.steps() {
+                if let PassSpec::Unroll(f) = s {
+                    assert!((MIN_UNROLL..=MAX_UNROLL).contains(f), "factor {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = PipelinePlan::baseline().with_unroll(4);
+        for _ in 0..16 {
+            let child = crossover_plans(&mut rng, &plan, &plan);
+            assert_eq!(child.to_string(), plan.to_string());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the plan genetic operators: every plan produced by
+//! mutation or crossover round-trips through the textual grammar and passes
+//! [`PipelinePlan`] structural validation (terminal `regalloc,schedule`
+//! pair, no duplicate passes) — the operators never panic and never yield
+//! an invalid plan, from any valid starting point and any RNG seed.
+
+use metaopt_compiler::plan_ops::{crossover_plans, mutate_plan};
+use metaopt_compiler::{PassSpec, PipelinePlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Any structurally valid plan (same space as the grammar round-trip
+/// tests): optional `unroll(N)`/`prefetch`/`hyperblock` prefix in a fuzzed
+/// order, then the mandatory terminal pair.
+fn arb_plan() -> impl Strategy<Value = PipelinePlan> {
+    let opts = proptest::collection::vec(any::<bool>(), 3);
+    (opts, 2u32..=64, any::<u8>()).prop_map(|(include, factor, order)| {
+        let mut steps = Vec::new();
+        if include[0] {
+            steps.push(PassSpec::Unroll(factor));
+        }
+        if include[1] {
+            steps.push(PassSpec::Prefetch);
+        }
+        if include[2] {
+            steps.push(PassSpec::Hyperblock);
+        }
+        if steps.len() > 1 {
+            let rot = order as usize % steps.len();
+            steps.rotate_left(rot);
+            if order >= 128 && steps.len() > 1 {
+                steps.swap(0, 1);
+            }
+        }
+        steps.push(PassSpec::Regalloc);
+        steps.push(PassSpec::Schedule);
+        PipelinePlan::new(steps).expect("constructed plans are valid")
+    })
+}
+
+/// A produced plan must validate and survive a print/parse round trip.
+fn assert_valid(plan: &PipelinePlan) {
+    plan.validate()
+        .unwrap_or_else(|e| panic!("invalid plan {plan}: {e}"));
+    let text = plan.to_string();
+    let reparsed = PipelinePlan::parse(&text).expect("operator output parses");
+    assert_eq!(&reparsed, plan, "round trip of {text}");
+}
+
+proptest! {
+    #[test]
+    fn mutation_chains_only_yield_valid_plans(start in arb_plan(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = start;
+        for _ in 0..24 {
+            plan = mutate_plan(&mut rng, &plan);
+            assert_valid(&plan);
+        }
+    }
+
+    #[test]
+    fn crossover_only_yields_valid_plans(a in arb_plan(), b in arb_plan(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let child = crossover_plans(&mut rng, &a, &b);
+            assert_valid(&child);
+            // And crossing children back with a parent stays closed.
+            let grandchild = crossover_plans(&mut rng, &child, &b);
+            assert_valid(&grandchild);
+        }
+    }
+
+    #[test]
+    fn crossover_inherits_only_parental_passes(a in arb_plan(), b in arb_plan(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = crossover_plans(&mut rng, &a, &b);
+        for s in child.steps() {
+            prop_assert!(
+                a.contains(s.name()) || b.contains(s.name()),
+                "{} appeared from neither parent", s.name()
+            );
+        }
+    }
+}

@@ -25,8 +25,18 @@
 //! with a textual plan such as `unroll(2),prefetch,hyperblock,regalloc,schedule`,
 //! and `--unroll <N>` prepends loop unrolling to whatever plan is active.
 //! `ablate` sweeps a set of plans (the built-in ablation set when none are
-//! given) over one benchmark and prints a cycles-per-plan table; `compile`
+//! given) over one benchmark and prints a cycles-per-plan table (or, with
+//! `--json`, a machine-readable cycles/size/compile-wall report); `compile`
 //! prints per-pass wall time and counter deltas.
+//!
+//! Co-evolution: `specialize <study> <bench> --co-evolve` evolves joint
+//! `(pipeline plan, priority function)` genomes under multi-objective
+//! NSGA-II selection over (cycles, code size, compile cost) and prints the
+//! final Pareto front plus the cycle-minimal champion. `--objectives`
+//! restricts selection to a subset, e.g. `--objectives cycles,size`.
+//! Co-evolved runs checkpoint/resume and cache like scalar runs (the
+//! formats are fingerprint-separated) and stay bit-identical across
+//! `--threads` settings.
 //!
 //! Long evolution runs can be made restartable: `--checkpoint <path>`
 //! writes a checkpoint after every completed generation, and
@@ -83,6 +93,8 @@ fn usage() -> ExitCode {
          options: --pop N --gens N --seed N --threads N --check-ir\n\
                   --validate off|fast|full --json\n\
                   --passes <plan> --unroll <N>\n\
+                  --co-evolve (specialize: evolve (plan, expr) genomes, NSGA-II)\n\
+                  --objectives cycles,size,compile (co-evolve selection mask)\n\
                   --checkpoint <path> --resume <path> --trace-out <path>\n\
                   --eval-cache <path> (persistent fitness cache) --retries N\n\
                   --bench-json <path> (trace-report: write throughput digest)\n\
@@ -128,6 +140,8 @@ struct Options {
     control: RunControl,
     passes: Option<metaopt_compiler::PipelinePlan>,
     unroll: Option<u32>,
+    co_evolve: bool,
+    objectives: [bool; metaopt_gp::pareto::NUM_OBJECTIVES],
     trace_out: Option<std::path::PathBuf>,
     bench_json: Option<std::path::PathBuf>,
     metrics_addr: Option<String>,
@@ -143,6 +157,8 @@ fn parse_args() -> Option<Options> {
     let mut control = RunControl::default();
     let mut passes = None;
     let mut unroll = None;
+    let mut co_evolve = false;
+    let mut objectives = [true; metaopt_gp::pareto::NUM_OBJECTIVES];
     let mut trace_out = None;
     let mut bench_json = None;
     let mut metrics_addr = None;
@@ -171,6 +187,17 @@ fn parse_args() -> Option<Options> {
                 }
             },
             "--unroll" => unroll = Some(args.next()?.parse().ok()?),
+            "--co-evolve" => co_evolve = true,
+            "--objectives" => match metaopt_gp::coevo::parse_mask(&args.next()?) {
+                Some(mask) => objectives = mask,
+                None => {
+                    eprintln!(
+                        "--objectives: expected a non-empty comma-separated subset of {}",
+                        metaopt_gp::pareto::OBJECTIVE_NAMES.join(",")
+                    );
+                    return None;
+                }
+            },
             "--checkpoint" => control.checkpoint = Some(args.next()?.into()),
             "--resume" => control.resume = Some(args.next()?.into()),
             "--eval-cache" => control.eval_cache = Some(args.next()?.into()),
@@ -191,6 +218,8 @@ fn parse_args() -> Option<Options> {
         control,
         passes,
         unroll,
+        co_evolve,
+        objectives,
         trace_out,
         bench_json,
         metrics_addr,
@@ -267,6 +296,52 @@ fn print_warm_hits(control: &RunControl, warm_hits: u64) {
 fn report_error(e: &ExperimentError) -> ExitCode {
     eprintln!("error: {e}");
     ExitCode::FAILURE
+}
+
+/// `metaopt specialize <study> <bench> --co-evolve`: joint (plan, expr)
+/// evolution with Pareto-rank selection. Prints the final front, the
+/// hypervolume proxy, and the conventional champion report (the
+/// cycle-minimal front point against the study's own baseline).
+fn co_evolve_command(
+    opts: &Options,
+    cfg: &StudyConfig,
+    bench: &metaopt_suite::Benchmark,
+    control: &RunControl,
+) -> ExitCode {
+    let r = match experiment::co_evolve_controlled(
+        cfg,
+        bench,
+        &opts.params,
+        opts.objectives,
+        control,
+    ) {
+        Ok(r) => r,
+        Err(e) => return report_error(&e),
+    };
+    println!(
+        "pareto front: {} point(s) on ({}), hypervolume {}",
+        r.front.len(),
+        metaopt_gp::coevo::mask_label(&opts.objectives),
+        r.hypervolume
+    );
+    print!("{}", r.front_table());
+    match (&r.best_plan, &r.best) {
+        (Some(plan), Some(best)) => {
+            println!("champion plan: {plan}");
+            println!("train speedup: {:.3}", r.train_speedup);
+            println!("novel speedup: {:.3}", r.novel_speedup);
+            println!(
+                "evolved: {}",
+                display_named(&metaopt_gp::simplify::simplify(best), &cfg.features)
+            );
+            println!("raw (re-parseable): {}", best.key());
+            print_lints(best, cfg);
+        }
+        _ => println!("no champion: every genome in the final population failed"),
+    }
+    print_quarantine(&r.quarantined, r.evaluations, r.successes);
+    print_warm_hits(control, r.warm_hits);
+    ExitCode::SUCCESS
 }
 
 /// `metaopt top <trace.jsonl> [--follow]` — render a live status view of a
@@ -410,6 +485,9 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
                 eprintln!("unknown benchmark {bench_name} (try `metaopt list`)");
                 return ExitCode::FAILURE;
             };
+            if opts.co_evolve {
+                return co_evolve_command(opts, &cfg, &bench, &control);
+            }
             let r = match experiment::specialize_controlled(&cfg, &bench, &opts.params, &control) {
                 Ok(r) => r,
                 Err(e) => return report_error(&e),
@@ -563,8 +641,12 @@ fn run(opts: &Options, tracer: &Tracer) -> ExitCode {
                 Ok(r) => r,
                 Err(e) => return report_error(&e),
             };
-            println!("{}: cycles per pipeline plan (train data)", r.bench);
-            print!("{}", r.table());
+            if opts.json {
+                println!("{}", r.json(study_name));
+            } else {
+                println!("{}: cycles per pipeline plan (train data)", r.bench);
+                print!("{}", r.table());
+            }
             ExitCode::SUCCESS
         }
         ["check", study_name, bench_args @ ..] => {

@@ -10,12 +10,16 @@
 //! the winner fails contributes `NaN` to its column and is excluded from
 //! means, rather than aborting the whole experiment at the finish line.
 
-use crate::pipeline::{PrepareError, PreparedBench, StudyEvaluator};
+use crate::pipeline::{
+    PrepareError, PreparedBench, StudyEvaluator, StudyMultiEvaluator, StudyPlanSpace,
+};
 use crate::study::StudyConfig;
 use metaopt_compiler::{CompileStats, PipelinePlan};
 use metaopt_gp::checkpoint::{Checkpoint, CheckpointError};
-use metaopt_gp::{Evolution, Expr, GenLog, GpParams, QuarantineRecord};
+use metaopt_gp::pareto::{hypervolume_proxy, ParetoPoint, NUM_OBJECTIVES};
+use metaopt_gp::{CoEvolution, Evolution, Expr, GenLog, GpParams, QuarantineRecord};
 use metaopt_suite::{Benchmark, DataSet};
+use metaopt_trace::json::Value;
 use metaopt_trace::Tracer;
 use std::fmt;
 use std::path::PathBuf;
@@ -389,6 +393,53 @@ impl AblationResult {
         }
         out
     }
+
+    /// Machine-readable form of the sweep, following the `metaopt check
+    /// --json` convention (a single object with summary counts and a
+    /// `results` array): per plan, training-data cycles, static code size,
+    /// measured compile wall nanos, and the speedup relative to the first
+    /// (reference) plan; failed plans report `ok: false` with the error.
+    pub fn json(&self, study: &str) -> String {
+        let reference = self.runs.first().and_then(|r| r.cycles);
+        let results: Vec<Value> = self
+            .runs
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("plan".to_string(), Value::str(r.plan.to_string())),
+                    ("ok".to_string(), Value::Bool(r.cycles.is_some())),
+                ];
+                match (r.cycles, &r.stats) {
+                    (Some(cycles), Some(stats)) => {
+                        let wall: u64 = stats.per_pass.iter().map(|p| p.wall_nanos).sum();
+                        fields.push(("cycles".to_string(), Value::UInt(cycles)));
+                        fields.push(("size".to_string(), Value::UInt(stats.counters.static_insts)));
+                        fields.push(("compile_wall_ns".to_string(), Value::UInt(wall)));
+                        if let Some(base) = reference {
+                            fields.push((
+                                "speedup_vs_reference".to_string(),
+                                Value::Num(base as f64 / cycles as f64),
+                            ));
+                        }
+                    }
+                    _ => {
+                        let err = r.error.as_deref().unwrap_or("failed");
+                        fields.push(("error".to_string(), Value::str(err)));
+                    }
+                }
+                Value::Obj(fields)
+            })
+            .collect();
+        let failures = self.runs.iter().filter(|r| r.cycles.is_none()).count();
+        Value::Obj(vec![
+            ("study".to_string(), Value::str(study)),
+            ("bench".to_string(), Value::str(self.bench.as_str())),
+            ("plans".to_string(), Value::UInt(self.runs.len() as u64)),
+            ("failures".to_string(), Value::UInt(failures as u64)),
+            ("results".to_string(), Value::Arr(results)),
+        ])
+        .to_string()
+    }
 }
 
 /// The default ablation set: the canonical baseline plan plus one-pass
@@ -456,6 +507,162 @@ pub fn try_ablate_traced(
 /// Panics if benchmark preparation fails.
 pub fn ablate(study: &StudyConfig, bench: &Benchmark, plans: &[PipelinePlan]) -> AblationResult {
     try_ablate(study, bench, plans).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Result of co-evolving `(pipeline plan, priority function)` genomes on
+/// one benchmark: the final Pareto front over (cycles, code size, compile
+/// cost) plus the conventional champion-and-speedup report for the
+/// cycle-minimal front point.
+#[derive(Clone, Debug)]
+pub struct CoEvolutionResult {
+    /// Benchmark name.
+    pub name: String,
+    /// The final non-dominated front, sorted by objective vector (so the
+    /// first point is cycle-minimal). Empty only if every genome in the
+    /// final population was quarantined.
+    pub front: Vec<ParetoPoint>,
+    /// Saturating hypervolume proxy of the front under the selection mask.
+    pub hypervolume: u64,
+    /// The cycle-minimal front point's plan, parsed.
+    pub best_plan: Option<PipelinePlan>,
+    /// The cycle-minimal front point's priority function, parsed.
+    pub best: Option<Expr>,
+    /// Champion speedup over the study baseline (its plan + heuristic) on
+    /// the training data; `NaN` if the front is empty or the final
+    /// evaluation failed.
+    pub train_speedup: f64,
+    /// Champion speedup on the novel data set (`NaN` on failure).
+    pub novel_speedup: f64,
+    /// Per-generation telemetry (best/mean are summed training cycles).
+    pub log: Vec<GenLog>,
+    /// Uncached objective-vector evaluations performed.
+    pub evaluations: u64,
+    /// Evaluations that produced an objective vector.
+    pub successes: u64,
+    /// Evaluations answered by the persistent fitness cache.
+    pub warm_hits: u64,
+    /// Quarantine ledger over `plan|expr` genome keys.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl CoEvolutionResult {
+    /// Render the front as a table: one row per point, objectives first.
+    pub fn front_table(&self) -> String {
+        let width = self
+            .front
+            .iter()
+            .map(|p| p.plan.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!(
+            "{:>12} {:>10} {:>12}  {:<width$} expr\n",
+            "cycles", "size", "compile", "plan"
+        );
+        for p in &self.front {
+            out.push_str(&format!(
+                "{:>12} {:>10} {:>12}  {:<width$} {}\n",
+                p.objectives[0], p.objectives[1], p.objectives[2], p.plan, p.expr
+            ));
+        }
+        out
+    }
+}
+
+/// Co-evolve pipeline plans with priority functions on a single benchmark
+/// (multi-objective NSGA-II; see [`metaopt_gp::CoEvolution`]), with
+/// checkpoint/resume control. Seeding mirrors [`specialize_controlled`]:
+/// the RNG seed is derived from the configured seed and the benchmark
+/// name, and the study's baseline heuristic seeds the expression
+/// population while the study plan and the minimal plan seed the plans.
+pub fn co_evolve_controlled(
+    study: &StudyConfig,
+    bench: &Benchmark,
+    params: &GpParams,
+    objectives: [bool; NUM_OBJECTIVES],
+    control: &RunControl,
+) -> Result<CoEvolutionResult, ExperimentError> {
+    let pb = PreparedBench::try_new(study, bench)?;
+    let benches = [pb];
+    let evaluator = StudyMultiEvaluator::new(study, &benches).with_tracer(control.tracer.clone());
+    let plan_space = StudyPlanSpace::new(study);
+    let mut params = params.clone();
+    params.kind = study.genome_kind;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::hash::Hash::hash(bench.name, &mut h);
+    params.seed ^= std::hash::Hasher::finish(&h);
+    let mut evo = CoEvolution::new(params, &study.features, &evaluator, &plan_space)
+        .with_seeds(vec![study.baseline_seed.clone()])
+        .with_objectives(objectives)
+        .with_config_tag(study.plan.to_string())
+        .with_tracer(control.tracer.clone());
+    if let Some(path) = &control.resume {
+        evo = evo.resume_from(Checkpoint::load(path)?);
+    }
+    if let Some(path) = &control.checkpoint {
+        evo = evo.with_checkpoint_file(path);
+    }
+    if let Some(path) = &control.eval_cache {
+        evo = evo.with_eval_cache(path);
+    }
+    let result = evo.try_run()?;
+
+    let hypervolume = {
+        let vectors: Vec<[u64; NUM_OBJECTIVES]> =
+            result.front.iter().map(|p| p.objectives).collect();
+        hypervolume_proxy(&vectors, &objectives)
+    };
+    // The front is sorted by objective vector, so the first point is the
+    // cycle-minimal champion; report it the way `specialize` reports its
+    // winner, against the study's own baseline plan + heuristic.
+    let champion = result.front.first().and_then(|p| {
+        let plan: PipelinePlan = p.plan.parse().ok()?;
+        let expr = metaopt_gp::parse::parse_expr(&p.expr, &study.features).ok()?;
+        Some((plan, expr))
+    });
+    let (best_plan, best, train_speedup, novel_speedup) = match champion {
+        Some((plan, expr)) => {
+            let speedup = |ds: DataSet| {
+                benches[0]
+                    .try_objectives_traced(study, &plan, &expr, ds, &Tracer::disabled())
+                    .map(|o| benches[0].baseline_cycles(ds) as f64 / o[0] as f64)
+                    .unwrap_or(f64::NAN)
+            };
+            let (t, n) = (speedup(DataSet::Train), speedup(DataSet::Novel));
+            (Some(plan), Some(expr), t, n)
+        }
+        None => (None, None, f64::NAN, f64::NAN),
+    };
+    Ok(CoEvolutionResult {
+        name: bench.name.to_string(),
+        front: result.front,
+        hypervolume,
+        best_plan,
+        best,
+        train_speedup,
+        novel_speedup,
+        log: result.log,
+        evaluations: result.evaluations,
+        successes: result.successes,
+        warm_hits: result.warm_hits,
+        quarantined: result.quarantined,
+    })
+}
+
+/// Panicking convenience wrapper around [`co_evolve_controlled`] with all
+/// objectives enabled and no checkpointing, for tests and examples.
+///
+/// # Panics
+/// Panics if benchmark preparation fails.
+pub fn co_evolve(study: &StudyConfig, bench: &Benchmark, params: &GpParams) -> CoEvolutionResult {
+    co_evolve_controlled(
+        study,
+        bench,
+        params,
+        [true; NUM_OBJECTIVES],
+        &RunControl::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -422,6 +422,55 @@ impl PreparedBench {
         self.try_plan_cycles(study, plan, ds)
             .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Compile with `expr` in the study's priority slot **under an
+    /// arbitrary legal pipeline plan** and simulate on `ds` — the joint
+    /// workload of co-evolution. Returns the multi-objective vector
+    /// (all minimized):
+    ///
+    /// * `cycles` — simulated cycles, differentially verified;
+    /// * `size` — static instruction count of the compiled code;
+    /// * `compile` — a deterministic compile-cost proxy,
+    ///   `plan length × static instructions` (the pass-sweep work bound).
+    ///   Measured wall time would make selection depend on host load and
+    ///   thread count, breaking the engine's bit-identical determinism
+    ///   contract; wall nanos stay observable via `pass` trace events and
+    ///   `metaopt ablate --json` instead.
+    pub fn try_objectives_traced(
+        &self,
+        study: &StudyConfig,
+        plan: &metaopt_compiler::PipelinePlan,
+        expr: &Expr,
+        ds: DataSet,
+        tracer: &Tracer,
+    ) -> Result<[u64; 3], EvalError> {
+        let pri = ExprPriority(expr);
+        let mut passes = study.passes_with(&pri);
+        passes.plan = plan.clone();
+        passes.tracer = tracer.clone();
+        let compiled =
+            compile(&self.prepared, &self.profile, &study.machine, &passes).map_err(|e| {
+                let kind = match e.kind {
+                    CompileErrorKind::InvariantViolation => EvalErrorKind::IrCheck,
+                    CompileErrorKind::Validation => EvalErrorKind::Validation,
+                    _ => EvalErrorKind::Compile,
+                };
+                EvalError::new(kind, format!("{}: plan {plan}: {e}", self.name))
+            })?;
+        // Noise is seeded from the full genome (plan and expression), so
+        // memoized objective vectors stay consistent while distinct
+        // genomes see distinct measurement error.
+        let mut h = DefaultHasher::new();
+        expr.key().hash(&mut h);
+        plan.to_string().hash(&mut h);
+        self.name.hash(&mut h);
+        (ds == DataSet::Novel).hash(&mut h);
+        let cycles =
+            self.try_simulate(study, &self.eval_machine, &compiled, ds, h.finish(), tracer)?;
+        let size = compiled.stats.counters.static_insts;
+        let compile_cost = (plan.steps().len() as u64).saturating_mul(size);
+        Ok([cycles, size, compile_cost])
+    }
 }
 
 /// GP fitness evaluator over a set of prepared benchmarks: fitness of an
@@ -492,6 +541,107 @@ impl metaopt_gp::Evaluator for StudyEvaluator<'_> {
             Ok(cycles) => EvalOutcome::Score(pb.baseline_train_cycles as f64 / cycles as f64),
             Err(e) => EvalOutcome::Failed(e),
         }
+    }
+}
+
+/// Multi-objective fitness evaluator over prepared benchmarks for
+/// co-evolution: each `(plan, expr)` genome compiles under the genome's
+/// own pipeline plan with the expression in the study's priority slot, and
+/// scores as the integer objective vector of
+/// [`PreparedBench::try_objectives_traced`] on the training data.
+pub struct StudyMultiEvaluator<'a> {
+    study: &'a StudyConfig,
+    benches: &'a [PreparedBench],
+    tracer: Tracer,
+}
+
+impl<'a> StudyMultiEvaluator<'a> {
+    /// Evaluator for `study` over the prepared training cases.
+    pub fn new(study: &'a StudyConfig, benches: &'a [PreparedBench]) -> Self {
+        StudyMultiEvaluator {
+            study,
+            benches,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Emit `pass`/`sim` events (stamped with the benchmark name) for every
+    /// evaluation into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+}
+
+impl metaopt_gp::MultiEvaluator for StudyMultiEvaluator<'_> {
+    fn num_cases(&self) -> usize {
+        self.benches.len()
+    }
+
+    fn eval_objectives(
+        &self,
+        plan: &str,
+        expr: &Expr,
+        case: usize,
+        _attempt: u32,
+    ) -> Result<[u64; 3], EvalError> {
+        let pb = &self.benches[case];
+        let plan: metaopt_compiler::PipelinePlan = plan.parse().map_err(|e| {
+            EvalError::new(
+                EvalErrorKind::Compile,
+                format!("{}: unparseable pipeline plan {plan:?}: {e}", pb.name),
+            )
+        })?;
+        let tracer = self
+            .tracer
+            .scoped([("bench", Value::str(pb.name.as_str()))]);
+        pb.try_objectives_traced(self.study, &plan, expr, DataSet::Train, &tracer)
+    }
+}
+
+/// The plan half of the co-evolution search space: seeds, genetic
+/// operators, and validity over canonical plan strings, delegating to the
+/// compiler's structural grammar and `plan_ops` operators. Implemented
+/// here (not in the GP crate) so the engine stays compiler-agnostic.
+pub struct StudyPlanSpace {
+    seeds: Vec<metaopt_compiler::PipelinePlan>,
+}
+
+impl StudyPlanSpace {
+    /// Plan space seeded with the study's own plan and the minimal legal
+    /// plan. The minimal plan has the strictly smallest compile-cost and
+    /// size objectives of any legal pipeline, so fronts start with a
+    /// genuine trade-off axis already populated.
+    pub fn new(study: &StudyConfig) -> Self {
+        let mut seeds = vec![
+            metaopt_compiler::PipelinePlan::minimal(),
+            study.plan.clone(),
+        ];
+        seeds.dedup_by_key(|p| p.to_string());
+        StudyPlanSpace { seeds }
+    }
+}
+
+impl metaopt_gp::PlanSpace for StudyPlanSpace {
+    fn seed_plans(&self) -> Vec<String> {
+        self.seeds.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn mutate_plan(&self, rng: &mut rand::rngs::StdRng, plan: &str) -> String {
+        let plan: metaopt_compiler::PipelinePlan =
+            plan.parse().expect("plan genomes are canonical");
+        metaopt_compiler::plan_ops::mutate_plan(rng, &plan).to_string()
+    }
+
+    fn crossover_plans(&self, rng: &mut rand::rngs::StdRng, a: &str, b: &str) -> String {
+        let a: metaopt_compiler::PipelinePlan = a.parse().expect("plan genomes are canonical");
+        let b: metaopt_compiler::PipelinePlan = b.parse().expect("plan genomes are canonical");
+        metaopt_compiler::plan_ops::crossover_plans(rng, &a, &b).to_string()
+    }
+
+    fn is_valid(&self, plan: &str) -> bool {
+        plan.parse::<metaopt_compiler::PipelinePlan>()
+            .is_ok_and(|p| p.to_string() == plan)
     }
 }
 

@@ -186,6 +186,70 @@ fn killed_run_leaves_a_recoverable_fitness_cache() {
     let _ = std::fs::remove_file(&trace);
 }
 
+/// The deterministic section of a co-evolved run's report: the front
+/// header, the front table, the champion, and its speedups — everything
+/// from `pareto front:` through `raw (re-parseable):`.
+fn coevo_key_section(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let start = text.find("pareto front:").expect("front header in output");
+    let end = text[start..]
+        .find("\nraw (re-parseable):")
+        .map(|i| {
+            let line_end = text[start + i + 1..]
+                .find('\n')
+                .map_or(text.len(), |j| start + i + 1 + j);
+            line_end
+        })
+        .unwrap_or(text.len());
+    text[start..end].to_string()
+}
+
+/// SIGKILL a co-evolved run after its first v3 checkpoint lands, resume,
+/// and require bit-identical output (front, champion, speedups) to the
+/// never-interrupted run — the joint-genome analogue of
+/// [`killed_run_resumes_to_the_same_result`].
+#[test]
+fn killed_co_evolved_run_resumes_to_the_same_result() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-coevo-kill-{}.ck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut child = metaopt(&["--co-evolve", "--checkpoint", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn metaopt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint within 120s");
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(path.exists(), "a checkpoint must survive the kill");
+
+    let resumed = metaopt(&["--co-evolve", "--resume", path.to_str().unwrap()])
+        .output()
+        .expect("resumed run");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let straight = metaopt(&["--co-evolve"])
+        .output()
+        .expect("uninterrupted run");
+    assert!(straight.status.success());
+    assert_eq!(
+        coevo_key_section(&resumed.stdout),
+        coevo_key_section(&straight.stdout),
+        "resumed co-evolved run must reproduce the uninterrupted run exactly"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn resume_rejects_a_checkpoint_from_different_parameters() {
     let path: PathBuf =

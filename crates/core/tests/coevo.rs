@@ -1,0 +1,80 @@
+//! Co-evolution acceptance on a real study: joint (plan, expr) genomes
+//! evolved under NSGA-II selection must surface a genuine trade-off front
+//! — at least two mutually non-dominated points on (cycles, size, compile)
+//! — and the whole run must be deterministic across thread counts.
+
+use metaopt::{experiment, study};
+use metaopt_gp::coevo::front_is_mutually_non_dominated;
+use metaopt_gp::pareto::NUM_OBJECTIVES;
+use metaopt_gp::GpParams;
+
+fn tiny(threads: usize) -> GpParams {
+    GpParams {
+        population: 10,
+        generations: 3,
+        seed: 7,
+        threads,
+        ..GpParams::quick()
+    }
+}
+
+#[test]
+fn co_evolution_surfaces_a_trade_off_front() {
+    let cfg = study::hyperblock();
+    let bench = metaopt_suite::by_name("unepic").unwrap();
+    let r = experiment::co_evolve(&cfg, &bench, &tiny(2));
+
+    assert!(
+        r.front.len() >= 2,
+        "expected a front of at least two points, got {}",
+        r.front.len()
+    );
+    assert!(
+        front_is_mutually_non_dominated(&r.front, &[true; NUM_OBJECTIVES]),
+        "no front point may dominate another: {:#?}",
+        r.front
+    );
+    // A *trade-off* front, not one point repeated: at least two distinct
+    // objective vectors must survive selection.
+    let mut vectors: Vec<_> = r.front.iter().map(|p| p.objectives).collect();
+    vectors.sort_unstable();
+    vectors.dedup();
+    assert!(
+        vectors.len() >= 2,
+        "expected at least two distinct objective vectors, got {vectors:?}"
+    );
+    // The front is sorted, so the first point is cycle-minimal and backs
+    // the champion the CLI reports.
+    let min_cycles = r.front.iter().map(|p| p.objectives[0]).min().unwrap();
+    assert_eq!(r.front[0].objectives[0], min_cycles);
+    assert!(r.best_plan.is_some(), "champion plan must parse back");
+    assert!(r.best.is_some(), "champion expression must parse back");
+    assert!(
+        r.train_speedup.is_finite() && r.train_speedup > 0.0,
+        "train speedup should be a positive real: {}",
+        r.train_speedup
+    );
+    assert!(r.hypervolume > 0, "a non-empty front has positive volume");
+}
+
+#[test]
+fn co_evolved_runs_are_deterministic_across_thread_counts() {
+    let cfg = study::hyperblock();
+    let bench = metaopt_suite::by_name("unepic").unwrap();
+    let serial = experiment::co_evolve(&cfg, &bench, &tiny(1));
+    let parallel = experiment::co_evolve(&cfg, &bench, &tiny(4));
+
+    assert_eq!(
+        serial.front, parallel.front,
+        "front must not depend on threads"
+    );
+    assert_eq!(serial.hypervolume, parallel.hypervolume);
+    assert_eq!(serial.log, parallel.log, "per-generation log must match");
+    assert_eq!(
+        serial.best_plan.map(|p| p.to_string()),
+        parallel.best_plan.map(|p| p.to_string())
+    );
+    assert_eq!(serial.best.map(|e| e.key()), parallel.best.map(|e| e.key()));
+    assert_eq!(serial.train_speedup, parallel.train_speedup);
+    assert_eq!(serial.novel_speedup, parallel.novel_speedup);
+}

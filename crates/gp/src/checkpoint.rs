@@ -13,7 +13,7 @@
 //! serialization dependency is available in this build environment):
 //!
 //! ```text
-//! metaopt-checkpoint v2
+//! metaopt-checkpoint v3
 //! fingerprint <escaped params fingerprint>
 //! next-generation <g>
 //! rng <hex> <hex> <hex> <hex>
@@ -21,6 +21,8 @@
 //! memo-entries <n>
 //! population <n>
 //! <genome s-expression> × n
+//! plans <n> | plans none
+//! <escaped pipeline plan> × n
 //! dss <subset_size> <n> | dss none
 //! <difficulty f64-bits hex, space-separated>
 //! <age f64-bits hex, space-separated>
@@ -52,7 +54,13 @@ use std::path::Path;
 /// v2: the fingerprint gained the evaluator-configuration tag (the
 /// compiler's pipeline plan), so v1 checkpoints — which cannot prove which
 /// pipeline produced their fitness values — are no longer resumable.
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// v3: co-evolution serializes a per-genome pipeline-plan section
+/// (`plans <n>` / `plans none`) after the population block. Earlier
+/// versions cannot represent a co-evolved population, so cross-version
+/// resume is rejected with a version-aware error instead of a parse
+/// failure deep inside the file.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Serialized DSS (dynamic subset selection) state.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,6 +86,10 @@ pub struct Checkpoint {
     pub rng_state: [u64; 4],
     /// Population genomes in canonical re-parseable form.
     pub population: Vec<String>,
+    /// Per-genome pipeline plans (canonical textual form, parallel to
+    /// `population`) for co-evolved runs; `None` for scalar single-plan
+    /// runs, which keep their plan in the fingerprint's config tag.
+    pub plans: Option<Vec<String>>,
     /// DSS state, when the run uses dynamic subset selection.
     pub dss: Option<DssState>,
     /// Per-generation telemetry accumulated so far.
@@ -226,6 +238,16 @@ impl Checkpoint {
             out.push_str(&escape(g));
             out.push('\n');
         }
+        match &self.plans {
+            None => out.push_str("plans none\n"),
+            Some(plans) => {
+                out.push_str(&format!("plans {}\n", plans.len()));
+                for p in plans {
+                    out.push_str(&escape(p));
+                    out.push('\n');
+                }
+            }
+        }
         match &self.dss {
             None => out.push_str("dss none\n"),
             Some(st) => {
@@ -280,10 +302,22 @@ impl Checkpoint {
         let (ln, header) = next("header")?;
         let expected = format!("metaopt-checkpoint v{CHECKPOINT_VERSION}");
         if header != expected {
-            return Err(CheckpointError::Parse {
-                line: ln,
-                message: format!("bad header {header:?} (expected {expected:?})"),
-            });
+            // Distinguish "a checkpoint from another format version" from
+            // "not a checkpoint at all": the former gets a version-aware
+            // message so users know to restart rather than suspect
+            // corruption.
+            let message = match header
+                .strip_prefix("metaopt-checkpoint v")
+                .and_then(|v| v.parse::<u32>().ok())
+            {
+                Some(found) => format!(
+                    "unsupported checkpoint version v{found}: this build reads \
+                     v{CHECKPOINT_VERSION} (the format changed when pipeline-plan \
+                     genomes were added); restart the run from scratch"
+                ),
+                None => format!("bad header {header:?} (expected {expected:?})"),
+            };
+            return Err(CheckpointError::Parse { line: ln, message });
         }
 
         let (ln, l) = next("fingerprint")?;
@@ -363,6 +397,34 @@ impl Checkpoint {
                 message: "bad escape in genome".to_string(),
             })?);
         }
+
+        let (ln, l) = next("plans")?;
+        let plans = if l == "plans none" {
+            None
+        } else {
+            let nplans = l
+                .strip_prefix("plans ")
+                .ok_or_else(|| CheckpointError::Parse {
+                    line: ln,
+                    message: "expected `plans none` or `plans <n>`".to_string(),
+                })
+                .and_then(|s| parse_usize(s, ln, "plan count"))?;
+            if nplans != npop {
+                return Err(CheckpointError::Parse {
+                    line: ln,
+                    message: format!("{nplans} plans for {npop} genomes"),
+                });
+            }
+            let mut plans = Vec::with_capacity(nplans);
+            for _ in 0..nplans {
+                let (ln, l) = next("plan")?;
+                plans.push(unescape(l).ok_or_else(|| CheckpointError::Parse {
+                    line: ln,
+                    message: "bad escape in plan".to_string(),
+                })?);
+            }
+            Some(plans)
+        };
 
         let (ln, l) = next("dss")?;
         let dss = if l == "dss none" {
@@ -473,6 +535,7 @@ impl Checkpoint {
             next_generation,
             rng_state,
             population,
+            plans,
             dss,
             log,
             evaluations,
@@ -511,6 +574,7 @@ mod tests {
             next_generation: 3,
             rng_state: [1, u64::MAX, 0xDEAD_BEEF, 42],
             population: vec!["(add r0 1.5)".to_string(), "(mul r1 r0)".to_string()],
+            plans: None,
             dss: Some(DssState {
                 subset_size: 2,
                 difficulty: vec![1.0, f64::NAN, 0.3333333333333333],
@@ -622,15 +686,47 @@ mod tests {
     }
 
     #[test]
-    fn v1_checkpoints_are_rejected() {
-        let old = sample()
-            .to_text()
-            .replace("metaopt-checkpoint v2", "metaopt-checkpoint v1");
-        let err = Checkpoint::parse(&old).unwrap_err();
-        assert!(
-            matches!(&err, CheckpointError::Parse { line: 1, .. }),
-            "{err}"
-        );
+    fn plan_genomes_round_trip() {
+        let mut ck = sample();
+        ck.plans = Some(vec![
+            "regalloc,schedule".to_string(),
+            "unroll(4),hyperblock,regalloc,schedule".to_string(),
+        ]);
+        let parsed = Checkpoint::parse(&ck.to_text()).unwrap();
+        assert_eq!(parsed.plans, ck.plans);
+        assert_eq!(parsed.to_text(), ck.to_text());
+    }
+
+    #[test]
+    fn plan_count_must_match_the_population() {
+        let mut ck = sample();
+        ck.plans = Some(vec!["regalloc,schedule".to_string()]); // population is 2
+        let err = Checkpoint::parse(&ck.to_text()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn earlier_version_checkpoints_are_rejected_with_a_version_error() {
+        // A v2 (or v1) file must be refused at the header with a message
+        // that names both versions — a clean rejection, not a parse panic
+        // somewhere inside the body the old format lays out differently.
+        for old_version in ["v1", "v2"] {
+            let old = sample().to_text().replace(
+                "metaopt-checkpoint v3",
+                &format!("metaopt-checkpoint {old_version}"),
+            );
+            let err = Checkpoint::parse(&old).unwrap_err();
+            match &err {
+                CheckpointError::Parse { line: 1, message } => {
+                    assert!(
+                        message.contains(&format!("unsupported checkpoint version {old_version}"))
+                            && message.contains("v3"),
+                        "unhelpful message: {message}"
+                    );
+                }
+                other => panic!("expected a line-1 parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

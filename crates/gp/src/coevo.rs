@@ -1,0 +1,1228 @@
+//! Co-evolution of `(pipeline plan, priority function)` genomes under
+//! multi-objective Pareto-rank selection.
+//!
+//! Where [`crate::engine::Evolution`] searches priority-function space
+//! inside one fixed compilation pipeline, [`CoEvolution`] searches the
+//! joint space: each genome is a [`PlanGenome`] pairing a pipeline plan
+//! with an expression, and each evaluation produces an integer *objective
+//! vector* (simulated cycles, code size, compile-cost proxy — all
+//! minimized) instead of a single fitness. Selection is NSGA-II: crowded
+//! tournament for parents, then (μ+λ) environmental selection by
+//! non-dominated rank with crowding-distance truncation, everything
+//! tie-broken by population index (see [`crate::pareto`]) so runs are
+//! bit-identical across thread counts.
+//!
+//! The engine deliberately does not touch the scalar engine's hot path:
+//! scalar single-plan mode stays byte-for-byte what it was. Plumbing the
+//! two search spaces together happens through two small traits —
+//! [`MultiEvaluator`] (objective vectors per `(plan, expr, case)`) and
+//! [`PlanSpace`] (plan seeds and genetic operators over canonical plan
+//! strings) — implemented by the `metaopt` core crate, keeping this crate
+//! free of a compiler dependency.
+//!
+//! Determinism contract (mirrors the scalar engine):
+//! - every RNG draw happens on the coordinating thread, in a fixed order;
+//! - the per-generation work list of uncached `(genome, case)` pairs is
+//!   computed serially, each unique pair is evaluated exactly once, and
+//!   worker threads only fill disjoint result slots;
+//! - selection uses only integer objectives and index-stable tie-breaks.
+//!
+//! Checkpoints use format v3 (the population's plans ride in the `plans`
+//! section) under a fingerprint that embeds the objective mask and a
+//! co-evolution marker, so scalar and co-evolved runs can never resume
+//! each other's files. The persistent fitness store is shared machinery:
+//! keys extend to `plan|expr` and each objective lands in its own derived
+//! case slot, so a warm rerun skips straight past paid-for evaluations.
+
+use crate::checkpoint::{fingerprint, Checkpoint, CheckpointError};
+use crate::engine::{EvolutionResult, GenLog, GpParams};
+use crate::eval::{EvalError, EvalErrorKind, QuarantineRecord};
+use crate::expr::Expr;
+use crate::features::FeatureSet;
+use crate::gen::random_expr;
+use crate::ops::{crossover, mutate};
+use crate::pareto::{
+    crowding_distance, dominates, hypervolume_proxy, non_dominated_sort, ParetoPoint,
+    NUM_OBJECTIVES, OBJECTIVE_NAMES,
+};
+use crate::store::FitnessStore;
+use metaopt_trace::{json::Value, Tracer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One co-evolved genome: a pipeline plan (canonical textual form) joined
+/// with a priority-function expression.
+#[derive(Clone, Debug)]
+pub struct PlanGenome {
+    /// The pipeline plan, e.g. `unroll(2),hyperblock,regalloc,schedule`.
+    pub plan: String,
+    /// The priority function evolved for that plan.
+    pub expr: Expr,
+}
+
+impl PlanGenome {
+    /// Cache/ledger key: `plan|expr-key`. The plan's canonical text is its
+    /// fingerprint (printing is canonical — see the plan grammar round-trip
+    /// property), and [`Expr::key`] is full-precision re-parseable form, so
+    /// distinct genomes never collide.
+    pub fn key(&self) -> String {
+        format!("{}|{}", self.plan, self.expr.key())
+    }
+}
+
+/// Objective-vector evaluation of one `(plan, expr)` genome on one case.
+///
+/// Implementations must be deterministic in `(plan, expr, case)` for a
+/// given `attempt` (the attempt index exists so transient-failure
+/// injection in tests can clear on retry, exactly like the scalar
+/// engine's `eval_case_attempt`).
+pub trait MultiEvaluator: Sync {
+    /// Number of training cases (benchmarks).
+    fn num_cases(&self) -> usize;
+
+    /// Evaluate and return the objective vector (minimized): simulated
+    /// cycles, code size, compile-cost proxy.
+    ///
+    /// # Errors
+    /// A classified [`EvalError`]; only `Timeout` is considered transient
+    /// and retried.
+    fn eval_objectives(
+        &self,
+        plan: &str,
+        expr: &Expr,
+        case: usize,
+        attempt: u32,
+    ) -> Result<[u64; NUM_OBJECTIVES], EvalError>;
+}
+
+/// The plan half of the genetic search space, over canonical plan strings.
+/// The core crate implements this on top of the compiler's structural
+/// grammar and `plan_ops` operators; tests implement toy spaces.
+pub trait PlanSpace: Sync {
+    /// Seed plans for the initial population (cycled round-robin). Must be
+    /// non-empty and canonical.
+    fn seed_plans(&self) -> Vec<String>;
+    /// Mutate one plan. Must return a canonical, structurally valid plan.
+    fn mutate_plan(&self, rng: &mut StdRng, plan: &str) -> String;
+    /// Cross two plans. Must return a canonical, structurally valid plan.
+    fn crossover_plans(&self, rng: &mut StdRng, a: &str, b: &str) -> String;
+    /// Whether `plan` is a canonical, structurally valid plan (resume-time
+    /// validation of checkpointed plans).
+    fn is_valid(&self, plan: &str) -> bool;
+}
+
+/// Render an objective mask as its enabled names, `cycles,size,compile`
+/// style — used in fingerprints, CLI parsing, and the report digest.
+pub fn mask_label(mask: &[bool; NUM_OBJECTIVES]) -> String {
+    let names: Vec<&str> = (0..NUM_OBJECTIVES)
+        .filter(|&k| mask[k])
+        .map(|k| OBJECTIVE_NAMES[k])
+        .collect();
+    names.join(",")
+}
+
+/// Parse a `--objectives` list (`cycles,size,compile` in any order) into a
+/// mask. Returns `None` on an unknown name or an empty selection.
+pub fn parse_mask(text: &str) -> Option<[bool; NUM_OBJECTIVES]> {
+    let mut mask = [false; NUM_OBJECTIVES];
+    for word in text.split(',') {
+        let k = OBJECTIVE_NAMES.iter().position(|n| *n == word.trim())?;
+        mask[k] = true;
+    }
+    if mask.iter().any(|&m| m) {
+        Some(mask)
+    } else {
+        None
+    }
+}
+
+/// Objective sum marking a genome whose evaluation failed on some case:
+/// dominated by every clean genome, never on a reported front.
+const PENALTY_OBJECTIVES: [u64; NUM_OBJECTIVES] = [u64::MAX; NUM_OBJECTIVES];
+
+/// Per-case evaluation outcome kept in the run-lifetime memo.
+#[derive(Clone)]
+enum CaseOutcome {
+    Objectives([u64; NUM_OBJECTIVES]),
+    Failed,
+}
+
+/// A co-evolution run: NSGA-II over [`PlanGenome`]s.
+pub struct CoEvolution<'a, E: MultiEvaluator, P: PlanSpace> {
+    params: GpParams,
+    features: &'a FeatureSet,
+    evaluator: &'a E,
+    plan_space: &'a P,
+    seeds: Vec<Expr>,
+    objectives: [bool; NUM_OBJECTIVES],
+    config_tag: String,
+    tracer: Tracer,
+    checkpoint_path: Option<PathBuf>,
+    resume: Option<Checkpoint>,
+    eval_cache: Option<PathBuf>,
+}
+
+impl<'a, E: MultiEvaluator, P: PlanSpace> CoEvolution<'a, E, P> {
+    /// Create a run with all objectives enabled and no checkpointing.
+    pub fn new(
+        params: GpParams,
+        features: &'a FeatureSet,
+        evaluator: &'a E,
+        plan_space: &'a P,
+    ) -> Self {
+        CoEvolution {
+            params,
+            features,
+            evaluator,
+            plan_space,
+            seeds: Vec::new(),
+            objectives: [true; NUM_OBJECTIVES],
+            config_tag: String::new(),
+            tracer: Tracer::disabled(),
+            checkpoint_path: None,
+            resume: None,
+            eval_cache: None,
+        }
+    }
+
+    /// Seed expressions injected into the initial population (paired with
+    /// the plan space's seed plans, round-robin).
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<Expr>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Restrict selection to a subset of the objectives. Objective vectors
+    /// are always evaluated and reported in full; the mask only affects
+    /// dominance and crowding comparisons. An all-false mask is rejected
+    /// at parse time ([`parse_mask`]), so this trusts its input.
+    #[must_use]
+    pub fn with_objectives(mut self, mask: [bool; NUM_OBJECTIVES]) -> Self {
+        self.objectives = mask;
+        self
+    }
+
+    /// Evaluator-configuration tag folded into the checkpoint/store
+    /// fingerprint (the experiment drivers pass the study identity).
+    #[must_use]
+    pub fn with_config_tag(mut self, tag: impl Into<String>) -> Self {
+        self.config_tag = tag.into();
+        self
+    }
+
+    /// Attach a structured-trace sink.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Write a v3 checkpoint after every completed generation.
+    #[must_use]
+    pub fn with_checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume from a previously saved checkpoint.
+    #[must_use]
+    pub fn resume_from(mut self, ck: Checkpoint) -> Self {
+        self.resume = Some(ck);
+        self
+    }
+
+    /// Attach a crash-safe persistent fitness cache. Keys extend the
+    /// scalar store's convention to `plan|expr`, and objective `k` of case
+    /// `c` is stored under derived case index `c * NUM_OBJECTIVES + k`
+    /// (integer objectives below 2^53 round-trip the store's f64 slots
+    /// exactly).
+    #[must_use]
+    pub fn with_eval_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.eval_cache = Some(path.into());
+        self
+    }
+
+    /// The full fingerprint for this configuration: the scalar parameter
+    /// fingerprint under a config tag extended with a co-evolution marker
+    /// and the objective mask, so scalar checkpoints/stores and co-evolved
+    /// ones can never answer for each other.
+    fn full_fingerprint(&self) -> String {
+        fingerprint(
+            &self.params,
+            &format!(
+                "coevo objectives={} {}",
+                mask_label(&self.objectives),
+                self.config_tag
+            ),
+        )
+    }
+
+    /// Run, panicking on checkpoint/resume failures (evaluation failures
+    /// are quarantined, never fatal).
+    pub fn run(&self) -> EvolutionResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("co-evolution run failed: {e}"))
+    }
+
+    /// Run the co-evolution, surfacing checkpoint/resume errors.
+    ///
+    /// # Errors
+    /// Checkpoint I/O, parse, or fingerprint-mismatch failures.
+    pub fn try_run(&self) -> Result<EvolutionResult, CheckpointError> {
+        let p = &self.params;
+        let fp = self.full_fingerprint();
+        let ncases = self.evaluator.num_cases();
+        let all_cases: Vec<usize> = (0..ncases).collect();
+
+        let store = self
+            .eval_cache
+            .as_ref()
+            .map(|path| FitnessStore::open(path, &fp, &self.tracer));
+
+        let mut rng;
+        let mut pop: Vec<PlanGenome>;
+        let mut log: Vec<GenLog>;
+        let start_generation;
+        let mut state = EvalState {
+            memo: HashMap::new(),
+            ledger: Vec::new(),
+            seen: HashSet::new(),
+            evaluations: 0,
+            successes: 0,
+            failures: 0,
+            cache_hits: 0,
+            warm_hits: 0,
+            store,
+        };
+
+        if let Some(ck) = &self.resume {
+            ck.validate(&fp)?;
+            let plans = ck.plans.as_ref().ok_or_else(|| CheckpointError::Parse {
+                line: 0,
+                message: "checkpoint carries no plan genomes (written by a scalar run?)"
+                    .to_string(),
+            })?;
+            pop = Vec::with_capacity(ck.population.len());
+            for (genome, plan) in ck.population.iter().zip(plans) {
+                let expr = crate::parse::parse_expr(genome, self.features).map_err(|e| {
+                    CheckpointError::Parse {
+                        line: 0,
+                        message: format!("unparseable population genome {genome:?}: {e}"),
+                    }
+                })?;
+                if !self.plan_space.is_valid(plan) {
+                    return Err(CheckpointError::Parse {
+                        line: 0,
+                        message: format!("invalid pipeline plan {plan:?} in checkpoint"),
+                    });
+                }
+                pop.push(PlanGenome {
+                    plan: plan.clone(),
+                    expr,
+                });
+            }
+            rng = StdRng::from_state(ck.rng_state);
+            log = ck.log.clone();
+            start_generation = ck.next_generation;
+            state.evaluations = ck.evaluations;
+            state.successes = ck.successes;
+            state.failures = ck.failures;
+            state.seen = ck
+                .quarantined
+                .iter()
+                .map(|r| (r.genome.clone(), r.case))
+                .collect();
+            state.ledger = ck.quarantined.clone();
+        } else {
+            rng = StdRng::seed_from_u64(p.seed);
+            let seed_plans = self.plan_space.seed_plans();
+            assert!(!seed_plans.is_empty(), "PlanSpace::seed_plans is empty");
+            pop = Vec::with_capacity(p.population);
+            for i in 0..p.population {
+                let expr = match self.seeds.get(i) {
+                    Some(e) => e.clone(),
+                    None => random_expr(
+                        &mut rng,
+                        self.features,
+                        p.kind,
+                        p.init_depth.0,
+                        p.init_depth.1,
+                    ),
+                };
+                pop.push(PlanGenome {
+                    plan: seed_plans[i % seed_plans.len()].clone(),
+                    expr,
+                });
+            }
+            log = Vec::with_capacity(p.generations);
+            start_generation = 0;
+        }
+
+        let run_span = self.tracer.begin();
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "evolution-start",
+                [
+                    ("population", Value::UInt(p.population as u64)),
+                    ("generations", Value::UInt(p.generations as u64)),
+                    ("start_gen", Value::UInt(start_generation as u64)),
+                    ("threads", Value::UInt(p.threads as u64)),
+                    ("resumed", Value::Bool(self.resume.is_some())),
+                ],
+            );
+        }
+
+        let mut final_front: Vec<ParetoPoint> = Vec::new();
+        let mut best_genome = 0usize;
+        let mut objs: Vec<[u64; NUM_OBJECTIVES]> = Vec::new();
+
+        for generation in start_generation..p.generations {
+            let gen_span = self.tracer.begin();
+            let evals_before = state.evaluations;
+            let hits_before = state.cache_hits;
+
+            // Evaluate everyone (fresh offspring pay, survivors hit the
+            // memo), then truncate back to the configured population size.
+            let raw_objs = self.evaluate_population(&mut state, &pop, &all_cases, generation);
+            let (selected_pop, selected_objs, ranks, crowding) =
+                self.environmental_selection(pop, raw_objs, p.population);
+            pop = selected_pop;
+            objs = selected_objs;
+
+            best_genome = argmin_cycles(&objs);
+            let mean_cycles = mean_cycles(&objs);
+            log.push(GenLog {
+                generation,
+                best_fitness: objs[best_genome][0] as f64,
+                mean_fitness: mean_cycles,
+                best_size: pop[best_genome].expr.size(),
+                subset: all_cases.clone(),
+            });
+
+            final_front = self.front_points(&pop, &objs);
+            if self.tracer.enabled() {
+                let gl = log.last().expect("just pushed");
+                self.tracer.emit(
+                    "generation",
+                    [
+                        ("gen", Value::UInt(generation as u64)),
+                        (
+                            "subset",
+                            Value::Arr(all_cases.iter().map(|&c| Value::UInt(c as u64)).collect()),
+                        ),
+                        ("evals", Value::UInt(state.evaluations - evals_before)),
+                        ("cache_hits", Value::UInt(state.cache_hits - hits_before)),
+                        ("best_fitness", Value::Num(gl.best_fitness)),
+                        ("mean_fitness", Value::Num(gl.mean_fitness)),
+                        ("best_size", Value::UInt(gl.best_size as u64)),
+                        ("dur_ns", Value::UInt(gen_span.dur_ns())),
+                    ],
+                );
+                self.emit_front(generation, &final_front);
+            }
+
+            if generation + 1 == p.generations {
+                break;
+            }
+
+            // Breed: crowded-tournament parents, joint crossover, then
+            // independent expression/plan mutation. Offspring are appended
+            // unevaluated; the next iteration's evaluation + truncation is
+            // the (μ+λ) environmental selection.
+            let k = ((p.replace_frac * p.population as f64).round() as usize)
+                .clamp(1, p.population.saturating_sub(1));
+            let mut offspring = Vec::with_capacity(k);
+            for _ in 0..k {
+                let a = self.crowded_tournament(&mut rng, &ranks, &crowding);
+                let b = self.crowded_tournament(&mut rng, &ranks, &crowding);
+                let mut expr = crossover(&mut rng, &pop[a].expr, &pop[b].expr, p.max_depth);
+                let mut plan =
+                    self.plan_space
+                        .crossover_plans(&mut rng, &pop[a].plan, &pop[b].plan);
+                if rng.random_bool(p.mutation_rate) {
+                    expr = mutate(&mut rng, &expr, self.features, p.max_depth);
+                }
+                if rng.random_bool(p.mutation_rate) {
+                    plan = self.plan_space.mutate_plan(&mut rng, &plan);
+                }
+                offspring.push(PlanGenome { plan, expr });
+            }
+            pop.extend(offspring);
+
+            // Snapshot at the generation boundary: the μ+λ population and
+            // the RNG state it was bred with.
+            if let Some(path) = &self.checkpoint_path {
+                let ck_span = self.tracer.begin();
+                self.save_checkpoint(path, &fp, generation + 1, &rng, &pop, &log, &state)?;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        "checkpoint",
+                        [
+                            ("gen", Value::UInt((generation + 1) as u64)),
+                            ("dur_ns", Value::UInt(ck_span.dur_ns())),
+                        ],
+                    );
+                }
+            }
+        }
+
+        let best = pop
+            .get(best_genome)
+            .cloned()
+            .unwrap_or_else(|| pop[0].clone());
+        let best_fitness = objs.get(best_genome).map_or(f64::NAN, |o| o[0] as f64);
+        let result = EvolutionResult {
+            best: best.expr.clone(),
+            best_fitness,
+            log,
+            evaluations: state.evaluations,
+            successes: state.successes,
+            failures: state.failures,
+            quarantined: state.ledger,
+            cache_hits: state.cache_hits,
+            warm_hits: state.warm_hits,
+            front: final_front,
+        };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                "evolution-end",
+                [
+                    ("evaluations", Value::UInt(result.evaluations)),
+                    ("successes", Value::UInt(result.successes)),
+                    ("failures", Value::UInt(result.failures)),
+                    ("quarantined", Value::UInt(result.quarantined.len() as u64)),
+                    ("best_fitness", Value::Num(result.best_fitness)),
+                    ("best", Value::str(best.key().as_str())),
+                    ("dur_ns", Value::UInt(run_span.dur_ns())),
+                ],
+            );
+            self.tracer.flush();
+        }
+        Ok(result)
+    }
+
+    /// Evaluate every genome on every case, answering from the memo (and
+    /// warm store) where possible; returns per-genome summed objective
+    /// vectors, with [`PENALTY_OBJECTIVES`] for genomes that failed a case.
+    ///
+    /// Determinism: the work list of unique uncached `(key, case)` pairs is
+    /// assembled serially in population order; workers race only over an
+    /// atomic index into disjoint result slots; all accounting happens
+    /// serially afterwards, again in work-list order.
+    fn evaluate_population(
+        &self,
+        state: &mut EvalState,
+        pop: &[PlanGenome],
+        cases: &[usize],
+        generation: usize,
+    ) -> Vec<[u64; NUM_OBJECTIVES]> {
+        let keys: Vec<String> = pop.iter().map(PlanGenome::key).collect();
+
+        // Serial pass 1: memo/warm-store lookups, then the deduplicated
+        // work list of pairs that genuinely need a compile-and-simulate.
+        let mut work: Vec<(usize, usize)> = Vec::new(); // (pop index, case)
+        let mut queued: HashSet<(&str, usize)> = HashSet::new();
+        for (g, key) in keys.iter().enumerate() {
+            for &case in cases {
+                if let Some(slots) = state.memo.get(key.as_str()) {
+                    if slots.get(case).is_some_and(Option::is_some) {
+                        state.cache_hits += 1;
+                        continue;
+                    }
+                }
+                if !queued.insert((key.as_str(), case)) {
+                    // Duplicate genome in this population: the first
+                    // occurrence evaluates, later ones count as hits.
+                    state.cache_hits += 1;
+                    continue;
+                }
+                if let Some(objectives) = state.warm_lookup(key, case) {
+                    state.record(key, case, CaseOutcome::Objectives(objectives), true);
+                    continue;
+                }
+                work.push((g, case));
+            }
+        }
+
+        // Parallel pass: each unique pair evaluated exactly once, into its
+        // own slot.
+        type Slot = Mutex<Option<Result<[u64; NUM_OBJECTIVES], EvalError>>>;
+        let results: Vec<Slot> = work.iter().map(|_| Mutex::new(None)).collect();
+        let threads = self.params.threads.max(1).min(work.len().max(1));
+        let next = AtomicUsize::new(0);
+        let eval_item = |i: usize| {
+            let (g, case) = work[i];
+            let r = self.eval_with_retries(&keys[g], &pop[g], case, generation);
+            *results[i].lock().unwrap() = Some(r);
+        };
+        if threads <= 1 {
+            for i in 0..work.len() {
+                eval_item(i);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= work.len() {
+                            break;
+                        }
+                        eval_item(i);
+                    });
+                }
+            });
+        }
+
+        // Serial pass 2: fold results into the memo, counters, ledger, and
+        // persistent store, in work-list order.
+        for (i, (g, case)) in work.iter().enumerate() {
+            let r = results[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every work slot is filled");
+            match r {
+                Ok(objectives) => {
+                    state.record(&keys[*g], *case, CaseOutcome::Objectives(objectives), false);
+                }
+                Err(error) => {
+                    state.record_failure(&keys[*g], *case, error);
+                }
+            }
+        }
+
+        // Sum per-case vectors per genome (saturating); any failed case
+        // poisons the genome to the penalty vector.
+        pop.iter()
+            .enumerate()
+            .map(|(g, _)| {
+                let slots = state
+                    .memo
+                    .get(keys[g].as_str())
+                    .expect("all genomes evaluated");
+                let mut sum = [0u64; NUM_OBJECTIVES];
+                for &case in cases {
+                    match slots.get(case).and_then(Option::as_ref) {
+                        Some(CaseOutcome::Objectives(o)) => {
+                            for k in 0..NUM_OBJECTIVES {
+                                sum[k] = sum[k].saturating_add(o[k]);
+                            }
+                        }
+                        Some(CaseOutcome::Failed) | None => return PENALTY_OBJECTIVES,
+                    }
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// One evaluation with the transient-retry policy: only `Timeout`
+    /// failures retry, up to `params.retries` extra attempts, with a
+    /// deterministic traced backoff.
+    fn eval_with_retries(
+        &self,
+        key: &str,
+        genome: &PlanGenome,
+        case: usize,
+        generation: usize,
+    ) -> Result<[u64; NUM_OBJECTIVES], EvalError> {
+        let mut attempt = 0u32;
+        loop {
+            let span = self.tracer.begin();
+            let r = self
+                .evaluator
+                .eval_objectives(&genome.plan, &genome.expr, case, attempt);
+            match &r {
+                Err(e) if e.kind == EvalErrorKind::Timeout && attempt < self.params.retries => {
+                    let backoff = crate::engine::backoff_ns(key, case, attempt);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            "retry",
+                            [
+                                ("gen", Value::UInt(generation as u64)),
+                                ("genome", Value::str(key)),
+                                ("case", Value::UInt(case as u64)),
+                                ("attempt", Value::UInt(u64::from(attempt) + 1)),
+                                ("kind", Value::str(e.kind.label())),
+                                ("backoff_ns", Value::UInt(backoff)),
+                            ],
+                        );
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.tracer.enabled() {
+                let outcome = match &r {
+                    Ok(_) => "score",
+                    Err(e) => e.kind.label(),
+                };
+                let mut attrs = vec![
+                    ("gen", Value::UInt(generation as u64)),
+                    ("genome", Value::str(key)),
+                    ("case", Value::UInt(case as u64)),
+                    ("outcome", Value::str(outcome)),
+                    ("dur_ns", Value::UInt(span.dur_ns())),
+                ];
+                if let Ok(o) = &r {
+                    attrs.push(("score", Value::Num(o[0] as f64)));
+                    attrs.push((
+                        "objectives",
+                        Value::Arr(o.iter().map(|&x| Value::UInt(x)).collect()),
+                    ));
+                }
+                self.tracer.emit("eval", attrs);
+            }
+            return r;
+        }
+    }
+
+    /// (μ+λ) environmental selection: non-dominated sort the combined
+    /// population, keep whole fronts while they fit, truncate the boundary
+    /// front by crowding distance (descending, ties by index). Returns the
+    /// survivors (in original relative order) with their objective vectors,
+    /// ranks, and crowding distances.
+    #[allow(clippy::type_complexity)]
+    fn environmental_selection(
+        &self,
+        pop: Vec<PlanGenome>,
+        objs: Vec<[u64; NUM_OBJECTIVES]>,
+        target: usize,
+    ) -> (
+        Vec<PlanGenome>,
+        Vec<[u64; NUM_OBJECTIVES]>,
+        Vec<usize>,
+        Vec<f64>,
+    ) {
+        let fronts = non_dominated_sort(&objs, &self.objectives);
+        let mut selected: Vec<usize> = Vec::with_capacity(target);
+        for front in &fronts {
+            if selected.len() >= target {
+                break;
+            }
+            let room = target - selected.len();
+            if front.len() <= room {
+                selected.extend_from_slice(front);
+            } else {
+                let crowd = crowding_distance(front, &objs, &self.objectives);
+                let mut order: Vec<usize> = (0..front.len()).collect();
+                order.sort_by(|&x, &y| {
+                    crowd[y]
+                        .partial_cmp(&crowd[x])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(front[x].cmp(&front[y]))
+                });
+                selected.extend(order[..room].iter().map(|&x| front[x]));
+            }
+        }
+        selected.sort_unstable();
+
+        let keep: HashSet<usize> = selected.iter().copied().collect();
+        let mut new_pop = Vec::with_capacity(target);
+        let mut new_objs = Vec::with_capacity(target);
+        for (i, (g, o)) in pop.into_iter().zip(objs).enumerate() {
+            if keep.contains(&i) {
+                new_pop.push(g);
+                new_objs.push(o);
+            }
+        }
+
+        // Re-rank the survivors for tournament selection.
+        let fronts = non_dominated_sort(&new_objs, &self.objectives);
+        let mut ranks = vec![0usize; new_pop.len()];
+        let mut crowding = vec![0.0f64; new_pop.len()];
+        for (r, front) in fronts.iter().enumerate() {
+            let crowd = crowding_distance(front, &new_objs, &self.objectives);
+            for (pos, &i) in front.iter().enumerate() {
+                ranks[i] = r;
+                crowding[i] = crowd[pos];
+            }
+        }
+        (new_pop, new_objs, ranks, crowding)
+    }
+
+    /// Crowded tournament: draw `params.tournament` contenders (with
+    /// replacement); the winner has the lowest rank, then the highest
+    /// crowding distance, then the lowest index.
+    fn crowded_tournament(&self, rng: &mut StdRng, ranks: &[usize], crowding: &[f64]) -> usize {
+        let mut best = rng.random_range(0..ranks.len());
+        for _ in 1..self.params.tournament.max(1) {
+            let c = rng.random_range(0..ranks.len());
+            let better = match ranks[c].cmp(&ranks[best]) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    crowding[c] > crowding[best] || (crowding[c] == crowding[best] && c < best)
+                }
+            };
+            if better {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// The rank-0 front of the current population as reportable points:
+    /// penalized genomes excluded, deduplicated by genome key, sorted by
+    /// objective vector then key for a canonical order.
+    fn front_points(&self, pop: &[PlanGenome], objs: &[[u64; NUM_OBJECTIVES]]) -> Vec<ParetoPoint> {
+        let fronts = non_dominated_sort(objs, &self.objectives);
+        let mut points: Vec<ParetoPoint> = Vec::new();
+        let mut seen = HashSet::new();
+        for &i in fronts.first().map_or(&[][..], |f| &f[..]) {
+            if objs[i] == PENALTY_OBJECTIVES {
+                continue;
+            }
+            let key = pop[i].key();
+            if seen.insert(key) {
+                points.push(ParetoPoint {
+                    plan: pop[i].plan.clone(),
+                    expr: pop[i].expr.key(),
+                    objectives: objs[i],
+                });
+            }
+        }
+        points.sort_by(|a, b| {
+            a.objectives
+                .cmp(&b.objectives)
+                .then_with(|| a.plan.cmp(&b.plan))
+                .then_with(|| a.expr.cmp(&b.expr))
+        });
+        points
+    }
+
+    /// Emit the `pareto-front` trace event for one generation.
+    fn emit_front(&self, generation: usize, points: &[ParetoPoint]) {
+        let vectors: Vec<[u64; NUM_OBJECTIVES]> = points.iter().map(|p| p.objectives).collect();
+        let hv = hypervolume_proxy(&vectors, &self.objectives);
+        let arr = points
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("plan".to_string(), Value::str(&p.plan)),
+                    ("expr".to_string(), Value::str(&p.expr)),
+                    (
+                        "objectives".to_string(),
+                        Value::Arr(p.objectives.iter().map(|&x| Value::UInt(x)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        self.tracer.emit(
+            "pareto-front",
+            [
+                ("gen", Value::UInt(generation as u64)),
+                ("size", Value::UInt(points.len() as u64)),
+                ("hypervolume", Value::UInt(hv)),
+                ("points", Value::Arr(arr)),
+            ],
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        path: &Path,
+        fp: &str,
+        next_generation: usize,
+        rng: &StdRng,
+        pop: &[PlanGenome],
+        log: &[GenLog],
+        state: &EvalState,
+    ) -> Result<(), CheckpointError> {
+        let ck = Checkpoint {
+            fingerprint: fp.to_string(),
+            next_generation,
+            rng_state: rng.state(),
+            population: pop.iter().map(|g| g.expr.key()).collect(),
+            plans: Some(pop.iter().map(|g| g.plan.clone()).collect()),
+            dss: None,
+            log: log.to_vec(),
+            evaluations: state.evaluations,
+            successes: state.successes,
+            failures: state.failures,
+            quarantined: state.ledger.clone(),
+            memo_entries: state.memo.len() as u64,
+        };
+        ck.save(path)
+    }
+}
+
+/// Run-lifetime evaluation state: the memo, counters, quarantine ledger,
+/// and optional persistent store. All mutation happens on the coordinating
+/// thread.
+struct EvalState {
+    /// `plan|expr` key → per-case outcomes (index = case).
+    memo: HashMap<String, Vec<Option<CaseOutcome>>>,
+    ledger: Vec<QuarantineRecord>,
+    seen: HashSet<(String, usize)>,
+    evaluations: u64,
+    successes: u64,
+    failures: u64,
+    cache_hits: u64,
+    warm_hits: u64,
+    store: Option<FitnessStore>,
+}
+
+impl EvalState {
+    /// Answer a pair from the warm persistent store, if every objective of
+    /// the case is present.
+    fn warm_lookup(&mut self, key: &str, case: usize) -> Option<[u64; NUM_OBJECTIVES]> {
+        let store = self.store.as_ref()?;
+        let mut objectives = [0u64; NUM_OBJECTIVES];
+        for (k, slot) in objectives.iter_mut().enumerate() {
+            let v = store.lookup(key, case * NUM_OBJECTIVES + k)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return None;
+            }
+            *slot = v as u64;
+        }
+        Some(objectives)
+    }
+
+    /// Record a successful evaluation (or warm hit) for `(key, case)`.
+    fn record(&mut self, key: &str, case: usize, outcome: CaseOutcome, warm: bool) {
+        self.evaluations += 1;
+        self.successes += 1;
+        if warm {
+            self.warm_hits += 1;
+        } else if let (Some(store), CaseOutcome::Objectives(o)) = (&mut self.store, &outcome) {
+            for (k, &v) in o.iter().enumerate() {
+                store.append(key, case * NUM_OBJECTIVES + k, v as f64);
+            }
+        }
+        self.insert(key, case, outcome);
+    }
+
+    /// Record a failed evaluation: counters, deduplicated ledger, memo.
+    fn record_failure(&mut self, key: &str, case: usize, error: EvalError) {
+        self.evaluations += 1;
+        self.failures += 1;
+        if self.seen.insert((key.to_string(), case)) {
+            self.ledger.push(QuarantineRecord {
+                genome: key.to_string(),
+                case,
+                error,
+            });
+        }
+        self.insert(key, case, CaseOutcome::Failed);
+    }
+
+    fn insert(&mut self, key: &str, case: usize, outcome: CaseOutcome) {
+        let slots = self.memo.entry(key.to_string()).or_default();
+        if slots.len() <= case {
+            slots.resize(case + 1, None);
+        }
+        slots[case] = Some(outcome);
+    }
+}
+
+/// Index of the genome with the fewest summed cycles (objective 0), ties
+/// to the lowest index; 0 on an empty slice.
+fn argmin_cycles(objs: &[[u64; NUM_OBJECTIVES]]) -> usize {
+    let mut best = 0;
+    for (i, o) in objs.iter().enumerate() {
+        if o[0] < objs[best][0] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Mean of the cycles objective over clean (non-penalized) genomes; NaN
+/// when every genome is penalized.
+fn mean_cycles(objs: &[[u64; NUM_OBJECTIVES]]) -> f64 {
+    let clean: Vec<u64> = objs
+        .iter()
+        .filter(|o| **o != PENALTY_OBJECTIVES)
+        .map(|o| o[0])
+        .collect();
+    if clean.is_empty() {
+        return f64::NAN;
+    }
+    clean.iter().map(|&c| c as f64).sum::<f64>() / clean.len() as f64
+}
+
+/// Sanity check used by tests and the CLI: no point on `front` may be
+/// dominated by another under `mask`.
+pub fn front_is_mutually_non_dominated(
+    front: &[ParetoPoint],
+    mask: &[bool; NUM_OBJECTIVES],
+) -> bool {
+    front.iter().all(|a| {
+        front
+            .iter()
+            .all(|b| !dominates(&b.objectives, &a.objectives, mask))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Kind;
+
+    /// Deterministic synthetic objective landscape with genuine trade-offs:
+    /// plan `pN` costs more "compile"/"size" the larger N is, but scales
+    /// cycles down; the expression hash perturbs cycles.
+    struct Landscape;
+
+    fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    impl MultiEvaluator for Landscape {
+        fn num_cases(&self) -> usize {
+            2
+        }
+        fn eval_objectives(
+            &self,
+            plan: &str,
+            expr: &Expr,
+            case: usize,
+            _attempt: u32,
+        ) -> Result<[u64; NUM_OBJECTIVES], EvalError> {
+            let n: u64 = plan.trim_start_matches('p').parse().unwrap_or(0);
+            let h = fnv(&expr.key()) % 64;
+            let cycles = 1_000 / (n + 1) + h + case as u64;
+            let size = 100 + 40 * n;
+            let compile = 10 + 25 * n;
+            Ok([cycles, size, compile])
+        }
+    }
+
+    /// Toy plan space over `p0..p3`.
+    struct Toy;
+
+    impl PlanSpace for Toy {
+        fn seed_plans(&self) -> Vec<String> {
+            vec!["p0".to_string(), "p3".to_string()]
+        }
+        fn mutate_plan(&self, rng: &mut StdRng, _plan: &str) -> String {
+            format!("p{}", rng.random_range(0u32..4))
+        }
+        fn crossover_plans(&self, rng: &mut StdRng, a: &str, b: &str) -> String {
+            if rng.random_bool(0.5) {
+                a.to_string()
+            } else {
+                b.to_string()
+            }
+        }
+        fn is_valid(&self, plan: &str) -> bool {
+            matches!(plan, "p0" | "p1" | "p2" | "p3")
+        }
+    }
+
+    fn features() -> FeatureSet {
+        let mut fs = FeatureSet::new();
+        fs.add_real("x");
+        fs.add_real("y");
+        fs
+    }
+
+    fn params(threads: usize) -> GpParams {
+        GpParams {
+            population: 12,
+            generations: 5,
+            seed: 42,
+            threads,
+            kind: Kind::Real,
+            ..GpParams::quick()
+        }
+    }
+
+    fn snapshot(r: &EvolutionResult) -> (String, Vec<String>, u64, u64, u64, u64, u64) {
+        (
+            r.best.key(),
+            r.front
+                .iter()
+                .map(|p| format!("{}|{}|{:?}", p.plan, p.expr, p.objectives))
+                .collect(),
+            r.evaluations,
+            r.successes,
+            r.failures,
+            r.cache_hits,
+            r.warm_hits,
+        )
+    }
+
+    #[test]
+    fn coevo_runs_are_deterministic_across_thread_counts() {
+        let fs = features();
+        let base = CoEvolution::new(params(1), &fs, &Landscape, &Toy).run();
+        for threads in [2, 4, 8] {
+            let r = CoEvolution::new(params(threads), &fs, &Landscape, &Toy).run();
+            assert_eq!(snapshot(&r), snapshot(&base), "threads={threads}");
+            assert_eq!(r.log, base.log, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn front_has_trade_offs_and_no_dominated_points() {
+        let fs = features();
+        let r = CoEvolution::new(params(2), &fs, &Landscape, &Toy).run();
+        assert!(
+            r.front.len() >= 2,
+            "landscape has cycles-vs-cost trade-offs, front: {:?}",
+            r.front
+        );
+        assert!(front_is_mutually_non_dominated(&r.front, &[true; 3]));
+        // The trade-off is real: at least two distinct plans survive.
+        let plans: HashSet<&str> = r.front.iter().map(|p| p.plan.as_str()).collect();
+        assert!(plans.len() >= 2, "front collapsed to one plan: {plans:?}");
+    }
+
+    #[test]
+    fn objective_mask_changes_selection() {
+        let fs = features();
+        // Cycles-only selection degenerates toward the single best plan.
+        let masked = CoEvolution::new(params(1), &fs, &Landscape, &Toy)
+            .with_objectives([true, false, false])
+            .run();
+        assert!(front_is_mutually_non_dominated(
+            &masked.front,
+            &[true, false, false]
+        ));
+        // Under a cycles-only mask the front is the set of cycle-minimal
+        // genomes: every point shares the same cycles value.
+        let cycles: HashSet<u64> = masked.front.iter().map(|p| p.objectives[0]).collect();
+        assert_eq!(cycles.len(), 1, "{:?}", masked.front);
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_run() {
+        let fs = features();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metaopt-coevo-ck-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Short run leaves a checkpoint behind.
+        let mut short = params(2);
+        short.generations = 2;
+        CoEvolution::new(short, &fs, &Landscape, &Toy)
+            .with_checkpoint_file(&path)
+            .run();
+        assert!(path.exists());
+
+        let resumed = CoEvolution::new(params(2), &fs, &Landscape, &Toy)
+            .resume_from(Checkpoint::load(&path).unwrap())
+            .run();
+        let straight = CoEvolution::new(params(2), &fs, &Landscape, &Toy).run();
+        assert_eq!(resumed.best.key(), straight.best.key());
+        assert_eq!(resumed.front, straight.front);
+        assert_eq!(resumed.log, straight.log);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scalar_checkpoints_are_refused() {
+        let fs = features();
+        // A checkpoint without a plans section cannot resume a co-evolved
+        // run even if someone forges a matching fingerprint; the mismatch
+        // fires first because the config tags differ.
+        let p = params(1);
+        let ck = Checkpoint {
+            fingerprint: fingerprint(&p, "plain-scalar-tag"),
+            next_generation: 1,
+            rng_state: [1, 2, 3, 4],
+            population: vec!["(add x y)".to_string(); 12],
+            plans: None,
+            dss: None,
+            log: Vec::new(),
+            evaluations: 0,
+            successes: 0,
+            failures: 0,
+            quarantined: Vec::new(),
+            memo_entries: 0,
+        };
+        let err = CoEvolution::new(p, &fs, &Landscape, &Toy)
+            .resume_from(ck)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn warm_cache_run_reproduces_the_cold_run() {
+        let fs = features();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("metaopt-coevo-store-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cold = CoEvolution::new(params(2), &fs, &Landscape, &Toy)
+            .with_eval_cache(&path)
+            .run();
+        assert_eq!(cold.warm_hits, 0);
+        let warm = CoEvolution::new(params(2), &fs, &Landscape, &Toy)
+            .with_eval_cache(&path)
+            .run();
+        assert!(warm.warm_hits > 0, "second run must hit the store");
+        assert_eq!(warm.best.key(), cold.best.key());
+        assert_eq!(warm.front, cold.front);
+        assert_eq!(warm.log, cold.log);
+        assert_eq!(warm.evaluations, cold.evaluations);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Transient timeouts clear on retry and stay deterministic across
+    /// thread counts.
+    struct Flaky;
+
+    impl MultiEvaluator for Flaky {
+        fn num_cases(&self) -> usize {
+            2
+        }
+        fn eval_objectives(
+            &self,
+            plan: &str,
+            expr: &Expr,
+            case: usize,
+            attempt: u32,
+        ) -> Result<[u64; NUM_OBJECTIVES], EvalError> {
+            let h = fnv(&format!("{plan}|{}|{case}", expr.key()));
+            if h % 5 == 0 && attempt == 0 {
+                return Err(EvalError::new(EvalErrorKind::Timeout, "injected stall"));
+            }
+            if h % 11 == 0 {
+                return Err(EvalError::new(EvalErrorKind::Sim, "injected fault"));
+            }
+            Landscape.eval_objectives(plan, expr, case, attempt)
+        }
+    }
+
+    #[test]
+    fn flaky_runs_are_deterministic_and_quarantine_hard_failures() {
+        let fs = features();
+        let base = CoEvolution::new(params(1), &fs, &Flaky, &Toy).run();
+        for threads in [2, 4] {
+            let r = CoEvolution::new(params(threads), &fs, &Flaky, &Toy).run();
+            assert_eq!(snapshot(&r), snapshot(&base), "threads={threads}");
+            assert_eq!(
+                r.quarantined.len(),
+                base.quarantined.len(),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(base.evaluations, base.successes + base.failures);
+        assert!(front_is_mutually_non_dominated(&base.front, &[true; 3]));
+    }
+
+    #[test]
+    fn mask_labels_round_trip() {
+        assert_eq!(mask_label(&[true, true, true]), "cycles,size,compile");
+        assert_eq!(parse_mask("cycles,size,compile"), Some([true, true, true]));
+        assert_eq!(parse_mask("size"), Some([false, true, false]));
+        assert_eq!(parse_mask("compile, cycles"), Some([true, false, true]));
+        assert_eq!(parse_mask(""), None);
+        assert_eq!(parse_mask("speed"), None);
+    }
+}

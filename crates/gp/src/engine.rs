@@ -182,6 +182,10 @@ pub struct EvolutionResult {
     /// populated the store, with `warm_hits` recording how much work the
     /// store saved. Zero when no store is configured.
     pub warm_hits: u64,
+    /// The Pareto front of non-dominated `(plan, expr)` genomes, populated
+    /// only by co-evolution ([`crate::coevo::CoEvolution`]); always empty
+    /// for scalar single-plan runs, which select on one fitness value.
+    pub front: Vec<crate::pareto::ParetoPoint>,
 }
 
 /// An evolution run: wraps GP around an [`Evaluator`].
@@ -237,7 +241,7 @@ type ShardMap = HashMap<String, Vec<(usize, EvalOutcome)>>;
 /// `backoff_ns` values on every host and thread schedule. The real sleep
 /// is capped well below the nominal value — the determinism contract is
 /// about the *traced* schedule, not wall time.
-fn backoff_ns(key: &str, case: usize, attempt: u32) -> u64 {
+pub(crate) fn backoff_ns(key: &str, case: usize, attempt: u32) -> u64 {
     let h = fnv1a(key)
         ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (u64::from(attempt) + 1).wrapping_mul(0xA076_1D64_78BD_642F);
@@ -1169,6 +1173,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
                     quarantined: memo.ledger_records(),
                     cache_hits: memo.hits(),
                     warm_hits: memo.warm(),
+                    front: Vec::new(),
                 };
                 if self.tracer.enabled() {
                     self.tracer.emit(
@@ -1255,6 +1260,7 @@ impl<'a, E: Evaluator> Evolution<'a, E> {
             // rounds to four decimals, which would corrupt genomes across a
             // resume.
             population: pop.iter().map(|e| e.key()).collect(),
+            plans: None,
             dss: dss.as_ref().map(|d| {
                 let (difficulty, age) = d.state();
                 DssState {

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod coevo;
 pub mod dss;
 pub mod engine;
 pub mod eval;
@@ -37,12 +38,14 @@ pub mod features;
 pub mod gen;
 pub mod lint;
 pub mod ops;
+pub mod pareto;
 pub mod parse;
 pub mod service;
 pub mod simplify;
 pub mod store;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use coevo::{CoEvolution, MultiEvaluator, PlanGenome, PlanSpace};
 pub use engine::{Evaluator, Evolution, EvolutionResult, GenLog, GpParams, PENALTY_FITNESS};
 pub use eval::{EvalError, EvalErrorKind, EvalOutcome, QuarantineRecord};
 pub use expr::{BExpr, Env, Expr, Kind, RExpr};

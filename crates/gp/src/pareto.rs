@@ -1,0 +1,219 @@
+//! Deterministic multi-objective selection primitives: Pareto dominance,
+//! non-dominated sorting, and crowding distance (NSGA-II), over integer
+//! objective vectors that are **minimized**.
+//!
+//! Determinism contract: every function here is a pure function of its
+//! inputs, all tie-breaks resolve by ascending population index, and
+//! sorting is stable — so selection depends only on the objective values
+//! and the order genomes are presented, never on thread scheduling or hash
+//! iteration order. The hypervolume proxy is computed in saturating integer
+//! arithmetic (no floating-point accumulation order to worry about).
+
+/// Number of objectives in an objective vector: simulated cycles, code size
+/// (static instructions), and the deterministic compile-cost proxy.
+pub const NUM_OBJECTIVES: usize = 3;
+
+/// Human-readable objective names, in vector order.
+pub const OBJECTIVE_NAMES: [&str; NUM_OBJECTIVES] = ["cycles", "size", "compile"];
+
+/// One point on a Pareto front: a `(plan, priority-function)` genome and
+/// its summed objective vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// The pipeline plan, in canonical textual form.
+    pub plan: String,
+    /// The priority function, as its re-parseable [`crate::Expr::key`].
+    pub expr: String,
+    /// Summed objective vector (minimized): cycles, size, compile proxy.
+    pub objectives: [u64; NUM_OBJECTIVES],
+}
+
+/// Does `a` dominate `b` under the objective `mask`? (No worse on every
+/// enabled objective, strictly better on at least one; minimization.)
+/// Objectives with `mask[k] == false` are ignored entirely.
+pub fn dominates(
+    a: &[u64; NUM_OBJECTIVES],
+    b: &[u64; NUM_OBJECTIVES],
+    mask: &[bool; NUM_OBJECTIVES],
+) -> bool {
+    let mut strictly = false;
+    for k in 0..NUM_OBJECTIVES {
+        if !mask[k] {
+            continue;
+        }
+        if a[k] > b[k] {
+            return false;
+        }
+        if a[k] < b[k] {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Fast non-dominated sort: partition `0..objs.len()` into fronts, rank 0
+/// first. Within a front, indices stay in ascending order.
+pub fn non_dominated_sort(
+    objs: &[[u64; NUM_OBJECTIVES]],
+    mask: &[bool; NUM_OBJECTIVES],
+) -> Vec<Vec<usize>> {
+    let n = objs.len();
+    // dominated_by[i]: how many points dominate i; dominating[i]: who i dominates.
+    let mut dominated_by = vec![0usize; n];
+    let mut dominating: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&objs[i], &objs[j], mask) {
+                dominating[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&objs[j], &objs[i], mask) {
+                dominating[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut fronts = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominating[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance for the members of one front. Boundary points
+/// (per-objective minimum and maximum) get `f64::INFINITY`; interior
+/// points get the normalized side-length sum of their bounding cuboid.
+/// The per-objective sort is stable by population index, so equal objective
+/// values cannot reorder under different thread counts.
+pub fn crowding_distance(
+    front: &[usize],
+    objs: &[[u64; NUM_OBJECTIVES]],
+    mask: &[bool; NUM_OBJECTIVES],
+) -> Vec<f64> {
+    let m = front.len();
+    let mut dist = vec![0.0f64; m];
+    if m <= 2 {
+        dist.fill(f64::INFINITY);
+        return dist;
+    }
+    for k in 0..NUM_OBJECTIVES {
+        if !mask[k] {
+            continue;
+        }
+        // Positions into `front`, ordered by objective k then by index.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&p| (objs[front[p]][k], front[p]));
+        let lo = objs[front[order[0]]][k];
+        let hi = objs[front[order[m - 1]]][k];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        if hi == lo {
+            continue;
+        }
+        let span = (hi - lo) as f64;
+        for w in 1..m - 1 {
+            let below = objs[front[order[w - 1]]][k];
+            let above = objs[front[order[w + 1]]][k];
+            dist[order[w]] += (above - below) as f64 / span;
+        }
+    }
+    dist
+}
+
+/// Integer hypervolume proxy of a front: with the reference point one past
+/// the front's own per-objective maximum, sum each point's dominated box
+/// volume (over enabled objectives, saturating). Overlaps are counted per
+/// point, so this is a proxy — monotone under adding a non-dominated point
+/// or improving an existing one, which is all the report digest needs.
+pub fn hypervolume_proxy(points: &[[u64; NUM_OBJECTIVES]], mask: &[bool; NUM_OBJECTIVES]) -> u64 {
+    if points.is_empty() {
+        return 0;
+    }
+    let mut reference = [0u64; NUM_OBJECTIVES];
+    for k in 0..NUM_OBJECTIVES {
+        reference[k] = points
+            .iter()
+            .map(|p| p[k])
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+    }
+    let mut total = 0u64;
+    for p in points {
+        let mut vol = 1u64;
+        for k in 0..NUM_OBJECTIVES {
+            if mask[k] {
+                vol = vol.saturating_mul(reference[k] - p[k]);
+            }
+        }
+        total = total.saturating_add(vol);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [bool; NUM_OBJECTIVES] = [true; NUM_OBJECTIVES];
+
+    #[test]
+    fn dominance_is_strict_and_masked() {
+        let a = [1, 5, 5];
+        let b = [2, 5, 5];
+        assert!(dominates(&a, &b, &ALL));
+        assert!(!dominates(&b, &a, &ALL));
+        assert!(!dominates(&a, &a, &ALL), "a point never dominates itself");
+        // Masking out the only differing objective removes the dominance.
+        assert!(!dominates(&a, &b, &[false, true, true]));
+    }
+
+    #[test]
+    fn sort_layers_fronts_and_keeps_index_order() {
+        // 0 and 1 trade off; 2 is dominated by 0; 3 is dominated by all.
+        let objs = vec![[1, 9, 1], [9, 1, 1], [2, 9, 2], [9, 9, 9]];
+        let fronts = non_dominated_sort(&objs, &ALL);
+        assert_eq!(fronts, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn equal_points_are_mutually_non_dominated() {
+        let objs = vec![[3, 3, 3], [3, 3, 3], [3, 3, 3]];
+        let fronts = non_dominated_sort(&objs, &ALL);
+        assert_eq!(fronts, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn crowding_rewards_boundary_and_isolation() {
+        let objs = vec![[0, 10, 0], [5, 5, 0], [6, 4, 0], [10, 0, 0]];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distance(&front, &objs, &ALL);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        // Interior distances are finite and ordered by isolation.
+        assert!(d[1].is_finite() && d[2].is_finite());
+        assert!(d[1] > 0.0 && d[2] > 0.0);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_front_quality() {
+        let worse = vec![[5, 5, 5], [6, 4, 5]];
+        let better = vec![[4, 5, 5], [6, 3, 5]];
+        let hv_worse = hypervolume_proxy(&worse, &ALL);
+        // Same shape, shifted toward the origin: reference point tracks the
+        // front, so per-point improvements widen at least one box.
+        let hv_better = hypervolume_proxy(&better, &ALL);
+        assert!(hv_better >= hv_worse, "{hv_better} vs {hv_worse}");
+        assert_eq!(hypervolume_proxy(&[], &ALL), 0);
+    }
+}

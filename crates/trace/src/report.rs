@@ -103,6 +103,24 @@ impl Reliability {
     }
 }
 
+/// Digest of a co-evolved run's `pareto-front` stream: the final front's
+/// shape plus the per-objective bests across its points. All figures are
+/// integers straight from the trace — nothing here can go NaN.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontDigest {
+    /// Generation of the last front event (the final front).
+    pub gen: u64,
+    /// Points on the final front.
+    pub size: u64,
+    /// Saturating hypervolume proxy of the final front.
+    pub hypervolume: u64,
+    /// Per-objective minimum across the final front's points, in the
+    /// emitter's canonical objective order (cycles, size, compile).
+    pub best: Vec<u64>,
+    /// Total `pareto-front` events seen (one per generation).
+    pub events: u64,
+}
+
 /// Aggregated view of one trace file.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
@@ -133,6 +151,9 @@ pub struct Report {
     pub eval_latency: Vec<(usize, u64)>,
     /// Service containment and persistent-cache counters.
     pub reliability: Reliability,
+    /// Final Pareto front of a co-evolved run; `None` on scalar traces
+    /// (the digest then reports `front_size` 0 with a note).
+    pub front: Option<FrontDigest>,
 }
 
 impl Report {
@@ -226,6 +247,11 @@ impl Report {
                 "simulations recorded no wall time; sim cycles/sec reported as 0".to_string(),
             );
         }
+        if self.front.is_none() {
+            notes.push(
+                "no co-evolution (pareto-front) events; front_size reported as 0".to_string(),
+            );
+        }
         notes
     }
 
@@ -256,6 +282,10 @@ impl Report {
             ),
             ("eval_p50_ms".to_string(), Value::Num(self.eval_p50_ms())),
             ("eval_p99_ms".to_string(), Value::Num(self.eval_p99_ms())),
+            (
+                "front_size".to_string(),
+                Value::UInt(self.front.as_ref().map_or(0, |f| f.size)),
+            ),
         ])
         .to_string()
     }
@@ -339,6 +369,26 @@ impl Report {
                 self.checkpoints.0,
                 self.checkpoints.1 as f64 / 1e6
             ));
+        }
+        if let Some(front) = &self.front {
+            out.push_str(&format!(
+                "pareto front: gen {}, {} point(s), hypervolume {}",
+                front.gen, front.size, front.hypervolume
+            ));
+            if !front.best.is_empty() {
+                const NAMES: [&str; 3] = ["cycles", "size", "compile"];
+                let parts: Vec<String> = front
+                    .best
+                    .iter()
+                    .enumerate()
+                    .map(|(k, b)| match NAMES.get(k) {
+                        Some(name) => format!("{name} {b}"),
+                        None => format!("obj{k} {b}"),
+                    })
+                    .collect();
+                out.push_str(&format!(", best {}", parts.join(" / ")));
+            }
+            out.push('\n');
         }
         if !self.reliability.is_quiet() {
             let r = &self.reliability;
@@ -491,6 +541,35 @@ pub fn analyze(text: &str) -> Result<Report, SchemaError> {
             "checkpoint" => {
                 report.checkpoints.0 += 1;
                 report.checkpoints.1 += u("dur_ns");
+            }
+            "pareto-front" => {
+                // Keep the last event (the final front); the running count
+                // carries over so the digest also says how many fronts the
+                // run reported.
+                let mut best: Vec<u64> = Vec::new();
+                if let Some(points) = v.get("points").and_then(Value::as_arr) {
+                    for point in points {
+                        let objectives = point
+                            .get("objectives")
+                            .and_then(Value::as_arr)
+                            .unwrap_or(&[]);
+                        for (k, o) in objectives.iter().enumerate() {
+                            let val = o.as_u64().unwrap_or(0);
+                            match best.get_mut(k) {
+                                Some(b) => *b = (*b).min(val),
+                                None => best.push(val),
+                            }
+                        }
+                    }
+                }
+                let events = report.front.as_ref().map_or(0, |f| f.events) + 1;
+                report.front = Some(FrontDigest {
+                    gen: u("gen"),
+                    size: u("size"),
+                    hypervolume: u("hypervolume"),
+                    best,
+                    events,
+                });
             }
             _ => {}
         }
@@ -776,7 +855,10 @@ mod tests {
         );
         assert_eq!(
             r.notes(),
-            vec!["no evaluations recorded; evals/sec reported as 0".to_string()]
+            vec![
+                "no evaluations recorded; evals/sec reported as 0".to_string(),
+                "no co-evolution (pareto-front) events; front_size reported as 0".to_string(),
+            ]
         );
         assert!(r.render().contains("note: no evaluations recorded"));
 
@@ -809,12 +891,83 @@ mod tests {
         assert_eq!(r.sim_cycles_per_sec(), 0.0);
         assert!(r.evals_per_sec().is_finite() && r.sim_cycles_per_sec().is_finite());
         let notes = r.notes();
-        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert_eq!(notes.len(), 3, "{notes:?}");
         assert!(notes[0].contains("no generation wall time"), "{notes:?}");
         assert!(
             notes[1].contains("simulations recorded no wall time"),
             "{notes:?}"
         );
+        assert!(notes[2].contains("pareto-front"), "{notes:?}");
         assert!(!r.bench_json().contains("null"));
+    }
+
+    fn front_event(t: &Tracer, gen: u64, vectors: &[[u64; 3]]) {
+        let points = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                Value::Obj(vec![
+                    ("plan".to_string(), Value::str(format!("p{i}"))),
+                    ("expr".to_string(), Value::str("(rconst 1.0)")),
+                    (
+                        "objectives".to_string(),
+                        Value::Arr(o.iter().map(|&x| Value::UInt(x)).collect()),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        t.emit(
+            "pareto-front",
+            [
+                ("gen", Value::UInt(gen)),
+                ("size", Value::UInt(vectors.len() as u64)),
+                ("hypervolume", Value::UInt(1000 + gen)),
+                ("points", Value::Arr(points)),
+            ],
+        );
+    }
+
+    #[test]
+    fn pareto_front_digest_tracks_the_final_front() {
+        let t = Tracer::in_memory();
+        front_event(&t, 0, &[[900, 170, 500]]);
+        front_event(&t, 1, &[[901, 168, 504], [950, 180, 360]]);
+        let r = analyze(&t.lines().unwrap().join("\n")).unwrap();
+        let front = r.front.as_ref().expect("front digested");
+        assert_eq!(
+            (front.gen, front.size, front.hypervolume, front.events),
+            (1, 2, 1001, 2)
+        );
+        // Per-objective best across the FINAL front only.
+        assert_eq!(front.best, vec![901, 168, 360]);
+        let v = crate::json::parse(&r.bench_json()).unwrap();
+        assert_eq!(v.get("front_size").and_then(Value::as_u64), Some(2));
+        let text = r.render();
+        assert!(
+            text.contains("pareto front: gen 1, 2 point(s), hypervolume 1001"),
+            "{text}"
+        );
+        assert!(
+            text.contains("best cycles 901 / size 168 / compile 360"),
+            "{text}"
+        );
+        // A co-evolved trace earns no "no co-evolution" note.
+        assert!(r.notes().iter().all(|n| !n.contains("pareto-front")));
+    }
+
+    #[test]
+    fn scalar_traces_report_front_size_zero_with_a_note() {
+        let r = analyze(&synthetic_trace()).unwrap();
+        assert!(r.front.is_none());
+        let digest = r.bench_json();
+        assert!(!digest.contains("null"), "{digest}");
+        let v = crate::json::parse(&digest).unwrap();
+        assert_eq!(v.get("front_size").and_then(Value::as_u64), Some(0));
+        assert!(
+            r.notes().iter().any(|n| n.contains("pareto-front")),
+            "{:?}",
+            r.notes()
+        );
+        assert!(!r.render().contains("pareto front: gen"));
     }
 }

@@ -168,6 +168,20 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
             ("dropped_bytes", FieldKind::UInt),
         ],
     ),
+    // Co-evolution (additive within v1): one Pareto-front snapshot per
+    // generation. `points` holds the non-dominated `(plan, expr)` genomes
+    // with their integer objective vectors (cycles, code size, compile-cost
+    // proxy — minimized); `hypervolume` is the front's saturating integer
+    // hypervolume proxy, so the digest never needs floating point.
+    (
+        "pareto-front",
+        &[
+            ("gen", FieldKind::UInt),
+            ("size", FieldKind::UInt),
+            ("hypervolume", FieldKind::UInt),
+            ("points", FieldKind::Arr),
+        ],
+    ),
     // Live metrics (additive within v1): one registry dump per generation.
     // `seq` is a monotonic snapshot sequence number (not wall time);
     // `counters` holds the deterministic engine counters; the optional
@@ -283,6 +297,33 @@ pub fn validate_line(lineno: usize, line: &str) -> Result<String, SchemaError> {
             return Err(err(
                 "generation subset entries must be case indices".to_string()
             ));
+        }
+    }
+    // Pareto-front snapshots: `size` counts the points, and every point is
+    // an object carrying the genome (plan + expr strings) and an unsigned
+    // objective vector.
+    if ty == "pareto-front" {
+        let size = v.get("size").and_then(Value::as_u64).unwrap_or(0);
+        let points = v.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+        if points.len() as u64 != size {
+            return Err(err(format!(
+                "pareto-front size {size} disagrees with {} points",
+                points.len()
+            )));
+        }
+        for p in points {
+            let well_formed = p.get("plan").and_then(Value::as_str).is_some()
+                && p.get("expr").and_then(Value::as_str).is_some()
+                && p.get("objectives")
+                    .and_then(Value::as_arr)
+                    .is_some_and(|os| !os.is_empty() && os.iter().all(|o| o.as_u64().is_some()));
+            if !well_formed {
+                return Err(err(
+                    "pareto-front points must carry \"plan\", \"expr\", and an \
+                     unsigned \"objectives\" vector"
+                        .to_string(),
+                ));
+            }
         }
     }
     // Metrics snapshots: the deterministic `counters` object holds unsigned
@@ -478,6 +519,46 @@ mod tests {
     fn empty_and_garbage_traces_are_rejected() {
         assert!(validate_trace("").is_err());
         assert!(validate_trace("not json").is_err());
+    }
+
+    fn front_line(size: u64, points: &str) -> String {
+        let header = smoke_trace().lines().next().unwrap().to_string();
+        format!(
+            "{header}\n{{\"type\":\"pareto-front\",\"ts\":3,\"gen\":1,\"size\":{size},\
+             \"hypervolume\":1200,\"points\":[{points}]}}"
+        )
+    }
+
+    #[test]
+    fn pareto_front_events_validate() {
+        let point = "{\"plan\":\"regalloc,schedule\",\"expr\":\"(mul 2.0 x)\",\
+                     \"objectives\":[120,34,68]}";
+        validate_trace(&front_line(1, point)).unwrap();
+        // An empty front is legal (size 0, no points).
+        validate_trace(&front_line(0, "")).unwrap();
+    }
+
+    #[test]
+    fn malformed_pareto_fronts_are_rejected() {
+        // Size must agree with the point count.
+        let point = "{\"plan\":\"p\",\"expr\":\"e\",\"objectives\":[1]}";
+        assert!(validate_trace(&front_line(2, point))
+            .unwrap_err()
+            .message
+            .contains("disagrees"));
+        // Points must carry plan, expr, and unsigned objectives.
+        let no_plan = "{\"expr\":\"e\",\"objectives\":[1]}";
+        assert!(validate_trace(&front_line(1, no_plan))
+            .unwrap_err()
+            .message
+            .contains("plan"));
+        let bad_obj = "{\"plan\":\"p\",\"expr\":\"e\",\"objectives\":[-4]}";
+        assert!(validate_trace(&front_line(1, bad_obj))
+            .unwrap_err()
+            .message
+            .contains("objectives"));
+        let empty_obj = "{\"plan\":\"p\",\"expr\":\"e\",\"objectives\":[]}";
+        assert!(validate_trace(&front_line(1, empty_obj)).is_err());
     }
 
     fn snapshot_line(counters: &str, runtime: &str) -> String {
