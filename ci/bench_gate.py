@@ -22,15 +22,26 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         fresh = json.load(f)
     failed = False
-    # warm_evals_per_sec only means something when the run used a persistent
-    # fitness cache and it was warm; the cold smoke digest carries 0. Gate it
-    # only when both sides actually measured it (older digests lack the key).
-    keys = ["evals_per_sec", "sim_cycles_per_sec"]
-    if base.get("warm_evals_per_sec", 0) > 0 and fresh.get("warm_evals_per_sec", 0) > 0:
-        keys.append("warm_evals_per_sec")
-    for key in keys:
-        b, got = base[key], fresh[key]
-        ratio = got / b if b else float("inf")
+    # A baseline of 0 (or a missing key) is ungateable: there is no floor to
+    # regress from, so dividing by it would be meaningless. Skip such keys
+    # with a note instead of failing or printing an infinite ratio — e.g.
+    # the committed digest carries `warm_evals_per_sec: 0` whenever the
+    # smoke run was cold.
+    for key in ["evals_per_sec", "sim_cycles_per_sec", "warm_evals_per_sec"]:
+        b, got = base.get(key), fresh.get(key)
+        if b is None or got is None:
+            side = "baseline" if b is None else "fresh"
+            print(f"{key}: SKIP ({side} digest lacks the key)")
+            continue
+        if b <= 0:
+            print(f"{key}: SKIP (baseline {b} is ungateable; fresh measured {got:.1f})")
+            continue
+        if key == "warm_evals_per_sec" and got <= 0:
+            # 0 means "the fresh run never hit a warm cache", not "the warm
+            # path got infinitely slower".
+            print(f"{key}: SKIP (fresh run measured no warm evaluations)")
+            continue
+        ratio = got / b
         print(f"{key}: baseline {b:.1f}, fresh {got:.1f} ({ratio:.2f}x)")
         if got * 2 < b:
             print(f"FAIL: {key} regressed more than 2x against BENCH_evals.json")
@@ -41,11 +52,15 @@ def main() -> int:
     # plus the same 2x runner-noise allowance as the throughput keys.
     for key in ["eval_p50_ms", "eval_p99_ms"]:
         if key not in base or key not in fresh:
-            continue  # older digests lack the latency keys
+            print(f"{key}: SKIP (older digest lacks the latency key)")
+            continue
         b, got = base[key], fresh[key]
-        ratio = got / b if b else float("inf")
+        if b <= 0:
+            print(f"{key}: SKIP (baseline {b} is ungateable; fresh measured {got:.3f}ms)")
+            continue
+        ratio = got / b
         print(f"{key}: baseline {b:.3f}ms, fresh {got:.3f}ms ({ratio:.2f}x)")
-        if b > 0 and got > b * 4:
+        if got > b * 4:
             print(f"FAIL: {key} regressed more than 4x against BENCH_evals.json")
             failed = True
     print(

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_gate.py, invoked from CI as `python3 ci/test_bench_gate.py`.
+
+The gate runs as a subprocess against temp digest files, exactly as CI
+invokes it, so the exit-code contract is what's under test.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_gate.py")
+
+
+def digest(**kv):
+    base = {
+        "evals_per_sec": 100.0,
+        "sim_cycles_per_sec": 5e7,
+        "warm_evals_per_sec": 0,
+        "eval_p50_ms": 30.0,
+        "eval_p99_ms": 40.0,
+        "cache_hit_rate": 0.5,
+    }
+    base.update(kv)
+    return base
+
+
+def run_gate(base, fresh):
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        fp = os.path.join(d, "fresh.json")
+        with open(bp, "w") as f:
+            json.dump(base, f)
+        with open(fp, "w") as f:
+            json.dump(fresh, f)
+        proc = subprocess.run(
+            [sys.executable, GATE, bp, fp], capture_output=True, text=True
+        )
+    return proc.returncode, proc.stdout
+
+
+class BenchGate(unittest.TestCase):
+    def test_improvement_passes(self):
+        # The tiered-backend shape: throughput up, latency down. Faster
+        # must never trip the gate's inversion (latency) checks.
+        code, out = run_gate(
+            digest(),
+            digest(evals_per_sec=220.0, sim_cycles_per_sec=1.2e8, eval_p50_ms=15.0),
+        )
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("FAIL", out)
+
+    def test_zero_warm_baseline_skips_with_note(self):
+        # The committed digest carries warm_evals_per_sec: 0 for cold smoke
+        # runs; a 0 baseline is ungateable, not an infinite improvement.
+        code, out = run_gate(digest(warm_evals_per_sec=0), digest(warm_evals_per_sec=50.0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("warm_evals_per_sec: SKIP", out)
+        self.assertIn("ungateable", out)
+
+    def test_zero_throughput_baseline_skips_with_note(self):
+        code, out = run_gate(digest(sim_cycles_per_sec=0), digest())
+        self.assertEqual(code, 0, out)
+        self.assertIn("sim_cycles_per_sec: SKIP", out)
+
+    def test_cold_fresh_run_does_not_fail_warm_gate(self):
+        # A warm baseline with a cold fresh run means "unmeasured", not a
+        # regression.
+        code, out = run_gate(digest(warm_evals_per_sec=80.0), digest(warm_evals_per_sec=0))
+        self.assertEqual(code, 0, out)
+        self.assertIn("no warm evaluations", out)
+
+    def test_throughput_regression_fails(self):
+        code, out = run_gate(digest(), digest(evals_per_sec=40.0))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL: evals_per_sec", out)
+
+    def test_latency_regression_fails(self):
+        code, out = run_gate(digest(), digest(eval_p99_ms=200.0))
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL: eval_p99_ms", out)
+
+    def test_missing_keys_skip(self):
+        base = digest()
+        del base["eval_p50_ms"]
+        del base["eval_p99_ms"]
+        del base["warm_evals_per_sec"]
+        code, out = run_gate(base, digest())
+        self.assertEqual(code, 0, out)
+        self.assertIn("eval_p50_ms: SKIP", out)
+        self.assertIn("warm_evals_per_sec: SKIP", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -29,6 +29,12 @@
 //! `--json`, a machine-readable cycles/size/compile-wall report); `compile`
 //! prints per-pass wall time and counter deltas.
 //!
+//! Simulator tiers: `--sim-tier fast|reference` picks the execution
+//! backend every evaluation simulates on — the pre-decoded bytecode tier
+//! (the default) or the reference cycle-level interpreter. Both produce
+//! bit-identical results by contract, so the flag only changes throughput;
+//! caches and checkpoints written under one tier are valid under the other.
+//!
 //! Co-evolution: `specialize <study> <bench> --co-evolve` evolves joint
 //! `(pipeline plan, priority function)` genomes under multi-objective
 //! NSGA-II selection over (cycles, code size, compile cost) and prints the
@@ -92,7 +98,7 @@ fn usage() -> ExitCode {
          studies: hyperblock | regalloc | prefetch\n\
          options: --pop N --gens N --seed N --threads N --check-ir\n\
                   --validate off|fast|full --json\n\
-                  --passes <plan> --unroll <N>\n\
+                  --passes <plan> --unroll <N> --sim-tier fast|reference\n\
                   --co-evolve (specialize: evolve (plan, expr) genomes, NSGA-II)\n\
                   --objectives cycles,size,compile (co-evolve selection mask)\n\
                   --checkpoint <path> --resume <path> --trace-out <path>\n\
@@ -140,6 +146,7 @@ struct Options {
     control: RunControl,
     passes: Option<metaopt_compiler::PipelinePlan>,
     unroll: Option<u32>,
+    sim_tier: metaopt_sim::SimTier,
     co_evolve: bool,
     objectives: [bool; metaopt_gp::pareto::NUM_OBJECTIVES],
     trace_out: Option<std::path::PathBuf>,
@@ -157,6 +164,7 @@ fn parse_args() -> Option<Options> {
     let mut control = RunControl::default();
     let mut passes = None;
     let mut unroll = None;
+    let mut sim_tier = metaopt_sim::SimTier::default();
     let mut co_evolve = false;
     let mut objectives = [true; metaopt_gp::pareto::NUM_OBJECTIVES];
     let mut trace_out = None;
@@ -187,6 +195,13 @@ fn parse_args() -> Option<Options> {
                 }
             },
             "--unroll" => unroll = Some(args.next()?.parse().ok()?),
+            "--sim-tier" => match args.next()?.parse() {
+                Ok(tier) => sim_tier = tier,
+                Err(e) => {
+                    eprintln!("--sim-tier: {e}");
+                    return None;
+                }
+            },
             "--co-evolve" => co_evolve = true,
             "--objectives" => match metaopt_gp::coevo::parse_mask(&args.next()?) {
                 Some(mask) => objectives = mask,
@@ -218,6 +233,7 @@ fn parse_args() -> Option<Options> {
         control,
         passes,
         unroll,
+        sim_tier,
         co_evolve,
         objectives,
         trace_out,
@@ -229,11 +245,12 @@ fn parse_args() -> Option<Options> {
 
 impl Options {
     /// `cfg` with every global override applied: `--check-ir`,
-    /// `--validate`, `--passes`, `--unroll`.
+    /// `--validate`, `--passes`, `--unroll`, `--sim-tier`.
     fn configure(&self, cfg: StudyConfig) -> StudyConfig {
         let mut cfg = cfg
             .with_check_ir(self.check_ir)
-            .with_validate(self.validate);
+            .with_validate(self.validate)
+            .with_sim_tier(self.sim_tier);
         if let Some(plan) = &self.passes {
             cfg = cfg.with_plan(plan.clone());
         }

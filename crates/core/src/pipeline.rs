@@ -216,30 +216,30 @@ impl PreparedBench {
     ) -> Result<u64, EvalError> {
         let mem = self.mem_for(compiled, ds);
         let noise = (study.noise > 0.0).then_some((study.noise, noise_seed));
-        let result =
-            simulate_traced(&compiled.code, machine, mem, noise, tracer).map_err(|e| match e {
-                SimError::InstLimit(n) => EvalError::new(
-                    EvalErrorKind::Budget,
-                    format!(
-                        "{}: simulation exceeded the {n}-instruction budget on {ds:?}",
-                        self.name
-                    ),
+        let result = simulate_traced(&compiled.code, machine, mem, noise, study.sim_tier, tracer)
+            .map_err(|e| match e {
+            SimError::InstLimit(n) => EvalError::new(
+                EvalErrorKind::Budget,
+                format!(
+                    "{}: simulation exceeded the {n}-instruction budget on {ds:?}",
+                    self.name
                 ),
-                // The cooperative deadline is deterministic (a property of
-                // the genome's schedule, not of the host), so it classifies
-                // as a permanent budget fault — retrying would be futile.
-                SimError::CycleLimit(n) => EvalError::new(
-                    EvalErrorKind::Budget,
-                    format!(
-                        "{}: simulation exceeded the {n}-cycle cooperative deadline on {ds:?}",
-                        self.name
-                    ),
+            ),
+            // The cooperative deadline is deterministic (a property of
+            // the genome's schedule, not of the host), so it classifies
+            // as a permanent budget fault — retrying would be futile.
+            SimError::CycleLimit(n) => EvalError::new(
+                EvalErrorKind::Budget,
+                format!(
+                    "{}: simulation exceeded the {n}-cycle cooperative deadline on {ds:?}",
+                    self.name
                 ),
-                other => EvalError::new(
-                    EvalErrorKind::Sim,
-                    format!("{}: simulation fault on {ds:?}: {other}", self.name),
-                ),
-            })?;
+            ),
+            other => EvalError::new(
+                EvalErrorKind::Sim,
+                format!("{}: simulation fault on {ds:?}: {other}", self.name),
+            ),
+        })?;
         if result.ret != self.expected_ret(ds) {
             return Err(EvalError::new(
                 EvalErrorKind::WrongAnswer,

@@ -8,7 +8,7 @@ use metaopt_compiler::{
 use metaopt_gp::expr::{Env, Expr};
 use metaopt_gp::parse::parse_expr;
 use metaopt_gp::{FeatureSet, Kind};
-use metaopt_sim::MachineConfig;
+use metaopt_sim::{MachineConfig, SimTier};
 
 /// Which priority function is being evolved.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +50,13 @@ pub struct StudyConfig {
     /// [`StudyConfig::with_unroll`] (the CLI's `--unroll`) to explore the
     /// phase-ordering space.
     pub plan: PipelinePlan,
+    /// Which simulator execution tier evaluations run on. Both tiers are
+    /// bit-identical in every observable by contract, so this is purely a
+    /// throughput knob: it never enters fitness, the persistent fitness
+    /// cache, or checkpoint fingerprints. Defaults to the fast bytecode
+    /// tier; flip with [`StudyConfig::with_sim_tier`] (the CLI's
+    /// `--sim-tier`).
+    pub sim_tier: SimTier,
     /// Semantic-validation level every compilation in this study runs at:
     /// per-pass translation validators at [`ValidationLevel::Fast`], plus
     /// post-pass abstract interpretation at [`ValidationLevel::Full`]. Off
@@ -88,6 +95,7 @@ pub fn hyperblock() -> StudyConfig {
         noise: 0.0,
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        sim_tier: SimTier::default(),
         plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
         validate: ValidationLevel::Off,
     }
@@ -107,6 +115,7 @@ pub fn regalloc() -> StudyConfig {
         noise: 0.0,
         genome_kind: Kind::Real,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        sim_tier: SimTier::default(),
         plan: PipelinePlan::parse("hyperblock,regalloc,schedule").expect("study plan is valid"),
         validate: ValidationLevel::Off,
     }
@@ -125,6 +134,7 @@ pub fn prefetch() -> StudyConfig {
         noise: 0.005,
         genome_kind: Kind::Bool,
         check_ir: metaopt_compiler::CHECK_IR_DEFAULT,
+        sim_tier: SimTier::default(),
         plan: PipelinePlan::parse("prefetch,regalloc,schedule").expect("study plan is valid"),
         validate: ValidationLevel::Off,
     }
@@ -149,6 +159,14 @@ impl StudyConfig {
     /// This study with IR invariant checking switched on or off.
     pub fn with_check_ir(mut self, on: bool) -> Self {
         self.check_ir = on;
+        self
+    }
+
+    /// This study simulating on `tier` (the fast bytecode tier or the
+    /// reference cycle-level interpreter; results are identical, only
+    /// throughput differs).
+    pub fn with_sim_tier(mut self, tier: SimTier) -> Self {
+        self.sim_tier = tier;
         self
     }
 

@@ -1,0 +1,179 @@
+//! Determinism of the tiered simulator backend at the experiment level:
+//! the sim-backed analogue of the gp crate's synthetic-evaluator
+//! thread-count properties.
+//!
+//! Three contracts, all downstream of the bytecode tier's bit-identical
+//! equivalence with the reference interpreter:
+//!
+//! 1. the (default) fast tier is thread-schedule independent — a run at
+//!    `threads = 1` and the same run at `threads = N` agree on every
+//!    observable;
+//! 2. tiers are interchangeable end-to-end — a reference-tier run lands on
+//!    the same winner, telemetry, and speedup bits as the fast-tier run;
+//! 3. the tier never enters the config fingerprint — persistent
+//!    [`FitnessStore`] entries written under one tier answer evaluations
+//!    under the other, and a checkpoint written under one tier resumes
+//!    under the other, bit-identically.
+
+use metaopt::experiment::{self, RunControl, SpecializationResult};
+use metaopt::study;
+use metaopt_gp::GpParams;
+use metaopt_sim::SimTier;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn run(tier: SimTier, threads: usize, seed: u64, cache: Option<PathBuf>) -> SpecializationResult {
+    let cfg = study::hyperblock().with_sim_tier(tier);
+    let bench = metaopt_suite::by_name("unepic").unwrap();
+    let params = GpParams {
+        population: 6,
+        generations: 2,
+        seed,
+        threads,
+        ..GpParams::quick()
+    };
+    let control = RunControl {
+        eval_cache: cache,
+        ..RunControl::default()
+    };
+    experiment::specialize_controlled(&cfg, &bench, &params, &control).unwrap()
+}
+
+fn assert_identical(a: &SpecializationResult, b: &SpecializationResult) {
+    assert_eq!(a.best.key(), b.best.key());
+    assert_eq!(a.train_speedup.to_bits(), b.train_speedup.to_bits());
+    assert_eq!(a.novel_speedup.to_bits(), b.novel_speedup.to_bits());
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.quarantined, b.quarantined);
+}
+
+proptest! {
+    // Each case is several small-but-real evolution runs; keep the count
+    // modest. The gp crate fuzzes the schedule space widely with synthetic
+    // evaluators; this pins the same properties onto the real simulator.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Contracts 1 and 2: the fast tier is schedule-independent, and a
+    /// serial reference-tier run reproduces the fast-tier result exactly.
+    #[test]
+    fn fast_tier_is_thread_and_tier_independent(seed in any::<u64>()) {
+        let serial = run(SimTier::Fast, 1, seed, None);
+        let threaded = run(SimTier::Fast, 3, seed, None);
+        assert_identical(&serial, &threaded);
+
+        let reference = run(SimTier::Reference, 1, seed, None);
+        assert_identical(&serial, &reference);
+    }
+
+    /// Contract 3a: fitness-store entries are tier-portable. A cold run
+    /// under the fast tier fills the store; a reference-tier rerun over the
+    /// same store must answer from it (the tier is not part of the config
+    /// fingerprint) and land on the identical result.
+    #[test]
+    fn fitness_store_entries_are_tier_portable(seed in any::<u64>()) {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let cache = std::env::temp_dir().join(format!(
+            "metaopt-xtier-cache-{}-{}.bin",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_file(&cache);
+
+        let cold = run(SimTier::Fast, 2, seed, Some(cache.clone()));
+        prop_assert_eq!(cold.warm_hits, 0, "a fresh store cannot answer anything");
+        let warm = run(SimTier::Reference, 2, seed, Some(cache.clone()));
+        prop_assert!(
+            warm.warm_hits > 0,
+            "fast-tier store entries must be valid under the reference tier"
+        );
+        assert_identical(&cold, &warm);
+        let _ = std::fs::remove_file(&cache);
+    }
+}
+
+/// The lines a CLI run is judged by: the re-parseable winner and speedups.
+fn key_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("raw (re-parseable):")
+                || l.starts_with("train speedup:")
+                || l.starts_with("novel speedup:")
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+fn metaopt(tier: &str, extra: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_metaopt"));
+    c.args([
+        "specialize",
+        "hyperblock",
+        "unepic",
+        "--pop",
+        "12",
+        "--gens",
+        "6",
+        "--seed",
+        "42",
+        "--threads",
+        "2",
+        "--sim-tier",
+        tier,
+    ])
+    .args(extra);
+    c
+}
+
+/// Contract 3b: SIGKILL a fast-tier run after its first checkpoint lands,
+/// then resume it under the *reference* tier. The resume must be accepted
+/// (the tier is not in the checkpoint fingerprint) and the remaining
+/// generations — now simulated by the other tier — must land on exactly
+/// the result of an uninterrupted fast-tier run.
+#[test]
+fn cross_tier_resume_is_accepted_and_bit_identical() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("metaopt-xtier-resume-{}.ck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut child = metaopt("fast", &["--checkpoint", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn metaopt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint within 120s");
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(path.exists(), "a checkpoint must survive the kill");
+
+    let resumed = metaopt("reference", &["--resume", path.to_str().unwrap()])
+        .output()
+        .expect("resumed run");
+    assert!(
+        resumed.status.success(),
+        "cross-tier resume must be accepted: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let straight = metaopt("fast", &[]).output().expect("uninterrupted run");
+    assert!(straight.status.success());
+
+    let r = key_lines(&resumed.stdout);
+    assert_eq!(r.len(), 3, "expected 3 key lines, got {r:?}");
+    assert_eq!(
+        r,
+        key_lines(&straight.stdout),
+        "cross-tier resumed run must reproduce the fast-tier run exactly"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -13,6 +13,7 @@
 use metaopt::experiment::{self, RunControl, SpecializationResult};
 use metaopt::study;
 use metaopt_gp::GpParams;
+use metaopt_sim::SimTier;
 use metaopt_trace::metrics::MetricsRegistry;
 use metaopt_trace::{report, schema, strip_timing, Tracer};
 use std::path::Path;
@@ -116,4 +117,95 @@ fn fixed_seed_trace_matches_golden_and_perturbs_nothing() {
     assert_eq!(plain.log, traced.log);
     assert_eq!(plain.evaluations, traced.evaluations);
     assert_eq!(plain.quarantined, traced.quarantined);
+}
+
+/// Cross-tier golden: the same fixed-seed evolution run under the fast
+/// (bytecode) and reference simulator tiers emits bit-identical event
+/// streams once timestamps are stripped and the `tier` attribute — the one
+/// sanctioned difference — is normalized. Fitness, the quarantine ledger,
+/// and the checkpoint files written along the way are tier-independent.
+#[test]
+fn cross_tier_run_traces_and_checkpoints_are_bit_identical() {
+    let dir = std::env::temp_dir();
+    let ck_for = |tier: &str| {
+        let p = dir.join(format!("metaopt-xtier-{tier}-{}.ck", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let run = |tier: SimTier, ck: &Path| {
+        let cfg = study::hyperblock().with_sim_tier(tier);
+        let bench = metaopt_suite::by_name("unepic").unwrap();
+        let params = GpParams {
+            population: 6,
+            generations: 2,
+            seed: 4,
+            threads: 1,
+            ..GpParams::quick()
+        };
+        let tracer = Tracer::in_memory();
+        let control = RunControl {
+            tracer: tracer.clone(),
+            checkpoint: Some(ck.to_path_buf()),
+            ..RunControl::default()
+        };
+        let res = experiment::specialize_controlled(&cfg, &bench, &params, &control).unwrap();
+        (res, tracer.lines().unwrap())
+    };
+    let fast_ck = ck_for("fast");
+    let ref_ck = ck_for("ref");
+    let (fast, fast_lines) = run(SimTier::Fast, &fast_ck);
+    let (reference, ref_lines) = run(SimTier::Reference, &ref_ck);
+
+    // Each stream stamps its own tier on sim events…
+    assert!(
+        fast_lines.iter().any(|l| l.contains("\"tier\":\"fast\"")),
+        "fast run must stamp its tier on sim events"
+    );
+    assert!(
+        ref_lines
+            .iter()
+            .any(|l| l.contains("\"tier\":\"reference\"")),
+        "reference run must stamp its tier on sim events"
+    );
+    // …and that stamp is the *only* difference between them.
+    let normalize = |lines: &[String]| -> String {
+        lines
+            .iter()
+            .map(|l| {
+                strip_timing(l)
+                    .unwrap()
+                    .replace("\"tier\":\"reference\"", "\"tier\":\"fast\"")
+                    + "\n"
+            })
+            .collect()
+    };
+    assert_eq!(
+        normalize(&fast_lines),
+        normalize(&ref_lines),
+        "cross-tier event streams diverged beyond the tier attribute"
+    );
+
+    // Results are bit-identical: same winner, same speedups, same
+    // per-generation telemetry, same quarantine ledger.
+    assert_eq!(fast.best.key(), reference.best.key());
+    assert_eq!(
+        fast.train_speedup.to_bits(),
+        reference.train_speedup.to_bits()
+    );
+    assert_eq!(
+        fast.novel_speedup.to_bits(),
+        reference.novel_speedup.to_bits()
+    );
+    assert_eq!(fast.log, reference.log);
+    assert_eq!(fast.evaluations, reference.evaluations);
+    assert_eq!(fast.quarantined, reference.quarantined);
+
+    // Checkpoint contents never encode the tier: byte-identical files.
+    assert_eq!(
+        std::fs::read(&fast_ck).unwrap(),
+        std::fs::read(&ref_ck).unwrap(),
+        "checkpoints must be tier-independent"
+    );
+    let _ = std::fs::remove_file(&fast_ck);
+    let _ = std::fs::remove_file(&ref_ck);
 }

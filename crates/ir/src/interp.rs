@@ -138,6 +138,7 @@ fn new_frame(prog: &Program, func: FuncId, ret_dst: Option<VReg>) -> Frame {
 ///
 /// # Errors
 /// Returns [`InterpError::OutOfBounds`] on an out-of-range access.
+#[inline]
 pub fn read_mem(mem: &[u8], addr: i64, w: Width) -> Result<i64, InterpError> {
     let a = addr as usize;
     if addr < 0 || a + w.bytes() > mem.len() {
@@ -154,6 +155,7 @@ pub fn read_mem(mem: &[u8], addr: i64, w: Width) -> Result<i64, InterpError> {
 ///
 /// # Errors
 /// Returns [`InterpError::OutOfBounds`] on an out-of-range access.
+#[inline]
 pub fn write_mem(mem: &mut [u8], addr: i64, w: Width, v: i64) -> Result<(), InterpError> {
     let a = addr as usize;
     if addr < 0 || a + w.bytes() > mem.len() {

@@ -1,0 +1,56 @@
+//! Reference-vs-bytecode tier throughput on representative suite kernels.
+//!
+//! The acceptance bar for the tiered backend is the bytecode tier at ≥2x
+//! the reference tier's `sim_cycles_per_sec`; this bench measures both
+//! tiers on three kernels spanning the suite (integer, bit-twiddling, and
+//! EPIC-heavy control flow). CI compiles it (`cargo bench --no-run`) but
+//! asserts no timings — numbers belong in `BENCH_evals.json`, gated by
+//! `ci/bench_gate.py`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaopt_compiler::{compile, prepare, Passes};
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_sim::{simulate_tier, MachineConfig, SimTier};
+use metaopt_suite::{by_name, DataSet};
+
+const KERNELS: [&str; 3] = ["rawcaudio", "rawdaudio", "unepic"];
+
+fn bench_tiers(c: &mut Criterion) {
+    let machine = MachineConfig::table3();
+    for name in KERNELS {
+        let b = by_name(name).expect("registered");
+        let prog = b.program();
+        let prepared = prepare(&prog).expect("inlines");
+        let mem = b.memory(&prepared, DataSet::Train);
+        let profile = run(
+            &prepared,
+            &RunConfig {
+                memory: Some(mem.clone()),
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .expect("profiles")
+        .profile
+        .expect("requested");
+        let compiled =
+            compile(&prepared, &profile.funcs[0], &machine, &Passes::baseline()).expect("compiles");
+
+        for tier in [SimTier::Reference, SimTier::Fast] {
+            c.bench_function(&format!("sim/{name}/{tier}"), |bench| {
+                bench.iter(|| {
+                    let mut m = mem.clone();
+                    m.resize(compiled.mem_size.max(m.len()), 0);
+                    simulate_tier(&compiled.code, &machine, m, tier).expect("simulates")
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tiers
+}
+criterion_main!(benches);

@@ -27,6 +27,10 @@ const INVALID: Line = Line {
 
 struct Level {
     sets: usize,
+    /// `sets - 1` when `sets` is a power of two, else 0: index with a mask
+    /// instead of an integer division on the (overwhelmingly common)
+    /// power-of-two geometries.
+    set_mask: usize,
     assoc: usize,
     lines: Vec<Line>, // sets * assoc
     latency: u64,
@@ -37,20 +41,31 @@ impl Level {
         let sets = (bytes / line_bytes / assoc).max(1);
         Level {
             sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
             assoc,
             lines: vec![INVALID; sets * assoc],
             latency,
         }
     }
 
+    #[inline]
     fn set_of(&self, line_addr: u64) -> usize {
-        (line_addr as usize) % self.sets
+        if self.set_mask != 0 {
+            line_addr as usize & self.set_mask
+        } else {
+            (line_addr as usize) % self.sets
+        }
     }
 
+    #[inline]
+    fn set_lines(&mut self, line_addr: u64) -> &mut [Line] {
+        let base = self.set_of(line_addr) * self.assoc;
+        &mut self.lines[base..base + self.assoc]
+    }
+
+    #[inline]
     fn lookup(&mut self, line_addr: u64, now: u64) -> Option<u64> {
-        let s = self.set_of(line_addr);
-        for way in 0..self.assoc {
-            let l = &mut self.lines[s * self.assoc + way];
+        for l in self.set_lines(line_addr) {
             if l.valid && l.tag == line_addr {
                 l.last_use = now;
                 return Some(l.ready_at);
@@ -61,12 +76,10 @@ impl Level {
 
     /// Install a line that becomes ready at `ready_at`; evicts LRU.
     fn fill(&mut self, line_addr: u64, ready_at: u64, now: u64) {
-        let s = self.set_of(line_addr);
-        let base = s * self.assoc;
+        let set = self.set_lines(line_addr);
         let mut victim = 0;
         let mut oldest = u64::MAX;
-        for way in 0..self.assoc {
-            let l = &self.lines[base + way];
+        for (way, l) in set.iter().enumerate() {
             if !l.valid {
                 victim = way;
                 break;
@@ -76,7 +89,7 @@ impl Level {
                 victim = way;
             }
         }
-        self.lines[base + victim] = Line {
+        set[victim] = Line {
             tag: line_addr,
             valid: true,
             ready_at,
@@ -106,6 +119,10 @@ pub struct Hierarchy {
     l1: Level,
     l2: Level,
     line_bytes: usize,
+    /// `log2(line_bytes)` when it is a power of two, else 0: the line-number
+    /// computation is on the critical path of every access, and a shift
+    /// beats an integer division there.
+    line_shift: u32,
     miss_latency: u64,
     /// Running statistics.
     pub stats: CacheStats,
@@ -118,13 +135,23 @@ impl Hierarchy {
             l1: Level::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes, cfg.l1_latency),
             l2: Level::new(cfg.l2_bytes, cfg.l2_assoc, cfg.line_bytes, cfg.l2_latency),
             line_bytes: cfg.line_bytes,
+            line_shift: if cfg.line_bytes.is_power_of_two() {
+                cfg.line_bytes.trailing_zeros()
+            } else {
+                0
+            },
             miss_latency: cfg.miss_latency,
             stats: CacheStats::default(),
         }
     }
 
+    #[inline]
     fn line_addr(&self, addr: i64) -> u64 {
-        (addr as u64) / self.line_bytes as u64
+        if self.line_shift != 0 {
+            (addr as u64) >> self.line_shift
+        } else {
+            (addr as u64) / self.line_bytes as u64
+        }
     }
 
     /// A demand access (load or store) at `addr` on cycle `now`; returns the

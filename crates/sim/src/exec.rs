@@ -47,6 +47,55 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Which execution backend runs a simulation.
+///
+/// Both tiers implement the same observable semantics — bit-identical cycle
+/// counts, memory traffic, statistics, and outputs (the equivalence
+/// contract of DESIGN.md §17, enforced by the cross-tier differential test
+/// harness). The tier therefore never enters fitness, caches, or checkpoint
+/// fingerprints: results produced under one tier are valid under the other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SimTier {
+    /// Pre-decoded linear bytecode (the default): same results, several
+    /// times the throughput of [`SimTier::Reference`].
+    #[default]
+    Fast,
+    /// The original cycle-level interpreter, kept as the semantic
+    /// reference the fast tier is differentially tested against.
+    Reference,
+}
+
+impl SimTier {
+    /// Canonical lowercase name, as accepted by `--sim-tier` and emitted in
+    /// the `tier` attribute of `sim` trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimTier::Fast => "fast",
+            SimTier::Reference => "reference",
+        }
+    }
+}
+
+impl fmt::Display for SimTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SimTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "fast" | "bytecode" => Ok(SimTier::Fast),
+            "reference" | "ref" => Ok(SimTier::Reference),
+            other => Err(format!(
+                "unknown sim tier `{other}` (expected `fast` or `reference`)"
+            )),
+        }
+    }
+}
+
 impl From<InterpError> for SimError {
     fn from(e: InterpError) -> Self {
         match e {
@@ -57,7 +106,11 @@ impl From<InterpError> for SimError {
 }
 
 /// Result of a simulation.
-#[derive(Clone, Debug)]
+///
+/// Equality is total over every observable — cycles, dynamic counts,
+/// branch/cache statistics, return value, and the final memory image —
+/// which is exactly the cross-tier equivalence contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimResult {
     /// Value returned by the program.
     pub ret: i64,
@@ -120,13 +173,43 @@ impl RegFiles {
     }
 }
 
-/// Execute `mp` on machine `cfg` starting from the given memory image.
+/// Execute `mp` on machine `cfg` starting from the given memory image,
+/// using the default tier ([`SimTier::Fast`]).
 ///
 /// # Errors
 /// Fails on out-of-bounds memory accesses, malformed machine code (a block
 /// without a terminating branch), or when `cfg.max_insts` or
 /// `cfg.max_cycles` is exceeded.
 pub fn simulate(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+) -> Result<SimResult, SimError> {
+    simulate_tier(mp, cfg, memory, SimTier::default())
+}
+
+/// Execute `mp` on machine `cfg` under an explicit execution [`SimTier`].
+///
+/// # Errors
+/// As [`simulate`]; both tiers fail identically by contract.
+pub fn simulate_tier(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+    tier: SimTier,
+) -> Result<SimResult, SimError> {
+    match tier {
+        SimTier::Fast => crate::bytecode::simulate_fast(mp, cfg, memory),
+        SimTier::Reference => simulate_reference(mp, cfg, memory),
+    }
+}
+
+/// The reference cycle-level interpreter (the semantic ground truth the
+/// bytecode tier is differentially tested against).
+///
+/// # Errors
+/// As [`simulate`].
+pub fn simulate_reference(
     mp: &MachineProgram,
     cfg: &MachineConfig,
     memory: Vec<u8>,
@@ -393,7 +476,21 @@ pub fn simulate_noisy(
     amplitude: f64,
     seed: u64,
 ) -> Result<SimResult, SimError> {
-    let mut r = simulate(mp, cfg, memory)?;
+    simulate_noisy_tier(mp, cfg, memory, amplitude, seed, SimTier::default())
+}
+
+/// [`simulate_noisy`] under an explicit execution [`SimTier`]. The noise is
+/// applied to the simulated cycle count after the run, so it is identical
+/// across tiers by construction.
+pub fn simulate_noisy_tier(
+    mp: &MachineProgram,
+    cfg: &MachineConfig,
+    memory: Vec<u8>,
+    amplitude: f64,
+    seed: u64,
+    tier: SimTier,
+) -> Result<SimResult, SimError> {
+    let mut r = simulate_tier(mp, cfg, memory, tier)?;
     let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
     x ^= x << 13;
     x ^= x >> 7;
@@ -404,22 +501,23 @@ pub fn simulate_noisy(
     Ok(r)
 }
 
-/// Run [`simulate`] (or [`simulate_noisy`] when `noise` is set) and emit
-/// one `sim` trace event per completed simulation: simulated `cycles` and
-/// `insts`, plus the host-side wall time as `dur_ns`. Failed simulations
-/// emit nothing — the caller's evaluation layer records the failure in its
-/// own taxonomy.
+/// Run [`simulate_tier`] (or [`simulate_noisy_tier`] when `noise` is set)
+/// and emit one `sim` trace event per completed simulation: simulated
+/// `cycles` and `insts`, the host-side wall time as `dur_ns`, and the
+/// executing `tier`. Failed simulations emit nothing — the caller's
+/// evaluation layer records the failure in its own taxonomy.
 pub fn simulate_traced(
     mp: &MachineProgram,
     cfg: &MachineConfig,
     memory: Vec<u8>,
     noise: Option<(f64, u64)>,
+    tier: SimTier,
     tracer: &metaopt_trace::Tracer,
 ) -> Result<SimResult, SimError> {
     let span = tracer.begin();
     let result = match noise {
-        Some((amplitude, seed)) => simulate_noisy(mp, cfg, memory, amplitude, seed),
-        None => simulate(mp, cfg, memory),
+        Some((amplitude, seed)) => simulate_noisy_tier(mp, cfg, memory, amplitude, seed, tier),
+        None => simulate_tier(mp, cfg, memory, tier),
     };
     if let Ok(r) = &result {
         if let Some(m) = tracer.metrics() {
@@ -435,6 +533,7 @@ pub fn simulate_traced(
                     ("cycles", Value::UInt(r.cycles)),
                     ("insts", Value::UInt(r.insts)),
                     ("dur_ns", Value::UInt(span.dur_ns())),
+                    ("tier", Value::Str(tier.as_str().to_string())),
                 ],
             );
         }
@@ -452,8 +551,15 @@ mod tests {
         Bundle { insts }
     }
 
+    // Runs the program under both tiers and asserts the equivalence
+    // contract before returning the (fast-tier) result, so every unit test
+    // in this module doubles as a cross-tier check.
     fn run(mp: &MachineProgram) -> SimResult {
-        simulate(mp, &MachineConfig::table3(), vec![0u8; 65536]).unwrap()
+        let cfg = MachineConfig::table3();
+        let fast = simulate_tier(mp, &cfg, vec![0u8; 65536], SimTier::Fast).unwrap();
+        let reference = simulate_tier(mp, &cfg, vec![0u8; 65536], SimTier::Reference).unwrap();
+        assert_eq!(fast, reference, "tier divergence");
+        fast
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! `metaopt-ir` reference interpreter, which the test suite exploits for
 //! differential testing of every compiled configuration.
 //!
+//! Simulation is **tiered** ([`SimTier`]): the default fast tier pre-decodes
+//! a program into compact linear bytecode ([`bytecode`]) and executes it
+//! several times faster than the original cycle-level interpreter, which is
+//! kept as the reference tier ([`exec::simulate_reference`]). Both tiers are
+//! bit-identical in every observable (cycles, memory traffic, statistics,
+//! outputs), a contract enforced by a cross-tier differential test harness.
+//!
 //! The memory system models a two-level data cache with in-flight line fills,
 //! so software prefetching has both its benefit (hiding miss latency) and its
 //! costs (memory-unit issue slots, cache pollution) — the trade-off the
@@ -26,12 +33,14 @@
 //! ([`exec::simulate_noisy`]) reproduces the "real machine" measurement
 //! jitter of the paper's Itanium experiments.
 
+pub mod bytecode;
 pub mod cache;
 pub mod code;
 pub mod exec;
 pub mod machine;
 pub mod predictor;
 
+pub use bytecode::BytecodeProgram;
 pub use code::{Bundle, MachineProgram};
-pub use exec::{simulate, simulate_traced, SimError, SimResult};
+pub use exec::{simulate, simulate_tier, simulate_traced, SimError, SimResult, SimTier};
 pub use machine::{CacheConfig, MachineConfig};

@@ -1,0 +1,282 @@
+//! The tiered simulator's equivalence contract, fuzzed: for **any** MiniC
+//! program compiled under **any** priority functions, **any** legal
+//! pipeline plan, on **any** of the three studies' machines (tiny register
+//! files included), the bytecode fast tier must produce exactly the
+//! reference interpreter tier's [`SimResult`] — cycles, dynamic counts,
+//! branch and cache statistics, return value, and the final memory image —
+//! and must fail with exactly the same [`SimError`] when instruction or
+//! cycle budgets are squeezed.
+//!
+//! This is the cross-tier analogue of the compiler's
+//! `compiled_code_matches_interpreter` differential test, and the proof
+//! obligation behind making the fast tier the default.
+
+use metaopt_compiler::{compile, prepare, Passes, PipelinePlan};
+use metaopt_ir::interp::{run, RunConfig};
+use metaopt_sim::{simulate_tier, MachineConfig, SimError, SimResult, SimTier};
+use proptest::prelude::*;
+
+/// A random but always-valid, always-terminating MiniC `main`.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Assign(usize, Expr),
+    Store(Expr, Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    For(u8, Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i16),
+    Var(usize),
+    Load(Box<Expr>),
+    Bin(u8, Box<Expr>, Box<Expr>),
+}
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i16>().prop_map(Expr::Lit),
+        (0usize..VARS.len()).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Load(Box::new(e))),
+            (0u8..8, inner.clone(), inner).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            ((0usize..VARS.len()), arb_expr()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+            (arb_expr(), arb_expr()).prop_map(|(i, v)| Stmt::Store(i, v)),
+        ]
+        .boxed()
+    } else {
+        let inner = proptest::collection::vec(arb_stmt(depth - 1), 1..4);
+        prop_oneof![
+            3 => ((0usize..VARS.len()), arb_expr()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+            2 => (arb_expr(), arb_expr()).prop_map(|(i, v)| Stmt::Store(i, v)),
+            2 => (arb_expr(), inner.clone(), proptest::collection::vec(arb_stmt(depth - 1), 0..3))
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            1 => ((2u8..10), inner).prop_map(|(n, b)| Stmt::For(n, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn expr_src(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => format!("{v}"),
+        Expr::Var(v) => VARS[*v].to_string(),
+        Expr::Load(ix) => format!("xs[abs({}) % 64]", expr_src(ix)),
+        Expr::Bin(op, a, b) => {
+            let o = ["+", "-", "*", "/", "%", "&", "|", "^"][(*op % 8) as usize];
+            format!("({} {o} {})", expr_src(a), expr_src(b))
+        }
+    }
+}
+
+fn stmt_src(s: &Stmt, out: &mut String, loop_depth: usize, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Assign(v, e) => {
+            out.push_str(&format!("{pad}{} = {};\n", VARS[*v], expr_src(e)));
+        }
+        Stmt::Store(ix, v) => {
+            out.push_str(&format!(
+                "{pad}xs[abs({}) % 64] = {};\n",
+                expr_src(ix),
+                expr_src(v)
+            ));
+        }
+        Stmt::If(c, t, e) => {
+            out.push_str(&format!("{pad}if (({}) % 2 == 0) {{\n", expr_src(c)));
+            for s in t {
+                stmt_src(s, out, loop_depth, indent + 1);
+            }
+            if e.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in e {
+                    stmt_src(s, out, loop_depth, indent + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        Stmt::For(n, body) => {
+            let v = format!("i{loop_depth}");
+            out.push_str(&format!(
+                "{pad}for (let {v} = 0; {v} < {n}; {v} = {v} + 1) {{\n"
+            ));
+            out.push_str(&format!("{pad}    a = a + {v};\n"));
+            for s in body {
+                stmt_src(s, out, loop_depth + 1, indent + 1);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+fn program_src(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        stmt_src(s, &mut body, 0, 1);
+    }
+    format!(
+        r#"
+        global int xs[64];
+        fn main() -> int {{
+            let a = 1; let b = 2; let c = 3; let d = 4;
+            for (let k = 0; k < 64; k = k + 1) {{ xs[k] = k * 2654435761 % 977; }}
+{body}
+            let h = a ^ b ^ c ^ d;
+            for (let k = 0; k < 64; k = k + 1) {{ h = (h * 31 + xs[k]) % 1000003; }}
+            return h;
+        }}
+    "#
+    )
+}
+
+/// A handful of adversarial priority functions spanning the search space.
+fn priorities(pick: u8) -> (f64, f64) {
+    match pick % 5 {
+        0 => (1e9, 1.0),
+        1 => (-1e9, -1.0),
+        2 => (0.0, 0.0),
+        3 => (1.0, 1e6),
+        _ => (-1.0, 1e-6),
+    }
+}
+
+/// The three case studies' machines: Table 3 (hyperblock), the 32/32
+/// register-starved variant (regalloc), and the Itanium-like prefetch
+/// machine.
+fn study_machine(pick: u8) -> MachineConfig {
+    match pick % 3 {
+        0 => MachineConfig::table3(),
+        1 => MachineConfig::regalloc_stress(),
+        _ => MachineConfig::itanium_like(),
+    }
+}
+
+fn both_tiers(
+    mp: &metaopt_sim::MachineProgram,
+    cfg: &MachineConfig,
+    mem: &[u8],
+) -> (Result<SimResult, SimError>, Result<SimResult, SimError>) {
+    let fast = simulate_tier(mp, cfg, mem.to_vec(), SimTier::Fast);
+    let reference = simulate_tier(mp, cfg, mem.to_vec(), SimTier::Reference);
+    (fast, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn tiers_are_bit_identical(
+        stmts in proptest::collection::vec(arb_stmt(2), 1..6),
+        pick in any::<u8>(),
+        machine_pick in any::<u8>(),
+        tiny_regs in any::<bool>(),
+        unroll in any::<bool>(),
+        squeeze in any::<bool>(),
+    ) {
+        let src = program_src(&stmts);
+        let prog = metaopt_lang::compile(&src)
+            .unwrap_or_else(|e| panic!("generated MiniC must compile: {e}\n{src}"));
+        let prepared = prepare(&prog).expect("prepares");
+        let profile = run(&prepared, &RunConfig { profile: true, ..Default::default() })
+            .expect("profiles")
+            .profile
+            .expect("requested");
+
+        let (hb_bias, ra_bias) = priorities(pick);
+        let hb = move |r: &[f64], _: &[bool]| r[2] * 10.0 + hb_bias;
+        let ra = move |r: &[f64], _: &[bool]| r[0] * ra_bias + r[2];
+        let pf = |_: &[f64], b: &[bool]| b[0];
+        let plan: PipelinePlan = ["prefetch,hyperblock,regalloc,schedule",
+            "hyperblock,prefetch,regalloc,schedule",
+            "hyperblock,regalloc,schedule",
+            "prefetch,regalloc,schedule"][(pick % 4) as usize]
+            .parse()
+            .unwrap();
+        let plan = if unroll { plan.with_unroll(8) } else { plan };
+        let passes = Passes {
+            plan,
+            hyperblock: &hb,
+            regalloc: &ra,
+            prefetch: &pf,
+            prefetch_iters_ahead: 4,
+            check_ir: false,
+            validate: metaopt_compiler::ValidationLevel::Off,
+            tracer: metaopt_trace::Tracer::disabled(),
+        };
+        let mut machine = study_machine(machine_pick);
+        if tiny_regs {
+            machine.gpr = 10;
+            machine.fpr = 8;
+        }
+        let compiled = compile(&prepared, &profile.funcs[0], &machine, &passes)
+            .expect("compiles");
+        let mem = compiled.initial_memory(&prepared);
+
+        // Unconstrained run: both tiers must agree on every observable.
+        let (fast, reference) = both_tiers(&compiled.code, &machine, &mem);
+        prop_assert_eq!(fast, reference, "tier divergence in:\n{}", src);
+
+        // Squeezed budgets: both tiers must fail identically, at the same
+        // dynamic instruction / cooperative deadline.
+        if squeeze {
+            let mut tight = machine.clone();
+            tight.max_insts = 300;
+            tight.max_cycles = 500;
+            let (fast, reference) = both_tiers(&compiled.code, &tight, &mem);
+            prop_assert_eq!(fast, reference, "budget-fault divergence in:\n{}", src);
+        }
+    }
+}
+
+/// Every bundled suite kernel, compiled at baseline on its study machine,
+/// simulates identically on both tiers — a deterministic anchor next to the
+/// fuzzed property above.
+#[test]
+fn suite_kernels_are_tier_identical() {
+    use metaopt_suite::{all_benchmarks, DataSet};
+    for b in all_benchmarks() {
+        let prog = b.program();
+        let prepared = prepare(&prog).expect("prepares");
+        let mem = b.memory(&prepared, DataSet::Train);
+        let profile = run(
+            &prepared,
+            &RunConfig {
+                memory: Some(mem.clone()),
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .expect("profiles")
+        .profile
+        .expect("requested");
+        let machine = MachineConfig::table3();
+        let compiled =
+            compile(&prepared, &profile.funcs[0], &machine, &Passes::baseline()).expect("compiles");
+        let mut m = mem.clone();
+        m.resize(compiled.mem_size.max(m.len()), 0);
+        let (fast, reference) = both_tiers(&compiled.code, &machine, &m);
+        let fast = fast.expect("fast tier simulates");
+        let reference = reference.expect("reference tier simulates");
+        assert_eq!(
+            fast, reference,
+            "tier divergence on suite kernel {}",
+            b.name
+        );
+    }
+}

@@ -1,14 +1,30 @@
 //! Validate `run-trace.v1` JSONL files from the command line.
 //!
-//! Usage: `trace-validate <trace.jsonl>...` — exits non-zero if any file
-//! fails schema validation, printing the offending line number and reason.
+//! Usage: `trace-validate [--strip] <trace.jsonl>...` — exits non-zero if
+//! any file fails schema validation, printing the offending line number and
+//! reason. With `--strip`, each validated line is re-emitted on stdout with
+//! its timing keys removed (`metaopt_trace::strip_timing`), which gives CI a
+//! canonical form for diffing two traces of the same run — e.g. the
+//! cross-tier smoke, where wall-clock attributes are the only sanctioned
+//! nondeterminism.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut strip = false;
+    let paths: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--strip" {
+                strip = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if paths.is_empty() {
-        eprintln!("usage: trace-validate <trace.jsonl>...");
+        eprintln!("usage: trace-validate [--strip] <trace.jsonl>...");
         return ExitCode::from(2);
     }
     let mut failed = false;
@@ -23,16 +39,29 @@ fn main() -> ExitCode {
         };
         match metaopt_trace::schema::validate_trace(&text) {
             Ok(summary) => {
-                let by_type: Vec<String> = summary
-                    .by_type
-                    .iter()
-                    .map(|(ty, n)| format!("{ty} x{n}"))
-                    .collect();
-                println!(
-                    "{path}: OK ({} events: {})",
-                    summary.events,
-                    by_type.join(", ")
-                );
+                if strip {
+                    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                        match metaopt_trace::strip_timing(line) {
+                            Ok(stripped) => println!("{stripped}"),
+                            Err(err) => {
+                                eprintln!("{path}: cannot strip: {err:?}");
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    let by_type: Vec<String> = summary
+                        .by_type
+                        .iter()
+                        .map(|(ty, n)| format!("{ty} x{n}"))
+                        .collect();
+                    println!(
+                        "{path}: OK ({} events: {})",
+                        summary.events,
+                        by_type.join(", ")
+                    );
+                }
             }
             Err(err) => {
                 eprintln!("{path}: INVALID at line {}: {}", err.line, err.message);

@@ -290,6 +290,18 @@ pub fn validate_line(lineno: usize, line: &str) -> Result<String, SchemaError> {
             "eval with outcome \"score\" lacks a numeric \"score\"".to_string()
         ));
     }
+    // Sim events may carry the executing tier (additive within v1); when
+    // present it must be one of the known tier names.
+    if ty == "sim" {
+        if let Some(tier) = v.get("tier") {
+            let known = matches!(tier.as_str(), Some("fast" | "reference"));
+            if !known {
+                return Err(err(
+                    "sim \"tier\" must be \"fast\" or \"reference\"".to_string()
+                ));
+            }
+        }
+    }
     // `subset` entries must be case indices.
     if ty == "generation" {
         let subset = v.get("subset").and_then(Value::as_arr).unwrap_or(&[]);
@@ -519,6 +531,31 @@ mod tests {
     fn empty_and_garbage_traces_are_rejected() {
         assert!(validate_trace("").is_err());
         assert!(validate_trace("not json").is_err());
+    }
+
+    #[test]
+    fn sim_tier_attribute_is_optional_but_typed() {
+        let header = smoke_trace().lines().next().unwrap().to_string();
+        let sim = |tier: &str| {
+            format!(
+                "{header}\n{{\"type\":\"sim\",\"ts\":1,\"cycles\":10,\"insts\":4,\
+                 \"dur_ns\":100{tier}}}"
+            )
+        };
+        // Tier-less sim events stay valid (pre-tier traces).
+        validate_trace(&sim("")).unwrap();
+        // Both tier names validate.
+        validate_trace(&sim(",\"tier\":\"fast\"")).unwrap();
+        validate_trace(&sim(",\"tier\":\"reference\"")).unwrap();
+        // Unknown tier names and non-strings are rejected.
+        assert!(validate_trace(&sim(",\"tier\":\"jit\""))
+            .unwrap_err()
+            .message
+            .contains("tier"));
+        assert!(validate_trace(&sim(",\"tier\":3"))
+            .unwrap_err()
+            .message
+            .contains("tier"));
     }
 
     fn front_line(size: u64, points: &str) -> String {
